@@ -1,0 +1,372 @@
+package tapejoin_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench regenerates the artifact through the experiment harness and
+// reports the headline metric of the corresponding chart as a custom
+// benchmark metric (virtual seconds, relative cost, utilization %, or
+// overhead %), so `go test -bench=.` reproduces the whole evaluation.
+//
+// Benches run at reduced workload scales to keep wall time modest; the
+// scaling rules (internal/exp) preserve each experiment's geometry.
+// `go run ./cmd/paperbench -scale 1` runs the paper-size versions.
+
+import (
+	"testing"
+
+	tapejoin "repro"
+	"repro/internal/exp"
+)
+
+// benchScale keeps a single full experiment under ~1 s of wall time.
+const benchScale = 0.15
+
+func BenchmarkFig1SmallR(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		points := exp.AnalyticFigure(1)
+		last = points[len(points)-1].Relative["DT-NB"]
+	}
+	b.ReportMetric(last, "relcost-DT-NB@5M")
+}
+
+func BenchmarkFig2MediumR(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		points := exp.AnalyticFigure(2)
+		last = points[len(points)-1].Relative["CTT-GH"]
+	}
+	b.ReportMetric(last, "relcost-CTT-GH@31M")
+}
+
+func BenchmarkFig3LargeR(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		points := exp.AnalyticFigure(3)
+		last = points[len(points)-1].Relative["CTT-GH"]
+	}
+	b.ReportMetric(last, "relcost-CTT-GH@150M")
+}
+
+// table3Join benches one row of Table 3 (Experiment 1) by running the
+// CTT-GH join at that row's scaled parameters.
+func table3Join(b *testing.B, sMB, rMB int64) {
+	b.Helper()
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		sys, err := tapejoin.NewSystem(tapejoin.Config{
+			MemoryMB: 16 * 0.4, // sqrt-scaled with benchScale ~ 0.16
+			DiskMB:   float64(rMB) * benchScale / 5,
+			Profile:  tapejoin.DLT4000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs := int64(float64(rMB) * benchScale)
+		ss := int64(float64(sMB) * benchScale)
+		// Scratch for the hashed copy of R: |R| plus bucket slack.
+		tR, _ := sys.NewTape("r", rs*2+8)
+		tS, _ := sys.NewTape("s", ss+2)
+		r, err := sys.CreateRelation(tR, tapejoin.RelationConfig{Name: "R", SizeMB: rs, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := sys.CreateRelation(tS, tapejoin.RelationConfig{Name: "S", SizeMB: ss, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Join(tapejoin.CTTGH, r, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel = float64(res.Stats.Response) / float64(sys.BareReadTime(float64(rs+ss)))
+	}
+	b.ReportMetric(rel, "relcost")
+}
+
+func BenchmarkTable3JoinI(b *testing.B)   { table3Join(b, 1000, 500) }
+func BenchmarkTable3JoinII(b *testing.B)  { table3Join(b, 2500, 1250) }
+func BenchmarkTable3JoinIII(b *testing.B) { table3Join(b, 5000, 2500) }
+func BenchmarkTable3JoinIV(b *testing.B)  { table3Join(b, 10000, 2500) }
+
+func BenchmarkFig4Utilization(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Figure4(0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := len(points)/10, len(points)*9/10
+		var sum float64
+		for _, p := range points[lo:hi] {
+			sum += p.TotalPct
+		}
+		mean = sum / float64(hi-lo)
+	}
+	b.ReportMetric(mean, "util-%")
+}
+
+func BenchmarkFig5DiskSpace(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: CDT-GH response at the last feasible (smallest) D,
+		// the blow-up the figure demonstrates.
+		for _, r := range rows {
+			if r.CDTGHOk {
+				worst = r.CDTGH.Seconds()
+			}
+		}
+	}
+	b.ReportMetric(worst, "vsec-CDT-GH@minD")
+}
+
+// exp3Bench runs the Experiment 3 sweep once per iteration and reports
+// one chart's headline number.
+func exp3Bench(b *testing.B, comp tapejoin.Compression, headline func([]exp.Exp3Row) (float64, string)) {
+	b.Helper()
+	var v float64
+	var unit string
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Experiment3(benchScale, comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, unit = headline(rows)
+	}
+	b.ReportMetric(v, unit)
+}
+
+// at returns the row of a method at a memory fraction.
+func at(rows []exp.Exp3Row, m tapejoin.Method, frac float64) exp.Exp3Row {
+	for _, r := range rows {
+		if r.Method == m && r.MemFrac == frac {
+			return r
+		}
+	}
+	return exp.Exp3Row{}
+}
+
+func BenchmarkFig6DiskSpace(b *testing.B) {
+	exp3Bench(b, tapejoin.Compress25, func(rows []exp.Exp3Row) (float64, string) {
+		return at(rows, tapejoin.CDTNBDB, 1.0).DiskSpaceMB, "MB-CDT-NB/DB@M=R"
+	})
+}
+
+func BenchmarkFig7DiskTraffic(b *testing.B) {
+	exp3Bench(b, tapejoin.Compress25, func(rows []exp.Exp3Row) (float64, string) {
+		return at(rows, tapejoin.DTNB, 0.1).DiskIOMB, "MB-DT-NB@0.1R"
+	})
+}
+
+func BenchmarkFig8Response(b *testing.B) {
+	exp3Bench(b, tapejoin.Compress25, func(rows []exp.Exp3Row) (float64, string) {
+		return at(rows, tapejoin.CDTGH, 0.3).Response.Seconds(), "vsec-CDT-GH@0.3R"
+	})
+}
+
+func BenchmarkFig9Overhead(b *testing.B) {
+	exp3Bench(b, tapejoin.Compress25, func(rows []exp.Exp3Row) (float64, string) {
+		return 100 * at(rows, tapejoin.CDTGH, 0.5).Overhead, "ovh%-CDT-GH@0.5R"
+	})
+}
+
+func BenchmarkFig10SlowTape(b *testing.B) {
+	exp3Bench(b, tapejoin.Compress0, func(rows []exp.Exp3Row) (float64, string) {
+		return 100 * at(rows, tapejoin.CDTGH, 0.5).Overhead, "ovh%-CDT-GH@0.5R"
+	})
+}
+
+func BenchmarkFig11FastTape(b *testing.B) {
+	exp3Bench(b, tapejoin.Compress50, func(rows []exp.Exp3Row) (float64, string) {
+		return 100 * at(rows, tapejoin.CDTGH, 0.5).Overhead, "ovh%-CDT-GH@0.5R"
+	})
+}
+
+// BenchmarkAblationInterleavedVsSplit quantifies Section 4's claim:
+// the naive split double-buffer doubles the iteration count of
+// CDT-NB/DB. Reported metric: split time / interleaved time.
+func BenchmarkAblationInterleavedVsSplit(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		run := func(split bool) float64 {
+			sys, err := tapejoin.NewSystem(tapejoin.Config{
+				MemoryMB: 2, DiskMB: 24, Profile: tapejoin.DLT4000, SplitBuffering: split,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tR, _ := sys.NewTape("r", 40)
+			tS, _ := sys.NewTape("s", 170)
+			r, _ := sys.CreateRelation(tR, tapejoin.RelationConfig{Name: "R", SizeMB: 18, Seed: 1})
+			s, _ := sys.CreateRelation(tS, tapejoin.RelationConfig{Name: "S", SizeMB: 150, Seed: 2})
+			res, err := sys.Join(tapejoin.CDTNBDB, r, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Stats.Response.Seconds()
+		}
+		ratio = run(true) / run(false)
+	}
+	b.ReportMetric(ratio, "split/interleaved")
+}
+
+// BenchmarkAblationReverseReads quantifies footnote 2: CTT-GH with a
+// bi-directional drive versus forward-only scanning with seek-backs.
+func BenchmarkAblationReverseReads(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		run := func(biDir bool) float64 {
+			sys, err := tapejoin.NewSystem(tapejoin.Config{
+				MemoryMB: 6, DiskMB: 54, BiDirectionalTape: biDir,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tR, _ := sys.NewTape("r", 60)
+			tS, _ := sys.NewTape("s", 170)
+			r, _ := sys.CreateRelation(tR, tapejoin.RelationConfig{Name: "R", SizeMB: 18, Seed: 1})
+			s, _ := sys.CreateRelation(tS, tapejoin.RelationConfig{Name: "S", SizeMB: 150, Seed: 2})
+			res, err := sys.Join(tapejoin.CTTGH, r, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Stats.Response.Seconds()
+		}
+		ratio = run(false) / run(true)
+	}
+	b.ReportMetric(ratio, "forward/bidir")
+}
+
+// BenchmarkAblationMultiVolume validates the Section 3.2 negligibility
+// claim: S spanning 5 cartridges (robot exchanges) versus one.
+func BenchmarkAblationMultiVolume(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		run := func(volumes int) float64 {
+			sys, err := tapejoin.NewSystem(tapejoin.Config{MemoryMB: 4, DiskMB: 24})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tR, _ := sys.NewTape("r", 30)
+			var tS *tapejoin.Tape
+			if volumes == 1 {
+				tS, _ = sys.NewTape("s", 160)
+			} else {
+				tS, err = sys.NewTapeSet("s", volumes, 160/int64(volumes)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			r, _ := sys.CreateRelation(tR, tapejoin.RelationConfig{Name: "R", SizeMB: 18, Seed: 1})
+			s, _ := sys.CreateRelation(tS, tapejoin.RelationConfig{Name: "S", SizeMB: 150, Seed: 2})
+			res, err := sys.Join(tapejoin.DTNB, r, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Stats.Response.Seconds()
+		}
+		ratio = run(5) / run(1)
+	}
+	b.ReportMetric(ratio, "5vol/1vol")
+}
+
+// BenchmarkAblationStopStartPenalty quantifies the cost of losing
+// streaming mode: the same CTT-GH join under the calibrated DLT-4000
+// profile versus the paper's idealized drive.
+func BenchmarkAblationStopStartPenalty(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		run := func(profile tapejoin.TapeProfile) float64 {
+			sys, err := tapejoin.NewSystem(tapejoin.Config{
+				MemoryMB: 6, DiskMB: 50, Profile: profile,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tR, _ := sys.NewTape("r", 600)
+			tS, _ := sys.NewTape("s", 600)
+			r, _ := sys.CreateRelation(tR, tapejoin.RelationConfig{Name: "R", SizeMB: 250, Seed: 1})
+			s, _ := sys.CreateRelation(tS, tapejoin.RelationConfig{Name: "S", SizeMB: 500, Seed: 2})
+			res, err := sys.Join(tapejoin.CTTGH, r, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Stats.Response.Seconds()
+		}
+		ratio = run(tapejoin.DLT4000) / run(tapejoin.IdealTape)
+	}
+	b.ReportMetric(ratio, "dlt/ideal")
+}
+
+// BenchmarkBaselineSortMerge pits the classical tape sort-merge join
+// against CTT-GH on the calibrated drive: seek-bound merge passes make
+// the baseline lose by an order of magnitude or more, the reason the
+// paper builds on hashing.
+func BenchmarkBaselineSortMerge(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		run := func(method tapejoin.Method) float64 {
+			sys, err := tapejoin.NewSystem(tapejoin.Config{MemoryMB: 3, DiskMB: 54})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tR, _ := sys.NewTape("r", 400)
+			tS, _ := sys.NewTape("s", 500)
+			r, _ := sys.CreateRelation(tR, tapejoin.RelationConfig{Name: "R", SizeMB: 18, Seed: 1})
+			s, _ := sys.CreateRelation(tS, tapejoin.RelationConfig{Name: "S", SizeMB: 150, Seed: 2})
+			res, err := sys.Join(method, r, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Stats.Response.Seconds()
+		}
+		ratio = run(tapejoin.TTSM) / run(tapejoin.CTTGH)
+	}
+	b.ReportMetric(ratio, "sortmerge/hash")
+}
+
+// BenchmarkPushdownSelectivity measures how a pushed-down R-side
+// selection shrinks a DT-NB join: response with a 25%-selective filter
+// over response without one.
+func BenchmarkPushdownSelectivity(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		run := func(where tapejoin.Expr) float64 {
+			sys, err := tapejoin.NewSystem(tapejoin.Config{MemoryMB: 4, DiskMB: 40})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tR, _ := sys.NewTape("r", 40)
+			tS, _ := sys.NewTape("s", 170)
+			r, err := sys.CreateTable(tR, tapejoin.TableSpec{
+				Name: "R", SizeMB: 18, Seed: 1,
+				Columns: []tapejoin.Column{{Name: "id", Type: tapejoin.Int64Col}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := sys.CreateTable(tS, tapejoin.TableSpec{
+				Name: "S", SizeMB: 150, Seed: 2,
+				Columns: []tapejoin.Column{{Name: "key", Type: tapejoin.Int64Col}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sys.RunQuery(tapejoin.QuerySpec{
+				R: r, S: s, Where: where, Method: tapejoin.DTNB,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Response.Seconds()
+		}
+		quarter := tapejoin.Cmp(tapejoin.Eq,
+			tapejoin.Cmp(tapejoin.Lt, tapejoin.RCol("id"), tapejoin.Lit(int64(1<<20/4))),
+			tapejoin.Lit(int64(1)))
+		ratio = run(nil) / run(quarter)
+	}
+	b.ReportMetric(ratio, "full/filtered")
+}

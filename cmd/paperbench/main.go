@@ -1,0 +1,238 @@
+// Command paperbench regenerates every table and figure of the
+// paper's evaluation (Myllymaki & Livny, ICDE 1997):
+//
+//	paperbench -exp table2          # resource requirements, measured
+//	paperbench -exp table3          # Experiment 1 (CTT-GH, Joins I-IV)
+//	paperbench -exp fig1            # analytic: small |R|
+//	paperbench -exp fig2            # analytic: medium |R|
+//	paperbench -exp fig3            # analytic: large |R|
+//	paperbench -exp fig4            # buffer utilization trace
+//	paperbench -exp fig5            # Experiment 2 (disk space sweep)
+//	paperbench -exp fig6..fig9      # Experiment 3 (memory sweep, 25%)
+//	paperbench -exp fig10           # Experiment 3 at 0% compressible
+//	paperbench -exp fig11           # Experiment 3 at 50% compressible
+//	paperbench -exp ablations       # design-choice ablations
+//	paperbench -exp all             # everything
+//
+// -scale shrinks the workloads (1.0 = the paper's sizes; see package
+// repro/internal/exp for what each experiment scales).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	tapejoin "repro"
+	"repro/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, or all")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
+	format := flag.String("format", "text", "output format: text or json")
+	flag.Parse()
+
+	var err error
+	switch *format {
+	case "text":
+		err = run(strings.ToLower(*which), *scale)
+	case "json":
+		err = runJSON(strings.ToLower(*which), *scale)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runJSON emits the requested experiments' raw rows as one JSON
+// document, for downstream plotting.
+func runJSON(which string, scale float64) error {
+	all := which == "all"
+	out := map[string]any{"scale": scale}
+
+	for fig := 1; fig <= 3; fig++ {
+		if all || which == fmt.Sprintf("fig%d", fig) {
+			out[fmt.Sprintf("figure%d", fig)] = exp.AnalyticFigure(fig)
+		}
+	}
+	if all || which == "table2" {
+		rows, err := exp.Table2()
+		if err != nil {
+			return err
+		}
+		out["table2"] = rows
+	}
+	if all || which == "table3" {
+		rows, err := exp.Table3(scale)
+		if err != nil {
+			return err
+		}
+		out["table3"] = rows
+	}
+	if all || which == "fig4" {
+		rows, err := exp.Figure4(scale)
+		if err != nil {
+			return err
+		}
+		out["figure4"] = rows
+	}
+	if all || which == "fig5" {
+		rows, err := exp.Figure5(scale)
+		if err != nil {
+			return err
+		}
+		out["figure5"] = rows
+	}
+	exp3 := map[string]tapejoin.Compression{
+		"experiment3": tapejoin.Compress25,
+		"figure10":    tapejoin.Compress0,
+		"figure11":    tapejoin.Compress50,
+	}
+	keys := map[string]string{
+		"experiment3": "fig6", "figure10": "fig10", "figure11": "fig11",
+	}
+	for name, comp := range exp3 {
+		sel := keys[name]
+		hit := all || which == sel ||
+			(name == "experiment3" && (which == "fig7" || which == "fig8" || which == "fig9"))
+		if !hit {
+			continue
+		}
+		rows, err := exp.Experiment3(scale, comp)
+		if err != nil {
+			return err
+		}
+		out[name] = rows
+	}
+	if all || which == "ablations" {
+		rows, err := exp.Ablations(scale)
+		if err != nil {
+			return err
+		}
+		out["ablations"] = rows
+	}
+	if len(out) == 1 {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func run(which string, scale float64) error {
+	all := which == "all"
+	did := false
+	start := time.Now()
+
+	section := func(title string) {
+		fmt.Printf("== %s ==\n", title)
+		did = true
+	}
+
+	for fig := 1; fig <= 3; fig++ {
+		if all || which == fmt.Sprintf("fig%d", fig) {
+			section(fmt.Sprintf("Figure %d: analytic response time relative to reading S (|S|=10|R|, D=32M, X_D=2X_T)", fig))
+			fmt.Println(exp.FormatAnalytic(exp.AnalyticFigure(fig)))
+		}
+	}
+
+	if all || which == "table2" {
+		section("Table 2: resource requirements, measured against the implementations")
+		rows, err := exp.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatTable2(rows))
+	}
+
+	if all || which == "table3" {
+		section("Table 3: Experiment 1 — Concurrent Tape-Tape Grace Hash Join")
+		rows, err := exp.Table3(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatTable3(rows))
+	}
+
+	if all || which == "fig4" {
+		section("Figure 4: disk space utilization in CTT-GH Step II (Join III)")
+		points, err := exp.Figure4(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatFigure4(points, 40))
+	}
+
+	if all || which == "fig5" {
+		section("Figure 5: Experiment 2 — impact of disk space on CDT-GH and CTT-GH")
+		rows, err := exp.Figure5(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatFigure5(rows))
+	}
+
+	needBase := all || which == "fig6" || which == "fig7" || which == "fig8" || which == "fig9"
+	if needBase {
+		rows, err := exp.Experiment3(scale, tapejoin.Compress25)
+		if err != nil {
+			return err
+		}
+		if all || which == "fig6" {
+			section("Figure 6: disk space requirement vs memory size (Experiment 3)")
+			fmt.Println(exp.FormatFigure6(rows))
+		}
+		if all || which == "fig7" {
+			section("Figure 7: disk I/O traffic vs memory size (Experiment 3)")
+			fmt.Println(exp.FormatFigure7(rows))
+		}
+		if all || which == "fig8" {
+			section("Figure 8: response time vs memory size (Experiment 3, 25% compressible)")
+			fmt.Println(exp.FormatFigure8(rows))
+		}
+		if all || which == "fig9" {
+			section("Figure 9: relative join overhead (Experiment 3, 25% compressible)")
+			fmt.Println(exp.FormatOverhead(rows, ""))
+		}
+	}
+
+	if all || which == "fig10" {
+		section("Figure 10: relative join overhead, slower tape (0% compressible)")
+		rows, err := exp.Experiment3(scale, tapejoin.Compress0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatOverhead(rows, ""))
+	}
+
+	if all || which == "fig11" {
+		section("Figure 11: relative join overhead, faster tape (50% compressible)")
+		rows, err := exp.Experiment3(scale, tapejoin.Compress50)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatOverhead(rows, ""))
+	}
+
+	if all || which == "ablations" {
+		section("Ablations: the design choices, quantified")
+		rows, err := exp.Ablations(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatAblations(rows))
+	}
+
+	if !did {
+		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, or all)", which)
+	}
+	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

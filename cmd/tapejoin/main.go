@@ -1,0 +1,132 @@
+// Command tapejoin runs a single tertiary join on the simulated
+// device complex and reports its statistics:
+//
+//	tapejoin -method CTT-GH -r 2500 -s 10000 -mem 16 -disk 500
+//
+// Sizes are in megabytes (the paper's units). The output reports the
+// virtual response time, phase breakdown, device traffic, and the
+// verified join cardinality.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	tapejoin "repro"
+)
+
+func main() {
+	method := flag.String("method", "CTT-GH", "join method: DT-NB, CDT-NB/MB, CDT-NB/DB, DT-GH, CDT-GH, CTT-GH, TT-GH")
+	rMB := flag.Int64("r", 100, "size of R, the smaller relation (MB)")
+	sMB := flag.Int64("s", 1000, "size of S, the larger relation (MB)")
+	memMB := flag.Float64("mem", 16, "main memory M (MB)")
+	diskMB := flag.Float64("disk", 100, "disk scratch space D (MB)")
+	disks := flag.Int("disks", 2, "number of disk drives n")
+	ratio := flag.Float64("speed-ratio", 2, "disk/tape speed ratio X_D/X_T")
+	compress := flag.Int("compress", 25, "tape data compressibility: 0, 25 or 50 (%)")
+	ideal := flag.Bool("ideal", false, "use the paper's idealized cost model (no seeks or penalties)")
+	split := flag.Bool("split-buffer", false, "use naive split double-buffering instead of interleaved")
+	seed := flag.Int64("seed", 42, "data generator seed")
+	keyspace := flag.Uint64("keyspace", 1<<20, "join key space size")
+	verify := flag.Bool("verify", true, "check output cardinality against the generator's expectation")
+	timeline := flag.Bool("timeline", false, "render a device-activity timeline of the run")
+	flag.Parse()
+
+	if err := run(*method, *rMB, *sMB, *memMB, *diskMB, *disks, *ratio, *compress,
+		*ideal, *split, *seed, *keyspace, *verify, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "tapejoin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
+	ratio float64, compress int, ideal, split bool, seed int64, keyspace uint64,
+	verify, timeline bool) error {
+
+	cfg := tapejoin.Config{
+		MemoryMB:           memMB,
+		DiskMB:             diskMB,
+		NumDisks:           disks,
+		DiskTapeSpeedRatio: ratio,
+		SplitBuffering:     split,
+		CollectTrace:       timeline,
+	}
+	switch compress {
+	case 0:
+		cfg.Compression = tapejoin.Compress0
+	case 25:
+		cfg.Compression = tapejoin.Compress25
+	case 50:
+		cfg.Compression = tapejoin.Compress50
+	default:
+		return fmt.Errorf("compress must be 0, 25 or 50, got %d", compress)
+	}
+	if ideal {
+		cfg.Profile = tapejoin.IdealTape
+	}
+
+	sys, err := tapejoin.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	tR, err := sys.NewTape("tape-R", rMB+sMB+2)
+	if err != nil {
+		return err
+	}
+	tS, err := sys.NewTape("tape-S", sMB+rMB+2)
+	if err != nil {
+		return err
+	}
+	r, err := sys.CreateRelation(tR, tapejoin.RelationConfig{
+		Name: "R", SizeMB: rMB, KeySpace: keyspace, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	s, err := sys.CreateRelation(tS, tapejoin.RelationConfig{
+		Name: "S", SizeMB: sMB, KeySpace: keyspace, Seed: seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+
+	res, err := sys.Join(tapejoin.Method(method), r, s)
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+
+	fmt.Printf("%s: R=%d MB  S=%d MB  M=%g MB  D=%g MB  n=%d disks\n",
+		method, rMB, sMB, memMB, diskMB, disks)
+	fmt.Printf("  response time     %v\n", st.Response.Round(0))
+	fmt.Printf("  step I (setup)    %v\n", st.StepI.Round(0))
+	fmt.Printf("  bare read of S+R  %v\n", sys.BareReadTime(float64(sMB+rMB)).Round(0))
+	fmt.Printf("  relative cost     %.1f\n",
+		float64(st.Response)/float64(sys.BareReadTime(float64(sMB+rMB))))
+	fmt.Printf("  iterations        %d\n", st.Iterations)
+	fmt.Printf("  passes over R     %d\n", st.RScans)
+	fmt.Printf("  tape read/write   %.0f / %.0f MB (%d seeks)\n", st.TapeReadMB, st.TapeWrittenMB, st.TapeSeeks)
+	fmt.Printf("  disk read/write   %.0f / %.0f MB (peak %.1f MB)\n", st.DiskReadMB, st.DiskWrittenMB, st.DiskPeakMB)
+	fmt.Printf("  memory peak       %.2f MB\n", st.MemPeakMB)
+	fmt.Printf("  device util       tapeR %.0f%%  tapeS %.0f%%  disks %.0f%%\n",
+		100*st.TapeRUtil, 100*st.TapeSUtil, 100*st.DiskUtil)
+	fmt.Printf("  output tuples     %d\n", st.Matches)
+
+	if timeline {
+		fmt.Println("\ndevice timeline (r=read w=write s=seek x=exchange . idle):")
+		fmt.Print(res.Timeline)
+		fmt.Println("\nper-device busy breakdown:")
+		fmt.Print(res.DeviceSummary)
+		fmt.Println()
+	}
+
+	if verify {
+		want := tapejoin.ExpectedMatches(r, s)
+		if st.Matches != want {
+			return fmt.Errorf("VERIFICATION FAILED: %d matches, expected %d", st.Matches, want)
+		}
+		fmt.Printf("  verification      ok (%d expected matches)\n", want)
+	}
+	return nil
+}

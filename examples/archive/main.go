@@ -1,0 +1,76 @@
+// Scientific archive scan: a satellite-telemetry archive (S) is
+// joined with an instrument-calibration table (R), both tape-resident.
+// The example compares all feasible join methods on the same inputs
+// and shows how the data's compressibility — which changes the tape
+// drive's effective speed — moves the balance between tape-bound and
+// disk-bound methods (Section 9 of the paper).
+//
+//	go run ./examples/archive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tapejoin "repro"
+)
+
+func run(comp tapejoin.Compression, label string) {
+	sys, err := tapejoin.NewSystem(tapejoin.Config{
+		MemoryMB:    12,
+		DiskMB:      100,
+		Compression: comp,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	calib := mustRelation(sys, "calibration", 18, 401)
+	telem := mustRelation(sys, "telemetry", 800, 402)
+
+	fmt.Printf("%s (optimum = bare read of telemetry: %v)\n",
+		label, sys.BareReadTime(800).Round(0))
+	for _, m := range tapejoin.Methods() {
+		if err := sys.CheckFeasible(m, calib, telem); err != nil {
+			continue
+		}
+		// Tape-tape methods consume scratch space; give each method
+		// fresh cartridges.
+		sys2, _ := tapejoin.NewSystem(sys.Config())
+		c2 := mustRelation(sys2, "calibration", 18, 401)
+		t2 := mustRelation(sys2, "telemetry", 800, 402)
+		res, err := sys2.Join(m, c2, t2)
+		if err != nil {
+			fmt.Printf("  %-10s %v\n", m, err)
+			continue
+		}
+		overhead := float64(res.Stats.Response)/float64(sys2.BareReadTime(800)) - 1
+		fmt.Printf("  %-10s %10v  (+%3.0f%% over optimum, %d passes over R)\n",
+			m, res.Stats.Response.Round(0), 100*overhead, res.Stats.RScans)
+	}
+	fmt.Println()
+}
+
+var tapeSeq int
+
+func mustRelation(sys *tapejoin.System, name string, sizeMB int64, seed int64) *tapejoin.Relation {
+	tapeSeq++
+	t, err := sys.NewTape(fmt.Sprintf("%s-%d", name, tapeSeq), sizeMB*3+900)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := sys.CreateRelation(t, tapejoin.RelationConfig{
+		Name: name, SizeMB: sizeMB, KeySpace: 100_000, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rel
+}
+
+func main() {
+	run(tapejoin.Compress0, "incompressible telemetry (slow tape, 1.26 MB/s)")
+	run(tapejoin.Compress25, "typical telemetry (base case, 1.68 MB/s)")
+	run(tapejoin.Compress50, "highly compressible telemetry (fast tape, 2.51 MB/s)")
+	fmt.Println("note how the concurrent methods' overhead grows with tape speed:")
+	fmt.Println("they are disk-bound, so a faster tape only shrinks the baseline.")
+}

@@ -1,0 +1,67 @@
+// Capacity planning: which join method should a site deploy, given
+// its memory and disk budget? This example sweeps the analytical cost
+// model over a grid of (memory, disk) configurations for a fixed
+// workload and prints the method-selection map — the paper's Section
+// 10 conclusions, made operational. No simulation runs; the model
+// answers instantly.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tapejoin "repro"
+)
+
+func main() {
+	const (
+		rMB = 400  // smaller relation
+		sMB = 4000 // larger relation
+	)
+	memories := []float64{2, 4, 8, 16, 32, 64, 128, 256, 512}
+	disks := []float64{50, 100, 200, 400, 500, 800, 1600}
+
+	fmt.Printf("cheapest feasible method for R=%d MB ⋈ S=%d MB\n", rMB, sMB)
+	fmt.Printf("(tape scratch available on both cartridges)\n\n")
+	fmt.Printf("%10s", "mem \\ disk")
+	for _, d := range disks {
+		fmt.Printf("  %9.0fMB", d)
+	}
+	fmt.Println()
+
+	for _, m := range memories {
+		fmt.Printf("%8.0fMB", m)
+		for _, d := range disks {
+			sys, err := tapejoin.NewSystem(tapejoin.Config{MemoryMB: m, DiskMB: d})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ranked := sys.Advise(rMB, sMB, rMB*2, sMB)
+			cell := "-"
+			if len(ranked) > 0 && ranked[0].Feasible {
+				cell = string(ranked[0].Method)
+			}
+			fmt.Printf("  %11s", cell)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nreading the map:")
+	fmt.Println("  - tiny disk        -> CTT-GH (tape-tape) is the only option")
+	fmt.Println("  - disk >= |R|,     -> CDT-GH exploits parallel tape/disk I/O")
+	fmt.Println("    modest memory")
+	fmt.Println("  - memory ~ |R|     -> CDT-NB/MB approaches the bare-read optimum")
+
+	// Zoom in on one column: predicted response versus memory.
+	fmt.Printf("\npredicted response at D=500 MB as memory grows:\n")
+	for _, m := range memories {
+		sys, _ := tapejoin.NewSystem(tapejoin.Config{MemoryMB: m, DiskMB: 500})
+		ranked := sys.Advise(rMB, sMB, rMB*2, sMB)
+		if ranked[0].Feasible {
+			fmt.Printf("  M=%5.0f MB: %-10s %v (%.1fx bare read)\n",
+				m, ranked[0].Method, ranked[0].Response.Round(0), ranked[0].RelativeCost)
+		}
+	}
+}

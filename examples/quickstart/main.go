@@ -1,0 +1,67 @@
+// Quickstart: join two tape-resident relations with the library's
+// default configuration and print what it cost.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tapejoin "repro"
+)
+
+func main() {
+	// A workstation-class device complex: 16 MB of memory, 100 MB of
+	// disk scratch on two drives, two DLT-4000 tape drives.
+	sys, err := tapejoin.NewSystem(tapejoin.Config{
+		MemoryMB: 16,
+		DiskMB:   100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each relation lives on its own cartridge. The R cartridge gets
+	// extra room because tape-tape methods append a hashed copy of R
+	// to its scratch space.
+	tapeR, err := sys.NewTape("cartridge-R", 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tapeS, err := sys.NewTape("cartridge-S", 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := sys.CreateRelation(tapeR, tapejoin.RelationConfig{
+		Name: "customers", SizeMB: 200, KeySpace: 500_000, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sys.CreateRelation(tapeS, tapejoin.RelationConfig{
+		Name: "orders", SizeMB: 1000, KeySpace: 500_000, Seed: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// |R| = 200 MB exceeds the 100 MB of disk, so the disk-tape
+	// methods cannot run; CTT-GH joins the two tapes directly.
+	res, err := sys.Join(tapejoin.CTTGH, r, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s ⋈ %s via %s\n", r.Name(), s.Name(), res.Method)
+	fmt.Printf("  matches         %d (expected %d)\n",
+		res.Stats.Matches, tapejoin.ExpectedMatches(r, s))
+	fmt.Printf("  response time   %v\n", res.Stats.Response.Round(0))
+	fmt.Printf("  setup (Step I)  %v\n", res.Stats.StepI.Round(0))
+	fmt.Printf("  bare tape read  %v\n", sys.BareReadTime(1200).Round(0))
+	fmt.Printf("  iterations      %d, passes over R: %d\n",
+		res.Stats.Iterations, res.Stats.RScans)
+	fmt.Printf("  disk peak       %.1f MB of %v MB\n",
+		res.Stats.DiskPeakMB, sys.Config().DiskMB)
+}

@@ -1,0 +1,163 @@
+// Package block defines the unit of storage accounting and transfer in
+// the tertiary join system: the paper block.
+//
+// All device space and bandwidth accounting is done in paper blocks of
+// VirtualSize bytes (64 KB), matching the transfer-only cost model of
+// the paper. The number of real tuples carried per block is a density
+// knob (relation.Config.TuplesPerBlock): experiments at paper scale use
+// sparse blocks so a simulated 10 GB relation moves megabytes of real
+// tuple data, while correctness tests use dense blocks. Density never
+// changes timing — timing depends only on block counts.
+package block
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// VirtualSize is the size of one paper block in bytes. Device transfer
+// times are computed from virtual bytes = blocks * VirtualSize.
+const VirtualSize = 64 * 1024
+
+// Tuple is a relation tuple: a 64-bit join key plus an opaque payload.
+type Tuple struct {
+	Key     uint64
+	Payload []byte
+}
+
+// maxPayload bounds payload length so it encodes in a uint16.
+const maxPayload = 1<<16 - 1
+
+// Block is an encoded block: a header followed by packed tuples. It is
+// what the simulated devices store and move.
+type Block []byte
+
+// Encoding layout:
+//
+//	[0:2)   magic "TB"
+//	[2:3)   version (1)
+//	[3:4)   relation tag
+//	[4:8)   tuple count, little endian
+//	[8:12)  crc32 (IEEE) of the body
+//	[12:)   body: per tuple key(8) payloadLen(2) payload
+const (
+	headerSize = 12
+	magic0     = 'T'
+	magic1     = 'B'
+	version    = 1
+)
+
+// Builder accumulates tuples and encodes them into a Block.
+type Builder struct {
+	tag  byte
+	body []byte
+	n    uint32
+}
+
+// NewBuilder returns a builder for blocks of the relation identified by
+// tag.
+func NewBuilder(tag byte) *Builder {
+	return &Builder{tag: tag}
+}
+
+// Append adds a tuple to the block under construction.
+func (b *Builder) Append(t Tuple) {
+	if len(t.Payload) > maxPayload {
+		panic(fmt.Sprintf("block: payload %d bytes exceeds max %d", len(t.Payload), maxPayload))
+	}
+	var kb [10]byte
+	binary.LittleEndian.PutUint64(kb[0:8], t.Key)
+	binary.LittleEndian.PutUint16(kb[8:10], uint16(len(t.Payload)))
+	b.body = append(b.body, kb[:]...)
+	b.body = append(b.body, t.Payload...)
+	b.n++
+}
+
+// Len reports the number of tuples appended so far.
+func (b *Builder) Len() int { return int(b.n) }
+
+// Finish encodes the accumulated tuples into a Block and resets the
+// builder for reuse.
+func (b *Builder) Finish() Block {
+	out := make([]byte, headerSize+len(b.body))
+	out[0], out[1], out[2], out[3] = magic0, magic1, version, b.tag
+	binary.LittleEndian.PutUint32(out[4:8], b.n)
+	binary.LittleEndian.PutUint32(out[8:12], crc32.ChecksumIEEE(b.body))
+	copy(out[headerSize:], b.body)
+	b.body = b.body[:0]
+	b.n = 0
+	return out
+}
+
+// Errors returned by Decode.
+var (
+	ErrBadMagic    = errors.New("block: bad magic")
+	ErrBadVersion  = errors.New("block: unsupported version")
+	ErrBadChecksum = errors.New("block: checksum mismatch")
+	ErrTruncated   = errors.New("block: truncated")
+)
+
+// Tag returns the relation tag without fully decoding the block.
+func (blk Block) Tag() (byte, error) {
+	if len(blk) < headerSize {
+		return 0, ErrTruncated
+	}
+	if blk[0] != magic0 || blk[1] != magic1 {
+		return 0, ErrBadMagic
+	}
+	return blk[3], nil
+}
+
+// Decode unpacks a block into its tuples, verifying the checksum.
+// Payload slices alias the block's storage; callers that retain tuples
+// past the block's lifetime must copy.
+func (blk Block) Decode() (tag byte, tuples []Tuple, err error) {
+	if len(blk) < headerSize {
+		return 0, nil, ErrTruncated
+	}
+	if blk[0] != magic0 || blk[1] != magic1 {
+		return 0, nil, ErrBadMagic
+	}
+	if blk[2] != version {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, blk[2])
+	}
+	tag = blk[3]
+	n := binary.LittleEndian.Uint32(blk[4:8])
+	sum := binary.LittleEndian.Uint32(blk[8:12])
+	body := blk[headerSize:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, nil, ErrBadChecksum
+	}
+	tuples = make([]Tuple, 0, n)
+	off := 0
+	for i := uint32(0); i < n; i++ {
+		if off+10 > len(body) {
+			return 0, nil, ErrTruncated
+		}
+		key := binary.LittleEndian.Uint64(body[off : off+8])
+		plen := int(binary.LittleEndian.Uint16(body[off+8 : off+10]))
+		off += 10
+		if off+plen > len(body) {
+			return 0, nil, ErrTruncated
+		}
+		tuples = append(tuples, Tuple{Key: key, Payload: body[off : off+plen]})
+		off += plen
+	}
+	if off != len(body) {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrTruncated, len(body)-off)
+	}
+	return tag, tuples, nil
+}
+
+// MustDecode decodes and panics on corruption. Used internally by join
+// operators where a decode failure indicates a simulator bug, not an
+// input condition.
+func (blk Block) MustDecode() (byte, []Tuple) {
+	tag, tuples, err := blk.Decode()
+	if err != nil {
+		panic(err)
+	}
+	return tag, tuples
+}

@@ -1,0 +1,158 @@
+package block
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	b := NewBuilder(7)
+	in := []Tuple{
+		{Key: 1, Payload: []byte("alpha")},
+		{Key: 2, Payload: nil},
+		{Key: 1 << 63, Payload: []byte{0, 1, 2, 255}},
+	}
+	for _, tp := range in {
+		b.Append(tp)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	blk := b.Finish()
+	tag, out, err := blk.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != 7 {
+		t.Fatalf("tag = %d, want 7", tag)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d tuples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Key != in[i].Key || !bytes.Equal(out[i].Payload, in[i].Payload) {
+			t.Fatalf("tuple %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestBuilderResetsAfterFinish(t *testing.T) {
+	b := NewBuilder(1)
+	b.Append(Tuple{Key: 1})
+	b.Finish()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Finish = %d, want 0", b.Len())
+	}
+	blk := b.Finish()
+	_, tuples, err := blk.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 0 {
+		t.Fatalf("empty block decoded %d tuples", len(tuples))
+	}
+}
+
+func TestTag(t *testing.T) {
+	b := NewBuilder(42)
+	b.Append(Tuple{Key: 9})
+	blk := b.Finish()
+	tag, err := blk.Tag()
+	if err != nil || tag != 42 {
+		t.Fatalf("Tag = %d, %v", tag, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	b := NewBuilder(1)
+	b.Append(Tuple{Key: 5, Payload: []byte("hello")})
+	blk := b.Finish()
+
+	t.Run("truncated header", func(t *testing.T) {
+		if _, _, err := Block(blk[:4]).Decode(); err == nil {
+			t.Fatal("want error")
+		}
+		if _, err := Block(blk[:4]).Tag(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append(Block(nil), blk...)
+		bad[0] = 'X'
+		if _, _, err := bad.Decode(); err != ErrBadMagic {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append(Block(nil), blk...)
+		bad[2] = 99
+		if _, _, err := bad.Decode(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("corrupt body", func(t *testing.T) {
+		bad := append(Block(nil), blk...)
+		bad[len(bad)-1] ^= 0xff
+		if _, _, err := bad.Decode(); err != ErrBadChecksum {
+			t.Fatalf("err = %v, want ErrBadChecksum", err)
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		bad := append(Block(nil), blk[:len(blk)-2]...)
+		if _, _, err := bad.Decode(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+}
+
+func TestMustDecodePanicsOnCorruption(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Block([]byte{1, 2, 3}).MustDecode()
+}
+
+func TestOversizePayloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(1).Append(Tuple{Payload: make([]byte, maxPayload+1)})
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(keys []uint64, payloads [][]byte, tag byte) bool {
+		b := NewBuilder(tag)
+		n := len(keys)
+		if len(payloads) < n {
+			n = len(payloads)
+		}
+		want := make([]Tuple, 0, n)
+		for i := 0; i < n; i++ {
+			p := payloads[i]
+			if len(p) > 1024 {
+				p = p[:1024]
+			}
+			tp := Tuple{Key: keys[i], Payload: p}
+			want = append(want, tp)
+			b.Append(tp)
+		}
+		gotTag, got, err := b.Finish().Decode()
+		if err != nil || gotTag != tag || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key || !bytes.Equal(got[i].Payload, want[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

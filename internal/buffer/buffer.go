@@ -1,0 +1,158 @@
+// Package buffer implements the double-buffering disciplines of
+// Section 4 of the paper for the disk area that stages chunks of S.
+//
+// The interleaved discipline shares one physical buffer between the
+// two logical buffers of consecutive iterations: space released by the
+// consumer of iteration i is immediately reusable by the producer of
+// iteration i+1, so iteration size equals the full buffer and
+// utilization stays near 100% (the paper's Figure 4).
+//
+// The split discipline is the naive alternative the paper argues
+// against — two fixed halves — kept here as an ablation baseline: each
+// chunk is half as large, doubling the number of iterations.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Sample is one point of the Figure-4 utilization trace: how many
+// blocks each iteration parity holds at virtual time T.
+type Sample struct {
+	T    sim.Time
+	Even int64 // blocks held by even-numbered iterations
+	Odd  int64 // blocks held by odd-numbered iterations
+}
+
+// Total returns the combined usage.
+func (s Sample) Total() int64 { return s.Even + s.Odd }
+
+// DoubleBuffer is the space-management discipline for a
+// producer/consumer pair working on consecutive iterations of a
+// tertiary join.
+type DoubleBuffer interface {
+	// Acquire blocks until n blocks are available to iteration iter
+	// and charges them to it.
+	Acquire(p *sim.Proc, iter int64, n int64)
+	// Release returns n blocks charged to iteration iter.
+	Release(p *sim.Proc, iter int64, n int64)
+	// ChunkCapacity is the largest chunk a single iteration may hold:
+	// the full buffer for the interleaved discipline, half for split.
+	ChunkCapacity() int64
+	// Trace returns the utilization samples recorded so far.
+	Trace() []Sample
+}
+
+// Interleaved is the shared-space discipline of Section 4.
+type Interleaved struct {
+	space *sim.Container
+	used  [2]int64
+	trace []Sample
+}
+
+var _ DoubleBuffer = (*Interleaved)(nil)
+
+// NewInterleaved returns an interleaved double buffer over capacity
+// blocks of disk space.
+func NewInterleaved(k *sim.Kernel, name string, capacity int64) *Interleaved {
+	return &Interleaved{space: sim.NewContainer(k, name, capacity, capacity)}
+}
+
+// Acquire implements DoubleBuffer.
+func (b *Interleaved) Acquire(p *sim.Proc, iter int64, n int64) {
+	b.space.Get(p, n)
+	b.used[iter&1] += n
+	b.record(p)
+}
+
+// Release implements DoubleBuffer.
+func (b *Interleaved) Release(p *sim.Proc, iter int64, n int64) {
+	par := iter & 1
+	if b.used[par] < n {
+		panic(fmt.Sprintf("buffer: iteration %d releases %d but holds %d", iter, n, b.used[par]))
+	}
+	b.used[par] -= n
+	b.record(p)
+	b.space.Put(p, n)
+}
+
+// ChunkCapacity implements DoubleBuffer: the full buffer.
+func (b *Interleaved) ChunkCapacity() int64 { return b.space.Capacity() }
+
+// Trace implements DoubleBuffer.
+func (b *Interleaved) Trace() []Sample { return b.trace }
+
+func (b *Interleaved) record(p *sim.Proc) {
+	b.trace = append(b.trace, Sample{T: p.Now(), Even: b.used[0], Odd: b.used[1]})
+}
+
+// Split is the naive two-halves discipline.
+type Split struct {
+	halves [2]*sim.Container
+	used   [2]int64
+	trace  []Sample
+}
+
+var _ DoubleBuffer = (*Split)(nil)
+
+// NewSplit returns a split double buffer: two independent halves of
+// capacity/2 blocks each.
+func NewSplit(k *sim.Kernel, name string, capacity int64) *Split {
+	half := capacity / 2
+	return &Split{halves: [2]*sim.Container{
+		sim.NewContainer(k, name+"-even", half, half),
+		sim.NewContainer(k, name+"-odd", half, half),
+	}}
+}
+
+// Acquire implements DoubleBuffer.
+func (b *Split) Acquire(p *sim.Proc, iter int64, n int64) {
+	par := iter & 1
+	b.halves[par].Get(p, n)
+	b.used[par] += n
+	b.record(p)
+}
+
+// Release implements DoubleBuffer.
+func (b *Split) Release(p *sim.Proc, iter int64, n int64) {
+	par := iter & 1
+	if b.used[par] < n {
+		panic(fmt.Sprintf("buffer: iteration %d releases %d but holds %d", iter, n, b.used[par]))
+	}
+	b.used[par] -= n
+	b.record(p)
+	b.halves[par].Put(p, n)
+}
+
+// ChunkCapacity implements DoubleBuffer: half the space.
+func (b *Split) ChunkCapacity() int64 { return b.halves[0].Capacity() }
+
+// Trace implements DoubleBuffer.
+func (b *Split) Trace() []Sample { return b.trace }
+
+func (b *Split) record(p *sim.Proc) {
+	b.trace = append(b.trace, Sample{T: p.Now(), Even: b.used[0], Odd: b.used[1]})
+}
+
+// MeanUtilization summarizes a trace as the time-weighted mean of
+// total usage divided by capacity, over [start, end].
+func MeanUtilization(trace []Sample, capacity int64, end sim.Time) float64 {
+	if len(trace) == 0 || capacity == 0 || end == 0 {
+		return 0
+	}
+	var area float64 // block-seconds
+	for i, s := range trace {
+		var until sim.Time
+		if i+1 < len(trace) {
+			until = trace[i+1].T
+		} else {
+			until = end
+		}
+		if until > s.T {
+			area += float64(s.Total()) * (until.Seconds() - s.T.Seconds())
+		}
+	}
+	return area / (float64(capacity) * end.Seconds())
+}

@@ -1,0 +1,58 @@
+package cost
+
+import (
+	"math"
+	"sort"
+)
+
+// Scratch describes the tape scratch space available for tape–tape
+// methods, in blocks.
+type Scratch struct {
+	// RTape is free space on R's cartridge.
+	RTape int64
+	// STape is free space on S's cartridge.
+	STape int64
+}
+
+// Advice ranks the join methods for a parameter point.
+type Advice struct {
+	// Best is the cheapest feasible method, or "" if none is feasible.
+	Best string
+	// Ranked lists every method's estimate, cheapest first,
+	// infeasible last.
+	Ranked []Estimate
+}
+
+// Advise evaluates all seven methods against the model, rules out
+// those whose Table 2 resource requirements are unmet (including tape
+// scratch space), and ranks the rest by predicted response time. This
+// codifies the paper's conclusion: CTT-GH for very large joins, CDT-GH
+// with ample disk but little memory, CDT-NB at the small end.
+func Advise(p Params, scratch Scratch) Advice {
+	ests := EstimateAll(p)
+	for i := range ests {
+		if ests[i].Err != nil {
+			continue
+		}
+		switch ests[i].Method {
+		case "CTT-GH":
+			if scratch.RTape < p.RBlocks {
+				ests[i] = infeasible("CTT-GH", "R tape scratch %d < |R|=%d", scratch.RTape, p.RBlocks)
+			}
+		case "TT-GH":
+			if scratch.STape < p.RBlocks {
+				ests[i] = infeasible("TT-GH", "S tape scratch %d < |R|=%d", scratch.STape, p.RBlocks)
+			} else if scratch.RTape < p.SBlocks {
+				ests[i] = infeasible("TT-GH", "R tape scratch %d < |S|=%d", scratch.RTape, p.SBlocks)
+			}
+		}
+	}
+	sort.SliceStable(ests, func(i, j int) bool {
+		return ests[i].Seconds < ests[j].Seconds
+	})
+	adv := Advice{Ranked: ests}
+	if len(ests) > 0 && !math.IsInf(ests[0].Seconds, 1) {
+		adv.Best = ests[0].Method
+	}
+	return adv
+}

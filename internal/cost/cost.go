@@ -1,0 +1,394 @@
+// Package cost implements the paper's transfer-only analytical cost
+// model (Sections 3.2 and 5.3) for the seven tertiary join methods.
+// The formulas below regenerate Figures 1–3 and drive the method
+// advisor; Section 5.3 derives them "based on [13]" without printing
+// them, so each function documents its own derivation from the
+// method's structure.
+//
+// Conventions: sizes are in paper blocks; t_T(n) and t_D(n) are the
+// tape and disk transfer times of n blocks; the memory split follows
+// Section 6 (10% of M scans R in NB methods); Grace Hash uses the
+// idealized B = |R|/M buckets of M blocks each. Concurrent methods
+// overlap device legs with max(), treating the disk array as one
+// shared resource whose work adds up.
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/block"
+)
+
+// Params are the inputs to the model: the paper's |R|, |S|, M, D, X_T
+// and X_D.
+type Params struct {
+	RBlocks, SBlocks int64
+	MBlocks, DBlocks int64
+	// TapeRate is X_T in bytes/second (effective, after compression).
+	TapeRate float64
+	// DiskRate is X_D, the aggregate disk rate in bytes/second.
+	DiskRate float64
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.RBlocks < 1 || p.SBlocks < p.RBlocks {
+		return fmt.Errorf("cost: need 1 <= |R| <= |S|, got %d, %d", p.RBlocks, p.SBlocks)
+	}
+	if p.MBlocks < 1 || p.DBlocks < 1 {
+		return fmt.Errorf("cost: need M, D >= 1, got %d, %d", p.MBlocks, p.DBlocks)
+	}
+	if p.TapeRate <= 0 || p.DiskRate <= 0 {
+		return errors.New("cost: rates must be positive")
+	}
+	return nil
+}
+
+// tT returns the tape transfer time of n blocks in seconds.
+func (p Params) tT(n float64) float64 { return n * block.VirtualSize / p.TapeRate }
+
+// tD returns the disk transfer time of n blocks in seconds.
+func (p Params) tD(n float64) float64 { return n * block.VirtualSize / p.DiskRate }
+
+// SReadSeconds is the bare tape read time of S: the paper's "optimum
+// join time" baseline of Section 9.
+func (p Params) SReadSeconds() float64 { return p.tT(float64(p.SBlocks)) }
+
+// nbSplit mirrors Section 6: 10% of M (>= 1 block) scans R.
+func (p Params) nbSplit() (mr, ms float64) {
+	mr = math.Max(1, float64(p.MBlocks)/10)
+	return mr, float64(p.MBlocks) - mr
+}
+
+// Infeasible is returned inside Estimate.Err when a method cannot run
+// with the given parameters.
+var Infeasible = errors.New("cost: infeasible")
+
+// Estimate is the model's prediction for one method.
+type Estimate struct {
+	Method string
+	// Seconds is the predicted response time; +Inf when infeasible.
+	Seconds float64
+	// StepISeconds is the predicted setup-phase time.
+	StepISeconds float64
+	// DiskSpaceBlocks is the predicted peak disk footprint (Figure 6).
+	DiskSpaceBlocks int64
+	// DiskTrafficBlocks is the predicted total disk I/O (Figure 7).
+	DiskTrafficBlocks int64
+	// Err wraps Infeasible with the reason, or is nil.
+	Err error
+}
+
+// Relative returns the response time divided by the bare S read time
+// (the y axis of Figures 1–3).
+func (e Estimate) Relative(p Params) float64 {
+	if e.Err != nil {
+		return math.Inf(1)
+	}
+	return e.Seconds / p.SReadSeconds()
+}
+
+// Overhead returns the relative join overhead of Section 9:
+// (response - optimum) / optimum.
+func (e Estimate) Overhead(p Params) float64 {
+	if e.Err != nil {
+		return math.Inf(1)
+	}
+	return e.Seconds/p.SReadSeconds() - 1
+}
+
+func infeasible(method, format string, args ...any) Estimate {
+	return Estimate{
+		Method:  method,
+		Seconds: math.Inf(1),
+		Err:     fmt.Errorf("%w: %s: %s", Infeasible, method, fmt.Sprintf(format, args...)),
+	}
+}
+
+// ghBuckets returns the idealized Grace Hash bucket count B = |R|/M,
+// requiring M >= sqrt(|R|) (Section 5.1.2).
+func (p Params) ghBuckets() (float64, error) {
+	r, m := float64(p.RBlocks), float64(p.MBlocks)
+	if m < math.Sqrt(r) {
+		return 0, fmt.Errorf("M=%d < sqrt(|R|)=%.0f", p.MBlocks, math.Sqrt(r))
+	}
+	return math.Ceil(r / m), nil
+}
+
+// EstimateMethod predicts one method's cost. Method symbols follow the
+// paper ("DT-NB", "CDT-NB/MB", "CDT-NB/DB", "DT-GH", "CDT-GH",
+// "CTT-GH", "TT-GH").
+func EstimateMethod(method string, p Params) Estimate {
+	if err := p.Validate(); err != nil {
+		return Estimate{Method: method, Seconds: math.Inf(1), Err: err}
+	}
+	switch method {
+	case "DT-NB":
+		return p.dtNB()
+	case "CDT-NB/MB":
+		return p.cdtNBMB()
+	case "CDT-NB/DB":
+		return p.cdtNBDB()
+	case "DT-GH":
+		return p.dtGH()
+	case "CDT-GH":
+		return p.cdtGH()
+	case "CTT-GH":
+		return p.cttGH()
+	case "TT-GH":
+		return p.ttGH()
+	case "TT-SM":
+		return p.ttSM()
+	}
+	return Estimate{Method: method, Seconds: math.Inf(1), Err: fmt.Errorf("cost: unknown method %q", method)}
+}
+
+// ttSM estimates the tape sort-merge baseline under the transfer-only
+// model: each relation forms ceil(N/M) runs, then log_k passes of
+// read-all + write-all with fan-in k ~ M-2, then one streaming merge
+// join. The model is charitable to the baseline — it ignores the tape
+// seek per merge-input refill that dominates on real drives — and the
+// baseline still loses to the hash methods.
+//
+//	T = sum over X in {R, S} of (1 + passes(X)) * 2 t_T(X)  +  t_T(R) + t_T(S)
+func (p Params) ttSM() Estimate {
+	r, s, m := float64(p.RBlocks), float64(p.SBlocks), float64(p.MBlocks)
+	if p.MBlocks < 4 {
+		return infeasible("TT-SM", "M=%d < 4 blocks for a 2-way tape merge", p.MBlocks)
+	}
+	k := math.Max(2, m-2)
+	passes := func(n float64) float64 {
+		runs := math.Ceil(n / m)
+		if runs <= 1 {
+			return 0
+		}
+		return math.Ceil(math.Log(runs) / math.Log(k))
+	}
+	sortCost := func(n float64) float64 {
+		return (1 + passes(n)) * 2 * p.tT(n)
+	}
+	stepI := sortCost(r) + sortCost(s)
+	return Estimate{
+		Method:            "TT-SM",
+		StepISeconds:      stepI,
+		Seconds:           stepI + p.tT(r) + p.tT(s),
+		DiskSpaceBlocks:   0,
+		DiskTrafficBlocks: 0,
+	}
+}
+
+// MethodSymbols lists the seven methods in the paper's order.
+func MethodSymbols() []string {
+	return []string{"DT-NB", "CDT-NB/MB", "CDT-NB/DB", "DT-GH", "CDT-GH", "CTT-GH", "TT-GH"}
+}
+
+// EstimateAll predicts every method.
+func EstimateAll(p Params) []Estimate {
+	out := make([]Estimate, 0, 7)
+	for _, m := range MethodSymbols() {
+		out = append(out, EstimateMethod(m, p))
+	}
+	return out
+}
+
+// dtNB: Step I copies R (tape read + disk write, sequential). Step II
+// makes ceil(|S|/Ms) iterations, each reading Ms blocks of S from tape
+// and scanning R from disk:
+//
+//	T = t_T(R) + t_D(R) + t_T(S) + ceil(S/Ms) * t_D(R)
+func (p Params) dtNB() Estimate {
+	r, s := float64(p.RBlocks), float64(p.SBlocks)
+	if p.DBlocks < p.RBlocks {
+		return infeasible("DT-NB", "D=%d < |R|=%d", p.DBlocks, p.RBlocks)
+	}
+	_, ms := p.nbSplit()
+	if ms < 1 {
+		return infeasible("DT-NB", "M=%d too small", p.MBlocks)
+	}
+	iters := math.Ceil(s / ms)
+	stepI := p.tT(r) + p.tD(r)
+	return Estimate{
+		Method:            "DT-NB",
+		StepISeconds:      stepI,
+		Seconds:           stepI + p.tT(s) + iters*p.tD(r),
+		DiskSpaceBlocks:   p.RBlocks,
+		DiskTrafficBlocks: p.RBlocks + int64(iters)*p.RBlocks,
+	}
+}
+
+// cdtNBMB: as DT-NB but with two half-size S buffers; each iteration
+// overlaps the tape read of the next chunk with the R scan of the
+// current one:
+//
+//	T = t_T(R) + t_D(R) + t_T(Ms) + ceil(S/Ms) * max(t_T(Ms), t_D(R))
+//
+// (the leading t_T(Ms) fills the pipeline).
+func (p Params) cdtNBMB() Estimate {
+	r, s := float64(p.RBlocks), float64(p.SBlocks)
+	if p.DBlocks < p.RBlocks {
+		return infeasible("CDT-NB/MB", "D=%d < |R|=%d", p.DBlocks, p.RBlocks)
+	}
+	_, msTotal := p.nbSplit()
+	ms := msTotal / 2
+	if ms < 1 {
+		return infeasible("CDT-NB/MB", "M=%d cannot hold two S buffers", p.MBlocks)
+	}
+	iters := math.Ceil(s / ms)
+	stepI := p.tT(r) + p.tD(r)
+	return Estimate{
+		Method:            "CDT-NB/MB",
+		StepISeconds:      stepI,
+		Seconds:           stepI + p.tT(ms) + iters*math.Max(p.tT(ms), p.tD(r)),
+		DiskSpaceBlocks:   p.RBlocks,
+		DiskTrafficBlocks: p.RBlocks + int64(iters)*p.RBlocks,
+	}
+}
+
+// cdtNBDB: full-size chunks staged through a disk buffer. Per
+// iteration the producer leg costs t_T(Ms) of tape, and the disk (one
+// shared resource) moves the chunk in and out plus the R scan:
+//
+//	T = t_T(R) + t_D(R) + ceil(S/Ms) * max(t_T(Ms), t_D(2 Ms + R)) + t_T(Ms)
+func (p Params) cdtNBDB() Estimate {
+	r, s := float64(p.RBlocks), float64(p.SBlocks)
+	_, ms := p.nbSplit()
+	if ms < 1 {
+		return infeasible("CDT-NB/DB", "M=%d too small", p.MBlocks)
+	}
+	if float64(p.DBlocks) < r+ms {
+		return infeasible("CDT-NB/DB", "D=%d < |R|+|S_i|=%.0f", p.DBlocks, r+ms)
+	}
+	iters := math.Ceil(s / ms)
+	stepI := p.tT(r) + p.tD(r)
+	return Estimate{
+		Method:            "CDT-NB/DB",
+		StepISeconds:      stepI,
+		Seconds:           stepI + iters*math.Max(p.tT(ms), p.tD(2*ms+r)) + p.tT(ms),
+		DiskSpaceBlocks:   p.RBlocks + int64(ms),
+		DiskTrafficBlocks: p.RBlocks + int64(iters)*p.RBlocks + 2*p.SBlocks,
+	}
+}
+
+// dtGH: Step I hashes R to disk. Step II iterates d = D - |R| chunks
+// of S: hash the chunk to disk, read it back, and re-read R's buckets:
+//
+//	T = t_T(R) + t_D(R) + ceil(S/d) * [t_T(d) + 2 t_D(d) + t_D(R)]
+func (p Params) dtGH() Estimate {
+	r, s := float64(p.RBlocks), float64(p.SBlocks)
+	if _, err := p.ghBuckets(); err != nil {
+		return infeasible("DT-GH", "%v", err)
+	}
+	d := float64(p.DBlocks - p.RBlocks)
+	if d < 1 {
+		return infeasible("DT-GH", "D=%d <= |R|=%d leaves no S buffer", p.DBlocks, p.RBlocks)
+	}
+	iters := math.Ceil(s / d)
+	stepI := p.tT(r) + p.tD(r)
+	return Estimate{
+		Method:            "DT-GH",
+		StepISeconds:      stepI,
+		Seconds:           stepI + p.tT(s) + 2*p.tD(s) + iters*p.tD(r),
+		DiskSpaceBlocks:   p.DBlocks,
+		DiskTrafficBlocks: p.RBlocks + int64(iters)*p.RBlocks + 2*p.SBlocks,
+	}
+}
+
+// cdtGH: as DT-GH with the S-side pipeline overlapped. With chunks of
+// c = S/ceil(S/d) blocks, the first chunk's tape hash fills the
+// pipeline, each steady-state iteration costs the larger of the tape
+// leg t_T(c) and the shared disk's t_D(2c + R), and the final join
+// drains with no hashing behind it:
+//
+//	T = t_T(R) + t_D(R) + t_T(c) + (iters-1) max(t_T(c), t_D(2c+R)) + t_D(c+R)
+func (p Params) cdtGH() Estimate {
+	r, s := float64(p.RBlocks), float64(p.SBlocks)
+	if _, err := p.ghBuckets(); err != nil {
+		return infeasible("CDT-GH", "%v", err)
+	}
+	d := float64(p.DBlocks - p.RBlocks)
+	if d < 1 {
+		return infeasible("CDT-GH", "D=%d <= |R|=%d leaves no S buffer", p.DBlocks, p.RBlocks)
+	}
+	iters := math.Ceil(s / d)
+	c := s / iters
+	stepI := p.tT(r) + p.tD(r)
+	return Estimate{
+		Method:            "CDT-GH",
+		StepISeconds:      stepI,
+		Seconds:           stepI + p.tT(c) + (iters-1)*math.Max(p.tT(c), p.tD(2*c+r)) + p.tD(c+r),
+		DiskSpaceBlocks:   p.DBlocks,
+		DiskTrafficBlocks: p.RBlocks + int64(iters)*p.RBlocks + 2*p.SBlocks,
+	}
+}
+
+// cttGH: Step I scans R ceil(|R|/D) times on its own tape, appending a
+// disk-load of finished buckets per scan (t_T of the appended blocks,
+// |R| in total across scans); disk assembly traffic overlaps the tape.
+// Step II iterates d = D chunks of S; the joiner re-reads hashed R
+// from tape each iteration while the hasher fills the next chunk:
+//
+//	StepI = ceil(R/D) t_T(R) + t_T(R)
+//	T     = StepI + t_T(c) + t_D(c)
+//	      + (iters-1) max(t_T(R) + t_D(c), t_T(c) + t_D(2c))
+//	      + t_T(R) + t_D(c)
+//
+// with c = S/ceil(S/D): the first chunk's hash fills the pipeline,
+// each steady-state iteration is bounded by the slower of the joiner
+// (re-reading hashed R from tape, scanning c from disk) and the hasher
+// (reading c from the S tape, c through disk both ways), and the last
+// chunk's join drains the pipeline.
+func (p Params) cttGH() Estimate {
+	r, s, dd := float64(p.RBlocks), float64(p.SBlocks), float64(p.DBlocks)
+	if _, err := p.ghBuckets(); err != nil {
+		return infeasible("CTT-GH", "%v", err)
+	}
+	// Buckets are bounded by both memory and the disk assembly area:
+	// ample memory simply means more, smaller buckets (bucket =
+	// min(M, D)), so any D >= one block works.
+	scans := math.Ceil(r / dd)
+	stepI := scans*p.tT(r) + p.tT(r)
+	iters := math.Ceil(s / dd)
+	c := s / iters
+	joiner := p.tT(r) + p.tD(c)
+	hasher := p.tT(c) + p.tD(2*c)
+	return Estimate{
+		Method:            "CTT-GH",
+		StepISeconds:      stepI,
+		Seconds:           stepI + p.tT(c) + p.tD(c) + (iters-1)*math.Max(joiner, hasher) + joiner,
+		DiskSpaceBlocks:   p.DBlocks,
+		DiskTrafficBlocks: 2*p.RBlocks + 2*p.SBlocks,
+	}
+}
+
+// ttGH: hash R onto the S tape (ceil(R/D) scans of R, sequential tape
+// read + disk in/out + tape write per disk-load), then hash S onto the
+// R tape the same way, then read both hashed relations once:
+//
+//	Ia = ceil(R/D) t_T(R) + 2 t_D(R) + t_T(R)
+//	Ib = ceil(S/D) t_T(S) + 2 t_D(S) + t_T(S)
+//	T  = Ia + Ib + t_T(R) + t_T(S)
+func (p Params) ttGH() Estimate {
+	r, s, dd := float64(p.RBlocks), float64(p.SBlocks), float64(p.DBlocks)
+	if _, err := p.ghBuckets(); err != nil {
+		return infeasible("TT-GH", "%v", err)
+	}
+	// The shared bucket count must keep an S bucket within the disk
+	// assembly area while B+1 write buffers fit memory: B >= |S|/D
+	// and B < M.
+	if s/dd >= float64(p.MBlocks) {
+		return infeasible("TT-GH", "D=%d needs %.0f buckets for S, beyond M=%d",
+			p.DBlocks, math.Ceil(s/dd), p.MBlocks)
+	}
+	ia := math.Ceil(r/dd)*p.tT(r) + 2*p.tD(r) + p.tT(r)
+	ib := math.Ceil(s/dd)*p.tT(s) + 2*p.tD(s) + p.tT(s)
+	stepI := ia + ib
+	return Estimate{
+		Method:            "TT-GH",
+		StepISeconds:      stepI,
+		Seconds:           stepI + p.tT(r) + p.tT(s),
+		DiskSpaceBlocks:   p.DBlocks,
+		DiskTrafficBlocks: 2*p.RBlocks + 2*p.SBlocks,
+	}
+}

@@ -1,0 +1,319 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/block"
+)
+
+// fig13 builds the parameter point of Figures 1-3: |S| = 10|R|,
+// D = 32M, X_D = 2 X_T, with |R| = ratio * M.
+func fig13(ratio float64) Params {
+	const m = 256
+	r := int64(ratio * m)
+	return Params{
+		RBlocks: r, SBlocks: 10 * r,
+		MBlocks: m, DBlocks: 32 * m,
+		TapeRate: 1e6, DiskRate: 2e6,
+	}
+}
+
+func est(t *testing.T, method string, p Params) Estimate {
+	t.Helper()
+	e := EstimateMethod(method, p)
+	if e.Err != nil {
+		t.Fatalf("%s at %+v: %v", method, p, e.Err)
+	}
+	return e
+}
+
+func TestValidate(t *testing.T) {
+	good := fig13(2)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.RBlocks = 0
+	if bad.Validate() == nil {
+		t.Fatal("want error for |R|=0")
+	}
+	bad = good
+	bad.SBlocks = bad.RBlocks - 1
+	if bad.Validate() == nil {
+		t.Fatal("want error for |S| < |R|")
+	}
+	bad = good
+	bad.TapeRate = 0
+	if bad.Validate() == nil {
+		t.Fatal("want error for zero rate")
+	}
+}
+
+func TestSReadBaseline(t *testing.T) {
+	p := fig13(1)
+	want := float64(p.SBlocks) * block.VirtualSize / p.TapeRate
+	if got := p.SReadSeconds(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SReadSeconds = %v, want %v", got, want)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	e := EstimateMethod("XX", fig13(1))
+	if e.Err == nil || !math.IsInf(e.Seconds, 1) {
+		t.Fatal("unknown method should be infeasible")
+	}
+}
+
+func TestEstimateAllCoversSevenMethods(t *testing.T) {
+	ests := EstimateAll(fig13(2))
+	if len(ests) != 7 {
+		t.Fatalf("%d estimates", len(ests))
+	}
+	for _, e := range ests {
+		if e.Err != nil {
+			t.Fatalf("%s infeasible at an easy point: %v", e.Method, e.Err)
+		}
+		if e.Seconds <= 0 || e.StepISeconds <= 0 || e.StepISeconds > e.Seconds {
+			t.Fatalf("%s: bad estimate %+v", e.Method, e)
+		}
+	}
+}
+
+// Figure 1 shape: for |R| comparable to M, NB methods' response climbs
+// with |R|/M while hashing methods stay fairly constant; CDT-NB/MB is
+// best near |R| = M but degrades fastest.
+func TestFigure1Shapes(t *testing.T) {
+	relAt := func(method string, ratio float64) float64 {
+		p := fig13(ratio)
+		return est(t, method, p).Relative(p)
+	}
+
+	// NB methods rise substantially from ratio 1 to 5.
+	for _, m := range []string{"DT-NB", "CDT-NB/MB", "CDT-NB/DB"} {
+		lo, hi := relAt(m, 1), relAt(m, 5)
+		if hi < lo*1.8 {
+			t.Errorf("%s: relative cost %0.2f -> %0.2f; want strong growth", m, lo, hi)
+		}
+	}
+	// Hashing methods stay nearly flat over the same range.
+	for _, m := range []string{"DT-GH", "CDT-GH", "CTT-GH"} {
+		lo, hi := relAt(m, 1), relAt(m, 5)
+		if hi > lo*1.4 {
+			t.Errorf("%s: relative cost %0.2f -> %0.2f; want near-flat", m, lo, hi)
+		}
+	}
+	// CDT-NB/MB beats DT-NB at ratio 1 but loses by ratio 5
+	// ("increases much more rapidly ... because it has to perform
+	// twice as many iterations").
+	if relAt("CDT-NB/MB", 1) >= relAt("DT-NB", 1) {
+		t.Error("CDT-NB/MB should win at |R| = M")
+	}
+	if relAt("CDT-NB/MB", 5) <= relAt("DT-NB", 5) {
+		t.Error("DT-NB should win at |R| = 5M")
+	}
+}
+
+// Figure 2 shape: as |R| approaches D = 32M, DT-GH and CDT-GH blow up
+// (d -> 0) while CTT-GH stays largely unaffected; TT-GH's setup cost
+// rules it out.
+func TestFigure2Shapes(t *testing.T) {
+	relAt := func(method string, ratio float64) float64 {
+		p := fig13(ratio)
+		return EstimateMethod(method, p).Relative(p)
+	}
+	for _, m := range []string{"DT-GH", "CDT-GH"} {
+		mid, edge := relAt(m, 20), relAt(m, 31)
+		if edge < 2*mid {
+			t.Errorf("%s: %0.2f at 20M -> %0.2f at 31M; want blow-up near D", m, mid, edge)
+		}
+	}
+	ctt20, ctt31 := relAt("CTT-GH", 20), relAt("CTT-GH", 31)
+	if ctt31 > ctt20*1.5 {
+		t.Errorf("CTT-GH: %0.2f -> %0.2f; want largely unaffected", ctt20, ctt31)
+	}
+	// TT-GH is far worse than CTT-GH in this range (high setup cost).
+	if relAt("TT-GH", 20) < 2*relAt("CTT-GH", 20) {
+		t.Error("TT-GH should be ruled out by its setup cost")
+	}
+}
+
+// Figure 3 shape: far beyond M and D only the tape-tape methods remain
+// feasible, and CTT-GH scales gracefully (sub-linear relative growth).
+func TestFigure3Shapes(t *testing.T) {
+	for _, m := range []string{"DT-NB", "CDT-NB/MB", "CDT-NB/DB", "DT-GH", "CDT-GH"} {
+		p := fig13(60) // |R| = 60M > D = 32M
+		if e := EstimateMethod(m, p); e.Err == nil {
+			t.Errorf("%s should be infeasible at |R| = 60M", m)
+		}
+	}
+	p60, p150 := fig13(60), fig13(150)
+	r60 := est(t, "CTT-GH", p60).Relative(p60)
+	r150 := est(t, "CTT-GH", p150).Relative(p150)
+	if r150 > r60*(150.0/60.0) {
+		t.Errorf("CTT-GH relative cost grows super-linearly: %0.2f at 60 -> %0.2f at 150", r60, r150)
+	}
+}
+
+// Table 3 check: at the paper's Experiment 1 parameters the model's
+// relative cost lands in the mid-single digits and decreases when |S|
+// grows with everything else fixed (Join III -> Join IV).
+func TestTable3RelativeCost(t *testing.T) {
+	mb := func(megabytes int64) int64 { return megabytes * 16 } // 64 KB blocks
+	joinIII := Params{
+		RBlocks: mb(2500), SBlocks: mb(5000),
+		MBlocks: mb(16), DBlocks: mb(500),
+		TapeRate: 1.676e6, DiskRate: 2 * 1.676e6,
+	}
+	joinIV := joinIII
+	joinIV.SBlocks = mb(10000)
+
+	e3 := est(t, "CTT-GH", joinIII)
+	e4 := est(t, "CTT-GH", joinIV)
+	rel3 := e3.Seconds / (joinIII.tT(float64(joinIII.SBlocks + joinIII.RBlocks)))
+	rel4 := e4.Seconds / (joinIV.tT(float64(joinIV.SBlocks + joinIV.RBlocks)))
+	if rel3 < 3 || rel3 > 10 {
+		t.Errorf("Join III relative cost = %0.1f, want mid-single digits", rel3)
+	}
+	if rel4 >= rel3 {
+		t.Errorf("relative cost should fall with |S|: %0.2f -> %0.2f", rel3, rel4)
+	}
+}
+
+func TestFeasibilityBoundaries(t *testing.T) {
+	base := Params{RBlocks: 288, SBlocks: 2880, MBlocks: 28, DBlocks: 800,
+		TapeRate: 1e6, DiskRate: 2e6}
+
+	small := base
+	small.MBlocks = 10 // < sqrt(288)
+	for _, m := range []string{"DT-GH", "CDT-GH", "CTT-GH", "TT-GH"} {
+		if e := EstimateMethod(m, small); e.Err == nil {
+			t.Errorf("%s should need M >= sqrt(|R|)", m)
+		}
+	}
+
+	noDisk := base
+	noDisk.DBlocks = 100 // < |R|
+	for _, m := range []string{"DT-NB", "CDT-NB/MB", "CDT-NB/DB", "DT-GH", "CDT-GH"} {
+		if e := EstimateMethod(m, noDisk); e.Err == nil {
+			t.Errorf("%s should need D >= |R|", m)
+		}
+	}
+	// CTT-GH still runs with D < |R|.
+	if e := EstimateMethod("CTT-GH", noDisk); e.Err != nil {
+		t.Errorf("CTT-GH should run with D < |R|: %v", e.Err)
+	}
+}
+
+func TestOverheadAndRelative(t *testing.T) {
+	p := fig13(1)
+	e := est(t, "CDT-GH", p)
+	if math.Abs((e.Overhead(p)+1)-e.Relative(p)) > 1e-9 {
+		t.Fatal("Overhead and Relative disagree")
+	}
+	bad := EstimateMethod("DT-NB", Params{RBlocks: 10, SBlocks: 100, MBlocks: 4, DBlocks: 5, TapeRate: 1, DiskRate: 1})
+	if !math.IsInf(bad.Relative(p), 1) || !math.IsInf(bad.Overhead(p), 1) {
+		t.Fatal("infeasible estimates should be +Inf")
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	// Very large R beyond disk: CTT-GH is "the sole candidate".
+	p := fig13(60)
+	adv := Advise(p, Scratch{RTape: p.RBlocks * 2, STape: 0})
+	if adv.Best != "CTT-GH" {
+		t.Fatalf("best = %q, want CTT-GH", adv.Best)
+	}
+	if len(adv.Ranked) != 7 {
+		t.Fatalf("ranked %d methods", len(adv.Ranked))
+	}
+	// Without tape scratch nothing is feasible.
+	adv = Advise(p, Scratch{})
+	if adv.Best != "" {
+		t.Fatalf("best = %q, want none", adv.Best)
+	}
+	// Ample disk, little memory: CDT-GH wins (Section 10).
+	p2 := Params{RBlocks: 288, SBlocks: 16000, MBlocks: 29, DBlocks: 800,
+		TapeRate: 1.676e6, DiskRate: 2 * 1.676e6}
+	adv = Advise(p2, Scratch{RTape: 10000, STape: 10000})
+	if adv.Best != "CDT-GH" {
+		got := strings.Join([]string{adv.Ranked[0].Method, adv.Ranked[1].Method}, ",")
+		t.Fatalf("best = %q (top: %s), want CDT-GH", adv.Best, got)
+	}
+	// Large fraction of R in memory: CDT-NB/MB wins.
+	p3 := p2
+	p3.MBlocks = 280
+	adv = Advise(p3, Scratch{RTape: 10000, STape: 10000})
+	if adv.Best != "CDT-NB/MB" {
+		t.Fatalf("best = %q, want CDT-NB/MB", adv.Best)
+	}
+	// Ranking is sorted.
+	for i := 1; i < len(adv.Ranked); i++ {
+		if adv.Ranked[i].Seconds < adv.Ranked[i-1].Seconds {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+func TestTTSMEstimate(t *testing.T) {
+	p := fig13(4)
+	e := EstimateMethod("TT-SM", p)
+	if e.Err != nil {
+		t.Fatal(e.Err)
+	}
+	// The baseline must be predicted slower than CTT-GH even under the
+	// seek-free transfer-only model.
+	ctt := EstimateMethod("CTT-GH", p)
+	if e.Seconds <= ctt.Seconds {
+		t.Fatalf("TT-SM %.0f s should exceed CTT-GH %.0f s", e.Seconds, ctt.Seconds)
+	}
+	// Tiny memory is infeasible.
+	small := p
+	small.MBlocks = 3
+	if EstimateMethod("TT-SM", small).Err == nil {
+		t.Fatal("M=3 should be infeasible for TT-SM")
+	}
+	// More memory means fewer merge passes, never more time.
+	big := p
+	big.MBlocks = p.MBlocks * 4
+	if eb := EstimateMethod("TT-SM", big); eb.Seconds > e.Seconds {
+		t.Fatalf("more memory slowed TT-SM: %.0f -> %.0f", e.Seconds, eb.Seconds)
+	}
+}
+
+func TestQuickEstimatesWellFormed(t *testing.T) {
+	// Feasible estimates are finite, positive, with StepI <= total and
+	// monotone non-decreasing in |S|.
+	f := func(rSeed, mSeed, dSeed uint8) bool {
+		r := int64(rSeed)*8 + 64
+		p := Params{
+			RBlocks: r, SBlocks: 4 * r,
+			MBlocks: int64(mSeed)%128 + 16, DBlocks: int64(dSeed)*16 + 2*r,
+			TapeRate: 1e6, DiskRate: 2e6,
+		}
+		bigger := p
+		bigger.SBlocks = 8 * r
+		for _, m := range append(MethodSymbols(), "TT-SM") {
+			e := EstimateMethod(m, p)
+			if e.Err != nil {
+				continue
+			}
+			if !(e.Seconds > 0) || math.IsInf(e.Seconds, 1) {
+				return false
+			}
+			if e.StepISeconds <= 0 || e.StepISeconds > e.Seconds {
+				return false
+			}
+			e2 := EstimateMethod(m, bigger)
+			if e2.Err == nil && e2.Seconds < e.Seconds {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,398 @@
+// Package disk simulates the secondary-storage complex of the paper: n
+// disk drives with an aggregate sustained rate X_D, explicit file
+// placement (the paper's "special disk striping routines" of Section
+// 4), and a per-request positioning overhead that is negligible for
+// multi-block requests but dominates small ones — the Section 3.2 cost
+// model, where requests of 30+ blocks make seek and rotational latency
+// negligible.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config sets the performance and capacity model of a disk array.
+type Config struct {
+	// NumDisks is the number of drives (paper: n >= 2).
+	NumDisks int
+	// AggregateRate is the combined sustained transfer rate of all
+	// drives in bytes per second (the paper's X_D). Each drive
+	// sustains AggregateRate/NumDisks.
+	AggregateRate float64
+	// RequestOverhead is the per-request positioning cost (seek +
+	// rotational latency) charged on each per-disk request.
+	RequestOverhead sim.Duration
+	// BlocksPerDisk is the scratch capacity of each drive in paper
+	// blocks. Total array capacity D = NumDisks * BlocksPerDisk.
+	BlocksPerDisk int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumDisks < 1 {
+		return fmt.Errorf("disk: NumDisks %d < 1", c.NumDisks)
+	}
+	if c.AggregateRate <= 0 {
+		return fmt.Errorf("disk: AggregateRate %v <= 0", c.AggregateRate)
+	}
+	if c.RequestOverhead < 0 {
+		return errors.New("disk: negative RequestOverhead")
+	}
+	if c.BlocksPerDisk < 1 {
+		return fmt.Errorf("disk: BlocksPerDisk %d < 1", c.BlocksPerDisk)
+	}
+	return nil
+}
+
+// SCSI2Pair returns a profile resembling the paper's platform: two
+// drives on Fast SCSI-2 with an aggregate rate of twice the calibrated
+// tape rate (the X_D = 2 X_T assumption of Section 5.3) and an ~18 ms
+// positioning overhead per request.
+func SCSI2Pair(totalBlocks int64) Config {
+	return Config{
+		NumDisks:        2,
+		AggregateRate:   2 * 1.676e6,
+		RequestOverhead: 18 * time.Millisecond,
+		BlocksPerDisk:   (totalBlocks + 1) / 2,
+	}
+}
+
+// ErrDiskFull is returned when an allocation exceeds the capacity of
+// the disks a file is placed on.
+var ErrDiskFull = errors.New("disk: out of space")
+
+// Stats accumulates array-wide activity.
+type Stats struct {
+	BlocksRead    int64
+	BlocksWritten int64
+	Requests      int64 // per-disk requests issued
+	TransferTime  sim.Duration
+	OverheadTime  sim.Duration
+}
+
+type dev struct {
+	id   int
+	res  *sim.Resource
+	used int64
+}
+
+// Array is a simulated disk array with explicit placement control.
+type Array struct {
+	k     *sim.Kernel
+	cfg   Config
+	disks []*dev
+
+	// Used is the total blocks currently allocated; HighWater its max.
+	Used      int64
+	HighWater int64
+	Stats     Stats
+
+	rec      *trace.Recorder
+	nextFile int
+}
+
+// NewArray returns an array attached to the kernel.
+func NewArray(k *sim.Kernel, cfg Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{k: k, cfg: cfg}
+	for i := 0; i < cfg.NumDisks; i++ {
+		a.disks = append(a.disks, &dev{id: i, res: sim.NewResource(k, fmt.Sprintf("disk%d", i), 1)})
+	}
+	return a, nil
+}
+
+// Config returns the array configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// SetRecorder attaches an event recorder (nil disables tracing).
+func (a *Array) SetRecorder(r *trace.Recorder) { a.rec = r }
+
+// record emits a per-drive trace event.
+func (a *Array) record(p *sim.Proc, id int, write bool, from sim.Time, blocks int64) {
+	kind := trace.DiskRead
+	if write {
+		kind = trace.DiskWrite
+	}
+	a.rec.Add(trace.Event{
+		Device: fmt.Sprintf("disk%d", id), Kind: kind,
+		Start: from, End: p.Now(), Blocks: blocks,
+	})
+}
+
+// TotalCapacity returns the array capacity in blocks.
+func (a *Array) TotalCapacity() int64 {
+	return int64(a.cfg.NumDisks) * a.cfg.BlocksPerDisk
+}
+
+// Free returns unallocated blocks across the whole array.
+func (a *Array) Free() int64 { return a.TotalCapacity() - a.Used }
+
+// BusyTime returns the summed busy time of all drives.
+func (a *Array) BusyTime() sim.Duration {
+	var t sim.Duration
+	for _, d := range a.disks {
+		t += d.res.BusyTime
+	}
+	return t
+}
+
+// perDiskRate returns one drive's sustained rate.
+func (a *Array) perDiskRate() float64 {
+	return a.cfg.AggregateRate / float64(a.cfg.NumDisks)
+}
+
+// transferTime returns the service time of an n-block request on one
+// drive, including positioning overhead.
+func (a *Array) transferTime(n int64) sim.Duration {
+	bytes := float64(n) * block.VirtualSize
+	return a.cfg.RequestOverhead + sim.Duration(bytes/a.perDiskRate()*float64(time.Second))
+}
+
+// File is a logical disk file striped round-robin over a set of
+// drives. Reads and writes are charged to the owning drives in
+// parallel: a request of n blocks over k drives completes in the time
+// of the largest per-drive share, so large striped transfers run at
+// the aggregate rate while single-block writes pay one drive's
+// positioning overhead.
+type File struct {
+	a       *Array
+	name    string
+	disks   []*dev // placement, round-robin targets
+	blocks  []block.Block
+	perDisk []int64 // blocks charged to each placement drive
+	freed   bool
+}
+
+// Create makes an empty file placed on the given drives (nil = all
+// drives). Space is charged as the file grows.
+func (a *Array) Create(name string, placement []int) (*File, error) {
+	f := &File{a: a, name: fmt.Sprintf("%s#%d", name, a.nextFile)}
+	a.nextFile++
+	if placement == nil {
+		f.disks = a.disks
+		return f, nil
+	}
+	if len(placement) == 0 {
+		return nil, fmt.Errorf("disk: file %q: empty placement", name)
+	}
+	for _, id := range placement {
+		if id < 0 || id >= len(a.disks) {
+			return nil, fmt.Errorf("disk: file %q: no drive %d", name, id)
+		}
+		f.disks = append(f.disks, a.disks[id])
+	}
+	return f, nil
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Len returns the file length in blocks.
+func (f *File) Len() int64 { return int64(len(f.blocks)) }
+
+// shares splits an n-block transfer round-robin over the file's
+// drives, starting at the drive owning block offset off.
+func (f *File) shares(off, n int64) []int64 {
+	k := int64(len(f.disks))
+	out := make([]int64, k)
+	base := n / k
+	rem := n % k
+	for i := int64(0); i < k; i++ {
+		out[i] = base
+	}
+	// The remainder lands on the drives following the starting one.
+	for i := int64(0); i < rem; i++ {
+		out[(off+i)%k]++
+	}
+	return out
+}
+
+// doIO charges an n-block transfer at offset off across the file's
+// drives, overlapping the per-drive requests in virtual time. write
+// selects which stat to bump.
+func (f *File) doIO(p *sim.Proc, off, n int64, write bool) {
+	if n <= 0 {
+		return
+	}
+	sh := f.shares(off, n)
+	var single *dev
+	singles := 0
+	for i, d := range f.disks {
+		if sh[i] > 0 {
+			single = d
+			singles++
+		}
+	}
+	if singles == 1 {
+		// Fast path: one drive involved, no helper process needed.
+		t := f.a.transferTime(n)
+		f.a.Stats.Requests++
+		f.a.Stats.OverheadTime += f.a.cfg.RequestOverhead
+		f.a.Stats.TransferTime += t - f.a.cfg.RequestOverhead
+		single.res.Acquire(p)
+		t0 := p.Now()
+		p.Hold(t)
+		f.a.record(p, single.id, write, t0, n)
+		single.res.Release(p)
+	} else {
+		active := make([]*sim.Proc, 0, singles)
+		for i, d := range f.disks {
+			cnt := sh[i]
+			if cnt == 0 {
+				continue
+			}
+			d, cnt := d, cnt
+			t := f.a.transferTime(cnt)
+			f.a.Stats.Requests++
+			f.a.Stats.OverheadTime += f.a.cfg.RequestOverhead
+			f.a.Stats.TransferTime += t - f.a.cfg.RequestOverhead
+			child := p.Kernel().Spawn(f.name+"-io", func(c *sim.Proc) {
+				d.res.Acquire(c)
+				t0 := c.Now()
+				c.Hold(t)
+				f.a.record(c, d.id, write, t0, cnt)
+				d.res.Release(c)
+			})
+			active = append(active, child)
+		}
+		if err := p.WaitAll(active...); err != nil {
+			panic(err) // children cannot fail
+		}
+	}
+	if write {
+		f.a.Stats.BlocksWritten += n
+	} else {
+		f.a.Stats.BlocksRead += n
+	}
+}
+
+// Append writes blocks at the end of the file, blocking for the
+// striped transfer time. It fails with ErrDiskFull when the placement
+// drives lack space.
+func (f *File) Append(p *sim.Proc, blks []block.Block) error {
+	if f.freed {
+		panic(fmt.Sprintf("disk: append to freed file %q", f.name))
+	}
+	n := int64(len(blks))
+	if n == 0 {
+		return nil
+	}
+	if err := f.charge(n); err != nil {
+		return err
+	}
+	off := int64(len(f.blocks))
+	f.blocks = append(f.blocks, blks...)
+	f.doIO(p, off, n, true)
+	return nil
+}
+
+// charge allocates n blocks of space on the file's drives, filling the
+// emptiest drive first so the array stays balanced no matter how many
+// small bucket files grow and shrink concurrently. It fails only when
+// the placement drives are genuinely out of space in total.
+func (f *File) charge(n int64) error {
+	k := len(f.disks)
+	if f.perDisk == nil {
+		f.perDisk = make([]int64, k)
+	}
+	var free int64
+	for _, d := range f.disks {
+		free += f.a.cfg.BlocksPerDisk - d.used
+	}
+	if free < n {
+		return fmt.Errorf("%w: file %q needs %d blocks, placement has %d free",
+			ErrDiskFull, f.name, n, free)
+	}
+	wants := make([]int64, k)
+	remaining := n
+	for remaining > 0 {
+		// Pick the drive with the most free space after pending wants.
+		best, bestFree := -1, int64(0)
+		for i, d := range f.disks {
+			df := f.a.cfg.BlocksPerDisk - d.used - wants[i]
+			if df > bestFree {
+				best, bestFree = i, df
+			}
+		}
+		if best < 0 {
+			panic("disk: free accounting inconsistent")
+		}
+		// Take an even share or whatever levels this drive with the
+		// next-fullest, whichever is smaller, to avoid O(n) looping.
+		take := remaining / int64(k-countFull(f.disks, wants, f.a.cfg.BlocksPerDisk))
+		if take < 1 {
+			take = 1
+		}
+		if take > bestFree {
+			take = bestFree
+		}
+		if take > remaining {
+			take = remaining
+		}
+		wants[best] += take
+		remaining -= take
+	}
+	for i, d := range f.disks {
+		d.used += wants[i]
+		f.perDisk[i] += wants[i]
+	}
+	f.a.Used += n
+	if f.a.Used > f.a.HighWater {
+		f.a.HighWater = f.a.Used
+	}
+	return nil
+}
+
+// countFull reports how many placement drives have no free space left
+// after pending wants.
+func countFull(disks []*dev, wants []int64, capPerDisk int64) int {
+	full := 0
+	for i, d := range disks {
+		if capPerDisk-d.used-wants[i] <= 0 {
+			full++
+		}
+	}
+	if full >= len(disks) {
+		full = len(disks) - 1 // avoid division by zero; caller checked total free
+	}
+	return full
+}
+
+// ReadAt reads n blocks at offset off, blocking for the striped
+// transfer time.
+func (f *File) ReadAt(p *sim.Proc, off, n int64) ([]block.Block, error) {
+	if f.freed {
+		panic(fmt.Sprintf("disk: read of freed file %q", f.name))
+	}
+	if off < 0 || n < 0 || off+n > f.Len() {
+		return nil, fmt.Errorf("disk: read [%d,%d) beyond len %d of %q", off, off+n, f.Len(), f.name)
+	}
+	out := make([]block.Block, n)
+	copy(out, f.blocks[off:off+n])
+	f.doIO(p, off, n, false)
+	return out, nil
+}
+
+// Free releases the file's space. Freeing costs no virtual time.
+func (f *File) Free() {
+	if f.freed {
+		return
+	}
+	for i, d := range f.disks {
+		if f.perDisk != nil {
+			d.used -= f.perDisk[i]
+		}
+	}
+	f.a.Used -= int64(len(f.blocks))
+	f.blocks = nil
+	f.perDisk = nil
+	f.freed = true
+}

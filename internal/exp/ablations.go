@@ -1,0 +1,230 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/join"
+	"repro/internal/relation"
+	"repro/internal/tape"
+)
+
+// AblationRow compares one design choice: the paper's choice as
+// baseline against the alternative.
+type AblationRow struct {
+	// Name identifies the design choice.
+	Name string
+	// Baseline is the paper's design; Variant the alternative.
+	Baseline, Variant time.Duration
+	// Ratio is Variant / Baseline (> 1 means the paper's choice wins).
+	Ratio float64
+	// Note explains what was varied.
+	Note string
+}
+
+// ablationSpec builds a fresh R/S pair for one ablation run.
+func ablationSpec(rBlocks, sBlocks int64, scratch int64) (join.Spec, error) {
+	mR := tape.NewMedia("abl-r", rBlocks+scratch)
+	mS := tape.NewMedia("abl-s", sBlocks+scratch)
+	r, err := relation.WriteToTape(relation.Config{
+		Name: "R", Tag: 1, Blocks: rBlocks, TuplesPerBlock: 2, KeySpace: 1 << 20, Seed: 7,
+	}, mR)
+	if err != nil {
+		return join.Spec{}, err
+	}
+	s, err := relation.WriteToTape(relation.Config{
+		Name: "S", Tag: 2, Blocks: sBlocks, TuplesPerBlock: 2, KeySpace: 1 << 20, Seed: 8,
+	}, mS)
+	if err != nil {
+		return join.Spec{}, err
+	}
+	return join.Spec{R: r, S: s}, nil
+}
+
+// ablationRes is the base device complex for the ablations: the
+// Experiment 3 geometry on the calibrated drive.
+func ablationRes(rBlocks int64) join.Resources {
+	return join.Resources{
+		MemoryBlocks: rBlocks / 6,
+		DiskBlocks:   rBlocks * 3,
+		Tape:         tape.DLT4000(),
+	}.WithDefaults()
+}
+
+// runOnce builds a fresh spec and runs one method. Tape scratch is
+// sized for the hash methods; the sort-merge row overrides it.
+func runOnce(m join.Method, rBlocks, sBlocks int64, mutate func(*join.Resources)) (time.Duration, error) {
+	scratch := rBlocks + 64
+	if _, isSM := m.(join.TTSM); isSM {
+		scratch = rBlocks + sBlocks + sBlocks/8 + 256 // sort workspaces + per-run partial blocks
+	}
+	spec, err := ablationSpec(rBlocks, sBlocks, scratch)
+	if err != nil {
+		return 0, err
+	}
+	res := ablationRes(rBlocks)
+	if mutate != nil {
+		mutate(&res)
+	}
+	result, err := join.Run(m, spec, res, nil)
+	if err != nil {
+		return 0, err
+	}
+	return result.Stats.Response, nil
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out, at the
+// given workload scale (1.0 = |R| = 18 MB, |S| = 1000 MB).
+func Ablations(scale float64) ([]AblationRow, error) {
+	rBlocks := int64(18 * 16) // fixed geometry (|R| = 18 MB); |S| scales
+	sBlocks := MBblocks(scaleMB(1000, scale))
+	var rows []AblationRow
+
+	add := func(name, note string, base, variant time.Duration) {
+		rows = append(rows, AblationRow{
+			Name: name, Baseline: base, Variant: variant,
+			Ratio: float64(variant) / float64(base), Note: note,
+		})
+	}
+
+	// 1. Interleaved vs split double-buffering (Section 4's claim).
+	inter, err := runOnce(join.CDTNBDB{}, rBlocks, sBlocks, nil)
+	if err != nil {
+		return nil, fmt.Errorf("interleaved: %w", err)
+	}
+	split, err := runOnce(join.CDTNBDB{}, rBlocks, sBlocks, func(r *join.Resources) {
+		r.Discipline = join.SplitHalves
+	})
+	if err != nil {
+		return nil, fmt.Errorf("split: %w", err)
+	}
+	add("double-buffering", "CDT-NB/DB: interleaved (paper) vs split halves", inter, split)
+
+	// 2. Bi-directional bucket scans (footnote 2) vs forward-only.
+	rev, err := runOnce(join.CTTGH{}, rBlocks, sBlocks, func(r *join.Resources) {
+		r.Tape.BiDirectional = true
+		r.MemoryBlocks = rBlocks / 3 // buckets must fit memory in one load
+	})
+	if err != nil {
+		return nil, fmt.Errorf("reverse: %w", err)
+	}
+	fwd, err := runOnce(join.CTTGH{}, rBlocks, sBlocks, func(r *join.Resources) {
+		r.MemoryBlocks = rBlocks / 3
+	})
+	if err != nil {
+		return nil, fmt.Errorf("forward: %w", err)
+	}
+	add("scan direction", "CTT-GH: bi-directional bucket scans vs forward-only with seek-back", rev, fwd)
+
+	// 3. Idealized drive vs the calibrated DLT-4000 penalties.
+	ideal, err := runOnce(join.CTTGH{}, rBlocks, sBlocks, func(r *join.Resources) {
+		r.Tape = tape.Ideal()
+		r.DiskOverhead = time.Nanosecond
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ideal: %w", err)
+	}
+	dlt, err := runOnce(join.CTTGH{}, rBlocks, sBlocks, nil)
+	if err != nil {
+		return nil, fmt.Errorf("dlt: %w", err)
+	}
+	add("device penalties", "CTT-GH: paper's ideal cost model vs calibrated DLT-4000 (seeks, stop/start)", ideal, dlt)
+
+	// 4. Disk positioning overhead at minimal Grace Hash memory,
+	// where bucket write buffers shrink to one block and bucket
+	// writes degrade into random I/O (the Section 9 / Figure 8
+	// small-M uptick). Free positioning vs the calibrated 18 ms.
+	minM := func(r *join.Resources) { r.MemoryBlocks = 20 } // wb = 1 block
+	free, err := runOnce(join.DTGH{}, rBlocks, sBlocks, func(r *join.Resources) {
+		minM(r)
+		r.DiskOverhead = time.Nanosecond
+	})
+	if err != nil {
+		return nil, fmt.Errorf("free positioning: %w", err)
+	}
+	paid, err := runOnce(join.DTGH{}, rBlocks, sBlocks, minM)
+	if err != nil {
+		return nil, fmt.Errorf("paid positioning: %w", err)
+	}
+	add("random bucket I/O", "DT-GH at M~sqrt(|R|): free disk positioning vs 18 ms per request", free, paid)
+
+	// 5. Hashing vs the classical alternative: CTT-GH vs the tape
+	// sort-merge baseline, both on the calibrated drive.
+	hash, err := runOnce(join.CTTGH{}, rBlocks, sBlocks, nil)
+	if err != nil {
+		return nil, fmt.Errorf("ctt-gh: %w", err)
+	}
+	sm, err := runOnce(join.TTSM{}, rBlocks, sBlocks, nil)
+	if err != nil {
+		return nil, fmt.Errorf("tt-sm: %w", err)
+	}
+	add("hashing vs sorting", "CTT-GH vs the tape sort-merge baseline (Knuth-style runs + k-way merges)", hash, sm)
+
+	// 6. Multi-volume S with robot exchanges vs one cartridge
+	// (Section 3.2's negligibility claim).
+	single, err := runOnce(join.DTNB{}, rBlocks, sBlocks, func(r *join.Resources) {
+		r.DiskBlocks = rBlocks + r.MemoryBlocks + 8
+	})
+	if err != nil {
+		return nil, fmt.Errorf("single volume: %w", err)
+	}
+	multi, err := runMultiVolume(rBlocks, sBlocks)
+	if err != nil {
+		return nil, fmt.Errorf("multi volume: %w", err)
+	}
+	add("media exchanges", "DT-NB: S on one cartridge vs spanning 5 cartridges (robot exchanges)", single, multi)
+
+	return rows, nil
+}
+
+// MBblocks converts MB to blocks (local helper mirroring the public
+// constant without importing the root package here).
+func MBblocks(mb int64) int64 { return mb * 16 }
+
+// runMultiVolume runs DT-NB with S spanning five cartridges.
+func runMultiVolume(rBlocks, sBlocks int64) (time.Duration, error) {
+	mR := tape.NewMedia("abl-r", rBlocks+8)
+	perVol := sBlocks/5 + 1
+	vols := make([]*tape.Media, 5)
+	for i := range vols {
+		vols[i] = tape.NewMedia("abl-sv", perVol)
+	}
+	mS, err := tape.NewMultiVolume("abl-s-set", vols...)
+	if err != nil {
+		return 0, err
+	}
+	r, err := relation.WriteToTape(relation.Config{
+		Name: "R", Tag: 1, Blocks: rBlocks, TuplesPerBlock: 2, KeySpace: 1 << 20, Seed: 7,
+	}, mR)
+	if err != nil {
+		return 0, err
+	}
+	s, err := relation.WriteToTape(relation.Config{
+		Name: "S", Tag: 2, Blocks: sBlocks, TuplesPerBlock: 2, KeySpace: 1 << 20, Seed: 8,
+	}, mS)
+	if err != nil {
+		return 0, err
+	}
+	res := ablationRes(rBlocks)
+	res.DiskBlocks = rBlocks + res.MemoryBlocks + 8
+	result, err := join.Run(join.DTNB{}, join.Spec{R: r, S: s}, res, nil)
+	if err != nil {
+		return 0, err
+	}
+	return result.Stats.Response, nil
+}
+
+// FormatAblations renders the ablation table.
+func FormatAblations(rows []AblationRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			fmt.Sprintf("%.0f s", r.Baseline.Seconds()),
+			fmt.Sprintf("%.0f s", r.Variant.Seconds()),
+			fmt.Sprintf("%.2fx", r.Ratio),
+			r.Note,
+		})
+	}
+	return FormatTable([]string{"choice", "paper's design", "alternative", "alt/paper", "what varied"}, out)
+}

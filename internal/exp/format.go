@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cost"
+)
+
+// FormatTable renders rows as an aligned text table.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// secs renders a duration as whole seconds, like the paper's tables.
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.0f sec.", d.Seconds())
+}
+
+// FormatTable3 renders Experiment 1 in the layout of the paper's
+// Table 3.
+func FormatTable3(rows []Table3Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Join,
+			fmt.Sprintf("%d", r.SMB),
+			fmt.Sprintf("%d", r.RMB),
+			fmt.Sprintf("%d", r.DMB),
+			secs(r.BareRead),
+			secs(r.StepI),
+			secs(r.Total),
+			fmt.Sprintf("%.1f", r.RelCost),
+		})
+	}
+	return FormatTable(
+		[]string{"", "|S| (MB)", "|R| (MB)", "D (MB)", "Read S + R", "Step I", "Steps I + II", "Rel. Cost"},
+		out)
+}
+
+// FormatFigure4 renders the utilization trace, downsampled to at most
+// maxRows lines.
+func FormatFigure4(points []Fig4Point, maxRows int) string {
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	stride := len(points)/maxRows + 1
+	out := [][]string{}
+	for i := 0; i < len(points); i += stride {
+		p := points[i]
+		out = append(out, []string{
+			fmt.Sprintf("%.0f", p.Seconds),
+			fmt.Sprintf("%.1f", p.EvenPct),
+			fmt.Sprintf("%.1f", p.OddPct),
+			fmt.Sprintf("%.1f", p.TotalPct),
+		})
+	}
+	return FormatTable([]string{"Time (s)", "Even iter (%)", "Odd iter (%)", "Total (%)"}, out)
+}
+
+// FormatFigure5 renders Experiment 2's two series.
+func FormatFigure5(rows []Fig5Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cdt := "infeasible"
+		if r.CDTGHOk {
+			cdt = fmt.Sprintf("%.0f", r.CDTGH.Seconds())
+		}
+		out = append(out, []string{
+			fmt.Sprintf("%.1f", r.DiskMB),
+			cdt,
+			fmt.Sprintf("%.0f", r.CTTGH.Seconds()),
+		})
+	}
+	return FormatTable([]string{"Disk (MB)", "CDT-GH (s)", "CTT-GH (s)"}, out)
+}
+
+// exp3Series pivots Experiment 3 rows into per-method columns of one
+// metric.
+func exp3Series(rows []Exp3Row, metric func(Exp3Row) string, title string) string {
+	fracs := []float64{}
+	seen := map[float64]bool{}
+	byKey := map[string]string{}
+	methods := []string{}
+	mseen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.MemFrac] {
+			seen[r.MemFrac] = true
+			fracs = append(fracs, r.MemFrac)
+		}
+		if !mseen[string(r.Method)] {
+			mseen[string(r.Method)] = true
+			methods = append(methods, string(r.Method))
+		}
+		byKey[fmt.Sprintf("%s@%v", r.Method, r.MemFrac)] = metric(r)
+	}
+	sort.Float64s(fracs)
+
+	headers := append([]string{"M/|R|"}, methods...)
+	out := [][]string{}
+	for _, f := range fracs {
+		row := []string{fmt.Sprintf("%.2f", f)}
+		for _, m := range methods {
+			cell, ok := byKey[fmt.Sprintf("%s@%v", m, f)]
+			if !ok {
+				cell = "-"
+			}
+			row = append(row, cell)
+		}
+		out = append(out, row)
+	}
+	return title + "\n" + FormatTable(headers, out)
+}
+
+// FormatFigure6 renders the disk space requirement series.
+func FormatFigure6(rows []Exp3Row) string {
+	return exp3Series(rows, func(r Exp3Row) string {
+		if !r.Feasible {
+			return "infeasible"
+		}
+		return fmt.Sprintf("%.1f", r.DiskSpaceMB)
+	}, "Disk Space Requirement (MB)")
+}
+
+// FormatFigure7 renders the disk I/O traffic series.
+func FormatFigure7(rows []Exp3Row) string {
+	return exp3Series(rows, func(r Exp3Row) string {
+		if !r.Feasible {
+			return "infeasible"
+		}
+		return fmt.Sprintf("%.0f", r.DiskIOMB)
+	}, "Disk I/O Traffic (MB)")
+}
+
+// FormatFigure8 renders the response time series.
+func FormatFigure8(rows []Exp3Row) string {
+	return exp3Series(rows, func(r Exp3Row) string {
+		if !r.Feasible {
+			return "infeasible"
+		}
+		return fmt.Sprintf("%.0f", r.Response.Seconds())
+	}, "Response Time (s)")
+}
+
+// FormatOverhead renders the relative join overhead series (Figures
+// 9, 10 and 11).
+func FormatOverhead(rows []Exp3Row, title string) string {
+	return exp3Series(rows, func(r Exp3Row) string {
+		if !r.Feasible {
+			return "infeasible"
+		}
+		return fmt.Sprintf("%.0f%%", 100*r.Overhead)
+	}, title)
+}
+
+// FormatAnalytic renders one of Figures 1–3.
+func FormatAnalytic(points []AnalyticPoint) string {
+	methods := cost.MethodSymbols()
+	headers := append([]string{"|R|/M"}, methods...)
+	out := [][]string{}
+	for _, p := range points {
+		row := []string{fmt.Sprintf("%.1f", p.ROverM)}
+		for _, m := range methods {
+			v := p.Relative[m]
+			if math.IsInf(v, 1) {
+				row = append(row, "infeasible")
+			} else {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			}
+		}
+		out = append(out, row)
+	}
+	return FormatTable(headers, out)
+}

@@ -1,0 +1,141 @@
+package hashutil
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashIsDeterministicAndMixing(t *testing.T) {
+	if Hash(1) != Hash(1) {
+		t.Fatal("hash not deterministic")
+	}
+	// Sequential keys must not collide and should differ in many bits.
+	seen := map[uint64]bool{}
+	for k := uint64(0); k < 10000; k++ {
+		h := Hash(k)
+		if seen[h] {
+			t.Fatalf("collision at key %d", k)
+		}
+		seen[h] = true
+	}
+}
+
+func TestBucketRangeAndBalance(t *testing.T) {
+	const b = 16
+	counts := make([]int, b)
+	for k := uint64(0); k < 16000; k++ {
+		i := Bucket(k, b)
+		if i < 0 || i >= b {
+			t.Fatalf("bucket %d out of range", i)
+		}
+		counts[i]++
+	}
+	// Uniform hashing: each bucket within 20% of the mean.
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("bucket %d has %d of 16000 keys; want ~1000", i, c)
+		}
+	}
+}
+
+func TestBucketPanicsOnBadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bucket(1, 0)
+}
+
+func TestPlanBucketsSmallCase(t *testing.T) {
+	// |R| = 100 blocks, M = 20: B = ceil(100/19) = 6, bucket = 17.
+	p, err := PlanBuckets(100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.B != 6 {
+		t.Fatalf("B = %d, want 6", p.B)
+	}
+	if p.BucketBlocks != 17 {
+		t.Fatalf("bucket = %d, want 17", p.BucketBlocks)
+	}
+	if p.BucketBlocks > 20-1 {
+		t.Fatal("bucket does not fit in memory with an input block")
+	}
+	if p.PartitionMemory() > 20 {
+		t.Fatalf("partition memory %d exceeds M", p.PartitionMemory())
+	}
+	if p.WriteBuf < 1 || p.InBuf < 1 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestPlanBucketsAtSqrtBoundary(t *testing.T) {
+	// |R| = 288 (the paper's Experiment 3 R of 18 MB), M = 18 blocks:
+	// B = ceil(288/17) = 17, needs 17 write buffers + 1 input = 18 = M.
+	p, err := PlanBuckets(288, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.B != 17 || p.WriteBuf != 1 || p.InBuf != 1 {
+		t.Fatalf("plan = %+v", p)
+	}
+	// One block less is infeasible.
+	if _, err := PlanBuckets(288, 17); !errors.Is(err, ErrInsufficientMemory) {
+		t.Fatalf("err = %v, want ErrInsufficientMemory", err)
+	}
+}
+
+func TestPlanBucketsAmpleMemoryWidensWriteBuffers(t *testing.T) {
+	p, err := PlanBuckets(1000, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.B != 2 {
+		t.Fatalf("B = %d, want 2", p.B)
+	}
+	if p.WriteBuf < 100 {
+		t.Fatalf("write buffer %d should use spare memory", p.WriteBuf)
+	}
+	if p.PartitionMemory() > 600 {
+		t.Fatalf("partition memory %d exceeds M", p.PartitionMemory())
+	}
+}
+
+func TestPlanBucketsErrors(t *testing.T) {
+	if _, err := PlanBuckets(0, 10); err == nil {
+		t.Fatal("want error for empty relation")
+	}
+	if _, err := PlanBuckets(100, 1); !errors.Is(err, ErrInsufficientMemory) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuickPlanInvariants(t *testing.T) {
+	f := func(rSeed, mSeed uint16) bool {
+		r := int64(rSeed)%5000 + 1
+		m := int64(mSeed)%500 + 2
+		p, err := PlanBuckets(r, m)
+		if err != nil {
+			// Infeasible is fine; the error must be the typed one.
+			return errors.Is(err, ErrInsufficientMemory)
+		}
+		if p.B < 1 || p.WriteBuf < 1 || p.InBuf < 1 {
+			return false
+		}
+		// Join phase: bucket + one input block fit in memory.
+		if p.BucketBlocks+1 > m {
+			return false
+		}
+		// Partition phase fits in memory.
+		if p.PartitionMemory() > m {
+			return false
+		}
+		// Buckets cover the relation.
+		return int64(p.B)*p.BucketBlocks >= r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

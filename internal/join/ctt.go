@@ -1,0 +1,305 @@
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/disk"
+	"repro/internal/hashutil"
+	"repro/internal/sim"
+	"repro/internal/tape"
+)
+
+// estBucketBlocks estimates one bucket's on-disk size for a relation
+// of n blocks over b buckets, with slack for the partial trailing
+// block and hash-value variance.
+func estBucketBlocks(n int64, b int) int64 {
+	est := (n + int64(b) - 1) / int64(b)
+	// Hash-variance slack: relative variance grows as buckets shrink,
+	// so small buckets get proportionally more headroom.
+	return est + est/8 + 2
+}
+
+// assemblableBucket returns the largest bucket (in blocks) whose
+// estimated on-disk size fits in d blocks of assembly area — the
+// inverse of estBucketBlocks' slack.
+func assemblableBucket(d int64) int64 {
+	// Buckets are bounded to half the assembly area: the window keeps
+	// one estimated bucket of headroom so that hash-variance outliers
+	// never overflow the disk (see hashRelationToTape).
+	v := (d/2 - 2) * 8 / 9
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// planTapeTape computes the bucket plan for a tape-tape method:
+// buckets are bounded both by memory (join phase) and by the disk
+// assembly area (Step I).
+func planTapeTape(rBlocks, mBlocks, dBlocks int64) (hashutil.Plan, error) {
+	return hashutil.PlanBucketsBounded(rBlocks, mBlocks, assemblableBucket(dBlocks))
+}
+
+// appendFileToTape streams a disk file to the drive's end of data and
+// returns the contiguous region written. When pipelined, disk reads
+// overlap tape writes through a small queue (the concurrent methods);
+// otherwise the two alternate in one process (the sequential TT-GH).
+func appendFileToTape(e *env, p *sim.Proc, f *disk.File, dst *tape.Drive, pipelined bool) (tape.Region, error) {
+	var region tape.Region
+	write := func(wp *sim.Proc, blks []block.Block) error {
+		reg, err := dst.Append(wp, blks)
+		if err != nil {
+			return err
+		}
+		if region.N == 0 {
+			region = reg
+		} else {
+			if reg.Start != region.End() {
+				return fmt.Errorf("join: bucket append not contiguous at %d", reg.Start)
+			}
+			region.N += reg.N
+		}
+		return nil
+	}
+
+	if !pipelined {
+		for off := int64(0); off < f.Len(); off += e.res.IOChunk {
+			g := min64(e.res.IOChunk, f.Len()-off)
+			blks, err := f.ReadAt(p, off, g)
+			if err != nil {
+				return tape.Region{}, err
+			}
+			if err := write(p, blks); err != nil {
+				return tape.Region{}, err
+			}
+		}
+		return region, nil
+	}
+
+	q := sim.NewQueue[[]block.Block](e.k, "append-pipe", 2)
+	reader := e.k.Spawn("bucket-reader", func(rp *sim.Proc) {
+		for off := int64(0); off < f.Len(); off += e.res.IOChunk {
+			g := min64(e.res.IOChunk, f.Len()-off)
+			blks, err := f.ReadAt(rp, off, g)
+			if err != nil {
+				panic(err)
+			}
+			q.Send(rp, blks)
+		}
+		q.Close(rp)
+	})
+	for {
+		blks, ok := q.Recv(p)
+		if !ok {
+			break
+		}
+		if err := write(p, blks); err != nil {
+			return tape.Region{}, err
+		}
+	}
+	if err := p.Wait(reader); err != nil {
+		return tape.Region{}, err
+	}
+	return region, nil
+}
+
+// hashRelationToTape implements Step I of the tape–tape methods: the
+// source relation is hash-partitioned into plan.B buckets, a disk-load
+// of buckets at a time. Each scan reads the source end to end, keeps
+// the tuples of the current bucket window, assembles those buckets in
+// full on disk, and appends them to dst's scratch space. Returns the
+// per-bucket tape regions, stored contiguously in bucket order.
+func hashRelationToTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
+	tuplesPerBlock int, tag byte, plan hashutil.Plan, dst *tape.Drive,
+	pipelined bool, keep keepFn, scans *int) ([]tape.Region, error) {
+
+	b := plan.B
+	est := estBucketBlocks(region.N, b)
+	// Window sizing: per-bucket estimates already carry variance
+	// slack, and over a wide window those margins pool, so large
+	// windows need no extra headroom. Narrow windows (1-2 buckets)
+	// cannot pool, so they reserve one whole estimated bucket against
+	// a hash-variance outlier.
+	g := e.res.DiskBlocks / est
+	if g <= 2 {
+		g = (e.res.DiskBlocks - est) / est
+	}
+	if g < 1 {
+		return nil, fmt.Errorf("%w: D=%d cannot assemble one %d-block bucket with headroom",
+			ErrNeedDisk, e.res.DiskBlocks, est)
+	}
+	if g > int64(b) {
+		g = int64(b)
+	}
+
+	regions := make([]tape.Region, b)
+	for lo := 0; lo < b; lo += int(g) {
+		hi := lo + int(g)
+		if hi > b {
+			hi = b
+		}
+		window := hi - lo
+
+		files := make([]*disk.File, 0, window)
+		for i := 0; i < window; i++ {
+			f, err := e.disks.Create(fmt.Sprintf("hb%d", lo+i), nil)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+
+		memNeed := int64(window)*plan.WriteBuf + plan.InBuf
+		e.mem.acquire(memNeed)
+		pt := newPartitioner(b, plan.WriteBuf, tuplesPerBlock, tag,
+			func(fp *sim.Proc, bkt int, blks []block.Block) error {
+				return files[bkt-lo].Append(fp, blks)
+			})
+		pt.only = func(bkt int) bool { return bkt >= lo && bkt < hi }
+
+		err := readTape(p, src, region, plan.InBuf, func(_ int64, blks []block.Block) error {
+			var addErr error
+			forEachTuple(blks, func(t block.Tuple) {
+				if addErr != nil || (keep != nil && !keep(t)) {
+					return
+				}
+				addErr = pt.add(p, t)
+			})
+			return addErr
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := pt.finish(p); err != nil {
+			return nil, err
+		}
+		e.mem.release(memNeed)
+		*scans++
+
+		// Append the completed buckets to the destination tape in
+		// bucket order.
+		for i, f := range files {
+			reg, err := appendFileToTape(e, p, f, dst, pipelined)
+			if err != nil {
+				return nil, err
+			}
+			regions[lo+i] = reg
+			f.Free()
+		}
+	}
+	return regions, nil
+}
+
+// CTTGH is Concurrent Tape–Tape Grace Hash Join (Section 5.2.1): R is
+// hashed from tape to tape using disk as an assembly area, then S is
+// hashed to disk a chunk at a time (double-buffered) and joined with
+// the tape-resident R buckets. The only method whose disk requirement
+// is independent of |R| — the paper's sole candidate for very large
+// joins.
+type CTTGH struct{}
+
+// Name implements Method.
+func (CTTGH) Name() string { return "Concurrent Tape-Tape Grace Hash Join" }
+
+// Symbol implements Method.
+func (CTTGH) Symbol() string { return "CTT-GH" }
+
+// Check implements Method: M >= sqrt(|R|); D holds one R bucket and
+// one block per S bucket; R's tape has scratch space for its hashed
+// copy (T_R = |R| in Table 2).
+func (CTTGH) Check(spec Spec, res Resources) error {
+	plan, err := planTapeTape(spec.R.Region.N, res.MemoryBlocks, res.DiskBlocks)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNeedMemory, err)
+	}
+	if est := estBucketBlocks(spec.R.Region.N, plan.B); res.DiskBlocks < 2*est {
+		return fmt.Errorf("%w: D=%d cannot assemble one %d-block R bucket with headroom", ErrNeedDisk, res.DiskBlocks, est)
+	}
+	if res.DiskBlocks < int64(plan.B)+1 {
+		return fmt.Errorf("%w: D=%d cannot buffer S over %d buckets", ErrNeedDisk, res.DiskBlocks, plan.B)
+	}
+	if scratch := spec.R.Media.Free(); scratch < spec.R.Region.N+int64(plan.B) {
+		return fmt.Errorf("%w: R tape has %d free, hashed R needs ~%d",
+			ErrNeedTapeScratch, scratch, spec.R.Region.N+int64(plan.B))
+	}
+	return nil
+}
+
+func (CTTGH) run(e *env, p *sim.Proc) error {
+	plan, err := planTapeTape(e.spec.R.Region.N, e.res.MemoryBlocks, e.res.DiskBlocks)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNeedMemory, err)
+	}
+	// Step I: hash R from the R tape back onto the R tape's scratch
+	// space, assembling a disk-load of buckets per scan.
+	rRegions, err := hashRelationToTape(e, p, e.driveR, e.spec.R.Region,
+		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, e.driveR, true, e.filterR(), &e.stats.RScans)
+	if err != nil {
+		return err
+	}
+	e.markStepI(p)
+
+	scanBuf := scanBufFor(plan, e.res.MemoryBlocks)
+	maxLoad := e.res.MemoryBlocks - scanBuf
+
+	// Step II: all of D double-buffers the S buckets (|S_i| = d = D).
+	dbuf := e.newDoubleBuffer("s-buckets", e.res.DiskBlocks)
+	chunkCap := dbuf.ChunkCapacity() - int64(plan.B)
+	if chunkCap < 1 {
+		return fmt.Errorf("%w: D=%d cannot buffer S over %d buckets", ErrNeedDisk, e.res.DiskBlocks, plan.B)
+	}
+	s := e.spec.S.Region
+
+	type iterChunk struct {
+		iter  int64
+		files []*disk.File
+	}
+	q := sim.NewQueue[iterChunk](e.k, "ctt-chunks", 1)
+
+	hasher := e.k.Spawn("s-hasher", func(hp *sim.Proc) {
+		iter := int64(0)
+		for off := int64(0); off < s.N; off += chunkCap {
+			n := min64(chunkCap, s.N-off)
+			it := iter
+			files, err := partitionTapeToDisk(e, hp, e.driveS, s.Sub(off, n),
+				e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(),
+				func(fp *sim.Proc, blks int64) { dbuf.Acquire(fp, it, blks) })
+			if err != nil {
+				panic(err)
+			}
+			q.Send(hp, iterChunk{iter, files})
+			iter++
+		}
+		q.Close(hp)
+	})
+
+	// With a bi-directional drive, alternate the bucket scan direction
+	// each iteration: the head finishes iteration i exactly where
+	// iteration i+1 begins, eliminating the long seek back across the
+	// hashed-R run (the paper's footnote-2 observation that the
+	// algorithms are independent of scan direction).
+	biDir := e.driveR.Config().BiDirectional
+	for {
+		c, ok := q.Recv(p)
+		if !ok {
+			break
+		}
+		backward := biDir && c.iter%2 == 1
+		for b := 0; b < plan.B; b++ {
+			idx := b
+			if backward {
+				idx = plan.B - 1 - b
+			}
+			rSrc := tapeBucket{drive: e.driveR, region: rRegions[idx], reverse: backward}
+			if err := joinBucketPair(e, p, rSrc, diskBucket{c.files[idx]}, maxLoad, scanBuf); err != nil {
+				return err
+			}
+			dbuf.Release(p, c.iter, c.files[idx].Len())
+			c.files[idx].Free()
+		}
+		e.stats.Iterations++
+		e.stats.RScans++
+	}
+	return p.Wait(hasher)
+}

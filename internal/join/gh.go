@@ -1,0 +1,326 @@
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/disk"
+	"repro/internal/hashutil"
+	"repro/internal/sim"
+	"repro/internal/tape"
+)
+
+// addr converts a block offset to a tape address.
+func addr(n int64) tape.Addr { return tape.Addr(n) }
+
+// bucketSource abstracts where a hash bucket lives: a disk file or a
+// tape region. Reads charge the owning device.
+type bucketSource interface {
+	blocks() int64
+	read(p *sim.Proc, off, n int64) ([]block.Block, error)
+}
+
+type diskBucket struct{ f *disk.File }
+
+func (d diskBucket) blocks() int64 { return d.f.Len() }
+func (d diskBucket) read(p *sim.Proc, off, n int64) ([]block.Block, error) {
+	return d.f.ReadAt(p, off, n)
+}
+
+type tapeBucket struct {
+	drive  *tape.Drive
+	region tape.Region
+	// reverse reads the whole bucket backward (paper footnote 2):
+	// used by CTT-GH's joiner on alternate iterations so the head
+	// never seeks back across the bucket run. Applies only to a
+	// full-bucket read; partial reads fall back to forward.
+	reverse bool
+}
+
+func (t tapeBucket) blocks() int64 { return t.region.N }
+func (t tapeBucket) read(p *sim.Proc, off, n int64) ([]block.Block, error) {
+	if t.reverse && off == 0 && n == t.region.N {
+		return t.drive.ReadRegionReverse(p, t.region)
+	}
+	return t.drive.ReadAt(p, t.region.Start+addr(off), n)
+}
+
+// scanBufFor sizes the S-side streaming buffer for the join phase:
+// whatever memory remains next to a full R bucket, aiming for the
+// plan's input-buffer size. At minimal memory this is a single block,
+// making bucket scans random-I/O-like (the Figure 8 small-M uptick).
+func scanBufFor(plan hashutil.Plan, m int64) int64 {
+	sb := m - plan.BucketBlocks
+	if sb > plan.InBuf {
+		sb = plan.InBuf
+	}
+	if sb < 1 {
+		sb = 1
+	}
+	return sb
+}
+
+// joinBucketPair loads the R bucket into a memory hash table and
+// streams the matching S bucket through it. Oversized R buckets
+// (hash-value skew) fall back to multiple memory loads, each paying a
+// full scan of the S bucket.
+func joinBucketPair(e *env, p *sim.Proc, r, s bucketSource, maxLoad, scanBuf int64) error {
+	if maxLoad < 1 {
+		return fmt.Errorf("%w: no memory for R bucket", ErrNeedMemory)
+	}
+	for roff := int64(0); roff < r.blocks(); roff += maxLoad {
+		n := min64(maxLoad, r.blocks()-roff)
+		e.mem.acquire(n)
+		rBlks, err := r.read(p, roff, n)
+		if err != nil {
+			return err
+		}
+		table := newHashTable()
+		table.addBlocks(rBlks)
+
+		e.mem.acquire(scanBuf)
+		for soff := int64(0); soff < s.blocks(); soff += scanBuf {
+			g := min64(scanBuf, s.blocks()-soff)
+			sBlks, err := s.read(p, soff, g)
+			if err != nil {
+				return err
+			}
+			forEachTuple(sBlks, func(t block.Tuple) {
+				table.probeWithS(p, e.sink, t)
+			})
+		}
+		e.mem.release(scanBuf)
+		e.mem.release(n)
+	}
+	return nil
+}
+
+// partitionTapeToDisk hash-partitions a tape-resident relation (or a
+// chunk of it) into per-bucket striped disk files. Returns the bucket
+// files. reserve, when non-nil, is called with the block count of each
+// flush before the disk write — concurrent methods use it to acquire
+// double-buffer space.
+func partitionTapeToDisk(e *env, p *sim.Proc, drive *tape.Drive, region tape.Region,
+	tuplesPerBlock int, tag byte, plan hashutil.Plan, namePrefix string,
+	keep keepFn, reserve func(p *sim.Proc, n int64)) ([]*disk.File, error) {
+
+	files := make([]*disk.File, plan.B)
+	for i := range files {
+		f, err := e.disks.Create(fmt.Sprintf("%s%d", namePrefix, i), nil)
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+	}
+	e.mem.acquire(plan.PartitionMemory())
+	defer e.mem.release(plan.PartitionMemory())
+
+	pt := newPartitioner(plan.B, plan.WriteBuf, tuplesPerBlock, tag,
+		func(fp *sim.Proc, bkt int, blks []block.Block) error {
+			if reserve != nil {
+				reserve(fp, int64(len(blks)))
+			}
+			return files[bkt].Append(fp, blks)
+		})
+	err := readTape(p, drive, region, plan.InBuf, func(_ int64, blks []block.Block) error {
+		var addErr error
+		forEachTuple(blks, func(t block.Tuple) {
+			if addErr != nil || (keep != nil && !keep(t)) {
+				return
+			}
+			addErr = pt.add(p, t)
+		})
+		return addErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := pt.finish(p); err != nil {
+		return nil, err
+	}
+	return files, nil
+}
+
+// checkGH verifies the shared Grace Hash feasibility: the Table 2
+// memory requirement M >= sqrt(|R|) (exact at block granularity) and
+// disk room for R's buckets plus at least one block per S bucket.
+func checkGH(spec Spec, res Resources) (hashutil.Plan, error) {
+	plan, err := hashutil.PlanBuckets(spec.R.Region.N, res.MemoryBlocks)
+	if err != nil {
+		return plan, fmt.Errorf("%w: %v", ErrNeedMemory, err)
+	}
+	// R's bucket files may exceed |R| by up to one partial block per
+	// bucket; an S chunk needs at least one block plus the same
+	// partial-block slack.
+	need := spec.R.Region.N + 2*int64(plan.B) + 2
+	if res.DiskBlocks < need {
+		return plan, fmt.Errorf("%w: D=%d < |R|+2B+2=%d", ErrNeedDiskForR, res.DiskBlocks, need)
+	}
+	return plan, nil
+}
+
+// totalLen sums file lengths.
+func totalLen(files []*disk.File) int64 {
+	var n int64
+	for _, f := range files {
+		n += f.Len()
+	}
+	return n
+}
+
+// freeAll frees every file.
+func freeAll(files []*disk.File) {
+	for _, f := range files {
+		f.Free()
+	}
+}
+
+// DTGH is Disk–Tape Grace Hash Join (Section 5.1.2): sequential; hash
+// R from tape into disk buckets, then repeatedly hash a d = D - |R|
+// chunk of S to disk and join it bucket by bucket.
+type DTGH struct{}
+
+// Name implements Method.
+func (DTGH) Name() string { return "Disk-Tape Grace Hash Join" }
+
+// Symbol implements Method.
+func (DTGH) Symbol() string { return "DT-GH" }
+
+// Check implements Method.
+func (DTGH) Check(spec Spec, res Resources) error {
+	_, err := checkGH(spec, res)
+	return err
+}
+
+func (DTGH) run(e *env, p *sim.Proc) error {
+	plan, err := checkGH(e.spec, e.res)
+	if err != nil {
+		return err
+	}
+	// Step I: hash R from tape to disk buckets.
+	fRB, err := partitionTapeToDisk(e, p, e.driveR, e.spec.R.Region,
+		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, "rb", e.filterR(), nil)
+	if err != nil {
+		return err
+	}
+	e.stats.RScans++
+	e.markStepI(p)
+
+	// Partitioning an n-block chunk can emit up to n + B blocks (one
+	// partial per bucket), so the chunk leaves that slack in d.
+	d := e.res.DiskBlocks - totalLen(fRB)
+	chunk := d - int64(plan.B)
+	if chunk < 1 {
+		return fmt.Errorf("%w: %d blocks left to buffer S over %d buckets", ErrNeedDisk, d, plan.B)
+	}
+	scanBuf := scanBufFor(plan, e.res.MemoryBlocks)
+	maxLoad := e.res.MemoryBlocks - scanBuf
+
+	// Step II: iterate chunks of S sized to the spare disk space.
+	s := e.spec.S.Region
+	for off := int64(0); off < s.N; off += chunk {
+		n := min64(chunk, s.N-off)
+		fSB, err := partitionTapeToDisk(e, p, e.driveS, s.Sub(off, n),
+			e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(), nil)
+		if err != nil {
+			return err
+		}
+		for b := 0; b < plan.B; b++ {
+			if err := joinBucketPair(e, p, diskBucket{fRB[b]}, diskBucket{fSB[b]}, maxLoad, scanBuf); err != nil {
+				return err
+			}
+		}
+		freeAll(fSB)
+		e.stats.Iterations++
+		e.stats.RScans++
+	}
+	freeAll(fRB)
+	return nil
+}
+
+// CDTGH is Concurrent Disk–Tape Grace Hash Join (Section 5.1.4): as
+// DT-GH, but the S bucket area on disk is double-buffered so hashing
+// chunk i+1 from tape overlaps joining chunk i.
+type CDTGH struct{}
+
+// Name implements Method.
+func (CDTGH) Name() string { return "Concurrent Disk-Tape Grace Hash Join" }
+
+// Symbol implements Method.
+func (CDTGH) Symbol() string { return "CDT-GH" }
+
+// Check implements Method.
+func (CDTGH) Check(spec Spec, res Resources) error {
+	_, err := checkGH(spec, res)
+	return err
+}
+
+func (CDTGH) run(e *env, p *sim.Proc) error {
+	plan, err := checkGH(e.spec, e.res)
+	if err != nil {
+		return err
+	}
+	fRB, err := partitionTapeToDisk(e, p, e.driveR, e.spec.R.Region,
+		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, "rb", e.filterR(), nil)
+	if err != nil {
+		return err
+	}
+	e.stats.RScans++
+	e.markStepI(p)
+
+	d := e.res.DiskBlocks - totalLen(fRB)
+	scanBuf := scanBufFor(plan, e.res.MemoryBlocks)
+	maxLoad := e.res.MemoryBlocks - scanBuf
+
+	dbuf := e.newDoubleBuffer("s-buckets", d)
+	// Chunks leave B blocks of slack for partial-block spill.
+	chunkCap := dbuf.ChunkCapacity() - int64(plan.B)
+	if chunkCap < int64(plan.B) {
+		return fmt.Errorf("%w: %d blocks left to buffer S over %d buckets", ErrNeedDisk, d, plan.B)
+	}
+	s := e.spec.S.Region
+
+	type iterChunk struct {
+		iter  int64
+		files []*disk.File
+	}
+	q := sim.NewQueue[iterChunk](e.k, "gh-chunks", 1)
+
+	hasher := e.k.Spawn("s-hasher", func(hp *sim.Proc) {
+		iter := int64(0)
+		for off := int64(0); off < s.N; off += chunkCap {
+			n := min64(chunkCap, s.N-off)
+			it := iter // capture for the reserve closure
+			files, err := partitionTapeToDisk(e, hp, e.driveS, s.Sub(off, n),
+				e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(),
+				func(fp *sim.Proc, blks int64) { dbuf.Acquire(fp, it, blks) })
+			if err != nil {
+				panic(err)
+			}
+			q.Send(hp, iterChunk{iter, files})
+			iter++
+		}
+		q.Close(hp)
+	})
+
+	for {
+		c, ok := q.Recv(p)
+		if !ok {
+			break
+		}
+		for b := 0; b < plan.B; b++ {
+			if err := joinBucketPair(e, p, diskBucket{fRB[b]}, diskBucket{c.files[b]}, maxLoad, scanBuf); err != nil {
+				return err
+			}
+			dbuf.Release(p, c.iter, c.files[b].Len())
+			c.files[b].Free()
+		}
+		e.stats.Iterations++
+		e.stats.RScans++
+	}
+	if err := p.Wait(hasher); err != nil {
+		return err
+	}
+	freeAll(fRB)
+	return nil
+}

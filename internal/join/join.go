@@ -1,0 +1,371 @@
+// Package join implements the seven tertiary join methods of the
+// paper: the disk–tape methods DT-NB, CDT-NB/MB, CDT-NB/DB, DT-GH and
+// CDT-GH, and the tape–tape methods CTT-GH and TT-GH. Each method
+// moves real tuple blocks through the simulated tape drives and disk
+// array, producing verified join output while the simulation kernel
+// accounts virtual response time under the paper's transfer-only cost
+// model.
+package join
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/relation"
+	"repro/internal/sim"
+	"repro/internal/tape"
+	"repro/internal/trace"
+)
+
+// Discipline selects the double-buffering scheme for methods that
+// stage S through disk (Section 4).
+type Discipline int
+
+const (
+	// Interleaved shares one physical buffer between consecutive
+	// iterations (the paper's scheme).
+	Interleaved Discipline = iota
+	// SplitHalves is the naive two-halves baseline, kept for
+	// ablation.
+	SplitHalves
+)
+
+// Resources describes the device complex available to a join: the
+// paper's M, D, n, X_D and X_T.
+type Resources struct {
+	// MemoryBlocks is M, the main memory allocated to the join.
+	MemoryBlocks int64
+	// DiskBlocks is D, total disk scratch space across all drives.
+	DiskBlocks int64
+	// NumDisks is n.
+	NumDisks int
+	// DiskRate is X_D, aggregate disk bytes/second.
+	DiskRate float64
+	// DiskOverhead is the per-request positioning cost.
+	DiskOverhead sim.Duration
+	// Tape is the drive profile for both tape drives (X_T etc.).
+	Tape tape.DriveConfig
+	// IOChunk is the preferred transfer request size in blocks;
+	// defaults to 32 (>= the 30 blocks that make positioning
+	// negligible, Section 3.2).
+	IOChunk int64
+	// Discipline selects the double-buffering scheme.
+	Discipline Discipline
+	// Trace, when non-nil, records every device I/O event of the run
+	// for timeline rendering.
+	Trace *trace.Recorder
+}
+
+// WithDefaults fills zero fields with the calibrated defaults used in
+// the paper's experiments.
+func (r Resources) WithDefaults() Resources {
+	if r.NumDisks == 0 {
+		r.NumDisks = 2
+	}
+	if r.DiskRate == 0 {
+		r.DiskRate = 2 * tape.DLT4000().EffectiveRate()
+	}
+	if r.DiskOverhead == 0 {
+		r.DiskOverhead = 18 * time.Millisecond
+	}
+	if r.Tape == (tape.DriveConfig{}) {
+		r.Tape = tape.DLT4000()
+	}
+	if r.IOChunk == 0 {
+		r.IOChunk = 32
+	}
+	return r
+}
+
+// Validate reports resource configuration errors.
+func (r Resources) Validate() error {
+	if r.MemoryBlocks < 2 {
+		return fmt.Errorf("join: M = %d blocks; need at least 2", r.MemoryBlocks)
+	}
+	if r.DiskBlocks < 1 {
+		return fmt.Errorf("join: D = %d blocks", r.DiskBlocks)
+	}
+	if r.NumDisks < 1 {
+		return fmt.Errorf("join: %d disks", r.NumDisks)
+	}
+	if r.IOChunk < 1 {
+		return fmt.Errorf("join: IOChunk = %d", r.IOChunk)
+	}
+	return r.Tape.Validate()
+}
+
+// Spec names the two relations to join. R must be the smaller
+// relation and the relations must live on distinct cartridges (the
+// paper's two-drive configuration).
+type Spec struct {
+	R, S *relation.Relation
+
+	// FilterR and FilterS, when non-nil, drop input tuples before the
+	// join — pushed-down selections. Filtering happens at the first
+	// staging step of each relation, so a selective FilterR shrinks
+	// R's disk or tape copy and every later scan of it.
+	FilterR, FilterS func(block.Tuple) bool
+}
+
+// Validate reports spec errors.
+func (s Spec) Validate() error {
+	if s.R == nil || s.S == nil {
+		return errors.New("join: nil relation")
+	}
+	if s.R.Media == s.S.Media {
+		return errors.New("join: R and S must be on separate tapes")
+	}
+	if s.R.Region.N > s.S.Region.N {
+		return fmt.Errorf("join: |R| = %d > |S| = %d; R must be the smaller relation",
+			s.R.Region.N, s.S.Region.N)
+	}
+	return nil
+}
+
+// Typed feasibility errors, used by the advisor to rule methods out.
+var (
+	// ErrNeedDiskForR marks disk–tape methods when D < |R| (+ buffer).
+	ErrNeedDiskForR = errors.New("join: disk space cannot hold R")
+	// ErrNeedMemory marks methods whose memory requirement (Table 2)
+	// is unmet.
+	ErrNeedMemory = errors.New("join: insufficient memory")
+	// ErrNeedTapeScratch marks tape–tape methods lacking scratch tape
+	// space for the hashed copies.
+	ErrNeedTapeScratch = errors.New("join: insufficient scratch tape space")
+	// ErrNeedDisk marks methods whose minimum disk requirement is
+	// unmet.
+	ErrNeedDisk = errors.New("join: insufficient disk space")
+)
+
+// Stats reports what a join did and what it cost.
+type Stats struct {
+	// Response is the virtual wall-clock of the whole join.
+	Response sim.Duration
+	// StepI is the virtual time when the setup phase (copying or
+	// hashing R, plus hashing S for TT-GH) finished.
+	StepI sim.Duration
+	// Iterations counts Step II iterations (pieces S_i of S).
+	Iterations int
+	// RScans counts complete passes over R's data from any device,
+	// including the initial read.
+	RScans int
+	// TapeBlocksRead/Written aggregate both drives.
+	TapeBlocksRead    int64
+	TapeBlocksWritten int64
+	// TapeSeeks counts head repositionings across both drives.
+	TapeSeeks int64
+	// DiskBlocksRead/Written aggregate the array ("disk I/O traffic",
+	// Figure 7).
+	DiskBlocksRead    int64
+	DiskBlocksWritten int64
+	// DiskHighWater is the peak disk space used in blocks (Figure 6).
+	DiskHighWater int64
+	// MemHighWater is the peak accounted memory in blocks. For
+	// concurrent methods this reports the true combined peak, which
+	// the paper's Table 2 idealizes (see package doc).
+	MemHighWater int64
+	// OutputTuples is the join result cardinality.
+	OutputTuples int64
+	// RFiltered and SFiltered count input tuples dropped by the
+	// pushed-down selections.
+	RFiltered, SFiltered int64
+	// TapeRBusy, TapeSBusy and DiskBusy are the devices' total busy
+	// times, for utilization analysis (busy / Response).
+	TapeRBusy sim.Duration
+	TapeSBusy sim.Duration
+	DiskBusy  sim.Duration
+}
+
+// DiskTraffic returns total disk blocks moved (Figure 7's metric).
+func (s Stats) DiskTraffic() int64 { return s.DiskBlocksRead + s.DiskBlocksWritten }
+
+// Result is the outcome of a join run.
+type Result struct {
+	Method string
+	Stats  Stats
+	// BufferTrace is the disk-buffer utilization trace (Figure 4) for
+	// methods that double-buffer S through disk; nil otherwise.
+	BufferTrace []buffer.Sample
+	// BufferCapacity is the traced buffer's capacity in blocks.
+	BufferCapacity int64
+}
+
+// Method is a tertiary join method.
+type Method interface {
+	// Name is the long name, e.g. "Concurrent Tape-Tape Grace Hash Join".
+	Name() string
+	// Symbol is the paper's abbreviation, e.g. "CTT-GH".
+	Symbol() string
+	// Check reports whether the method can run with the given
+	// resources, per Table 2, returning a typed error when not.
+	Check(spec Spec, res Resources) error
+	// run executes the join inside the simulation.
+	run(e *env, p *sim.Proc) error
+}
+
+// ledger tracks memory usage without blocking. Chunk sizes are derived
+// from M structurally, so the ledger verifies rather than enforces;
+// see Stats.MemHighWater.
+type ledger struct {
+	used, high int64
+}
+
+func (l *ledger) acquire(n int64) {
+	if n < 0 {
+		panic("join: negative ledger acquire")
+	}
+	l.used += n
+	if l.used > l.high {
+		l.high = l.used
+	}
+}
+
+func (l *ledger) release(n int64) {
+	l.used -= n
+	if l.used < 0 {
+		panic("join: ledger under-release")
+	}
+}
+
+// env is the runtime context handed to a method.
+type env struct {
+	k      *sim.Kernel
+	spec   Spec
+	res    Resources
+	driveR *tape.Drive
+	driveS *tape.Drive
+	disks  *disk.Array
+	mem    *ledger
+	sink   Sink
+	stats  *Stats
+
+	dbuf    buffer.DoubleBuffer // set by methods that stage S on disk
+	dbufCap int64
+}
+
+// newDoubleBuffer builds the configured double-buffer discipline over
+// capacity blocks and records it for the result trace.
+func (e *env) newDoubleBuffer(name string, capacity int64) buffer.DoubleBuffer {
+	var b buffer.DoubleBuffer
+	if e.res.Discipline == SplitHalves {
+		b = buffer.NewSplit(e.k, name, capacity)
+	} else {
+		b = buffer.NewInterleaved(e.k, name, capacity)
+	}
+	e.dbuf = b
+	e.dbufCap = capacity
+	return b
+}
+
+// markStepI records the end of the setup phase.
+func (e *env) markStepI(p *sim.Proc) {
+	e.stats.StepI = sim.Duration(p.Now())
+}
+
+// Run executes method m on spec with the given resources, returning
+// the measured result. The sink receives every output tuple pair; a
+// nil sink counts matches only.
+func Run(m Method, spec Spec, res Resources, sink Sink) (*Result, error) {
+	res = res.WithDefaults()
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Check(spec, res); err != nil {
+		return nil, fmt.Errorf("%s: %w", m.Symbol(), err)
+	}
+	if sink == nil {
+		sink = &CountSink{}
+	}
+
+	k := sim.NewKernel()
+	driveR := tape.NewDrive(k, "R", res.Tape)
+	driveR.Load(spec.R.Media)
+	driveS := tape.NewDrive(k, "S", res.Tape)
+	driveS.Load(spec.S.Media)
+	array, err := disk.NewArray(k, disk.Config{
+		NumDisks:        res.NumDisks,
+		AggregateRate:   res.DiskRate,
+		RequestOverhead: res.DiskOverhead,
+		BlocksPerDisk:   (res.DiskBlocks + int64(res.NumDisks) - 1) / int64(res.NumDisks),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if res.Trace != nil {
+		driveR.SetRecorder(res.Trace)
+		driveS.SetRecorder(res.Trace)
+		array.SetRecorder(res.Trace)
+	}
+
+	stats := &Stats{}
+	e := &env{
+		k: k, spec: spec, res: res,
+		driveR: driveR, driveS: driveS, disks: array,
+		mem: &ledger{}, sink: sink, stats: stats,
+	}
+
+	var runErr error
+	k.Spawn("join:"+m.Symbol(), func(p *sim.Proc) {
+		runErr = m.run(e, p)
+	})
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("%s: simulation: %w", m.Symbol(), err)
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("%s: %w", m.Symbol(), runErr)
+	}
+
+	stats.Response = sim.Duration(k.Now())
+	stats.TapeBlocksRead = driveR.Stats.BlocksRead + driveS.Stats.BlocksRead
+	stats.TapeBlocksWritten = driveR.Stats.BlocksWritten + driveS.Stats.BlocksWritten
+	stats.TapeSeeks = driveR.Stats.Seeks + driveS.Stats.Seeks
+	stats.DiskBlocksRead = array.Stats.BlocksRead
+	stats.DiskBlocksWritten = array.Stats.BlocksWritten
+	stats.DiskHighWater = array.HighWater
+	stats.MemHighWater = e.mem.high
+	stats.OutputTuples = sink.Count()
+	stats.TapeRBusy = driveR.BusyTime()
+	stats.TapeSBusy = driveS.BusyTime()
+	stats.DiskBusy = array.BusyTime()
+
+	result := &Result{Method: m.Symbol(), Stats: *stats}
+	if e.dbuf != nil {
+		result.BufferTrace = e.dbuf.Trace()
+		result.BufferCapacity = e.dbufCap
+	}
+	return result, nil
+}
+
+// Methods returns the seven join methods in the paper's presentation
+// order.
+func Methods() []Method {
+	return []Method{
+		DTNB{}, CDTNBMB{}, CDTNBDB{}, DTGH{}, CDTGH{}, CTTGH{}, TTGH{},
+	}
+}
+
+// AllMethods returns the paper's seven methods plus the sort-merge
+// baseline.
+func AllMethods() []Method {
+	return append(Methods(), TTSM{})
+}
+
+// BySymbol returns the method with the given abbreviation
+// (case-sensitive, e.g. "CDT-NB/DB"); the paper's seven plus the
+// "TT-SM" baseline.
+func BySymbol(symbol string) (Method, error) {
+	for _, m := range AllMethods() {
+		if m.Symbol() == symbol {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("join: unknown method %q", symbol)
+}

@@ -1,0 +1,301 @@
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// nbSplit computes the Section-6 memory split for Nested Block
+// methods: 10% of M (at least one block) scans R, the rest buffers S.
+func nbSplit(m int64) (mr, ms int64) {
+	mr = m / 10
+	if mr < 1 {
+		mr = 1
+	}
+	return mr, m - mr
+}
+
+// copyRToDisk is Step I of every disk–tape Nested Block method:
+// relation R is copied from tape to a striped disk file, staging
+// through main memory.
+func copyRToDisk(e *env, p *sim.Proc) (*disk.File, error) {
+	f, err := e.disks.Create("R", nil)
+	if err != nil {
+		return nil, err
+	}
+	e.mem.acquire(e.res.MemoryBlocks)
+	defer e.mem.release(e.res.MemoryBlocks)
+	keep := e.filterR()
+	err = readTape(p, e.driveR, e.spec.R.Region, e.res.MemoryBlocks,
+		func(_ int64, blks []block.Block) error {
+			blks, _ = filterRepack(blks, keep, e.spec.R.TuplesPerBlock, e.spec.R.Tag)
+			return f.Append(p, blks)
+		})
+	if err != nil {
+		return nil, err
+	}
+	e.stats.RScans++
+	return f, nil
+}
+
+// scanRAndProbe performs the inner loop of a Nested Block iteration:
+// scan the disk-resident R in mr-block requests and probe each R tuple
+// against the in-memory table built over the current chunk of S.
+func scanRAndProbe(e *env, p *sim.Proc, fR *disk.File, mr int64, table *hashTable) error {
+	e.mem.acquire(mr)
+	defer e.mem.release(mr)
+	for off := int64(0); off < fR.Len(); off += mr {
+		n := min64(mr, fR.Len()-off)
+		blks, err := fR.ReadAt(p, off, n)
+		if err != nil {
+			return err
+		}
+		forEachTuple(blks, func(t block.Tuple) {
+			table.probeWithR(p, e.sink, t)
+		})
+	}
+	e.stats.RScans++
+	return nil
+}
+
+// DTNB is Disk–Tape Nested Block Join (Section 5.1.1): sequential;
+// copy R to disk, then for each memory-sized chunk of S, scan R.
+type DTNB struct{}
+
+// Name implements Method.
+func (DTNB) Name() string { return "Disk-Tape Nested Block Join" }
+
+// Symbol implements Method.
+func (DTNB) Symbol() string { return "DT-NB" }
+
+// Check implements Method: D >= |R| (Table 2).
+func (DTNB) Check(spec Spec, res Resources) error {
+	if res.DiskBlocks < spec.R.Region.N {
+		return fmt.Errorf("%w: D=%d < |R|=%d", ErrNeedDiskForR, res.DiskBlocks, spec.R.Region.N)
+	}
+	if res.MemoryBlocks < 2 {
+		return fmt.Errorf("%w: M=%d < 2", ErrNeedMemory, res.MemoryBlocks)
+	}
+	return nil
+}
+
+func (DTNB) run(e *env, p *sim.Proc) error {
+	fR, err := copyRToDisk(e, p)
+	if err != nil {
+		return err
+	}
+	e.markStepI(p)
+
+	mr, ms := nbSplit(e.res.MemoryBlocks)
+	s := e.spec.S.Region
+	for off := int64(0); off < s.N; off += ms {
+		n := min64(ms, s.N-off)
+		e.mem.acquire(n)
+		blks, err := e.driveS.ReadAt(p, s.Start+addr(off), n)
+		if err != nil {
+			return err
+		}
+		table := newHashTable()
+		table.addBlocksFiltered(blks, e.filterS())
+		if err := scanRAndProbe(e, p, fR, mr, table); err != nil {
+			return err
+		}
+		e.mem.release(n)
+		e.stats.Iterations++
+	}
+	fR.Free()
+	return nil
+}
+
+// CDTNBMB is Concurrent Disk–Tape Nested Block Join with memory
+// buffering (Section 5.1.3): two memory buffers for S let the next
+// chunk stream from tape while the previous chunk joins with R, at the
+// price of halving the chunk size.
+type CDTNBMB struct{}
+
+// Name implements Method.
+func (CDTNBMB) Name() string {
+	return "Concurrent Disk-Tape Nested Block Join with Memory Buffering"
+}
+
+// Symbol implements Method.
+func (CDTNBMB) Symbol() string { return "CDT-NB/MB" }
+
+// Check implements Method: D >= |R|, M splits into Mr plus two chunks.
+func (CDTNBMB) Check(spec Spec, res Resources) error {
+	if res.DiskBlocks < spec.R.Region.N {
+		return fmt.Errorf("%w: D=%d < |R|=%d", ErrNeedDiskForR, res.DiskBlocks, spec.R.Region.N)
+	}
+	if _, ms := nbSplit(res.MemoryBlocks); ms < 2 {
+		return fmt.Errorf("%w: M=%d cannot hold two S buffers", ErrNeedMemory, res.MemoryBlocks)
+	}
+	return nil
+}
+
+func (CDTNBMB) run(e *env, p *sim.Proc) error {
+	fR, err := copyRToDisk(e, p)
+	if err != nil {
+		return err
+	}
+	e.markStepI(p)
+
+	mr, msTotal := nbSplit(e.res.MemoryBlocks)
+	ms := msTotal / 2 // each of the two buffers
+	s := e.spec.S.Region
+
+	type chunk struct {
+		blks []block.Block
+		n    int64
+	}
+	// Two physical buffers: the reader may fill one while the joiner
+	// drains the other. Interleaving is impossible here because the
+	// joiner needs its chunk intact for the whole iteration (Section
+	// 5.1.3 footnote), hence the buffer-count container.
+	bufs := sim.NewContainer(e.k, "nb-bufs", 2, 2)
+	q := sim.NewQueue[chunk](e.k, "nb-chunks", 1)
+
+	reader := e.k.Spawn("s-reader", func(rp *sim.Proc) {
+		for off := int64(0); off < s.N; off += ms {
+			n := min64(ms, s.N-off)
+			bufs.Get(rp, 1)
+			e.mem.acquire(n)
+			blks, err := e.driveS.ReadAt(rp, s.Start+addr(off), n)
+			if err != nil {
+				panic(err)
+			}
+			q.Send(rp, chunk{blks, n})
+		}
+		q.Close(rp)
+	})
+
+	for {
+		c, ok := q.Recv(p)
+		if !ok {
+			break
+		}
+		table := newHashTable()
+		table.addBlocksFiltered(c.blks, e.filterS())
+		if err := scanRAndProbe(e, p, fR, mr, table); err != nil {
+			return err
+		}
+		e.mem.release(c.n)
+		bufs.Put(p, 1)
+		e.stats.Iterations++
+	}
+	if err := p.Wait(reader); err != nil {
+		return err
+	}
+	fR.Free()
+	return nil
+}
+
+// CDTNBDB is Concurrent Disk–Tape Nested Block Join with disk
+// buffering (Section 5.1.3): S is staged through a double-buffered
+// disk area, so chunks are full memory size (twice CDT-NB/MB's) while
+// tape input still overlaps the join.
+type CDTNBDB struct{}
+
+// Name implements Method.
+func (CDTNBDB) Name() string {
+	return "Concurrent Disk-Tape Nested Block Join with Disk Buffering"
+}
+
+// Symbol implements Method.
+func (CDTNBDB) Symbol() string { return "CDT-NB/DB" }
+
+// Check implements Method: D >= |R| + |S_i| (Table 2).
+func (CDTNBDB) Check(spec Spec, res Resources) error {
+	_, ms := nbSplit(res.MemoryBlocks)
+	if ms < 1 {
+		return fmt.Errorf("%w: M=%d", ErrNeedMemory, res.MemoryBlocks)
+	}
+	need := spec.R.Region.N + ms
+	if res.DiskBlocks < need {
+		return fmt.Errorf("%w: D=%d < |R|+|S_i|=%d", ErrNeedDiskForR, res.DiskBlocks, need)
+	}
+	return nil
+}
+
+func (CDTNBDB) run(e *env, p *sim.Proc) error {
+	fR, err := copyRToDisk(e, p)
+	if err != nil {
+		return err
+	}
+	e.markStepI(p)
+
+	mr, ms := nbSplit(e.res.MemoryBlocks)
+	dbuf := e.newDoubleBuffer("s-dbuf", ms)
+	chunkCap := dbuf.ChunkCapacity()
+	s := e.spec.S.Region
+
+	type chunk struct {
+		iter int64
+		file *disk.File
+		n    int64
+	}
+	q := sim.NewQueue[chunk](e.k, "db-chunks", 1)
+
+	producer := e.k.Spawn("s-stager", func(rp *sim.Proc) {
+		iter := int64(0)
+		for off := int64(0); off < s.N; off += chunkCap {
+			n := min64(chunkCap, s.N-off)
+			f, err := e.disks.Create("schunk", nil)
+			if err != nil {
+				panic(err)
+			}
+			// Stage tape -> disk through a small transfer buffer
+			// (ignored in M per Section 6), acquiring buffer space as
+			// the previous iteration releases it.
+			for sub := int64(0); sub < n; sub += e.res.IOChunk {
+				g := min64(e.res.IOChunk, n-sub)
+				dbuf.Acquire(rp, iter, g)
+				blks, err := e.driveS.ReadAt(rp, s.Start+addr(off+sub), g)
+				if err != nil {
+					panic(err)
+				}
+				if err := f.Append(rp, blks); err != nil {
+					panic(err)
+				}
+			}
+			q.Send(rp, chunk{iter, f, n})
+			iter++
+		}
+		q.Close(rp)
+	})
+
+	for {
+		c, ok := q.Recv(p)
+		if !ok {
+			break
+		}
+		// Read the staged chunk into memory, releasing buffer space
+		// as it is consumed so the producer can refill it (the
+		// interleaved scheme of Section 4).
+		e.mem.acquire(c.n)
+		table := newHashTable()
+		keepS := e.filterS()
+		for sub := int64(0); sub < c.n; sub += e.res.IOChunk {
+			g := min64(e.res.IOChunk, c.n-sub)
+			blks, err := c.file.ReadAt(p, sub, g)
+			if err != nil {
+				return err
+			}
+			table.addBlocksFiltered(blks, keepS)
+			dbuf.Release(p, c.iter, g)
+		}
+		c.file.Free()
+		if err := scanRAndProbe(e, p, fR, mr, table); err != nil {
+			return err
+		}
+		e.mem.release(c.n)
+		e.stats.Iterations++
+	}
+	if err := p.Wait(producer); err != nil {
+		return err
+	}
+	fR.Free()
+	return nil
+}

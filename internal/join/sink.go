@@ -1,0 +1,69 @@
+package join
+
+import (
+	"repro/internal/block"
+	"repro/internal/sim"
+)
+
+// Sink receives join output. The paper's default cost model pipelines
+// output to a downstream consumer at no I/O cost (Section 3.2); to
+// model locally stored output, reduce Resources.DiskRate as the paper
+// prescribes.
+type Sink interface {
+	// Emit delivers one matching pair (r ⋈ s).
+	Emit(p *sim.Proc, r, s block.Tuple)
+	// Count returns the number of pairs emitted so far.
+	Count() int64
+}
+
+// CountSink counts matches and keeps an order-independent checksum of
+// the matched keys so runs of different methods can be compared
+// exactly.
+type CountSink struct {
+	Matches int64
+	KeySum  uint64 // sum of matched keys mod 2^64; order-independent
+}
+
+// Emit implements Sink.
+func (c *CountSink) Emit(_ *sim.Proc, r, s block.Tuple) {
+	c.Matches++
+	c.KeySum += r.Key
+}
+
+// Count implements Sink.
+func (c *CountSink) Count() int64 { return c.Matches }
+
+// GroupCountSink is a pipelined aggregate consumer (the Section 3.2
+// case where "the join operator pipelines its output to an aggregate
+// operator"): it folds each match into a per-key count instead of
+// materializing pairs, so output costs nothing beyond the fold.
+type GroupCountSink struct {
+	Counts map[uint64]int64
+	total  int64
+}
+
+// Emit implements Sink.
+func (g *GroupCountSink) Emit(_ *sim.Proc, r, _ block.Tuple) {
+	if g.Counts == nil {
+		g.Counts = make(map[uint64]int64)
+	}
+	g.Counts[r.Key]++
+	g.total++
+}
+
+// Count implements Sink.
+func (g *GroupCountSink) Count() int64 { return g.total }
+
+// PairSink records every output pair's keys, for small correctness
+// tests.
+type PairSink struct {
+	Pairs [][2]uint64
+}
+
+// Emit implements Sink.
+func (s *PairSink) Emit(_ *sim.Proc, r, t block.Tuple) {
+	s.Pairs = append(s.Pairs, [2]uint64{r.Key, t.Key})
+}
+
+// Count implements Sink.
+func (s *PairSink) Count() int64 { return int64(len(s.Pairs)) }

@@ -1,0 +1,445 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/sim"
+	"repro/internal/tape"
+)
+
+// TTSM is Tape–Tape Sort-Merge Join: the classical alternative the
+// paper's hashing methods displace (Knuth's tape sorting, cited in the
+// paper's footnote 2). Both relations are sorted on tape — run
+// formation in memory-sized loads, then k-way merge passes ping-ponging
+// between fixed workspaces on the two cartridges — and joined with a
+// streaming merge join. It is implemented as the comparison baseline:
+// merge passes read runs interleaved, which costs a tape seek per
+// buffer refill, and the whole of |R| + |S| must be rewritten log_k
+// times. Even with overwrite-in-place workspaces (an idealization in
+// its favor), it loses badly to the Grace Hash methods on real tape.
+type TTSM struct{}
+
+// Name implements Method.
+func (TTSM) Name() string { return "Tape-Tape Sort-Merge Join (baseline)" }
+
+// Symbol implements Method.
+func (TTSM) Symbol() string { return "TT-SM" }
+
+// smFanIn splits M blocks of memory into a merge fan-in k, a per-run
+// input buffer of inBuf blocks and an outBuf-block output buffer.
+// Larger input buffers amortize the tape seek each refill costs, at
+// the price of a smaller fan-in (more passes) — the fundamental
+// tension that makes tape sort-merge lose to hashing.
+func smFanIn(m, ioChunk int64) (k int, inBuf, outBuf int64) {
+	outBuf = ioChunk
+	if outBuf > m/3 {
+		outBuf = m / 3
+	}
+	if outBuf < 1 {
+		outBuf = 1
+	}
+	avail := m - outBuf
+	// Prefer input buffers near the request-size threshold, but keep
+	// at least a 4-way merge when memory allows.
+	inBuf = ioChunk
+	for inBuf > 1 && avail/inBuf < 4 {
+		inBuf /= 2
+	}
+	if inBuf < 1 {
+		inBuf = 1
+	}
+	k = int(avail / inBuf)
+	if k < 2 {
+		k = 2
+		inBuf = max64(1, avail/2)
+	}
+	return k, inBuf, outBuf
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Check implements Method: M >= 4 blocks (two merge inputs, an output
+// block and slack), and both cartridges need workspace for sorting
+// both relations: the away copy of each relation's runs plus ping-pong
+// room — |R| + |S| per cartridge, with per-run partial-block slack.
+func (TTSM) Check(spec Spec, res Resources) error {
+	if res.MemoryBlocks < 4 {
+		return fmt.Errorf("%w: M=%d < 4 blocks for a 2-way tape merge", ErrNeedMemory, res.MemoryBlocks)
+	}
+	r, s := spec.R.Region.N, spec.S.Region.N
+	slack := r/res.MemoryBlocks + s/res.MemoryBlocks + 16
+	need := r + s + slack
+	if free := spec.R.Media.Free(); free < need {
+		return fmt.Errorf("%w: R tape has %d free, sort workspaces need ~%d", ErrNeedTapeScratch, free, need)
+	}
+	if free := spec.S.Media.Free(); free < need {
+		return fmt.Errorf("%w: S tape has %d free, sort workspaces need ~%d", ErrNeedTapeScratch, free, need)
+	}
+	return nil
+}
+
+// smWorkspace is a fixed, reusable region of tape scratch. The first
+// write appends (establishing the region); later passes overwrite in
+// place.
+type smWorkspace struct {
+	drive *tape.Drive
+	base  tape.Addr
+	used  int64 // blocks written by the current pass
+	live  bool  // base established
+}
+
+// reset starts a new pass over the workspace.
+func (w *smWorkspace) reset() { w.used = 0 }
+
+// write appends blocks to the workspace's current pass.
+func (w *smWorkspace) write(p *sim.Proc, blks []block.Block) (tape.Region, error) {
+	n := int64(len(blks))
+	if !w.live {
+		reg, err := w.drive.Append(p, blks)
+		if err != nil {
+			return tape.Region{}, err
+		}
+		if w.used == 0 {
+			w.base = reg.Start
+			w.live = true
+		}
+		w.used += n
+		return reg, nil
+	}
+	start := w.base + tape.Addr(w.used)
+	if err := w.drive.WriteAt(p, start, blks); err != nil {
+		return tape.Region{}, err
+	}
+	w.used += n
+	return tape.Region{Start: start, N: n}, nil
+}
+
+// tupleStream reads a sorted tape region sequentially, bufBlocks at a
+// time.
+type tupleStream struct {
+	drive  *tape.Drive
+	region tape.Region
+	buf    int64
+
+	off  int64
+	cur  []block.Tuple
+	idx  int
+	done bool
+}
+
+// next returns the stream's next tuple.
+func (ts *tupleStream) next(p *sim.Proc) (block.Tuple, bool, error) {
+	for ts.idx >= len(ts.cur) {
+		if ts.off >= ts.region.N {
+			ts.done = true
+			return block.Tuple{}, false, nil
+		}
+		n := min64(ts.buf, ts.region.N-ts.off)
+		blks, err := ts.drive.ReadAt(p, ts.region.Start+tape.Addr(ts.off), n)
+		if err != nil {
+			return block.Tuple{}, false, err
+		}
+		ts.off += n
+		ts.cur = ts.cur[:0]
+		ts.idx = 0
+		forEachTuple(blks, func(t block.Tuple) { ts.cur = append(ts.cur, t) })
+	}
+	t := ts.cur[ts.idx]
+	ts.idx++
+	return t, true, nil
+}
+
+// blockPacker packs tuples into blocks and flushes them to a workspace
+// in outBuf-block batches.
+type blockPacker struct {
+	ws      *smWorkspace
+	builder *block.Builder
+	pending []block.Block
+	perBlk  int
+	outBuf  int64
+
+	start   tape.Addr
+	written int64
+}
+
+func newBlockPacker(ws *smWorkspace, tag byte, perBlk int, outBuf int64) *blockPacker {
+	return &blockPacker{ws: ws, builder: block.NewBuilder(tag), perBlk: perBlk, outBuf: outBuf}
+}
+
+func (bp *blockPacker) add(p *sim.Proc, t block.Tuple) error {
+	bp.builder.Append(t)
+	if bp.builder.Len() < bp.perBlk {
+		return nil
+	}
+	bp.pending = append(bp.pending, bp.builder.Finish())
+	if int64(len(bp.pending)) >= bp.outBuf {
+		return bp.flush(p)
+	}
+	return nil
+}
+
+func (bp *blockPacker) flush(p *sim.Proc) error {
+	if len(bp.pending) == 0 {
+		return nil
+	}
+	reg, err := bp.ws.write(p, bp.pending)
+	if err != nil {
+		return err
+	}
+	if bp.written == 0 {
+		bp.start = reg.Start
+	}
+	bp.written += reg.N
+	bp.pending = bp.pending[:0]
+	return nil
+}
+
+// finish flushes the partial block and pending buffer and returns the
+// run's region.
+func (bp *blockPacker) finish(p *sim.Proc) (tape.Region, error) {
+	if bp.builder.Len() > 0 {
+		bp.pending = append(bp.pending, bp.builder.Finish())
+	}
+	if err := bp.flush(p); err != nil {
+		return tape.Region{}, err
+	}
+	return tape.Region{Start: bp.start, N: bp.written}, nil
+}
+
+// sortOnTape sorts one relation: run formation from the source region,
+// then k-way merge passes ping-ponging between a workspace on each
+// cartridge. Returns the drive and region of the final sorted copy.
+// scans counts full passes over the relation's data.
+func sortOnTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
+	perBlk int, tag byte, wsHome, wsAway *smWorkspace, keep keepFn, scans *int) (*tape.Drive, tape.Region, error) {
+
+	m := e.res.MemoryBlocks
+	k, inBuf, outBuf := smFanIn(m, e.res.IOChunk)
+
+	// Run formation: memory-loads of the source, sorted and written to
+	// the away workspace.
+	wsAway.reset()
+	var runs []tape.Region
+	e.mem.acquire(m)
+	for off := int64(0); off < region.N; off += m {
+		n := min64(m, region.N-off)
+		blks, err := src.ReadAt(p, region.Start+tape.Addr(off), n)
+		if err != nil {
+			return nil, tape.Region{}, err
+		}
+		var tuples []block.Tuple
+		forEachTuple(blks, func(t block.Tuple) {
+			if keep != nil && !keep(t) {
+				return
+			}
+			tuples = append(tuples, t)
+		})
+		sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].Key < tuples[j].Key })
+		bp := newBlockPacker(wsAway, tag, perBlk, outBuf)
+		for _, t := range tuples {
+			if err := bp.add(p, t); err != nil {
+				return nil, tape.Region{}, err
+			}
+		}
+		run, err := bp.finish(p)
+		if err != nil {
+			return nil, tape.Region{}, err
+		}
+		runs = append(runs, run)
+	}
+	e.mem.release(m)
+	*scans++
+
+	// Merge passes: read k runs interleaved from one workspace, write
+	// merged runs to the other.
+	cur, other := wsAway, wsHome
+	for len(runs) > 1 {
+		other.reset()
+		var merged []tape.Region
+		for lo := 0; lo < len(runs); lo += k {
+			hi := lo + k
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			run, err := mergeRuns(e, p, cur.drive, runs[lo:hi], other, perBlk, tag, inBuf, outBuf)
+			if err != nil {
+				return nil, tape.Region{}, err
+			}
+			merged = append(merged, run)
+		}
+		runs = merged
+		cur, other = other, cur
+		e.stats.Iterations++
+		*scans++
+	}
+	return cur.drive, runs[0], nil
+}
+
+// mergeRuns k-way merges sorted runs living on one drive into a single
+// run on the destination workspace.
+func mergeRuns(e *env, p *sim.Proc, src *tape.Drive, runs []tape.Region,
+	dst *smWorkspace, perBlk int, tag byte, inBuf, outBuf int64) (tape.Region, error) {
+
+	e.mem.acquire(int64(len(runs))*inBuf + outBuf)
+	defer e.mem.release(int64(len(runs))*inBuf + outBuf)
+
+	streams := make([]*tupleStream, len(runs))
+	heads := make([]block.Tuple, len(runs))
+	alive := make([]bool, len(runs))
+	for i, run := range runs {
+		streams[i] = &tupleStream{drive: src, region: run, buf: inBuf}
+		t, ok, err := streams[i].next(p)
+		if err != nil {
+			return tape.Region{}, err
+		}
+		heads[i], alive[i] = t, ok
+	}
+	bp := newBlockPacker(dst, tag, perBlk, outBuf)
+	for {
+		best := -1
+		for i := range heads {
+			if alive[i] && (best < 0 || heads[i].Key < heads[best].Key) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if err := bp.add(p, heads[best]); err != nil {
+			return tape.Region{}, err
+		}
+		t, ok, err := streams[best].next(p)
+		if err != nil {
+			return tape.Region{}, err
+		}
+		heads[best], alive[best] = t, ok
+	}
+	return bp.finish(p)
+}
+
+func (TTSM) run(e *env, p *sim.Proc) error {
+	// Workspaces: each relation sorts between a workspace on its own
+	// cartridge and one on the other. R sorts first; S's workspaces
+	// are established after, so they never collide.
+	wsRonS := &smWorkspace{drive: e.driveS} // R's away workspace
+	wsRonR := &smWorkspace{drive: e.driveR} // R's home workspace
+	rDrive, rSorted, err := sortOnTape(e, p, e.driveR, e.spec.R.Region,
+		e.spec.R.TuplesPerBlock, e.spec.R.Tag, wsRonR, wsRonS, e.filterR(), &e.stats.RScans)
+	if err != nil {
+		return err
+	}
+
+	sScans := 0
+	wsSonR := &smWorkspace{drive: e.driveR}
+	wsSonS := &smWorkspace{drive: e.driveS}
+	sDrive, sSorted, err := sortOnTape(e, p, e.driveS, e.spec.S.Region,
+		e.spec.S.TuplesPerBlock, e.spec.S.Tag, wsSonS, wsSonR, e.filterS(), &sScans)
+	if err != nil {
+		return err
+	}
+
+	// The merge join streams both sorted copies concurrently, so they
+	// must sit on different drives; relocate R's if they collided.
+	if rDrive == sDrive {
+		dst := e.driveR
+		if rDrive == e.driveR {
+			dst = e.driveS
+		}
+		ws := &smWorkspace{drive: dst}
+		moved, err := copySorted(e, p, rDrive, rSorted, ws)
+		if err != nil {
+			return err
+		}
+		rDrive, rSorted = dst, moved
+		e.stats.RScans++
+	}
+	e.markStepI(p)
+
+	return mergeJoin(e, p, rDrive, rSorted, sDrive, sSorted)
+}
+
+// copySorted moves a sorted region to a workspace on another drive.
+func copySorted(e *env, p *sim.Proc, src *tape.Drive, region tape.Region, dst *smWorkspace) (tape.Region, error) {
+	var out tape.Region
+	for off := int64(0); off < region.N; off += e.res.IOChunk {
+		n := min64(e.res.IOChunk, region.N-off)
+		blks, err := src.ReadAt(p, region.Start+tape.Addr(off), n)
+		if err != nil {
+			return tape.Region{}, err
+		}
+		reg, err := dst.write(p, blks)
+		if err != nil {
+			return tape.Region{}, err
+		}
+		if off == 0 {
+			out = reg
+		} else {
+			out.N += reg.N
+		}
+	}
+	return out, nil
+}
+
+// mergeJoin streams the two sorted relations and emits every matching
+// pair, buffering each R key group in memory (R is the smaller side;
+// groups are its key multiplicities).
+func mergeJoin(e *env, p *sim.Proc, rDrive *tape.Drive, rReg tape.Region,
+	sDrive *tape.Drive, sReg tape.Region) error {
+
+	buf := min64(e.res.IOChunk, e.res.MemoryBlocks/3)
+	if buf < 1 {
+		buf = 1
+	}
+	e.mem.acquire(2 * buf)
+	defer e.mem.release(2 * buf)
+	rs := &tupleStream{drive: rDrive, region: rReg, buf: buf}
+	ss := &tupleStream{drive: sDrive, region: sReg, buf: buf}
+
+	rT, rOK, err := rs.next(p)
+	if err != nil {
+		return err
+	}
+	sT, sOK, err := ss.next(p)
+	if err != nil {
+		return err
+	}
+	var group []block.Tuple
+	for rOK && sOK {
+		switch {
+		case rT.Key < sT.Key:
+			rT, rOK, err = rs.next(p)
+		case rT.Key > sT.Key:
+			sT, sOK, err = ss.next(p)
+		default:
+			key := rT.Key
+			group = group[:0]
+			for rOK && rT.Key == key {
+				group = append(group, rT)
+				rT, rOK, err = rs.next(p)
+				if err != nil {
+					return err
+				}
+			}
+			for sOK && sT.Key == key {
+				for _, g := range group {
+					e.sink.Emit(p, g, sT)
+				}
+				sT, sOK, err = ss.next(p)
+				if err != nil {
+					return err
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/hashutil"
+	"repro/internal/sim"
+	"repro/internal/tape"
+)
+
+// hashTable is the in-memory build side of a join phase. CPU cost is
+// outside the paper's cost model, so building and probing consume no
+// virtual time.
+type hashTable struct {
+	m map[uint64][]block.Tuple
+}
+
+func newHashTable() *hashTable {
+	return &hashTable{m: make(map[uint64][]block.Tuple)}
+}
+
+// addBlocks inserts every tuple of blks.
+func (h *hashTable) addBlocks(blks []block.Block) {
+	h.addBlocksFiltered(blks, nil)
+}
+
+// addBlocksFiltered inserts tuples surviving keep (nil keeps all).
+func (h *hashTable) addBlocksFiltered(blks []block.Block, keep keepFn) {
+	for _, blk := range blks {
+		_, tuples := blk.MustDecode()
+		for _, t := range tuples {
+			if keep != nil && !keep(t) {
+				continue
+			}
+			h.m[t.Key] = append(h.m[t.Key], t)
+		}
+	}
+}
+
+// probeWithR probes with an R tuple against a table built on S tuples,
+// emitting (r, s) pairs.
+func (h *hashTable) probeWithR(p *sim.Proc, sink Sink, r block.Tuple) {
+	for _, s := range h.m[r.Key] {
+		sink.Emit(p, r, s)
+	}
+}
+
+// probeWithS probes with an S tuple against a table built on R tuples,
+// emitting (r, s) pairs.
+func (h *hashTable) probeWithS(p *sim.Proc, sink Sink, s block.Tuple) {
+	for _, r := range h.m[s.Key] {
+		sink.Emit(p, r, s)
+	}
+}
+
+func (h *hashTable) len() int {
+	n := 0
+	for _, v := range h.m {
+		n += len(v)
+	}
+	return n
+}
+
+// forEachTuple decodes blocks and applies fn to every tuple.
+func forEachTuple(blks []block.Block, fn func(block.Tuple)) {
+	for _, blk := range blks {
+		_, tuples := blk.MustDecode()
+		for _, t := range tuples {
+			fn(t)
+		}
+	}
+}
+
+// keepFn reports whether a tuple survives a pushed-down selection.
+type keepFn func(block.Tuple) bool
+
+// filterRepack drops tuples failing keep and repacks the survivors at
+// the original density, returning the smaller block run and the number
+// of tuples dropped. A nil keep returns the input unchanged.
+func filterRepack(blks []block.Block, keep keepFn, perBlk int, tag byte) ([]block.Block, int64) {
+	if keep == nil {
+		return blks, 0
+	}
+	bld := block.NewBuilder(tag)
+	out := make([]block.Block, 0, len(blks))
+	var dropped int64
+	forEachTuple(blks, func(t block.Tuple) {
+		if !keep(t) {
+			dropped++
+			return
+		}
+		bld.Append(t)
+		if bld.Len() >= perBlk {
+			out = append(out, bld.Finish())
+		}
+	})
+	if bld.Len() > 0 {
+		out = append(out, bld.Finish())
+	}
+	return out, dropped
+}
+
+// filterFor returns the pushed-down filter for a relation tag, with
+// drop accounting wired to the right stat.
+func (e *env) filterR() keepFn {
+	if e.spec.FilterR == nil {
+		return nil
+	}
+	return func(t block.Tuple) bool {
+		if e.spec.FilterR(t) {
+			return true
+		}
+		e.stats.RFiltered++
+		return false
+	}
+}
+
+func (e *env) filterS() keepFn {
+	if e.spec.FilterS == nil {
+		return nil
+	}
+	return func(t block.Tuple) bool {
+		if e.spec.FilterS(t) {
+			return true
+		}
+		e.stats.SFiltered++
+		return false
+	}
+}
+
+// readTape streams region from drive in chunk-block requests, calling
+// fn with each batch. The stream is strictly sequential, keeping the
+// drive streaming when fn is fast.
+func readTape(p *sim.Proc, drive *tape.Drive, region tape.Region, chunk int64, fn func(off int64, blks []block.Block) error) error {
+	if chunk < 1 {
+		return fmt.Errorf("join: readTape chunk %d", chunk)
+	}
+	for off := int64(0); off < region.N; off += chunk {
+		n := min64(chunk, region.N-off)
+		blks, err := drive.ReadAt(p, region.Start+tape.Addr(off), n)
+		if err != nil {
+			return err
+		}
+		if err := fn(off, blks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// flushFn receives a run of freshly packed blocks for one bucket.
+type flushFn func(p *sim.Proc, bucket int, blks []block.Block) error
+
+// partitioner hash-partitions a tuple stream into B buckets, packing
+// tuples into blocks at the relation's density and flushing each
+// bucket's write buffer at writeBuf-block granularity. Flush size is
+// the knob that makes bucket writes degrade into random I/O when
+// memory is scarce (Section 9).
+type partitioner struct {
+	b              int
+	writeBuf       int64
+	tuplesPerBlock int
+	tag            byte
+	builders       []*block.Builder
+	pending        [][]block.Block
+	flush          flushFn
+	// only, when non-nil, keeps just the buckets it accepts and
+	// discards other tuples (the multi-scan assembly of CTT-GH and
+	// TT-GH Step I).
+	only func(bucket int) bool
+	// produced counts blocks flushed per bucket.
+	produced []int64
+}
+
+func newPartitioner(b int, writeBuf int64, tuplesPerBlock int, tag byte, flush flushFn) *partitioner {
+	pt := &partitioner{
+		b: b, writeBuf: writeBuf, tuplesPerBlock: tuplesPerBlock, tag: tag,
+		builders: make([]*block.Builder, b),
+		pending:  make([][]block.Block, b),
+		produced: make([]int64, b),
+		flush:    flush,
+	}
+	for i := range pt.builders {
+		pt.builders[i] = block.NewBuilder(tag)
+	}
+	return pt
+}
+
+// add routes one tuple.
+func (pt *partitioner) add(p *sim.Proc, t block.Tuple) error {
+	bkt := hashutil.Bucket(t.Key, pt.b)
+	if pt.only != nil && !pt.only(bkt) {
+		return nil
+	}
+	bld := pt.builders[bkt]
+	bld.Append(t)
+	if bld.Len() < pt.tuplesPerBlock {
+		return nil
+	}
+	pt.pending[bkt] = append(pt.pending[bkt], bld.Finish())
+	if int64(len(pt.pending[bkt])) >= pt.writeBuf {
+		return pt.drain(p, bkt)
+	}
+	return nil
+}
+
+// drain flushes one bucket's pending blocks.
+func (pt *partitioner) drain(p *sim.Proc, bkt int) error {
+	blks := pt.pending[bkt]
+	if len(blks) == 0 {
+		return nil
+	}
+	pt.pending[bkt] = nil
+	pt.produced[bkt] += int64(len(blks))
+	return pt.flush(p, bkt, blks)
+}
+
+// finish packs partially filled blocks and flushes every bucket.
+func (pt *partitioner) finish(p *sim.Proc) error {
+	for bkt, bld := range pt.builders {
+		if bld.Len() > 0 {
+			pt.pending[bkt] = append(pt.pending[bkt], bld.Finish())
+		}
+		if err := pt.drain(p, bkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

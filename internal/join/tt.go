@@ -1,0 +1,104 @@
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/hashutil"
+	"repro/internal/sim"
+)
+
+// planTT plans TT-GH's buckets: the same B partitions both relations,
+// so a bucket of either side must fit the disk assembly area. S is the
+// larger side, so it sets the bound: bucket_R <= R/S * assemblable(D).
+func planTT(spec Spec, res Resources) (hashutil.Plan, error) {
+	bound := assemblableBucket(res.DiskBlocks)
+	// Scale the R-side bucket bound so the corresponding S bucket
+	// (about |S|/|R| times larger) also fits.
+	r, s := spec.R.Region.N, spec.S.Region.N
+	rBound := bound * r / s
+	if rBound < 1 {
+		rBound = 1
+	}
+	plan, err := hashutil.PlanBucketsBounded(r, res.MemoryBlocks, rBound)
+	if err != nil {
+		return plan, fmt.Errorf("%w: %v", ErrNeedMemory, err)
+	}
+	return plan, nil
+}
+
+// TTGH is Tape–Tape Grace Hash Join (Section 5.2.2): fully sequential.
+// Step I hashes R onto the S tape's scratch space (the other tape is
+// the target so no seeks alternate between source and destination on
+// one cartridge), then hashes S onto the R tape the same way. Step II
+// reads each R bucket into memory and scans the corresponding S
+// bucket. Trades the largest tape space requirement (T_R = |S|,
+// T_S = |R|) for the smallest disk requirement.
+type TTGH struct{}
+
+// Name implements Method.
+func (TTGH) Name() string { return "Tape-Tape Grace Hash Join" }
+
+// Symbol implements Method.
+func (TTGH) Symbol() string { return "TT-GH" }
+
+// Check implements Method: M >= sqrt(|R|); disk must assemble at least
+// one bucket of either relation (Table 2 says "any" disk space under
+// the idealization that buckets can be fragmented; we assemble buckets
+// contiguously, which needs a bucket's worth); both tapes need scratch
+// space for the other relation's hashed copy.
+func (TTGH) Check(spec Spec, res Resources) error {
+	plan, err := planTT(spec, res)
+	if err != nil {
+		return err
+	}
+	if est := estBucketBlocks(spec.S.Region.N, plan.B); res.DiskBlocks < 2*est {
+		return fmt.Errorf("%w: D=%d cannot assemble one %d-block S bucket with headroom", ErrNeedDisk, res.DiskBlocks, est)
+	}
+	if free := spec.S.Media.Free(); free < spec.R.Region.N+int64(plan.B) {
+		return fmt.Errorf("%w: S tape has %d free, hashed R needs ~%d",
+			ErrNeedTapeScratch, free, spec.R.Region.N+int64(plan.B))
+	}
+	if free := spec.R.Media.Free(); free < spec.S.Region.N+int64(plan.B) {
+		return fmt.Errorf("%w: R tape has %d free, hashed S needs ~%d",
+			ErrNeedTapeScratch, free, spec.S.Region.N+int64(plan.B))
+	}
+	return nil
+}
+
+func (TTGH) run(e *env, p *sim.Proc) error {
+	plan, err := planTT(e.spec, e.res)
+	if err != nil {
+		return err
+	}
+
+	// Step I, part 1: hash R onto the S tape.
+	rRegions, err := hashRelationToTape(e, p, e.driveR, e.spec.R.Region,
+		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, e.driveS, false, e.filterR(), &e.stats.RScans)
+	if err != nil {
+		return err
+	}
+	// Step I, part 2: hash S onto the R tape using the same buckets.
+	sScans := 0
+	sRegions, err := hashRelationToTape(e, p, e.driveS, e.spec.S.Region,
+		e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, e.driveR, false, e.filterS(), &sScans)
+	if err != nil {
+		return err
+	}
+	e.markStepI(p)
+
+	scanBuf := scanBufFor(plan, e.res.MemoryBlocks)
+	maxLoad := e.res.MemoryBlocks - scanBuf
+
+	// Step II: join bucket pairs; R buckets now live on the S tape
+	// and S buckets on the R tape, both in bucket order.
+	for b := 0; b < plan.B; b++ {
+		r := tapeBucket{drive: e.driveS, region: rRegions[b]}
+		s := tapeBucket{drive: e.driveR, region: sRegions[b]}
+		if err := joinBucketPair(e, p, r, s, maxLoad, scanBuf); err != nil {
+			return err
+		}
+		e.stats.Iterations++
+	}
+	e.stats.RScans++ // Step II reads the hashed R once in full
+	return nil
+}

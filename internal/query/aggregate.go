@@ -1,0 +1,257 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/sim"
+)
+
+// AggFn is an aggregate function.
+type AggFn int
+
+// Aggregate functions.
+const (
+	Count AggFn = iota
+	Sum
+	Min
+	Max
+)
+
+func (f AggFn) String() string {
+	return [...]string{"count", "sum", "min", "max"}[f]
+}
+
+// Agg is one aggregate output: Fn applied to Arg over each group.
+// Count ignores Arg.
+type Agg struct {
+	Fn  AggFn
+	Arg Expr
+}
+
+// check validates an aggregate against the schemas.
+func (a Agg) check(rs, ss Schema) error {
+	if a.Fn == Count {
+		return nil
+	}
+	if a.Arg == nil {
+		return fmt.Errorf("query: %v needs an argument", a.Fn)
+	}
+	t, err := a.Arg.Check(rs, ss)
+	if err != nil {
+		return err
+	}
+	switch a.Fn {
+	case Sum:
+		if t == String {
+			return fmt.Errorf("query: sum over %v", t)
+		}
+	case Min, Max:
+		// any comparable type
+	}
+	return nil
+}
+
+// aggState folds one group's running aggregate.
+type aggState struct {
+	n    int64
+	sumI int64
+	sumF float64
+	min  Value
+	max  Value
+}
+
+func (st *aggState) fold(fn AggFn, v Value) error {
+	st.n++
+	switch fn {
+	case Count:
+		return nil
+	case Sum:
+		switch x := v.(type) {
+		case int64:
+			st.sumI += x
+		case float64:
+			st.sumF += x
+		default:
+			return fmt.Errorf("query: sum over %T", v)
+		}
+	case Min, Max:
+		if st.n == 1 {
+			st.min, st.max = v, v
+			return nil
+		}
+		less, err := valueLess(v, st.min)
+		if err != nil {
+			return err
+		}
+		if less {
+			st.min = v
+		}
+		greater, err := valueLess(st.max, v)
+		if err != nil {
+			return err
+		}
+		if greater {
+			st.max = v
+		}
+	}
+	return nil
+}
+
+func (st *aggState) result(fn AggFn, argType Type) Value {
+	switch fn {
+	case Count:
+		return st.n
+	case Sum:
+		if argType == Float64 {
+			return st.sumF
+		}
+		return st.sumI
+	case Min:
+		return st.min
+	case Max:
+		return st.max
+	}
+	return nil
+}
+
+func valueLess(a, b Value) (bool, error) {
+	switch x := a.(type) {
+	case int64:
+		y, ok := b.(int64)
+		if !ok {
+			return false, fmt.Errorf("query: comparing %T to %T", a, b)
+		}
+		return x < y, nil
+	case float64:
+		y, ok := b.(float64)
+		if !ok {
+			return false, fmt.Errorf("query: comparing %T to %T", a, b)
+		}
+		return x < y, nil
+	case string:
+		y, ok := b.(string)
+		if !ok {
+			return false, fmt.Errorf("query: comparing %T to %T", a, b)
+		}
+		return x < y, nil
+	}
+	return false, fmt.Errorf("query: cannot compare %T", a)
+}
+
+// groupKey renders group-by values into a map key.
+func groupKey(vals []Value) string {
+	key := ""
+	for _, v := range vals {
+		key += fmt.Sprintf("%T:%v|", v, v)
+	}
+	return key
+}
+
+// aggSink folds joined pairs into grouped aggregates on the output
+// stream — the Section 3.2 pipelined-aggregate consumer.
+type aggSink struct {
+	q       *Query
+	where   Expr
+	groupBy []Expr
+	aggs    []Agg
+	argType []Type
+
+	matches int64
+	count   int64
+	groups  map[string]*aggGroup
+	err     error
+}
+
+// Emit implements join.Sink: decode, filter, fold.
+func (as *aggSink) Emit(_ *sim.Proc, r, s block.Tuple) {
+	as.matches++
+	if as.err != nil {
+		return
+	}
+	rRow, err := as.q.R.Schema.Decode(r.Key, r.Payload)
+	if err != nil {
+		as.err = err
+		return
+	}
+	sRow, err := as.q.S.Schema.Decode(s.Key, s.Payload)
+	if err != nil {
+		as.err = err
+		return
+	}
+	if as.where != nil {
+		keep, err := as.where.Eval(rRow, sRow)
+		if err != nil {
+			as.err = err
+			return
+		}
+		if keep.(int64) == 0 {
+			return
+		}
+	}
+	as.count++
+	if err := as.foldPair(rRow, sRow); err != nil {
+		as.err = err
+	}
+}
+
+// Count implements join.Sink.
+func (as *aggSink) Count() int64 { return as.matches }
+
+type aggGroup struct {
+	keyVals []Value
+	states  []aggState
+}
+
+// foldPair applies the predicate and folds one joined pair.
+func (as *aggSink) foldPair(rRow, sRow Row) error {
+	vals := make([]Value, len(as.groupBy))
+	for i, e := range as.groupBy {
+		v, err := e.Eval(rRow, sRow)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	key := groupKey(vals)
+	g, ok := as.groups[key]
+	if !ok {
+		g = &aggGroup{keyVals: vals, states: make([]aggState, len(as.aggs))}
+		as.groups[key] = g
+	}
+	for i, a := range as.aggs {
+		var v Value
+		if a.Fn != Count {
+			var err error
+			v, err = a.Arg.Eval(rRow, sRow)
+			if err != nil {
+				return err
+			}
+		}
+		if err := g.states[i].fold(a.Fn, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rows renders the grouped aggregates, sorted by group key for
+// determinism: group-by values first, then one column per aggregate.
+func (as *aggSink) rows() []Row {
+	keys := make([]string, 0, len(as.groups))
+	for k := range as.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Row, 0, len(keys))
+	for _, k := range keys {
+		g := as.groups[k]
+		row := append(Row{}, g.keyVals...)
+		for i, a := range as.aggs {
+			row = append(row, g.states[i].result(a.Fn, as.argType[i]))
+		}
+		out = append(out, row)
+	}
+	return out
+}

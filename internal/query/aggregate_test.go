@@ -1,0 +1,164 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAggregateGlobalCountAndSum(t *testing.T) {
+	customers, orders := buildTables(t)
+	res, err := Run(Query{
+		R: customers, S: orders,
+		Aggregates: []Agg{
+			{Fn: Count},
+			{Fn: Sum, Arg: Col(SideS, "amount")},
+			{Fn: Min, Arg: Col(SideS, "amount")},
+			{Fn: Max, Arg: Col(SideS, "amount")},
+		},
+	}, execRes(10, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("global aggregate should produce one row, got %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row[0].(int64) != res.JoinMatches {
+		t.Fatalf("count = %v, want %d", row[0], res.JoinMatches)
+	}
+	sum, minV, maxV := row[1].(float64), row[2].(float64), row[3].(float64)
+	if minV > maxV || sum < maxV {
+		t.Fatalf("sum=%v min=%v max=%v inconsistent", sum, minV, maxV)
+	}
+	// Cross-check the sum against a row-materializing run.
+	full, err := Run(Query{
+		R: customers, S: orders,
+		Select: []Expr{Col(SideS, "amount")},
+		Limit:  1 << 20,
+	}, execRes(10, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	gotMin, gotMax := full.Rows[0][0].(float64), full.Rows[0][0].(float64)
+	for _, r := range full.Rows {
+		v := r[0].(float64)
+		want += v
+		if v < gotMin {
+			gotMin = v
+		}
+		if v > gotMax {
+			gotMax = v
+		}
+	}
+	if sum != want || minV != gotMin || maxV != gotMax {
+		t.Fatalf("agg (%v,%v,%v) != manual (%v,%v,%v)", sum, minV, maxV, want, gotMin, gotMax)
+	}
+}
+
+func TestAggregateGroupBy(t *testing.T) {
+	customers, orders := buildTables(t)
+	res, err := Run(Query{
+		R: customers, S: orders,
+		GroupBy: []Expr{Col(SideS, "region")},
+		Aggregates: []Agg{
+			{Fn: Count},
+			{Fn: Sum, Arg: Col(SideS, "amount")},
+		},
+	}, execRes(10, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 { // regions apac and emea
+		t.Fatalf("groups = %d, want 2", len(res.Rows))
+	}
+	var total int64
+	regions := map[string]bool{}
+	for _, row := range res.Rows {
+		regions[row[0].(string)] = true
+		total += row[1].(int64)
+	}
+	if !regions["apac"] || !regions["emea"] {
+		t.Fatalf("regions = %v", regions)
+	}
+	if total != res.JoinMatches {
+		t.Fatalf("group counts sum to %d, want %d", total, res.JoinMatches)
+	}
+	// Deterministic group ordering (sorted by key).
+	if res.Rows[0][0].(string) != "apac" {
+		t.Fatalf("first group = %v, want apac", res.Rows[0][0])
+	}
+}
+
+func TestAggregateWithWhere(t *testing.T) {
+	customers, orders := buildTables(t)
+	res, err := Run(Query{
+		R: customers, S: orders,
+		Where:      Cmp(Eq, Col(SideR, "tier"), Lit("gold")),
+		GroupBy:    []Expr{Col(SideR, "tier")},
+		Aggregates: []Agg{{Fn: Count}},
+	}, execRes(10, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "gold" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// The R-only predicate is pushed down, so all joined pairs pass.
+	if res.Rows[0][1].(int64) != res.Count || res.Count != res.JoinMatches {
+		t.Fatalf("count = %d of %d", res.Count, res.JoinMatches)
+	}
+}
+
+func TestAggregateIntSum(t *testing.T) {
+	customers, orders := buildTables(t)
+	res, err := Run(Query{
+		R: customers, S: orders,
+		Aggregates: []Agg{{Fn: Sum, Arg: Col(SideR, "id")}},
+	}, execRes(10, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Rows[0][0].(int64); !ok {
+		t.Fatalf("int sum should stay int64, got %T", res.Rows[0][0])
+	}
+}
+
+func TestAggregateStringMinMax(t *testing.T) {
+	customers, orders := buildTables(t)
+	res, err := Run(Query{
+		R: customers, S: orders,
+		Aggregates: []Agg{
+			{Fn: Min, Arg: Col(SideS, "region")},
+			{Fn: Max, Arg: Col(SideS, "region")},
+		},
+	}, execRes(10, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "apac" || res.Rows[0][1] != "emea" {
+		t.Fatalf("min/max = %v", res.Rows[0])
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	customers, orders := buildTables(t)
+	cases := []Query{
+		{R: customers, S: orders, Aggregates: []Agg{{Fn: Sum}}},                                  // missing arg
+		{R: customers, S: orders, Aggregates: []Agg{{Fn: Sum, Arg: Col(SideS, "region")}}},       // sum of string
+		{R: customers, S: orders, Aggregates: []Agg{{Fn: Count}}, Select: []Expr{Lit(int64(1))}}, // both
+		{R: customers, S: orders, GroupBy: []Expr{Col(SideS, "ghost")}, Aggregates: []Agg{{Fn: Count}}},
+	}
+	for i, q := range cases {
+		if _, err := Run(q, execRes(10, 64)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestAggFnStrings(t *testing.T) {
+	got := []string{Count.String(), Sum.String(), Min.String(), Max.String()}
+	if strings.Join(got, ",") != "count,sum,min,max" {
+		t.Fatalf("names = %v", got)
+	}
+}

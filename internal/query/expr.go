@@ -1,0 +1,374 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Side selects which join input a column reference reads.
+type Side int
+
+// Join sides.
+const (
+	SideR Side = iota
+	SideS
+)
+
+func (s Side) String() string {
+	if s == SideR {
+		return "R"
+	}
+	return "S"
+}
+
+// Expr is a scalar expression over a joined (R row, S row) pair.
+type Expr interface {
+	// Eval computes the expression's value.
+	Eval(r, s Row) (Value, error)
+	// Check verifies column references and type agreement against the
+	// two schemas and returns the expression's type.
+	Check(rs, ss Schema) (Type, error)
+	fmt.Stringer
+}
+
+// Col references a column of one side by name.
+func Col(side Side, name string) Expr { return colExpr{side, name, -1} }
+
+type colExpr struct {
+	side Side
+	name string
+	idx  int
+}
+
+func (c colExpr) String() string { return fmt.Sprintf("%v.%s", c.side, c.name) }
+
+func (c colExpr) schemaFor(rs, ss Schema) Schema {
+	if c.side == SideR {
+		return rs
+	}
+	return ss
+}
+
+func (c colExpr) Check(rs, ss Schema) (Type, error) {
+	sch := c.schemaFor(rs, ss)
+	i := sch.ColumnIndex(c.name)
+	if i < 0 {
+		return 0, fmt.Errorf("query: no column %q on side %v", c.name, c.side)
+	}
+	return sch[i].Type, nil
+}
+
+func (c colExpr) Eval(r, s Row) (Value, error) {
+	row := r
+	if c.side == SideS {
+		row = s
+	}
+	// Eval runs after bind (see Query.compile), which rewrites column
+	// names to indexes; evaluating an unbound Col is a program error.
+	if c.idx < 0 {
+		return nil, fmt.Errorf("query: unbound column %v", c)
+	}
+	return row[c.idx], nil
+}
+
+// bind resolves the column index so per-row evaluation is a slice
+// lookup rather than a name search.
+func (c colExpr) bind(rs, ss Schema) (colExpr, error) {
+	sch := c.schemaFor(rs, ss)
+	i := sch.ColumnIndex(c.name)
+	if i < 0 {
+		return c, fmt.Errorf("query: no column %q on side %v", c.name, c.side)
+	}
+	c.idx = i
+	return c, nil
+}
+
+// Lit is a literal value.
+func Lit(v Value) Expr { return litExpr{v} }
+
+type litExpr struct{ v Value }
+
+func (l litExpr) String() string { return fmt.Sprintf("%v", l.v) }
+
+func (l litExpr) Check(Schema, Schema) (Type, error) { return typeOf(l.v) }
+
+func (l litExpr) Eval(Row, Row) (Value, error) { return l.v, nil }
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[o]
+}
+
+// Cmp compares two expressions of the same type. The result is an
+// int64 0/1 (there is no separate boolean type).
+func Cmp(op CmpOp, a, b Expr) Expr { return cmpExpr{op, a, b} }
+
+type cmpExpr struct {
+	op   CmpOp
+	a, b Expr
+}
+
+func (c cmpExpr) String() string { return fmt.Sprintf("(%v %v %v)", c.a, c.op, c.b) }
+
+func (c cmpExpr) Check(rs, ss Schema) (Type, error) {
+	ta, err := c.a.Check(rs, ss)
+	if err != nil {
+		return 0, err
+	}
+	tb, err := c.b.Check(rs, ss)
+	if err != nil {
+		return 0, err
+	}
+	if ta != tb {
+		return 0, fmt.Errorf("query: comparing %v to %v in %v", ta, tb, c)
+	}
+	return Int64, nil
+}
+
+func (c cmpExpr) Eval(r, s Row) (Value, error) {
+	va, err := c.a.Eval(r, s)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := c.b.Eval(r, s)
+	if err != nil {
+		return nil, err
+	}
+	var rel int
+	switch a := va.(type) {
+	case int64:
+		b, ok := vb.(int64)
+		if !ok {
+			return nil, fmt.Errorf("query: type mismatch in %v", c)
+		}
+		rel = compare(a, b)
+	case float64:
+		b, ok := vb.(float64)
+		if !ok {
+			return nil, fmt.Errorf("query: type mismatch in %v", c)
+		}
+		rel = compare(a, b)
+	case string:
+		b, ok := vb.(string)
+		if !ok {
+			return nil, fmt.Errorf("query: type mismatch in %v", c)
+		}
+		rel = strings.Compare(a, b)
+	default:
+		return nil, fmt.Errorf("query: cannot compare %T", va)
+	}
+	var ok bool
+	switch c.op {
+	case Eq:
+		ok = rel == 0
+	case Ne:
+		ok = rel != 0
+	case Lt:
+		ok = rel < 0
+	case Le:
+		ok = rel <= 0
+	case Gt:
+		ok = rel > 0
+	case Ge:
+		ok = rel >= 0
+	}
+	if ok {
+		return int64(1), nil
+	}
+	return int64(0), nil
+}
+
+func compare[T int64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// And is true when every operand is non-zero.
+func And(es ...Expr) Expr { return boolExpr{all: true, es: es} }
+
+// Or is true when any operand is non-zero.
+func Or(es ...Expr) Expr { return boolExpr{all: false, es: es} }
+
+type boolExpr struct {
+	all bool
+	es  []Expr
+}
+
+func (b boolExpr) String() string {
+	op := " OR "
+	if b.all {
+		op = " AND "
+	}
+	parts := make([]string, len(b.es))
+	for i, e := range b.es {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, op) + ")"
+}
+
+func (b boolExpr) Check(rs, ss Schema) (Type, error) {
+	if len(b.es) == 0 {
+		return 0, fmt.Errorf("query: empty boolean expression")
+	}
+	for _, e := range b.es {
+		t, err := e.Check(rs, ss)
+		if err != nil {
+			return 0, err
+		}
+		if t != Int64 {
+			return 0, fmt.Errorf("query: boolean operand %v is %v, want int64", e, t)
+		}
+	}
+	return Int64, nil
+}
+
+func (b boolExpr) Eval(r, s Row) (Value, error) {
+	for _, e := range b.es {
+		v, err := e.Eval(r, s)
+		if err != nil {
+			return nil, err
+		}
+		truthy := v.(int64) != 0
+		if b.all && !truthy {
+			return int64(0), nil
+		}
+		if !b.all && truthy {
+			return int64(1), nil
+		}
+	}
+	if b.all {
+		return int64(1), nil
+	}
+	return int64(0), nil
+}
+
+// Not negates a boolean expression.
+func Not(e Expr) Expr { return notExpr{e} }
+
+type notExpr struct{ e Expr }
+
+func (n notExpr) String() string { return "NOT " + n.e.String() }
+
+func (n notExpr) Check(rs, ss Schema) (Type, error) {
+	t, err := n.e.Check(rs, ss)
+	if err != nil {
+		return 0, err
+	}
+	if t != Int64 {
+		return 0, fmt.Errorf("query: NOT of %v", t)
+	}
+	return Int64, nil
+}
+
+func (n notExpr) Eval(r, s Row) (Value, error) {
+	v, err := n.e.Eval(r, s)
+	if err != nil {
+		return nil, err
+	}
+	if v.(int64) != 0 {
+		return int64(0), nil
+	}
+	return int64(1), nil
+}
+
+// exprSides reports which join sides an expression reads.
+func exprSides(e Expr) (usesR, usesS bool) {
+	switch x := e.(type) {
+	case colExpr:
+		if x.side == SideR {
+			return true, false
+		}
+		return false, true
+	case litExpr:
+		return false, false
+	case cmpExpr:
+		ar, as := exprSides(x.a)
+		br, bs := exprSides(x.b)
+		return ar || br, as || bs
+	case boolExpr:
+		for _, sub := range x.es {
+			r, s := exprSides(sub)
+			usesR = usesR || r
+			usesS = usesS || s
+		}
+		return usesR, usesS
+	case notExpr:
+		return exprSides(x.e)
+	}
+	return true, true // unknown expression: assume both
+}
+
+// splitConjuncts partitions a predicate into R-only, S-only and
+// residual (both-sided) parts for pushdown. Only a top-level AND is
+// split; anything else is classified whole.
+func splitConjuncts(where Expr) (rOnly, sOnly, residual []Expr) {
+	conjuncts := []Expr{where}
+	if b, ok := where.(boolExpr); ok && b.all {
+		conjuncts = b.es
+	}
+	for _, c := range conjuncts {
+		usesR, usesS := exprSides(c)
+		switch {
+		case usesR && !usesS:
+			rOnly = append(rOnly, c)
+		case usesS && !usesR:
+			sOnly = append(sOnly, c)
+		default:
+			residual = append(residual, c)
+		}
+	}
+	return rOnly, sOnly, residual
+}
+
+// bindExpr rewrites column references to bound indexes, recursively.
+func bindExpr(e Expr, rs, ss Schema) (Expr, error) {
+	switch x := e.(type) {
+	case colExpr:
+		return x.bind(rs, ss)
+	case cmpExpr:
+		a, err := bindExpr(x.a, rs, ss)
+		if err != nil {
+			return nil, err
+		}
+		b, err := bindExpr(x.b, rs, ss)
+		if err != nil {
+			return nil, err
+		}
+		return cmpExpr{x.op, a, b}, nil
+	case boolExpr:
+		out := boolExpr{all: x.all, es: make([]Expr, len(x.es))}
+		for i, sub := range x.es {
+			bound, err := bindExpr(sub, rs, ss)
+			if err != nil {
+				return nil, err
+			}
+			out.es[i] = bound
+		}
+		return out, nil
+	case notExpr:
+		sub, err := bindExpr(x.e, rs, ss)
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{sub}, nil
+	default:
+		return e, nil
+	}
+}

@@ -1,0 +1,124 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func exprSchemas() (Schema, Schema) {
+	r := Schema{{Name: "id", Type: Int64}, {Name: "tier", Type: String}}
+	s := Schema{{Name: "cust", Type: Int64}, {Name: "amount", Type: Float64}, {Name: "region", Type: String}}
+	return r, s
+}
+
+// evalBound checks and binds an expression, then evaluates it.
+func evalBound(t *testing.T, e Expr, rRow, sRow Row) Value {
+	t.Helper()
+	rs, ss := exprSchemas()
+	if _, err := e.Check(rs, ss); err != nil {
+		t.Fatalf("check %v: %v", e, err)
+	}
+	bound, err := bindExpr(e, rs, ss)
+	if err != nil {
+		t.Fatalf("bind %v: %v", e, err)
+	}
+	v, err := bound.Eval(rRow, sRow)
+	if err != nil {
+		t.Fatalf("eval %v: %v", e, err)
+	}
+	return v
+}
+
+func TestColAndLit(t *testing.T) {
+	rRow := Row{int64(7), "gold"}
+	sRow := Row{int64(7), 12.5, "emea"}
+	if v := evalBound(t, Col(SideR, "tier"), rRow, sRow); v != "gold" {
+		t.Fatalf("R.tier = %v", v)
+	}
+	if v := evalBound(t, Col(SideS, "amount"), rRow, sRow); v != 12.5 {
+		t.Fatalf("S.amount = %v", v)
+	}
+	if v := evalBound(t, Lit(int64(3)), rRow, sRow); v != int64(3) {
+		t.Fatalf("lit = %v", v)
+	}
+}
+
+func TestCmpOperators(t *testing.T) {
+	rRow := Row{int64(7), "gold"}
+	sRow := Row{int64(7), 12.5, "emea"}
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{Cmp(Eq, Col(SideR, "id"), Col(SideS, "cust")), 1},
+		{Cmp(Ne, Col(SideR, "id"), Col(SideS, "cust")), 0},
+		{Cmp(Gt, Col(SideS, "amount"), Lit(10.0)), 1},
+		{Cmp(Le, Col(SideS, "amount"), Lit(10.0)), 0},
+		{Cmp(Lt, Col(SideS, "region"), Lit("zzz")), 1},
+		{Cmp(Ge, Col(SideR, "tier"), Lit("gold")), 1},
+	}
+	for _, c := range cases {
+		if v := evalBound(t, c.e, rRow, sRow); v != c.want {
+			t.Errorf("%v = %v, want %d", c.e, v, c.want)
+		}
+	}
+}
+
+func TestBooleanOperators(t *testing.T) {
+	rRow := Row{int64(7), "gold"}
+	sRow := Row{int64(7), 12.5, "emea"}
+	tr := Cmp(Eq, Lit(int64(1)), Lit(int64(1)))
+	fa := Cmp(Eq, Lit(int64(1)), Lit(int64(2)))
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{And(tr, tr), 1},
+		{And(tr, fa), 0},
+		{Or(fa, tr), 1},
+		{Or(fa, fa), 0},
+		{Not(fa), 1},
+		{Not(tr), 0},
+		{And(tr, Or(fa, Not(fa))), 1},
+	}
+	for _, c := range cases {
+		if v := evalBound(t, c.e, rRow, sRow); v != c.want {
+			t.Errorf("%v = %v, want %d", c.e, v, c.want)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	rs, ss := exprSchemas()
+	cases := []Expr{
+		Col(SideR, "nope"),
+		Cmp(Eq, Col(SideR, "id"), Col(SideS, "amount")), // int vs float
+		Cmp(Eq, Col(SideR, "tier"), Lit(int64(1))),      // string vs int
+		And(),
+		And(Col(SideR, "tier")), // non-boolean operand
+		Not(Col(SideS, "region")),
+		Lit(uint8(1)),
+	}
+	for _, e := range cases {
+		if _, err := e.Check(rs, ss); err == nil {
+			t.Errorf("%v should fail Check", e)
+		}
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := And(Cmp(Gt, Col(SideS, "amount"), Lit(10.0)), Not(Cmp(Eq, Col(SideR, "tier"), Lit("basic"))))
+	str := e.String()
+	for _, want := range []string{"S.amount", ">", "NOT", "R.tier", "AND"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("%q missing %q", str, want)
+		}
+	}
+}
+
+func TestUnboundColEvalFails(t *testing.T) {
+	c := Col(SideR, "id")
+	if _, err := c.Eval(Row{int64(1)}, nil); err == nil {
+		t.Fatal("unbound Eval should fail")
+	}
+}

@@ -1,0 +1,183 @@
+// Package query puts the tertiary join methods in their DBMS context:
+// typed tables on tape, predicates and projections, and an executor
+// that picks a join method with the paper's cost model. The paper's
+// introduction motivates exactly this — making "database applications
+// similar to data mining possible without mainframe-size machinery";
+// this package is the thin relational layer a user of the library
+// would write queries against.
+//
+// Predicates and projections are evaluated on the join output stream
+// (the paper's joins are full-scan, index-less operators; Section 3.2
+// treats downstream operators as pipelined consumers).
+package query
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Type is a column type.
+type Type int
+
+// Column types.
+const (
+	Int64 Type = iota
+	Float64
+	String
+)
+
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case String:
+		return "string"
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// Column is a named, typed column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema describes a table's columns. Column 0 is always the join key
+// and must be Int64 — the equi-join attribute the paper's methods hash
+// and compare.
+type Schema []Column
+
+// Validate reports schema errors.
+func (s Schema) Validate() error {
+	if len(s) == 0 {
+		return errors.New("query: empty schema")
+	}
+	if s[0].Type != Int64 {
+		return fmt.Errorf("query: join key column %q must be int64", s[0].Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range s {
+		if c.Name == "" {
+			return errors.New("query: unnamed column")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("query: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+		switch c.Type {
+		case Int64, Float64, String:
+		default:
+			return fmt.Errorf("query: column %q has unknown type %d", c.Name, int(c.Type))
+		}
+	}
+	return nil
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value is a column value: int64, float64 or string.
+type Value any
+
+// Row is one tuple's typed values, aligned with the schema.
+type Row []Value
+
+// typeOf checks a value against a column type.
+func typeOf(v Value) (Type, error) {
+	switch v.(type) {
+	case int64:
+		return Int64, nil
+	case float64:
+		return Float64, nil
+	case string:
+		return String, nil
+	}
+	return 0, fmt.Errorf("query: unsupported value %T", v)
+}
+
+// Encode packs a row's non-key columns into a tuple payload and
+// returns the join key (column 0). Layout per column: type tag byte,
+// then the fixed 8-byte value or a uvarint-length-prefixed string.
+func (s Schema) Encode(row Row) (key uint64, payload []byte, err error) {
+	if len(row) != len(s) {
+		return 0, nil, fmt.Errorf("query: row has %d values for %d columns", len(row), len(s))
+	}
+	k, ok := row[0].(int64)
+	if !ok {
+		return 0, nil, fmt.Errorf("query: join key is %T, want int64", row[0])
+	}
+	for i := 1; i < len(s); i++ {
+		vt, err := typeOf(row[i])
+		if err != nil {
+			return 0, nil, err
+		}
+		if vt != s[i].Type {
+			return 0, nil, fmt.Errorf("query: column %q: value is %v, want %v", s[i].Name, vt, s[i].Type)
+		}
+		payload = append(payload, byte(vt))
+		switch v := row[i].(type) {
+		case int64:
+			payload = binary.LittleEndian.AppendUint64(payload, uint64(v))
+		case float64:
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(v))
+		case string:
+			payload = binary.AppendUvarint(payload, uint64(len(v)))
+			payload = append(payload, v...)
+		}
+	}
+	return uint64(k), payload, nil
+}
+
+// Decode unpacks a tuple (key, payload) back into a typed row.
+func (s Schema) Decode(key uint64, payload []byte) (Row, error) {
+	row := make(Row, len(s))
+	row[0] = int64(key)
+	off := 0
+	for i := 1; i < len(s); i++ {
+		if off >= len(payload) {
+			return nil, fmt.Errorf("query: payload truncated at column %q", s[i].Name)
+		}
+		tag := Type(payload[off])
+		off++
+		if tag != s[i].Type {
+			return nil, fmt.Errorf("query: column %q: stored %v, want %v", s[i].Name, tag, s[i].Type)
+		}
+		switch tag {
+		case Int64:
+			if off+8 > len(payload) {
+				return nil, fmt.Errorf("query: payload truncated in %q", s[i].Name)
+			}
+			row[i] = int64(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		case Float64:
+			if off+8 > len(payload) {
+				return nil, fmt.Errorf("query: payload truncated in %q", s[i].Name)
+			}
+			row[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		case String:
+			n, used := binary.Uvarint(payload[off:])
+			if used <= 0 || off+used+int(n) > len(payload) {
+				return nil, fmt.Errorf("query: bad string length in %q", s[i].Name)
+			}
+			off += used
+			row[i] = string(payload[off : off+int(n)])
+			off += int(n)
+		}
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("query: %d trailing payload bytes", len(payload)-off)
+	}
+	return row, nil
+}

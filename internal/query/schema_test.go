@@ -1,0 +1,120 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func demoSchema() Schema {
+	return Schema{
+		{Name: "id", Type: Int64},
+		{Name: "amount", Type: Float64},
+		{Name: "region", Type: String},
+		{Name: "qty", Type: Int64},
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := demoSchema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Schema{
+		{},
+		{{Name: "id", Type: Float64}}, // key not int64
+		{{Name: "id", Type: Int64}, {Name: "", Type: Int64}},    // unnamed
+		{{Name: "id", Type: Int64}, {Name: "id", Type: Int64}},  // duplicate
+		{{Name: "id", Type: Int64}, {Name: "x", Type: Type(9)}}, // bad type
+	}
+	for i, s := range cases {
+		if s.Validate() == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSchemaColumnIndex(t *testing.T) {
+	s := demoSchema()
+	if s.ColumnIndex("region") != 2 || s.ColumnIndex("nope") != -1 {
+		t.Fatalf("ColumnIndex wrong: %d %d", s.ColumnIndex("region"), s.ColumnIndex("nope"))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := demoSchema()
+	row := Row{int64(42), 3.25, "emea", int64(-7)}
+	key, payload, err := s.Encode(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != 42 {
+		t.Fatalf("key = %d", key)
+	}
+	got, err := s.Decode(key, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if got[i] != row[i] {
+			t.Fatalf("column %d: %v != %v", i, got[i], row[i])
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	s := demoSchema()
+	if _, _, err := s.Encode(Row{int64(1), 2.0}); err == nil {
+		t.Error("short row should fail")
+	}
+	if _, _, err := s.Encode(Row{"str", 2.0, "x", int64(1)}); err == nil {
+		t.Error("non-int64 key should fail")
+	}
+	if _, _, err := s.Encode(Row{int64(1), int64(2), "x", int64(1)}); err == nil {
+		t.Error("type mismatch should fail")
+	}
+	if _, _, err := s.Encode(Row{int64(1), 2.0, "x", uint32(1)}); err == nil {
+		t.Error("unsupported type should fail")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := demoSchema()
+	_, payload, _ := s.Encode(Row{int64(1), 2.0, "abc", int64(3)})
+	if _, err := s.Decode(1, payload[:len(payload)-1]); err == nil {
+		t.Error("truncated payload should fail")
+	}
+	if _, err := s.Decode(1, append(payload, 0)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+	bad := append([]byte(nil), payload...)
+	bad[0] = byte(String) // wrong tag for float column
+	if _, err := s.Decode(1, bad); err == nil {
+		t.Error("tag mismatch should fail")
+	}
+}
+
+func TestQuickRowRoundTrip(t *testing.T) {
+	s := Schema{
+		{Name: "k", Type: Int64},
+		{Name: "a", Type: Int64},
+		{Name: "b", Type: Float64},
+		{Name: "c", Type: String},
+	}
+	f := func(k, a int64, b float64, c string) bool {
+		if len(c) > 4096 {
+			c = c[:4096]
+		}
+		row := Row{k, a, b, c}
+		key, payload, err := s.Encode(row)
+		if err != nil {
+			return false
+		}
+		got, err := s.Decode(key, payload)
+		if err != nil || len(got) != 4 {
+			return false
+		}
+		return got[0] == k && got[1] == a && got[2] == b && got[3] == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package relation defines synthetic relations written to simulated
+// tape, matching the paper's experimental setup ("all with synthetic
+// data stored in relations S and R"). Generators are seeded and
+// deterministic, so the exact join cardinality of any R-S pair is
+// computable and every experiment can verify its output.
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/block"
+	"repro/internal/tape"
+)
+
+// Config describes a synthetic relation.
+type Config struct {
+	// Name identifies the relation in logs and errors.
+	Name string
+	// Tag is the relation tag stamped into every block.
+	Tag byte
+	// Blocks is the relation size in paper blocks (the paper's |R| or
+	// |S|).
+	Blocks int64
+	// TuplesPerBlock is the real data density: how many tuples each
+	// paper block carries. Density does not affect timing, only how
+	// much real data flows through the simulated devices.
+	TuplesPerBlock int
+	// KeySpace draws join keys uniformly from [0, KeySpace). Smaller
+	// key spaces give more matches.
+	KeySpace uint64
+	// HotFraction and HotProb introduce skew: with probability
+	// HotProb a key is drawn from the first HotFraction of the key
+	// space. Zero values mean uniform keys.
+	HotFraction float64
+	HotProb     float64
+	// PayloadBytes is the per-tuple payload size (real bytes).
+	PayloadBytes int
+	// PayloadGen, when non-nil, supplies each tuple's payload from its
+	// ordinal and join key instead of the PayloadBytes filler. Used by
+	// the query layer to store typed rows. It must be deterministic.
+	PayloadGen func(ordinal int64, key uint64) []byte
+	// Seed makes the key sequence reproducible.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Blocks < 1 {
+		return fmt.Errorf("relation %q: %d blocks", c.Name, c.Blocks)
+	}
+	if c.TuplesPerBlock < 1 {
+		return fmt.Errorf("relation %q: %d tuples per block", c.Name, c.TuplesPerBlock)
+	}
+	if c.KeySpace < 1 {
+		return fmt.Errorf("relation %q: empty key space", c.Name)
+	}
+	if c.HotFraction < 0 || c.HotFraction > 1 || c.HotProb < 0 || c.HotProb > 1 {
+		return fmt.Errorf("relation %q: bad skew (%v, %v)", c.Name, c.HotFraction, c.HotProb)
+	}
+	if c.PayloadBytes < 0 {
+		return fmt.Errorf("relation %q: negative payload", c.Name)
+	}
+	return nil
+}
+
+// Tuples returns the total tuple count.
+func (c Config) Tuples() int64 { return c.Blocks * int64(c.TuplesPerBlock) }
+
+// keyStream yields the relation's deterministic key sequence.
+type keyStream struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+func newKeyStream(cfg Config) *keyStream {
+	return &keyStream{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+func (s *keyStream) next() uint64 {
+	space := s.cfg.KeySpace
+	if s.cfg.HotProb > 0 && s.rng.Float64() < s.cfg.HotProb {
+		hot := uint64(float64(space) * s.cfg.HotFraction)
+		if hot < 1 {
+			hot = 1
+		}
+		return uint64(s.rng.Int63n(int64(hot)))
+	}
+	return uint64(s.rng.Int63n(int64(space)))
+}
+
+// Relation is a synthetic relation materialized on a tape cartridge.
+type Relation struct {
+	Config
+	// Media is the cartridge (or volume set) holding the relation.
+	Media tape.Medium
+	// Region is where the relation lives on the cartridge.
+	Region tape.Region
+}
+
+// WriteToTape generates the relation and appends it to m outside of
+// simulated time (input tapes exist before the join begins).
+func WriteToTape(cfg Config, m tape.Medium) (*Relation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Free() < cfg.Blocks {
+		return nil, fmt.Errorf("relation %q: %d blocks exceed free tape %d", cfg.Name, cfg.Blocks, m.Free())
+	}
+	stream := newKeyStream(cfg)
+	filler := make([]byte, cfg.PayloadBytes)
+	for i := range filler {
+		filler[i] = byte(i)
+	}
+	builder := block.NewBuilder(cfg.Tag)
+	blks := make([]block.Block, 0, cfg.Blocks)
+	ordinal := int64(0)
+	for b := int64(0); b < cfg.Blocks; b++ {
+		for t := 0; t < cfg.TuplesPerBlock; t++ {
+			key := stream.next()
+			payload := filler
+			if cfg.PayloadGen != nil {
+				payload = cfg.PayloadGen(ordinal, key)
+			}
+			builder.Append(block.Tuple{Key: key, Payload: payload})
+			ordinal++
+		}
+		blks = append(blks, builder.Finish())
+	}
+	region, err := m.AppendSetup(blks)
+	if err != nil {
+		return nil, fmt.Errorf("relation %q: %w", cfg.Name, err)
+	}
+	return &Relation{Config: cfg, Media: m, Region: region}, nil
+}
+
+// KeyCounts replays the generator and returns the multiplicity of each
+// key in the relation. Cost is O(tuples) time and O(distinct keys)
+// space.
+func (r *Relation) KeyCounts() map[uint64]int64 {
+	stream := newKeyStream(r.Config)
+	counts := make(map[uint64]int64)
+	for i := int64(0); i < r.Tuples(); i++ {
+		counts[stream.next()]++
+	}
+	return counts
+}
+
+// ExpectedMatches returns the exact equi-join cardinality |r ⋈ s|,
+// computed by replaying both key streams: sum over S tuples of the
+// R-side multiplicity of their key.
+func ExpectedMatches(r, s *Relation) int64 {
+	rCounts := r.KeyCounts()
+	stream := newKeyStream(s.Config)
+	var total int64
+	for i := int64(0); i < s.Tuples(); i++ {
+		total += rCounts[stream.next()]
+	}
+	return total
+}

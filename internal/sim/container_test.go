@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestContainerGetPutBasics(t *testing.T) {
+	k := NewKernel()
+	c := NewContainer(k, "pool", 10, 10)
+	k.Spawn("a", func(p *Proc) {
+		c.Get(p, 4)
+		if c.Level() != 6 {
+			t.Errorf("level = %d, want 6", c.Level())
+		}
+		if c.Free() != 4 {
+			t.Errorf("free = %d, want 4", c.Free())
+		}
+		c.Put(p, 4)
+		if c.Level() != 10 {
+			t.Errorf("level = %d, want 10", c.Level())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Capacity() != 10 || c.Name() != "pool" {
+		t.Fatalf("capacity=%d name=%q", c.Capacity(), c.Name())
+	}
+}
+
+func TestContainerGetBlocksUntilPut(t *testing.T) {
+	k := NewKernel()
+	c := NewContainer(k, "pool", 10, 0)
+	var gotAt Time
+	k.Spawn("consumer", func(p *Proc) {
+		c.Get(p, 5)
+		gotAt = p.Now()
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Hold(3 * time.Second)
+		c.Put(p, 5)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAt != Time(3*time.Second) {
+		t.Fatalf("got at %v, want 3s", gotAt)
+	}
+}
+
+func TestContainerPutBlocksUntilRoom(t *testing.T) {
+	k := NewKernel()
+	c := NewContainer(k, "pool", 10, 10)
+	var putAt Time
+	k.Spawn("producer", func(p *Proc) {
+		c.Put(p, 3)
+		putAt = p.Now()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		p.Hold(2 * time.Second)
+		c.Get(p, 3)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if putAt != Time(2*time.Second) {
+		t.Fatalf("put at %v, want 2s", putAt)
+	}
+}
+
+func TestContainerFIFOGetters(t *testing.T) {
+	// A large get at the head blocks later smaller gets (no overtaking).
+	k := NewKernel()
+	c := NewContainer(k, "pool", 10, 0)
+	var order []string
+	k.Spawn("big", func(p *Proc) {
+		c.Get(p, 8)
+		order = append(order, "big")
+	})
+	k.Spawn("small", func(p *Proc) {
+		p.Hold(time.Millisecond)
+		c.Get(p, 1)
+		order = append(order, "small")
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Hold(time.Second)
+		c.Put(p, 2) // not enough for big; small must still wait
+		p.Hold(time.Second)
+		c.Put(p, 7) // now big (8) proceeds, then small (1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestContainerPingPong(t *testing.T) {
+	// Producer/consumer streaming 100 units through a 10-unit container.
+	k := NewKernel()
+	c := NewContainer(k, "buf", 10, 0)
+	var received int64
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.Hold(time.Millisecond)
+			c.Put(p, 5)
+		}
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for received < 100 {
+			c.Get(p, 5)
+			received += 5
+			p.Hold(time.Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if received != 100 {
+		t.Fatalf("received = %d, want 100", received)
+	}
+	if c.Level() != 0 {
+		t.Fatalf("level = %d, want 0", c.Level())
+	}
+}
+
+func TestContainerHighWater(t *testing.T) {
+	k := NewKernel()
+	c := NewContainer(k, "pool", 100, 0)
+	k.Spawn("a", func(p *Proc) {
+		c.Put(p, 30)
+		c.Put(p, 40)
+		c.Get(p, 60)
+		c.Put(p, 10)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.HighWater != 70 {
+		t.Fatalf("high water = %d, want 70", c.HighWater)
+	}
+}
+
+func TestContainerTryGet(t *testing.T) {
+	k := NewKernel()
+	c := NewContainer(k, "pool", 10, 5)
+	k.Spawn("a", func(p *Proc) {
+		if !c.TryGet(p, 5) {
+			t.Error("TryGet(5) should succeed")
+		}
+		if c.TryGet(p, 1) {
+			t.Error("TryGet(1) on empty should fail")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainerZeroOps(t *testing.T) {
+	k := NewKernel()
+	c := NewContainer(k, "pool", 10, 0)
+	k.Spawn("a", func(p *Proc) {
+		c.Get(p, 0) // must not block even when empty
+		c.Put(p, 0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainerOversizeRequestPanics(t *testing.T) {
+	k := NewKernel()
+	c := NewContainer(k, "pool", 10, 0)
+	k.Spawn("a", func(p *Proc) { c.Get(p, 11) })
+	if err := k.Run(); err == nil {
+		t.Fatal("expected captured panic for Get > capacity")
+	}
+}
+
+func TestContainerGetUnblocksPutter(t *testing.T) {
+	// Full container; a blocked Put proceeds when a Get makes room,
+	// and that Put's units can satisfy a subsequent Get.
+	k := NewKernel()
+	c := NewContainer(k, "pool", 10, 10)
+	var done []string
+	k.Spawn("putter", func(p *Proc) {
+		c.Put(p, 4)
+		done = append(done, "put")
+	})
+	k.Spawn("getter", func(p *Proc) {
+		p.Hold(time.Second)
+		c.Get(p, 4)
+		done = append(done, "get1")
+		c.Get(p, 4)
+		done = append(done, "get2")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 3 {
+		t.Fatalf("done = %v", done)
+	}
+	if c.Level() != 6 {
+		t.Fatalf("level = %d, want 6", c.Level())
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueueSendRecv(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 2)
+	var got []int
+	k.Spawn("producer", func(p *Proc) {
+		for i := 1; i <= 5; i++ {
+			q.Send(p, i)
+			p.Hold(time.Millisecond)
+		}
+		q.Close(p)
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got %v, want 1..5 in order", got)
+		}
+	}
+}
+
+func TestQueueSendBlocksWhenFull(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[string](k, "q", 1)
+	var sentSecondAt Time
+	k.Spawn("producer", func(p *Proc) {
+		q.Send(p, "a")
+		q.Send(p, "b") // blocks until consumer receives "a"
+		sentSecondAt = p.Now()
+		q.Close(p)
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		p.Hold(4 * time.Second)
+		for {
+			if _, ok := q.Recv(p); !ok {
+				return
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sentSecondAt != Time(4*time.Second) {
+		t.Fatalf("second send at %v, want 4s", sentSecondAt)
+	}
+}
+
+func TestQueueRecvBlocksWhenEmpty(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 4)
+	var recvAt Time
+	k.Spawn("consumer", func(p *Proc) {
+		q.Recv(p)
+		recvAt = p.Now()
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Hold(2 * time.Second)
+		q.Send(p, 1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt != Time(2*time.Second) {
+		t.Fatalf("recv at %v, want 2s", recvAt)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 4)
+	var got []int
+	k.Spawn("producer", func(p *Proc) {
+		q.Send(p, 1)
+		q.Send(p, 2)
+		q.Close(p)
+		q.Close(p) // double close is a no-op
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		p.Hold(time.Second)
+		for {
+			v, ok := q.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueCloseWakesBlockedReceiver(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 4)
+	var ok bool = true
+	k.Spawn("consumer", func(p *Proc) {
+		_, ok = q.Recv(p)
+	})
+	k.Spawn("closer", func(p *Proc) {
+		p.Hold(time.Second)
+		q.Close(p)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Recv on closed empty queue should report ok=false")
+	}
+}
+
+func TestQueueSendOnClosedPanics(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 1)
+	k.Spawn("bad", func(p *Proc) {
+		q.Close(p)
+		q.Send(p, 1)
+	})
+	if err := k.Run(); err == nil {
+		t.Fatal("expected captured panic")
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 4)
+	k.Spawn("a", func(p *Proc) {
+		q.Send(p, 1)
+		q.Send(p, 2)
+		if q.Len() != 2 {
+			t.Errorf("len = %d, want 2", q.Len())
+		}
+		q.Recv(p)
+		if q.Len() != 1 {
+			t.Errorf("len = %d, want 1", q.Len())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Name() != "q" {
+		t.Fatalf("name = %q", q.Name())
+	}
+}
+
+func TestQueueBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQueue[int](NewKernel(), "q", 0)
+}

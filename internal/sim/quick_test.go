@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickContainerConservation drives a random schedule of puts and
+// gets through a container and checks conservation: units out never
+// exceed units in, the level never exceeds capacity or goes negative,
+// and when producers and consumers balance, the final level matches
+// initial + puts - gets.
+func TestQuickContainerConservation(t *testing.T) {
+	f := func(chunks []uint8, capSeed uint8) bool {
+		if len(chunks) == 0 {
+			return true
+		}
+		if len(chunks) > 64 {
+			chunks = chunks[:64]
+		}
+		capacity := int64(capSeed%32) + 8
+		var total int64
+		sizes := make([]int64, len(chunks))
+		for i, c := range chunks {
+			sizes[i] = int64(c)%capacity + 1
+			total += sizes[i]
+		}
+
+		k := NewKernel()
+		cont := NewContainer(k, "pool", capacity, 0)
+		violated := false
+		check := func() {
+			if cont.Level() < 0 || cont.Level() > capacity {
+				violated = true
+			}
+		}
+		k.Spawn("producer", func(p *Proc) {
+			for _, n := range sizes {
+				cont.Put(p, n)
+				check()
+				p.Hold(time.Duration(n) * time.Millisecond)
+			}
+		})
+		var got int64
+		k.Spawn("consumer", func(p *Proc) {
+			for _, n := range sizes {
+				cont.Get(p, n)
+				check()
+				got += n
+				if got > total {
+					violated = true
+				}
+				p.Hold(time.Millisecond)
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return !violated && got == total && cont.Level() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickResourceSerialization checks that for any set of hold
+// durations on a capacity-1 resource, the makespan equals the sum of
+// the durations (perfect serialization, no lost or double-counted time).
+func TestQuickResourceSerialization(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) > 32 {
+			durs = durs[:32]
+		}
+		k := NewKernel()
+		r := NewResource(k, "dev", 1)
+		var sum time.Duration
+		for i, d := range durs {
+			dd := time.Duration(d) * time.Microsecond
+			sum += dd
+			name := "p" + string(rune('a'+i%26))
+			k.Spawn(name, func(p *Proc) {
+				r.Acquire(p)
+				p.Hold(dd)
+				r.Release(p)
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return k.Now() == Time(sum) && r.BusyTime == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickQueuePreservesOrderAndContent checks FIFO delivery of an
+// arbitrary item sequence through an arbitrary-capacity queue.
+func TestQuickQueuePreservesOrderAndContent(t *testing.T) {
+	f := func(items []int32, capSeed uint8) bool {
+		if len(items) > 128 {
+			items = items[:128]
+		}
+		capacity := int(capSeed%8) + 1
+		k := NewKernel()
+		q := NewQueue[int32](k, "q", capacity)
+		k.Spawn("producer", func(p *Proc) {
+			for _, v := range items {
+				q.Send(p, v)
+				p.Hold(time.Microsecond)
+			}
+			q.Close(p)
+		})
+		var got []int32
+		k.Spawn("consumer", func(p *Proc) {
+			for {
+				v, ok := q.Recv(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+				p.Hold(3 * time.Microsecond)
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range items {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

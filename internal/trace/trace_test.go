@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func secs(s int) sim.Time { return sim.Time(time.Duration(s) * time.Second) }
+
+func sampleRecorder() *Recorder {
+	r := &Recorder{}
+	r.Add(Event{Device: "tape:R", Kind: TapeRead, Start: 0, End: secs(40), Blocks: 40})
+	r.Add(Event{Device: "tape:R", Kind: TapeSeek, Start: secs(40), End: secs(50)})
+	r.Add(Event{Device: "disk0", Kind: DiskWrite, Start: secs(10), End: secs(30), Blocks: 20})
+	r.Add(Event{Device: "disk0", Kind: DiskRead, Start: secs(60), End: secs(100), Blocks: 40})
+	r.Mark(secs(50), "step I done")
+	return r
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Event{Device: "x", Kind: TapeRead})
+	if r.Devices() != nil {
+		t.Fatal("nil recorder should have no devices")
+	}
+	if r.Timeline(secs(10), 10) != "" || r.Summary(secs(10)) != "" {
+		t.Fatal("nil recorder renders empty")
+	}
+}
+
+func TestDevicesAndBusyTime(t *testing.T) {
+	r := sampleRecorder()
+	devs := r.Devices()
+	if len(devs) != 2 || devs[0] != "disk0" || devs[1] != "tape:R" {
+		t.Fatalf("devices = %v", devs)
+	}
+	if got := r.BusyTime("tape:R"); got != 50*time.Second {
+		t.Fatalf("tape busy = %v, want 50s", got)
+	}
+	if got := r.BusyTime("disk0"); got != 60*time.Second {
+		t.Fatalf("disk busy = %v, want 60s", got)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := sampleRecorder()
+	tl := r.Timeline(secs(100), 10)
+	lines := strings.Split(strings.TrimRight(tl, "\n"), "\n")
+	if len(lines) != 3 { // disk0, tape:R, axis
+		t.Fatalf("timeline:\n%s", tl)
+	}
+	// disk0: write covers cells 1-2, read covers 6-9.
+	disk := lines[0]
+	if !strings.HasPrefix(disk, "disk0") {
+		t.Fatalf("first row = %q", disk)
+	}
+	body := disk[strings.Index(disk, "|")+1 : strings.LastIndex(disk, "|")]
+	if len(body) != 10 {
+		t.Fatalf("row width = %d", len(body))
+	}
+	if body[0] != '.' || body[1] != 'w' || body[2] != 'w' || body[7] != 'r' || body[9] != 'r' {
+		t.Fatalf("disk row = %q", body)
+	}
+	// tape:R: read covers cells 0-3, seek cell 4, idle after.
+	tapeRow := lines[1]
+	tBody := tapeRow[strings.Index(tapeRow, "|")+1 : strings.LastIndex(tapeRow, "|")]
+	if tBody[0] != 'r' || tBody[3] != 'r' || tBody[4] != 's' || tBody[9] != '.' {
+		t.Fatalf("tape row = %q", tBody)
+	}
+}
+
+func TestTimelineCellDominance(t *testing.T) {
+	// A cell containing 7s of read and 3s of write renders as read.
+	r := &Recorder{}
+	r.Add(Event{Device: "d", Kind: DiskRead, Start: 0, End: secs(7)})
+	r.Add(Event{Device: "d", Kind: DiskWrite, Start: secs(7), End: secs(10)})
+	tl := r.Timeline(secs(10), 1)
+	if !strings.Contains(tl, "|r|") {
+		t.Fatalf("timeline = %q", tl)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := sampleRecorder()
+	sum := r.Summary(secs(100))
+	if !strings.Contains(sum, "tape:R") || !strings.Contains(sum, "tape-read 40s") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+	if !strings.Contains(sum, "50.0%") { // tape busy 50 of 100
+		t.Fatalf("summary lacks busy%%:\n%s", sum)
+	}
+	if !strings.Contains(sum, "disk-write 20s") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+}
+
+func TestKindStringsAndGlyphs(t *testing.T) {
+	for k, want := range map[Kind]string{
+		TapeRead: "tape-read", TapeWrite: "tape-write", TapeSeek: "tape-seek",
+		TapeExchange: "tape-exchange", DiskRead: "disk-read", DiskWrite: "disk-write",
+		Mark: "mark",
+	} {
+		if k.String() != want {
+			t.Errorf("%d -> %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if TapeExchange.glyph() != 'x' || TapeSeek.glyph() != 's' {
+		t.Fatal("glyphs wrong")
+	}
+}
+
+func TestEmptyTimelineEdgeCases(t *testing.T) {
+	r := &Recorder{}
+	if r.Timeline(secs(10), 10) != "" {
+		t.Fatal("no events should render empty")
+	}
+	r.Add(Event{Device: "d", Kind: DiskRead, Start: 0, End: secs(1)})
+	if r.Timeline(0, 10) != "" || r.Timeline(secs(10), 0) != "" {
+		t.Fatal("degenerate dimensions should render empty")
+	}
+}

@@ -1,0 +1,511 @@
+// Package tapejoin joins relations stored on magnetic tape, directly
+// on the tertiary devices, reproducing Myllymaki & Livny, "Relational
+// Joins for Data on Tertiary Storage" (ICDE 1997; UW-Madison TR
+// #1331).
+//
+// The package wraps a simulated device complex — two tape drives, a
+// disk array and a memory budget — and seven join methods:
+//
+//	DT-NB      Disk-Tape Nested Block Join (sequential)
+//	CDT-NB/MB  Concurrent DT-NB, memory double-buffering
+//	CDT-NB/DB  Concurrent DT-NB, disk double-buffering
+//	DT-GH      Disk-Tape Grace Hash Join (sequential)
+//	CDT-GH     Concurrent DT-GH, parallel tape/disk I/O
+//	CTT-GH     Concurrent Tape-Tape Grace Hash Join
+//	TT-GH      Tape-Tape Grace Hash Join (sequential)
+//
+// Joins move real tuple data and produce verified output; response
+// times come from a deterministic discrete-event simulation calibrated
+// to the paper's Quantum DLT-4000 / Fast-SCSI-2 platform. An
+// analytical cost model (Estimate, Advise) predicts response times and
+// picks the cheapest feasible method for a resource configuration.
+//
+// Sizes follow the paper's convention: megabytes, with one paper block
+// = 64 KB (so 1 MB = 16 blocks).
+package tapejoin
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/cost"
+	"repro/internal/join"
+	"repro/internal/relation"
+	"repro/internal/sim"
+	"repro/internal/tape"
+	"repro/internal/trace"
+)
+
+// BlocksPerMB converts the paper's megabyte units to paper blocks.
+const BlocksPerMB = 1024 * 1024 / block.VirtualSize
+
+// MB converts megabytes to blocks.
+func MB(megabytes int64) int64 { return megabytes * BlocksPerMB }
+
+// MBf converts fractional megabytes to blocks, rounding to nearest.
+func MBf(megabytes float64) int64 { return int64(megabytes*BlocksPerMB + 0.5) }
+
+// Method identifies a join method by the paper's abbreviation.
+type Method string
+
+// The seven methods of the paper.
+const (
+	DTNB    Method = "DT-NB"
+	CDTNBMB Method = "CDT-NB/MB"
+	CDTNBDB Method = "CDT-NB/DB"
+	DTGH    Method = "DT-GH"
+	CDTGH   Method = "CDT-GH"
+	CTTGH   Method = "CTT-GH"
+	TTGH    Method = "TT-GH"
+)
+
+// TTSM is the tape sort-merge join baseline — the classical
+// alternative (Knuth's tape sorting) the paper's hashing methods
+// displace. Not part of the paper's seven; runnable for comparison.
+const TTSM Method = "TT-SM"
+
+// Methods lists all seven methods in the paper's order.
+func Methods() []Method {
+	return []Method{DTNB, CDTNBMB, CDTNBDB, DTGH, CDTGH, CTTGH, TTGH}
+}
+
+// TapeProfile selects the tape drive performance model.
+type TapeProfile int
+
+const (
+	// DLT4000 is the calibrated profile of the paper's platform:
+	// seeks, start/stop penalties, and a sustained rate that
+	// reproduces Table 3's bare-read times at 25% compressibility.
+	DLT4000 TapeProfile = iota
+	// IdealTape is the paper's simplified cost model: pure transfer
+	// cost, no seeks or repositioning.
+	IdealTape
+)
+
+// Compression mirrors Section 9's three dataset compressibilities,
+// which change the tape drive's effective rate.
+type Compression int
+
+const (
+	// Compress25 is the paper's base case (25% compressible data).
+	Compress25 Compression = iota
+	// Compress0 models incompressible data: a slower tape drive.
+	Compress0
+	// Compress50 models highly compressible data: a faster drive.
+	Compress50
+)
+
+func (c Compression) factor() float64 {
+	switch c {
+	case Compress0:
+		return 1.0
+	case Compress50:
+		return 2.0
+	default:
+		return 1.33
+	}
+}
+
+// Config sizes the device complex, in the paper's units.
+type Config struct {
+	// MemoryMB is M, main memory allocated to the join. Fractional
+	// megabytes are honored at block (64 KB) granularity.
+	MemoryMB float64
+	// DiskMB is D, total disk scratch space. Fractional megabytes are
+	// honored at block granularity.
+	DiskMB float64
+	// NumDisks is n (default 2, the paper's platform).
+	NumDisks int
+	// Profile selects the tape model (default DLT4000).
+	Profile TapeProfile
+	// Compression selects the dataset compressibility (default 25%).
+	Compression Compression
+	// DiskTapeSpeedRatio is X_D / X_T (default 2, the paper's
+	// Section 5.3 assumption). The disk rate scales with the tape
+	// rate chosen by Profile and Compression.
+	DiskTapeSpeedRatio float64
+	// SplitBuffering replaces the paper's interleaved
+	// double-buffering with the naive two-halves scheme (ablation).
+	SplitBuffering bool
+	// BiDirectionalTape enables the optional SCSI READ REVERSE of the
+	// paper's footnote 2: CTT-GH then alternates its bucket-scan
+	// direction each iteration, eliminating the seek back across the
+	// hashed R run.
+	BiDirectionalTape bool
+	// OutputDiskShare reserves a fraction of disk bandwidth for
+	// writing the join output locally. Zero means output is pipelined
+	// to a downstream consumer at no I/O cost; Section 3.2 prescribes
+	// folding locally-stored output into a reduced X_D, which is
+	// exactly what this does.
+	OutputDiskShare float64
+	// CollectTrace records every device I/O event during Join and
+	// renders Result.Timeline and Result.DeviceSummary.
+	CollectTrace bool
+}
+
+// System is a configured tertiary-storage device complex on which
+// relations are created and joined.
+type System struct {
+	cfg      Config
+	res      join.Resources
+	tapeRate float64
+	nextTag  byte
+}
+
+// NewSystem validates the configuration and builds a system.
+func NewSystem(cfg Config) (*System, error) {
+	if MBf(cfg.MemoryMB) < 2 {
+		return nil, fmt.Errorf("tapejoin: MemoryMB = %v (need at least 2 blocks)", cfg.MemoryMB)
+	}
+	if MBf(cfg.DiskMB) < 1 {
+		return nil, fmt.Errorf("tapejoin: DiskMB = %v", cfg.DiskMB)
+	}
+	if cfg.NumDisks == 0 {
+		cfg.NumDisks = 2
+	}
+	if cfg.NumDisks < 1 {
+		return nil, fmt.Errorf("tapejoin: NumDisks = %d", cfg.NumDisks)
+	}
+	if cfg.DiskTapeSpeedRatio == 0 {
+		cfg.DiskTapeSpeedRatio = 2
+	}
+	if cfg.DiskTapeSpeedRatio <= 0 {
+		return nil, errors.New("tapejoin: DiskTapeSpeedRatio must be positive")
+	}
+	if cfg.OutputDiskShare < 0 || cfg.OutputDiskShare >= 1 {
+		return nil, fmt.Errorf("tapejoin: OutputDiskShare %v outside [0, 1)", cfg.OutputDiskShare)
+	}
+
+	var tc tape.DriveConfig
+	if cfg.Profile == IdealTape {
+		tc = tape.Ideal()
+	} else {
+		tc = tape.DLT4000()
+	}
+	// The disks are fixed hardware: their rate is anchored to the
+	// base-case (25% compressible) tape rate, so changing Compression
+	// moves only the tape speed — Section 9's experiment.
+	baseTapeRate := tc.EffectiveRate()
+	tc.CompressionFactor = cfg.Compression.factor()
+	tc.BiDirectional = cfg.BiDirectionalTape
+
+	res := join.Resources{
+		MemoryBlocks: MBf(cfg.MemoryMB),
+		DiskBlocks:   MBf(cfg.DiskMB),
+		NumDisks:     cfg.NumDisks,
+		DiskRate:     cfg.DiskTapeSpeedRatio * baseTapeRate * (1 - cfg.OutputDiskShare),
+		Tape:         tc,
+	}
+	if cfg.Profile == IdealTape {
+		res.DiskOverhead = time.Nanosecond // effectively zero, skips the default
+	}
+	if cfg.SplitBuffering {
+		res.Discipline = join.SplitHalves
+	}
+	return &System{cfg: cfg, res: res.WithDefaults(), tapeRate: tc.EffectiveRate()}, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// BareReadTime returns the time to stream the given volume from one
+// tape drive — the paper's baseline: Table 3's "Read S + R" column and
+// the "optimum join time" of Section 9.
+func (s *System) BareReadTime(megabytes float64) time.Duration {
+	bytes := megabytes * 1024 * 1024
+	return time.Duration(bytes / s.tapeRate * float64(time.Second))
+}
+
+// Tape is a tape cartridge — or a robot-managed set of cartridges
+// presenting one linear space — managed by the system.
+type Tape struct {
+	media tape.Medium
+}
+
+// NewTape creates an empty cartridge with the given capacity.
+// Tape-tape join methods need scratch space beyond the relations
+// themselves (Table 2): CTT-GH needs |R| free on R's cartridge, TT-GH
+// needs |S| free on R's cartridge and |R| free on S's.
+func (s *System) NewTape(name string, capacityMB int64) (*Tape, error) {
+	if capacityMB < 1 {
+		return nil, fmt.Errorf("tapejoin: tape %q capacity %d MB", name, capacityMB)
+	}
+	return &Tape{media: tape.NewMedia(name, MB(capacityMB))}, nil
+}
+
+// NewTapeSet creates a volume set of `volumes` cartridges of
+// perVolumeMB each behind a media robot. Requests crossing a
+// cartridge boundary cost a media exchange (~30 s on the DLT-4000
+// profile) — Section 3.2 argues, and BenchmarkAblationMultiVolume
+// confirms, that this is negligible against sequential scan times.
+func (s *System) NewTapeSet(name string, volumes int, perVolumeMB int64) (*Tape, error) {
+	if volumes < 1 || perVolumeMB < 1 {
+		return nil, fmt.Errorf("tapejoin: tape set %q: %d volumes of %d MB", name, volumes, perVolumeMB)
+	}
+	vols := make([]*tape.Media, volumes)
+	for i := range vols {
+		vols[i] = tape.NewMedia(fmt.Sprintf("%s/vol%d", name, i), MB(perVolumeMB))
+	}
+	mv, err := tape.NewMultiVolume(name, vols...)
+	if err != nil {
+		return nil, err
+	}
+	return &Tape{media: mv}, nil
+}
+
+// FreeMB returns the cartridge's remaining scratch space.
+func (t *Tape) FreeMB() int64 { return t.media.Free() / BlocksPerMB }
+
+// RelationConfig describes a synthetic relation to generate onto tape.
+type RelationConfig struct {
+	// Name identifies the relation.
+	Name string
+	// SizeMB is the relation size (the paper's |R| or |S|).
+	SizeMB int64
+	// TuplesPerBlock is the real-data density per 64 KB paper block
+	// (default 4). Density does not affect timing.
+	TuplesPerBlock int
+	// KeySpace draws join keys uniformly from [0, KeySpace); smaller
+	// spaces give more matches (default 1e6).
+	KeySpace uint64
+	// HotFraction and HotProb skew the key distribution (optional).
+	HotFraction, HotProb float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Relation is a synthetic relation materialized on a cartridge.
+type Relation struct {
+	rel *relation.Relation
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.rel.Name }
+
+// SizeMB returns the relation size.
+func (r *Relation) SizeMB() int64 { return r.rel.Region.N / BlocksPerMB }
+
+// Blocks returns the relation size in paper blocks.
+func (r *Relation) Blocks() int64 { return r.rel.Region.N }
+
+// Tuples returns the tuple count.
+func (r *Relation) Tuples() int64 { return r.rel.Tuples() }
+
+// CreateRelation generates a synthetic relation and writes it to the
+// cartridge (outside simulated time; input tapes exist before a join
+// is measured).
+func (s *System) CreateRelation(t *Tape, cfg RelationConfig) (*Relation, error) {
+	if cfg.TuplesPerBlock == 0 {
+		cfg.TuplesPerBlock = 4
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1_000_000
+	}
+	s.nextTag++
+	rel, err := relation.WriteToTape(relation.Config{
+		Name:           cfg.Name,
+		Tag:            s.nextTag,
+		Blocks:         MB(cfg.SizeMB),
+		TuplesPerBlock: cfg.TuplesPerBlock,
+		KeySpace:       cfg.KeySpace,
+		HotFraction:    cfg.HotFraction,
+		HotProb:        cfg.HotProb,
+		PayloadBytes:   8,
+		Seed:           cfg.Seed,
+	}, t.media)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{rel: rel}, nil
+}
+
+// ExpectedMatches returns the exact equi-join cardinality of r ⋈ s,
+// computed analytically from the generators.
+func ExpectedMatches(r, s *Relation) int64 {
+	return relation.ExpectedMatches(r.rel, s.rel)
+}
+
+// UtilizationSample is one point of the disk-buffer utilization trace
+// (the paper's Figure 4).
+type UtilizationSample struct {
+	// Seconds is the virtual time of the sample.
+	Seconds float64
+	// EvenMB and OddMB are the space held by even- and odd-numbered
+	// iterations.
+	EvenMB, OddMB float64
+}
+
+// Stats reports what a join did and what it cost.
+type Stats struct {
+	// Response is the join's virtual response time.
+	Response time.Duration
+	// StepI is when the setup phase finished.
+	StepI time.Duration
+	// Iterations counts Step II iterations.
+	Iterations int
+	// RScans counts full passes over R's data.
+	RScans int
+	// Matches is the output cardinality.
+	Matches int64
+	// TapeReadMB, TapeWrittenMB aggregate both drives.
+	TapeReadMB, TapeWrittenMB float64
+	// DiskReadMB, DiskWrittenMB aggregate the array.
+	DiskReadMB, DiskWrittenMB float64
+	// DiskPeakMB is the peak disk footprint (Figure 6).
+	DiskPeakMB float64
+	// MemPeakMB is the peak accounted memory.
+	MemPeakMB float64
+	// TapeSeeks counts head repositionings.
+	TapeSeeks int64
+	// TapeRUtil, TapeSUtil and DiskUtil report each device's busy
+	// fraction of the response time.
+	TapeRUtil, TapeSUtil, DiskUtil float64
+}
+
+// DiskTrafficMB is the paper's Figure 7 metric.
+func (s Stats) DiskTrafficMB() float64 { return s.DiskReadMB + s.DiskWrittenMB }
+
+// Result is the outcome of a join.
+type Result struct {
+	Method Method
+	Stats  Stats
+	// BufferTrace samples the shared disk buffer's per-parity usage
+	// for methods that double-buffer S through disk (Figure 4).
+	BufferTrace []UtilizationSample
+	// BufferCapacityMB is the traced buffer's size.
+	BufferCapacityMB float64
+	// Timeline is a text Gantt chart of device activity, and
+	// DeviceSummary the per-device busy breakdown, when the system
+	// was configured with CollectTrace.
+	Timeline      string
+	DeviceSummary string
+}
+
+func mbOf(blocks int64) float64 { return float64(blocks) / BlocksPerMB }
+
+// Join runs the given method over r (the smaller relation) and s,
+// returning measured statistics. The relations must live on distinct
+// cartridges.
+func (s *System) Join(method Method, r, bigS *Relation) (*Result, error) {
+	m, err := join.BySymbol(string(method))
+	if err != nil {
+		return nil, err
+	}
+	runRes := s.res
+	var rec *trace.Recorder
+	if s.cfg.CollectTrace {
+		rec = &trace.Recorder{}
+		runRes.Trace = rec
+	}
+	sink := &join.CountSink{}
+	res, err := join.Run(m, join.Spec{R: r.rel, S: bigS.rel}, runRes, sink)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Method: method,
+		Stats: Stats{
+			Response:      res.Stats.Response,
+			StepI:         res.Stats.StepI,
+			Iterations:    res.Stats.Iterations,
+			RScans:        res.Stats.RScans,
+			Matches:       res.Stats.OutputTuples,
+			TapeReadMB:    mbOf(res.Stats.TapeBlocksRead),
+			TapeWrittenMB: mbOf(res.Stats.TapeBlocksWritten),
+			DiskReadMB:    mbOf(res.Stats.DiskBlocksRead),
+			DiskWrittenMB: mbOf(res.Stats.DiskBlocksWritten),
+			DiskPeakMB:    mbOf(res.Stats.DiskHighWater),
+			MemPeakMB:     mbOf(res.Stats.MemHighWater),
+			TapeSeeks:     res.Stats.TapeSeeks,
+			TapeRUtil:     float64(res.Stats.TapeRBusy) / float64(res.Stats.Response),
+			TapeSUtil:     float64(res.Stats.TapeSBusy) / float64(res.Stats.Response),
+			DiskUtil:      float64(res.Stats.DiskBusy) / float64(res.Stats.Response),
+		},
+		BufferCapacityMB: mbOf(res.BufferCapacity),
+	}
+	for _, smp := range res.BufferTrace {
+		out.BufferTrace = append(out.BufferTrace, UtilizationSample{
+			Seconds: smp.T.Seconds(),
+			EvenMB:  mbOf(smp.Even),
+			OddMB:   mbOf(smp.Odd),
+		})
+	}
+	if rec != nil {
+		end := sim.Time(res.Stats.Response)
+		out.Timeline = rec.Timeline(end, 100)
+		out.DeviceSummary = rec.Summary(end)
+	}
+	return out, nil
+}
+
+// CheckFeasible reports whether the method can run r ⋈ s on this
+// system, per the paper's Table 2 resource requirements.
+func (s *System) CheckFeasible(method Method, r, bigS *Relation) error {
+	m, err := join.BySymbol(string(method))
+	if err != nil {
+		return err
+	}
+	return m.Check(join.Spec{R: r.rel, S: bigS.rel}, s.res)
+}
+
+// Estimate predicts a method's response time for relation sizes in MB
+// using the paper's analytical cost model (no simulation).
+type Estimate struct {
+	Method Method
+	// Response is the predicted response time; infeasible methods
+	// report Feasible = false.
+	Response time.Duration
+	StepI    time.Duration
+	Feasible bool
+	// Reason explains infeasibility.
+	Reason string
+	// RelativeCost is response / bare S read time (Figures 1–3).
+	RelativeCost float64
+}
+
+func (s *System) costParams(rMB, sMB int64) cost.Params {
+	return cost.Params{
+		RBlocks:  MB(rMB),
+		SBlocks:  MB(sMB),
+		MBlocks:  s.res.MemoryBlocks,
+		DBlocks:  s.res.DiskBlocks,
+		TapeRate: s.tapeRate,
+		DiskRate: s.res.DiskRate,
+	}
+}
+
+func toEstimate(e cost.Estimate, p cost.Params) Estimate {
+	out := Estimate{Method: Method(e.Method)}
+	if e.Err != nil {
+		out.Reason = e.Err.Error()
+		return out
+	}
+	out.Feasible = true
+	out.Response = time.Duration(e.Seconds * float64(time.Second))
+	out.StepI = time.Duration(e.StepISeconds * float64(time.Second))
+	out.RelativeCost = e.Relative(p)
+	return out
+}
+
+// Estimate predicts one method's cost for |R| = rMB, |S| = sMB.
+func (s *System) Estimate(method Method, rMB, sMB int64) Estimate {
+	p := s.costParams(rMB, sMB)
+	return toEstimate(cost.EstimateMethod(string(method), p), p)
+}
+
+// Advise ranks all methods for |R| = rMB, |S| = sMB given the
+// available tape scratch space, returning the cheapest feasible method
+// first. It codifies the paper's conclusions: CTT-GH for very large
+// joins, CDT-GH with ample disk but little memory, CDT-NB when most of
+// R fits in memory.
+func (s *System) Advise(rMB, sMB, rTapeScratchMB, sTapeScratchMB int64) []Estimate {
+	p := s.costParams(rMB, sMB)
+	adv := cost.Advise(p, cost.Scratch{RTape: MB(rTapeScratchMB), STape: MB(sTapeScratchMB)})
+	out := make([]Estimate, 0, len(adv.Ranked))
+	for _, e := range adv.Ranked {
+		out = append(out, toEstimate(e, p))
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package tapejoin
+
+import (
+	"testing"
+	"time"
+)
+
+// quickSystem returns a small ideal-model system.
+func quickSystem(t *testing.T, memMB, diskMB float64) *System {
+	t.Helper()
+	sys, err := NewSystem(Config{
+		MemoryMB: memMB,
+		DiskMB:   diskMB,
+		Profile:  IdealTape,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// makeRelations creates a 2 MB R and an 8 MB S on separate cartridges
+// with room for tape-tape scratch.
+func makeRelations(t *testing.T, sys *System) (*Relation, *Relation) {
+	t.Helper()
+	tR, err := sys.NewTape("R-tape", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tS, err := sys.NewTape("S-tape", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.CreateRelation(tR, RelationConfig{
+		Name: "R", SizeMB: 2, KeySpace: 4000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sys.CreateRelation(tS, RelationConfig{
+		Name: "S", SizeMB: 8, KeySpace: 4000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, s
+}
+
+func TestSystemJoinAllMethods(t *testing.T) {
+	var want int64
+	for _, m := range Methods() {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			sys := quickSystem(t, 1, 8)
+			r, s := makeRelations(t, sys)
+			if want == 0 {
+				want = ExpectedMatches(r, s)
+				if want == 0 {
+					t.Fatal("no expected matches")
+				}
+			}
+			res, err := sys.Join(m, r, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Matches != want {
+				t.Fatalf("matches = %d, want %d", res.Stats.Matches, want)
+			}
+			if res.Stats.Response <= 0 {
+				t.Fatal("no response time")
+			}
+		})
+	}
+}
+
+func TestRelationAccessors(t *testing.T) {
+	sys := quickSystem(t, 1, 8)
+	r, _ := makeRelations(t, sys)
+	if r.Name() != "R" || r.SizeMB() != 2 || r.Blocks() != 32 || r.Tuples() != 128 {
+		t.Fatalf("accessors: %s %d %d %d", r.Name(), r.SizeMB(), r.Blocks(), r.Tuples())
+	}
+}
+
+func TestTapeScratchAccounting(t *testing.T) {
+	sys := quickSystem(t, 1, 8)
+	tp, err := sys.NewTape("t", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.FreeMB() != 10 {
+		t.Fatalf("free = %d", tp.FreeMB())
+	}
+	if _, err := sys.CreateRelation(tp, RelationConfig{Name: "x", SizeMB: 4, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tp.FreeMB() != 6 {
+		t.Fatalf("free after create = %d", tp.FreeMB())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MemoryMB: 0, DiskMB: 8},
+		{MemoryMB: 1, DiskMB: 0},
+		{MemoryMB: 1, DiskMB: 8, NumDisks: -1},
+		{MemoryMB: 1, DiskMB: 8, DiskTapeSpeedRatio: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSystem(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+	if _, err := NewSystem(Config{MemoryMB: 16, DiskMB: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionChangesSpeed(t *testing.T) {
+	run := func(c Compression) time.Duration {
+		sys, err := NewSystem(Config{MemoryMB: 1, DiskMB: 8, Profile: IdealTape, Compression: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, s := makeRelations(t, sys)
+		res, err := sys.Join(DTNB, r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Response
+	}
+	slow, base, fast := run(Compress0), run(Compress25), run(Compress50)
+	if !(fast < base && base < slow) {
+		t.Fatalf("compression ordering wrong: 0%%=%v 25%%=%v 50%%=%v", slow, base, fast)
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	sys := quickSystem(t, 1, 1) // D = 1 MB < |R| = 2 MB
+	r, s := makeRelations(t, sys)
+	if err := sys.CheckFeasible(DTNB, r, s); err == nil {
+		t.Fatal("DT-NB should be infeasible with D < |R|")
+	}
+	if err := sys.CheckFeasible(CTTGH, r, s); err != nil {
+		t.Fatalf("CTT-GH should run with D < |R|: %v", err)
+	}
+	if err := sys.CheckFeasible("bogus", r, s); err == nil {
+		t.Fatal("unknown method should fail")
+	}
+}
+
+func TestEstimateAndAdvise(t *testing.T) {
+	sys := quickSystem(t, 16, 500)
+	e := sys.Estimate(CTTGH, 2500, 10000)
+	if !e.Feasible || e.Response <= 0 || e.RelativeCost <= 1 {
+		t.Fatalf("estimate = %+v", e)
+	}
+	// The paper's Experiment 1 regime: |R| far beyond D. Only CTT-GH
+	// (with scratch) is feasible.
+	ranked := sys.Advise(2500, 10000, 5000, 0)
+	if len(ranked) != 7 {
+		t.Fatalf("ranked %d", len(ranked))
+	}
+	if ranked[0].Method != CTTGH || !ranked[0].Feasible {
+		t.Fatalf("best = %+v, want CTT-GH", ranked[0])
+	}
+	for _, e := range ranked[1:] {
+		if e.Method != CTTGH && e.Feasible && e.Response < ranked[0].Response {
+			t.Fatalf("ranking violated: %+v", e)
+		}
+	}
+	// Infeasible methods carry a reason.
+	last := ranked[len(ranked)-1]
+	if last.Feasible || last.Reason == "" {
+		t.Fatalf("last = %+v, want infeasible with reason", last)
+	}
+}
+
+func TestEstimateAgreesWithSimulationShape(t *testing.T) {
+	// The analytic model and the ideal-profile simulation should
+	// agree within a factor of two on a mid-size CDT-GH join.
+	sys := quickSystem(t, 2, 24)
+	r, s := makeRelations(t, sys)
+	sim, err := sys.Join(CDTGH, r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := sys.Estimate(CDTGH, r.SizeMB(), s.SizeMB())
+	ratio := float64(sim.Stats.Response) / float64(est.Response)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("sim %v vs model %v (ratio %.2f); want within 2x", sim.Stats.Response, est.Response, ratio)
+	}
+}
+
+func TestSplitBufferingAblation(t *testing.T) {
+	run := func(split bool) time.Duration {
+		sys, err := NewSystem(Config{MemoryMB: 1, DiskMB: 8, Profile: IdealTape, SplitBuffering: split})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, s := makeRelations(t, sys)
+		res, err := sys.Join(CDTNBDB, r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Response
+	}
+	inter, split := run(false), run(true)
+	if split <= inter {
+		t.Fatalf("split buffering (%v) should be slower than interleaved (%v)", split, inter)
+	}
+}
+
+func TestBufferTraceInResult(t *testing.T) {
+	sys := quickSystem(t, 1, 4)
+	r, s := makeRelations(t, sys)
+	res, err := sys.Join(CTTGH, r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BufferTrace) == 0 || res.BufferCapacityMB <= 0 {
+		t.Fatal("CTT-GH should expose a buffer trace")
+	}
+	for _, smp := range res.BufferTrace {
+		if smp.EvenMB+smp.OddMB > res.BufferCapacityMB+1e-9 {
+			t.Fatalf("sample %+v exceeds capacity %v", smp, res.BufferCapacityMB)
+		}
+	}
+}
+
+func TestMBConversion(t *testing.T) {
+	if BlocksPerMB != 16 {
+		t.Fatalf("BlocksPerMB = %d, want 16 (64 KB blocks)", BlocksPerMB)
+	}
+	if MB(3) != 48 {
+		t.Fatalf("MB(3) = %d", MB(3))
+	}
+}
