@@ -12,6 +12,7 @@
 //	paperbench -exp fig10           # Experiment 3 at 0% compressible
 //	paperbench -exp fig11           # Experiment 3 at 50% compressible
 //	paperbench -exp ablations       # design-choice ablations
+//	paperbench -exp recovery        # fault injection and recovery
 //	paperbench -exp all             # everything
 //
 // -scale shrinks the workloads (1.0 = the paper's sizes; see package
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, or all")
+	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
 	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
@@ -117,6 +118,13 @@ func runJSON(which string, scale float64) error {
 			return err
 		}
 		out["ablations"] = rows
+	}
+	if all || which == "recovery" {
+		rows, err := exp.FaultRecovery(scale)
+		if err != nil {
+			return err
+		}
+		out["recovery"] = rows
 	}
 	if len(out) == 1 {
 		return fmt.Errorf("unknown experiment %q", which)
@@ -230,8 +238,17 @@ func run(which string, scale float64) error {
 		fmt.Println(exp.FormatAblations(rows))
 	}
 
+	if all || which == "recovery" {
+		section("Recovery: fault injection across the join methods")
+		rows, err := exp.FaultRecovery(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatRecovery(rows))
+	}
+
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, or all)", which)
 	}
 	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -31,10 +31,12 @@ func main() {
 	keyspace := flag.Uint64("keyspace", 1<<20, "join key space size")
 	verify := flag.Bool("verify", true, "check output cardinality against the generator's expectation")
 	timeline := flag.Bool("timeline", false, "render a device-activity timeline of the run")
+	faults := flag.String("faults", "", `fault schedule to inject, e.g. "transient=R:100:2,diskfail=1@40s" or "random=7:3"`)
+	noRecover := flag.Bool("no-recover", false, "disable retry/checkpoint/degrade recovery (faults become fatal)")
 	flag.Parse()
 
 	if err := run(*method, *rMB, *sMB, *memMB, *diskMB, *disks, *ratio, *compress,
-		*ideal, *split, *seed, *keyspace, *verify, *timeline); err != nil {
+		*ideal, *split, *seed, *keyspace, *verify, *timeline, *faults, *noRecover); err != nil {
 		fmt.Fprintln(os.Stderr, "tapejoin:", err)
 		os.Exit(1)
 	}
@@ -42,7 +44,7 @@ func main() {
 
 func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 	ratio float64, compress int, ideal, split bool, seed int64, keyspace uint64,
-	verify, timeline bool) error {
+	verify, timeline bool, faults string, noRecover bool) error {
 
 	cfg := tapejoin.Config{
 		MemoryMB:           memMB,
@@ -51,6 +53,8 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 		DiskTapeSpeedRatio: ratio,
 		SplitBuffering:     split,
 		CollectTrace:       timeline,
+		Faults:             faults,
+		DisableRecovery:    noRecover,
 	}
 	switch compress {
 	case 0:
@@ -112,6 +116,17 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 	fmt.Printf("  device util       tapeR %.0f%%  tapeS %.0f%%  disks %.0f%%\n",
 		100*st.TapeRUtil, 100*st.TapeSUtil, 100*st.DiskUtil)
 	fmt.Printf("  output tuples     %d\n", st.Matches)
+	if faults != "" {
+		fmt.Printf("  faults injected   %d (%d retries, %d unit restarts)\n",
+			st.Faults, st.Retries, st.UnitRestarts)
+		fmt.Printf("  recovery time     %v\n", st.RecoveryTime.Round(0))
+		if st.DisksLost > 0 {
+			fmt.Printf("  disks lost        %d\n", st.DisksLost)
+		}
+		if st.DriveLost {
+			fmt.Printf("  drive lost        degraded to %s\n", st.DegradedTo)
+		}
+	}
 
 	if timeline {
 		fmt.Println("\ndevice timeline (r=read w=write s=seek x=exchange . idle):")

@@ -151,6 +151,27 @@ func (blk Block) Decode() (tag byte, tuples []Tuple, err error) {
 	return tag, tuples, nil
 }
 
+// Verify checks the header and body checksum without building tuples.
+// Device read paths use it to turn silent corruption into a typed
+// error at the point of transfer — cheap enough to run on every block
+// read back from disk or tape.
+func (blk Block) Verify() error {
+	if len(blk) < headerSize {
+		return ErrTruncated
+	}
+	if blk[0] != magic0 || blk[1] != magic1 {
+		return ErrBadMagic
+	}
+	if blk[2] != version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, blk[2])
+	}
+	sum := binary.LittleEndian.Uint32(blk[8:12])
+	if crc32.ChecksumIEEE(blk[headerSize:]) != sum {
+		return ErrBadChecksum
+	}
+	return nil
+}
+
 // MustDecode decodes and panics on corruption. Used internally by join
 // operators where a decode failure indicates a simulator bug, not an
 // input condition.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -67,6 +68,19 @@ func SCSI2Pair(totalBlocks int64) Config {
 // the disks a file is placed on.
 var ErrDiskFull = errors.New("disk: out of space")
 
+// LostError reports an operation that needed a permanently failed
+// drive. It unwraps to fault.ErrDeviceLost so recovery layers can
+// match it with errors.Is.
+type LostError struct {
+	Disk int
+}
+
+// Error implements error.
+func (e *LostError) Error() string { return fmt.Sprintf("disk: drive disk%d lost", e.Disk) }
+
+// Unwrap classifies the loss.
+func (e *LostError) Unwrap() error { return fault.ErrDeviceLost }
+
 // Stats accumulates array-wide activity.
 type Stats struct {
 	BlocksRead    int64
@@ -74,12 +88,16 @@ type Stats struct {
 	Requests      int64 // per-disk requests issued
 	TransferTime  sim.Duration
 	OverheadTime  sim.Duration
+	// Fault-injection activity (see internal/fault).
+	Faults    int64
+	StallTime sim.Duration
 }
 
 type dev struct {
 	id   int
 	res  *sim.Resource
 	used int64
+	dead bool // permanently failed; extents on it are lost
 }
 
 // Array is a simulated disk array with explicit placement control.
@@ -94,6 +112,7 @@ type Array struct {
 	Stats     Stats
 
 	rec      *trace.Recorder
+	inj      fault.Injector
 	nextFile int
 }
 
@@ -115,6 +134,32 @@ func (a *Array) Config() Config { return a.cfg }
 // SetRecorder attaches an event recorder (nil disables tracing).
 func (a *Array) SetRecorder(r *trace.Recorder) { a.rec = r }
 
+// SetInjector attaches a fault injector consulted on every file
+// operation (nil disables injection).
+func (a *Array) SetInjector(inj fault.Injector) { a.inj = inj }
+
+// DeadDisks returns the ids of permanently failed drives, in order.
+func (a *Array) DeadDisks() []int {
+	var out []int
+	for _, d := range a.disks {
+		if d.dead {
+			out = append(out, d.id)
+		}
+	}
+	return out
+}
+
+// LiveDisks returns the number of surviving drives.
+func (a *Array) LiveDisks() int {
+	n := 0
+	for _, d := range a.disks {
+		if !d.dead {
+			n++
+		}
+	}
+	return n
+}
+
 // record emits a per-drive trace event.
 func (a *Array) record(p *sim.Proc, id int, write bool, from sim.Time, blocks int64) {
 	kind := trace.DiskRead
@@ -127,9 +172,10 @@ func (a *Array) record(p *sim.Proc, id int, write bool, from sim.Time, blocks in
 	})
 }
 
-// TotalCapacity returns the array capacity in blocks.
+// TotalCapacity returns the array capacity in blocks across surviving
+// drives — a disk failure shrinks the effective D the planner sees.
 func (a *Array) TotalCapacity() int64 {
-	return int64(a.cfg.NumDisks) * a.cfg.BlocksPerDisk
+	return int64(a.LiveDisks()) * a.cfg.BlocksPerDisk
 }
 
 // Free returns unallocated blocks across the whole array.
@@ -177,7 +223,16 @@ func (a *Array) Create(name string, placement []int) (*File, error) {
 	f := &File{a: a, name: fmt.Sprintf("%s#%d", name, a.nextFile)}
 	a.nextFile++
 	if placement == nil {
-		f.disks = a.disks
+		// Default placement snapshots the surviving drives, so files
+		// created after a disk failure spread over the live array.
+		for _, d := range a.disks {
+			if !d.dead {
+				f.disks = append(f.disks, d)
+			}
+		}
+		if len(f.disks) == 0 {
+			return nil, fmt.Errorf("disk: file %q: no surviving drives", name)
+		}
 		return f, nil
 	}
 	if len(placement) == 0 {
@@ -186,6 +241,9 @@ func (a *Array) Create(name string, placement []int) (*File, error) {
 	for _, id := range placement {
 		if id < 0 || id >= len(a.disks) {
 			return nil, fmt.Errorf("disk: file %q: no drive %d", name, id)
+		}
+		if a.disks[id].dead {
+			return nil, &LostError{Disk: id}
 		}
 		f.disks = append(f.disks, a.disks[id])
 	}
@@ -199,20 +257,119 @@ func (f *File) Name() string { return f.name }
 func (f *File) Len() int64 { return int64(len(f.blocks)) }
 
 // shares splits an n-block transfer round-robin over the file's
-// drives, starting at the drive owning block offset off.
+// surviving drives, starting at the drive owning block offset off.
 func (f *File) shares(off, n int64) []int64 {
-	k := int64(len(f.disks))
-	out := make([]int64, k)
+	out := make([]int64, len(f.disks))
+	live := make([]int, 0, len(f.disks))
+	for i, d := range f.disks {
+		if !d.dead {
+			live = append(live, i)
+		}
+	}
+	k := int64(len(live))
+	if k == 0 {
+		return out
+	}
 	base := n / k
 	rem := n % k
-	for i := int64(0); i < k; i++ {
+	for _, i := range live {
 		out[i] = base
 	}
 	// The remainder lands on the drives following the starting one.
 	for i := int64(0); i < rem; i++ {
-		out[(off+i)%k]++
+		out[live[(off+i)%k]]++
 	}
 	return out
+}
+
+// lostOn returns a dead drive holding extents of this file, if any.
+func (f *File) lostOn() (int, bool) {
+	for i, d := range f.disks {
+		if d.dead && f.perDisk != nil && f.perDisk[i] > 0 {
+			return d.id, true
+		}
+	}
+	return 0, false
+}
+
+// Lost reports whether the file lost extents to a failed drive.
+// Striping spreads every block range over all placement drives, so a
+// lost file is unreadable regardless of offset.
+func (f *File) Lost() bool {
+	_, lost := f.lostOn()
+	return lost
+}
+
+// markDead records a permanent drive failure.
+func (a *Array) markDead(p *sim.Proc, id int) {
+	d := a.disks[id]
+	if d.dead {
+		return
+	}
+	d.dead = true
+	a.rec.Add(trace.Event{
+		Device: fmt.Sprintf("disk%d", id), Kind: trace.Fault,
+		Start: p.Now(), End: p.Now(), Note: "disk lost",
+	})
+}
+
+// checkFaults consults the array's injector about one request before
+// any time is charged: first the array-wide transfer path ("disk"),
+// then each placement drive the request would touch (where a pending
+// disk-failure rule can kill the drive). corrupt=true asks the caller
+// to bit-flip the delivered read data.
+func (f *File) checkFaults(p *sim.Proc, off, n int64, write bool) (corrupt bool, err error) {
+	if id, lost := f.lostOn(); lost {
+		return false, &LostError{Disk: id}
+	}
+	alive := 0
+	for _, d := range f.disks {
+		if !d.dead {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return false, &LostError{Disk: f.disks[0].id}
+	}
+	if f.a.inj == nil {
+		return false, nil
+	}
+	dec := fault.Decide(f.a.inj, fault.Op{Device: "disk", Write: write, Addr: off, N: n, Now: p.Now()})
+	if dec.Stall > 0 {
+		f.a.Stats.Faults++
+		f.a.Stats.StallTime += dec.Stall
+		t0 := p.Now()
+		p.Hold(dec.Stall)
+		f.a.rec.Add(trace.Event{Device: "disk", Kind: trace.Fault, Start: t0, End: p.Now(), Note: "stall"})
+	}
+	if dec.Err != nil {
+		f.a.Stats.Faults++
+		return false, fmt.Errorf("disk: file %q: %w", f.name, dec.Err)
+	}
+	if dec.Corrupt {
+		f.a.Stats.Faults++
+		corrupt = true
+	}
+	sh := f.shares(off, n)
+	for i, d := range f.disks {
+		if sh[i] == 0 {
+			continue
+		}
+		pd := fault.Decide(f.a.inj, fault.Op{
+			Device: fmt.Sprintf("disk%d", d.id), Write: write,
+			Addr: off, N: sh[i], Now: p.Now(),
+		})
+		if pd.Err == nil {
+			continue
+		}
+		f.a.Stats.Faults++
+		if errors.Is(pd.Err, fault.ErrDeviceLost) {
+			f.a.markDead(p, d.id)
+			return false, &LostError{Disk: d.id}
+		}
+		return false, fmt.Errorf("disk: file %q: %w", f.name, pd.Err)
+	}
+	return corrupt, nil
 }
 
 // doIO charges an n-block transfer at offset off across the file's
@@ -285,10 +442,13 @@ func (f *File) Append(p *sim.Proc, blks []block.Block) error {
 	if n == 0 {
 		return nil
 	}
+	off := int64(len(f.blocks))
+	if _, err := f.checkFaults(p, off, n, true); err != nil {
+		return err
+	}
 	if err := f.charge(n); err != nil {
 		return err
 	}
-	off := int64(len(f.blocks))
 	f.blocks = append(f.blocks, blks...)
 	f.doIO(p, off, n, true)
 	return nil
@@ -305,6 +465,9 @@ func (f *File) charge(n int64) error {
 	}
 	var free int64
 	for _, d := range f.disks {
+		if d.dead {
+			continue
+		}
 		free += f.a.cfg.BlocksPerDisk - d.used
 	}
 	if free < n {
@@ -317,6 +480,9 @@ func (f *File) charge(n int64) error {
 		// Pick the drive with the most free space after pending wants.
 		best, bestFree := -1, int64(0)
 		for i, d := range f.disks {
+			if d.dead {
+				continue
+			}
 			df := f.a.cfg.BlocksPerDisk - d.used - wants[i]
 			if df > bestFree {
 				best, bestFree = i, df
@@ -356,7 +522,7 @@ func (f *File) charge(n int64) error {
 func countFull(disks []*dev, wants []int64, capPerDisk int64) int {
 	full := 0
 	for i, d := range disks {
-		if capPerDisk-d.used-wants[i] <= 0 {
+		if d.dead || capPerDisk-d.used-wants[i] <= 0 {
 			full++
 		}
 	}
@@ -375,9 +541,21 @@ func (f *File) ReadAt(p *sim.Proc, off, n int64) ([]block.Block, error) {
 	if off < 0 || n < 0 || off+n > f.Len() {
 		return nil, fmt.Errorf("disk: read [%d,%d) beyond len %d of %q", off, off+n, f.Len(), f.name)
 	}
+	corrupt, err := f.checkFaults(p, off, n, false)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]block.Block, n)
 	copy(out, f.blocks[off:off+n])
 	f.doIO(p, off, n, false)
+	if corrupt && n > 0 {
+		// Bit-flip one delivered block without touching the stored
+		// copy (block slices alias storage), so a re-read recovers.
+		i := n / 2
+		bad := append(block.Block(nil), out[i]...)
+		bad[len(bad)-1] ^= 0xff
+		out[i] = bad
+	}
 	return out, nil
 }
 

@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Parse builds a Schedule from a compact comma-separated spec, the
+// grammar behind the cmd/tapejoin -faults flag:
+//
+//	transient=DEV:ADDR[:COUNT]   retryable read error at block ADDR
+//	hard=DEV:ADDR                unrecoverable media error at ADDR
+//	corrupt=DEV:ADDR[:COUNT]     bit-flipped delivered data at ADDR
+//	stall=DEV:DUR[:COUNT]        device hiccup of DUR per read
+//	diskfail=N@TIME              disk N dies at virtual time TIME
+//	drivefail=DEV@TIME           tape drive DEV dies at TIME
+//	random=SEED[:COUNT]          COUNT seeded pseudo-random faults
+//
+// DEV is R or S (the tape drives), disk (the array-wide transfer
+// path), or diskN (one drive of the array). DUR and TIME use Go
+// duration syntax ("90s", "1h10m"). Example:
+//
+//	-faults "transient=S:1000:2,diskfail=1@30m"
+func Parse(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: directive %q is not key=value", part)
+		}
+		var err error
+		switch key {
+		case "transient":
+			err = parseAddrRule(val, true, func(dev string, addr int64, count int) {
+				s.AddTransient(dev, addr, count)
+			})
+		case "hard":
+			err = parseAddrRule(val, false, func(dev string, addr int64, _ int) {
+				s.AddHard(dev, addr)
+			})
+		case "corrupt":
+			err = parseAddrRule(val, true, func(dev string, addr int64, count int) {
+				s.AddCorrupt(dev, addr, count)
+			})
+		case "stall":
+			err = parseStall(s, val)
+		case "diskfail":
+			err = parseDiskFail(s, val)
+		case "drivefail":
+			err = parseDriveFail(s, val)
+		case "random":
+			err = parseRandom(s, val)
+		default:
+			err = fmt.Errorf("fault: unknown directive %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: %q: %w", part, err)
+		}
+	}
+	return s, nil
+}
+
+// device canonicalizes a spec device name.
+func device(name string) (string, error) {
+	switch {
+	case name == "R" || name == "S":
+		return "tape:" + name, nil
+	case name == "disk" || strings.HasPrefix(name, "disk"):
+		return name, nil
+	case strings.HasPrefix(name, "tape:"):
+		return name, nil
+	}
+	return "", fmt.Errorf("unknown device %q (want R, S, disk or diskN)", name)
+}
+
+func parseAddrRule(val string, hasCount bool, add func(dev string, addr int64, count int)) error {
+	fields := strings.Split(val, ":")
+	if len(fields) < 2 || (!hasCount && len(fields) != 2) || len(fields) > 3 {
+		return fmt.Errorf("want DEV:ADDR%s", map[bool]string{true: "[:COUNT]", false: ""}[hasCount])
+	}
+	dev, err := device(fields[0])
+	if err != nil {
+		return err
+	}
+	addr, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad address %q", fields[1])
+	}
+	count := 1
+	if len(fields) == 3 {
+		if count, err = strconv.Atoi(fields[2]); err != nil || count <= 0 {
+			return fmt.Errorf("bad count %q", fields[2])
+		}
+	}
+	add(dev, addr, count)
+	return nil
+}
+
+func parseStall(s *Schedule, val string) error {
+	fields := strings.Split(val, ":")
+	if len(fields) < 2 || len(fields) > 3 {
+		return fmt.Errorf("want DEV:DUR[:COUNT]")
+	}
+	dev, err := device(fields[0])
+	if err != nil {
+		return err
+	}
+	d, err := time.ParseDuration(fields[1])
+	if err != nil || d <= 0 {
+		return fmt.Errorf("bad duration %q", fields[1])
+	}
+	count := 1
+	if len(fields) == 3 {
+		if count, err = strconv.Atoi(fields[2]); err != nil || count <= 0 {
+			return fmt.Errorf("bad count %q", fields[2])
+		}
+	}
+	s.AddStall(dev, sim.Duration(d), count)
+	return nil
+}
+
+func parseDiskFail(s *Schedule, val string) error {
+	numStr, atStr, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want N@TIME")
+	}
+	n, err := strconv.Atoi(numStr)
+	if err != nil || n < 0 {
+		return fmt.Errorf("bad disk number %q", numStr)
+	}
+	at, err := time.ParseDuration(atStr)
+	if err != nil || at < 0 {
+		return fmt.Errorf("bad time %q", atStr)
+	}
+	s.AddDiskFail(n, sim.Time(at))
+	return nil
+}
+
+func parseDriveFail(s *Schedule, val string) error {
+	devStr, atStr, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want DEV@TIME")
+	}
+	dev, err := device(devStr)
+	if err != nil {
+		return err
+	}
+	at, err := time.ParseDuration(atStr)
+	if err != nil || at < 0 {
+		return fmt.Errorf("bad time %q", atStr)
+	}
+	s.AddDriveFail(dev, sim.Time(at))
+	return nil
+}
+
+func parseRandom(s *Schedule, val string) error {
+	seedStr, countStr, hasCount := strings.Cut(val, ":")
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad seed %q", seedStr)
+	}
+	count := 3
+	if hasCount {
+		if count, err = strconv.Atoi(countStr); err != nil || count <= 0 {
+			return fmt.Errorf("bad count %q", countStr)
+		}
+	}
+	appendRandom(s, seed, count, RandomConfig{})
+	return nil
+}
+
+// RandomConfig bounds the faults a seeded random schedule generates.
+type RandomConfig struct {
+	// Devices to target; default tape:R, tape:S and disk.
+	Devices []string
+	// MaxAddr bounds fault addresses; default 4096 blocks.
+	MaxAddr int64
+	// MaxRetries bounds how many retries a transient needs; default 3.
+	MaxRetries int
+}
+
+// Random builds a deterministic schedule of count recoverable faults
+// (transients, delivered-copy corruptions and short stalls) from seed.
+// The same seed always yields the same schedule.
+func Random(seed int64, count int, cfg RandomConfig) *Schedule {
+	s := &Schedule{}
+	appendRandom(s, seed, count, cfg)
+	return s
+}
+
+func appendRandom(s *Schedule, seed int64, count int, cfg RandomConfig) {
+	if len(cfg.Devices) == 0 {
+		cfg.Devices = []string{"tape:R", "tape:S", "disk"}
+	}
+	if cfg.MaxAddr <= 0 {
+		cfg.MaxAddr = 4096
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < count; i++ {
+		dev := cfg.Devices[rng.Intn(len(cfg.Devices))]
+		addr := rng.Int63n(cfg.MaxAddr)
+		switch rng.Intn(3) {
+		case 0:
+			s.AddTransient(dev, addr, 1+rng.Intn(cfg.MaxRetries))
+		case 1:
+			s.AddCorrupt(dev, addr, 1+rng.Intn(cfg.MaxRetries))
+		default:
+			stall := sim.Duration(1+rng.Intn(10)) * sim.Duration(time.Second)
+			s.AddStall(dev, stall, 1)
+		}
+	}
+}

@@ -66,7 +66,7 @@ func appendFileToTape(e *env, p *sim.Proc, f *disk.File, dst *tape.Drive, pipeli
 	if !pipelined {
 		for off := int64(0); off < f.Len(); off += e.res.IOChunk {
 			g := min64(e.res.IOChunk, f.Len()-off)
-			blks, err := f.ReadAt(p, off, g)
+			blks, err := e.diskRead(p, f, off, g)
 			if err != nil {
 				return tape.Region{}, err
 			}
@@ -77,29 +77,44 @@ func appendFileToTape(e *env, p *sim.Proc, f *disk.File, dst *tape.Drive, pipeli
 		return region, nil
 	}
 
-	q := sim.NewQueue[[]block.Block](e.k, "append-pipe", 2)
+	type readMsg struct {
+		blks []block.Block
+		err  error
+	}
+	q := sim.NewQueue[readMsg](e.k, "append-pipe", 2)
 	reader := e.k.Spawn("bucket-reader", func(rp *sim.Proc) {
 		for off := int64(0); off < f.Len(); off += e.res.IOChunk {
 			g := min64(e.res.IOChunk, f.Len()-off)
-			blks, err := f.ReadAt(rp, off, g)
+			blks, err := e.diskRead(rp, f, off, g)
 			if err != nil {
-				panic(err)
+				q.Send(rp, readMsg{err: err})
+				break
 			}
-			q.Send(rp, blks)
+			q.Send(rp, readMsg{blks: blks})
 		}
 		q.Close(rp)
 	})
+	var pipeErr error
 	for {
-		blks, ok := q.Recv(p)
+		m, ok := q.Recv(p)
 		if !ok {
 			break
 		}
-		if err := write(p, blks); err != nil {
-			return tape.Region{}, err
+		if m.err != nil || pipeErr != nil {
+			if m.err != nil && pipeErr == nil {
+				pipeErr = m.err
+			}
+			continue
+		}
+		if err := write(p, m.blks); err != nil {
+			pipeErr = err
 		}
 	}
 	if err := p.Wait(reader); err != nil {
 		return tape.Region{}, err
+	}
+	if pipeErr != nil {
+		return tape.Region{}, pipeErr
 	}
 	return region, nil
 }
@@ -116,79 +131,124 @@ func hashRelationToTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region
 
 	b := plan.B
 	est := estBucketBlocks(region.N, b)
-	// Window sizing: per-bucket estimates already carry variance
-	// slack, and over a wide window those margins pool, so large
-	// windows need no extra headroom. Narrow windows (1-2 buckets)
-	// cannot pool, so they reserve one whole estimated bucket against
-	// a hash-variance outlier.
-	g := e.res.DiskBlocks / est
-	if g <= 2 {
-		g = (e.res.DiskBlocks - est) / est
-	}
-	if g < 1 {
-		return nil, fmt.Errorf("%w: D=%d cannot assemble one %d-block bucket with headroom",
-			ErrNeedDisk, e.res.DiskBlocks, est)
-	}
-	if g > int64(b) {
-		g = int64(b)
-	}
 
 	regions := make([]tape.Region, b)
-	for lo := 0; lo < b; lo += int(g) {
-		hi := lo + int(g)
-		if hi > b {
-			hi = b
-		}
-		window := hi - lo
+	done := 0
+	for done < b {
+		lo := done
+		hi := lo // set inside the unit; a restart may shrink the window
 
-		files := make([]*disk.File, 0, window)
-		for i := 0; i < window; i++ {
-			f, err := e.disks.Create(fmt.Sprintf("hb%d", lo+i), nil)
-			if err != nil {
-				return nil, err
+		// One window is one restartable unit. Buckets already appended
+		// to tape by an earlier attempt keep their regions; a restart
+		// re-scans the source for the missing buckets only. A partially
+		// appended bucket leaves garbage at the scratch EOD, which is
+		// simply abandoned — tape appends are monotonic.
+		err := e.runUnit(p, fmt.Sprintf("hash-window@%d", lo), func(up *sim.Proc) error {
+			// Window sizing happens per attempt against the surviving
+			// array, so a disk lost mid-run shrinks subsequent windows
+			// (costing extra scans) instead of overflowing the disks.
+			g := windowBuckets(e.effectiveD(), est)
+			if g < 1 {
+				return fmt.Errorf("%w: D=%d cannot assemble one %d-block bucket with headroom",
+					ErrNeedDisk, e.effectiveD(), est)
 			}
-			files = append(files, f)
-		}
-
-		memNeed := int64(window)*plan.WriteBuf + plan.InBuf
-		e.mem.acquire(memNeed)
-		pt := newPartitioner(b, plan.WriteBuf, tuplesPerBlock, tag,
-			func(fp *sim.Proc, bkt int, blks []block.Block) error {
-				return files[bkt-lo].Append(fp, blks)
-			})
-		pt.only = func(bkt int) bool { return bkt >= lo && bkt < hi }
-
-		err := readTape(p, src, region, plan.InBuf, func(_ int64, blks []block.Block) error {
-			var addErr error
-			forEachTuple(blks, func(t block.Tuple) {
-				if addErr != nil || (keep != nil && !keep(t)) {
-					return
+			if g > int64(b-lo) {
+				g = int64(b - lo)
+			}
+			hi = lo + int(g)
+			window := hi - lo
+			need := make([]bool, window)
+			anyNeed := false
+			for i := 0; i < window; i++ {
+				if regions[lo+i].N == 0 {
+					need[i] = true
+					anyNeed = true
 				}
-				addErr = pt.add(p, t)
-			})
-			return addErr
+			}
+			if !anyNeed {
+				return nil
+			}
+			files := make([]*disk.File, window)
+			defer freeAll(files)
+			for i := 0; i < window; i++ {
+				if !need[i] {
+					continue
+				}
+				f, err := e.disks.Create(fmt.Sprintf("hb%d", lo+i), nil)
+				if err != nil {
+					return err
+				}
+				files[i] = f
+			}
+
+			err := func() error {
+				memNeed := int64(window)*plan.WriteBuf + plan.InBuf
+				e.mem.acquire(memNeed)
+				defer e.mem.release(memNeed)
+				pt := newPartitioner(b, plan.WriteBuf, tuplesPerBlock, tag,
+					func(fp *sim.Proc, bkt int, blks []block.Block) error {
+						return files[bkt-lo].Append(fp, blks)
+					})
+				pt.only = func(bkt int) bool { return bkt >= lo && bkt < hi && need[bkt-lo] }
+
+				err := e.readTape(up, src, region, plan.InBuf, func(_ int64, blks []block.Block) error {
+					var addErr error
+					err := forEachTuple(blks, func(t block.Tuple) {
+						if addErr != nil || (keep != nil && !keep(t)) {
+							return
+						}
+						addErr = pt.add(up, t)
+					})
+					if err != nil {
+						return err
+					}
+					return addErr
+				})
+				if err != nil {
+					return err
+				}
+				return pt.finish(up)
+			}()
+			if err != nil {
+				return err
+			}
+			*scans++
+
+			// Append the completed buckets to the destination tape in
+			// bucket order.
+			for i, f := range files {
+				if f == nil {
+					continue
+				}
+				reg, err := appendFileToTape(e, up, f, dst, pipelined)
+				if err != nil {
+					return err
+				}
+				regions[lo+i] = reg
+				f.Free()
+				files[i] = nil
+			}
+			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		if err := pt.finish(p); err != nil {
-			return nil, err
-		}
-		e.mem.release(memNeed)
-		*scans++
-
-		// Append the completed buckets to the destination tape in
-		// bucket order.
-		for i, f := range files {
-			reg, err := appendFileToTape(e, p, f, dst, pipelined)
-			if err != nil {
-				return nil, err
-			}
-			regions[lo+i] = reg
-			f.Free()
-		}
+		done = hi
 	}
 	return regions, nil
+}
+
+// windowBuckets sizes a Step I assembly window for d blocks of disk:
+// per-bucket estimates already carry variance slack, and over a wide
+// window those margins pool, so large windows need no extra headroom.
+// Narrow windows (1-2 buckets) cannot pool, so they reserve one whole
+// estimated bucket against a hash-variance outlier.
+func windowBuckets(d, est int64) int64 {
+	g := d / est
+	if g <= 2 {
+		g = (d - est) / est
+	}
+	return g
 }
 
 // CTTGH is Concurrent Tape–Tape Grace Hash Join (Section 5.2.1): R is
@@ -243,36 +303,16 @@ func (CTTGH) run(e *env, p *sim.Proc) error {
 	scanBuf := scanBufFor(plan, e.res.MemoryBlocks)
 	maxLoad := e.res.MemoryBlocks - scanBuf
 
-	// Step II: all of D double-buffers the S buckets (|S_i| = d = D).
-	dbuf := e.newDoubleBuffer("s-buckets", e.res.DiskBlocks)
+	// Step II: all of the (surviving) disk space double-buffers the S
+	// buckets (|S_i| = d = D).
+	dbuf := e.newDoubleBuffer("s-buckets", e.effectiveD())
 	chunkCap := dbuf.ChunkCapacity() - int64(plan.B)
 	if chunkCap < 1 {
-		return fmt.Errorf("%w: D=%d cannot buffer S over %d buckets", ErrNeedDisk, e.res.DiskBlocks, plan.B)
+		return fmt.Errorf("%w: D=%d cannot buffer S over %d buckets", ErrNeedDisk, e.effectiveD(), plan.B)
 	}
-	s := e.spec.S.Region
 
-	type iterChunk struct {
-		iter  int64
-		files []*disk.File
-	}
-	q := sim.NewQueue[iterChunk](e.k, "ctt-chunks", 1)
-
-	hasher := e.k.Spawn("s-hasher", func(hp *sim.Proc) {
-		iter := int64(0)
-		for off := int64(0); off < s.N; off += chunkCap {
-			n := min64(chunkCap, s.N-off)
-			it := iter
-			files, err := partitionTapeToDisk(e, hp, e.driveS, s.Sub(off, n),
-				e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(),
-				func(fp *sim.Proc, blks int64) { dbuf.Acquire(fp, it, blks) })
-			if err != nil {
-				panic(err)
-			}
-			q.Send(hp, iterChunk{iter, files})
-			iter++
-		}
-		q.Close(hp)
-	})
+	q := sim.NewQueue[ghChunk](e.k, "ctt-chunks", 1)
+	hasher := spawnChunkHasher(e, q, plan, chunkCap, dbuf)
 
 	// With a bi-directional drive, alternate the bucket scan direction
 	// each iteration: the head finishes iteration i exactly where
@@ -280,26 +320,65 @@ func (CTTGH) run(e *env, p *sim.Proc) error {
 	// hashed-R run (the paper's footnote-2 observation that the
 	// algorithms are independent of scan direction).
 	biDir := e.driveR.Config().BiDirectional
+	var pipeErr error
+	nextOff := int64(0)
 	for {
 		c, ok := q.Recv(p)
 		if !ok {
 			break
 		}
+		if c.err != nil || pipeErr != nil {
+			drainChunk(e, p, dbuf, c, &pipeErr)
+			continue
+		}
 		backward := biDir && c.iter%2 == 1
-		for b := 0; b < plan.B; b++ {
-			idx := b
-			if backward {
-				idx = plan.B - 1 - b
+		err := e.staged(p, func() error {
+			for b := 0; b < plan.B; b++ {
+				idx := b
+				if backward {
+					idx = plan.B - 1 - b
+				}
+				rSrc := tapeBucket{drive: e.driveR, region: rRegions[idx], reverse: backward}
+				if err := joinBucketPair(e, p, rSrc, diskBucket{c.files[idx]}, maxLoad, scanBuf); err != nil {
+					for ; b < plan.B; b++ {
+						idx := b
+						if backward {
+							idx = plan.B - 1 - b
+						}
+						dbuf.Release(p, c.iter, c.files[idx].Len())
+						c.files[idx].Free()
+					}
+					return err
+				}
+				dbuf.Release(p, c.iter, c.files[idx].Len())
+				c.files[idx].Free()
 			}
-			rSrc := tapeBucket{drive: e.driveR, region: rRegions[idx], reverse: backward}
-			if err := joinBucketPair(e, p, rSrc, diskBucket{c.files[idx]}, maxLoad, scanBuf); err != nil {
-				return err
-			}
-			dbuf.Release(p, c.iter, c.files[idx].Len())
-			c.files[idx].Free()
+			return nil
+		})
+		if err != nil {
+			pipeErr = err
+			e.abort = true
+			continue
 		}
 		e.stats.Iterations++
 		e.stats.RScans++
+		nextOff = c.off + c.n
 	}
-	return p.Wait(hasher)
+	if err := p.Wait(hasher); err != nil {
+		return err
+	}
+	e.abort = false
+	if pipeErr != nil {
+		if e.res.Recovery.Disabled || !e.unitRecoverable(pipeErr) {
+			return pipeErr
+		}
+		// Sequential tail for the rest of S. The hashed R buckets live
+		// on tape, untouched by any disk loss, so ensureR is a no-op
+		// and chunk sizing gets the whole surviving disk.
+		return ghStepIISeq(e, p, plan, nextOff,
+			func(*sim.Proc) error { return nil },
+			func(b int) bucketSource { return tapeBucket{drive: e.driveR, region: rRegions[b]} },
+			func() int64 { return 0 })
+	}
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/block"
+	"repro/internal/buffer"
 	"repro/internal/disk"
 	"repro/internal/hashutil"
 	"repro/internal/sim"
@@ -17,12 +18,14 @@ func addr(n int64) tape.Addr { return tape.Addr(n) }
 // tape region. Reads charge the owning device.
 type bucketSource interface {
 	blocks() int64
+	device() string
 	read(p *sim.Proc, off, n int64) ([]block.Block, error)
 }
 
 type diskBucket struct{ f *disk.File }
 
-func (d diskBucket) blocks() int64 { return d.f.Len() }
+func (d diskBucket) blocks() int64  { return d.f.Len() }
+func (d diskBucket) device() string { return "disk:" + d.f.Name() }
 func (d diskBucket) read(p *sim.Proc, off, n int64) ([]block.Block, error) {
 	return d.f.ReadAt(p, off, n)
 }
@@ -37,7 +40,8 @@ type tapeBucket struct {
 	reverse bool
 }
 
-func (t tapeBucket) blocks() int64 { return t.region.N }
+func (t tapeBucket) blocks() int64  { return t.region.N }
+func (t tapeBucket) device() string { return "tape:" + t.drive.Name() }
 func (t tapeBucket) read(p *sim.Proc, off, n int64) ([]block.Block, error) {
 	if t.reverse && off == 0 && n == t.region.N {
 		return t.drive.ReadRegionReverse(p, t.region)
@@ -70,27 +74,38 @@ func joinBucketPair(e *env, p *sim.Proc, r, s bucketSource, maxLoad, scanBuf int
 	}
 	for roff := int64(0); roff < r.blocks(); roff += maxLoad {
 		n := min64(maxLoad, r.blocks()-roff)
-		e.mem.acquire(n)
-		rBlks, err := r.read(p, roff, n)
-		if err != nil {
-			return err
-		}
-		table := newHashTable()
-		table.addBlocks(rBlks)
-
-		e.mem.acquire(scanBuf)
-		for soff := int64(0); soff < s.blocks(); soff += scanBuf {
-			g := min64(scanBuf, s.blocks()-soff)
-			sBlks, err := s.read(p, soff, g)
+		err := func() error {
+			e.mem.acquire(n)
+			defer e.mem.release(n)
+			rBlks, err := e.readSrc(p, r, roff, n)
 			if err != nil {
 				return err
 			}
-			forEachTuple(sBlks, func(t block.Tuple) {
-				table.probeWithS(p, e.sink, t)
-			})
+			table := newHashTable()
+			if err := table.addBlocks(rBlks); err != nil {
+				return err
+			}
+
+			e.mem.acquire(scanBuf)
+			defer e.mem.release(scanBuf)
+			for soff := int64(0); soff < s.blocks(); soff += scanBuf {
+				g := min64(scanBuf, s.blocks()-soff)
+				sBlks, err := e.readSrc(p, s, soff, g)
+				if err != nil {
+					return err
+				}
+				err = forEachTuple(sBlks, func(t block.Tuple) {
+					table.probeWithS(p, e.sink, t)
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if err != nil {
+			return err
 		}
-		e.mem.release(scanBuf)
-		e.mem.release(n)
 	}
 	return nil
 }
@@ -105,6 +120,14 @@ func partitionTapeToDisk(e *env, p *sim.Proc, drive *tape.Drive, region tape.Reg
 	keep keepFn, reserve func(p *sim.Proc, n int64)) ([]*disk.File, error) {
 
 	files := make([]*disk.File, plan.B)
+	ok := false
+	defer func() {
+		// A failed partition frees every bucket file, so retried units
+		// never leak disk space.
+		if !ok {
+			freeAll(files)
+		}
+	}()
 	for i := range files {
 		f, err := e.disks.Create(fmt.Sprintf("%s%d", namePrefix, i), nil)
 		if err != nil {
@@ -122,14 +145,17 @@ func partitionTapeToDisk(e *env, p *sim.Proc, drive *tape.Drive, region tape.Reg
 			}
 			return files[bkt].Append(fp, blks)
 		})
-	err := readTape(p, drive, region, plan.InBuf, func(_ int64, blks []block.Block) error {
+	err := e.readTape(p, drive, region, plan.InBuf, func(_ int64, blks []block.Block) error {
 		var addErr error
-		forEachTuple(blks, func(t block.Tuple) {
+		err := forEachTuple(blks, func(t block.Tuple) {
 			if addErr != nil || (keep != nil && !keep(t)) {
 				return
 			}
 			addErr = pt.add(p, t)
 		})
+		if err != nil {
+			return err
+		}
 		return addErr
 	})
 	if err != nil {
@@ -138,6 +164,7 @@ func partitionTapeToDisk(e *env, p *sim.Proc, drive *tape.Drive, region tape.Reg
 	if err := pt.finish(p); err != nil {
 		return nil, err
 	}
+	ok = true
 	return files, nil
 }
 
@@ -168,11 +195,97 @@ func totalLen(files []*disk.File) int64 {
 	return n
 }
 
-// freeAll frees every file.
+// freeAll frees every non-nil file.
 func freeAll(files []*disk.File) {
 	for _, f := range files {
-		f.Free()
+		if f != nil {
+			f.Free()
+		}
 	}
+}
+
+// ensureRBuckets (re)partitions R into disk bucket files when they are
+// absent or lost extents to a failed disk. Re-entry pays a fresh tape
+// scan of R, counted in RScans.
+func (e *env) ensureRBuckets(p *sim.Proc, plan hashutil.Plan, fRB *[]*disk.File) error {
+	if *fRB != nil && !anyLost(*fRB) {
+		return nil
+	}
+	if *fRB != nil {
+		freeAll(*fRB)
+		*fRB = nil
+	}
+	files, err := partitionTapeToDisk(e, p, e.driveR, e.spec.R.Region,
+		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, "rb", e.filterR(), nil)
+	if err != nil {
+		return err
+	}
+	*fRB = files
+	e.stats.RScans++
+	return nil
+}
+
+// ghStepIISeq is the sequential Step II of the Grace Hash methods and
+// the recovery tail of the concurrent ones: starting at startOff,
+// partition a disk-sized chunk of S into bucket files and join each
+// against its R bucket. Each chunk is one restartable unit with
+// bucket-granularity checkpoints: committed buckets are skipped on
+// restart, ensureR re-stages R if a disk loss destroyed it, and chunk
+// sizing follows the surviving disk capacity.
+func ghStepIISeq(e *env, p *sim.Proc, plan hashutil.Plan, startOff int64,
+	ensureR func(*sim.Proc) error, rSrc func(b int) bucketSource, rDiskLen func() int64) error {
+
+	scanBuf := scanBufFor(plan, e.res.MemoryBlocks)
+	maxLoad := e.res.MemoryBlocks - scanBuf
+	s := e.spec.S.Region
+	for off := startOff; off < s.N; {
+		var n int64 // fixed once a bucket commits, so checkpoints stay valid
+		doneB := 0
+		var fSB []*disk.File
+		err := e.runUnit(p, fmt.Sprintf("S-chunk@%d", off), func(up *sim.Proc) error {
+			if err := ensureR(up); err != nil {
+				return err
+			}
+			if doneB == 0 {
+				d := e.effectiveD() - rDiskLen()
+				chunk := d - int64(plan.B)
+				if chunk < 1 {
+					return fmt.Errorf("%w: %d blocks left to buffer S over %d buckets", ErrNeedDisk, d, plan.B)
+				}
+				n = min64(chunk, s.N-off)
+			}
+			if fSB != nil {
+				freeAll(fSB)
+				fSB = nil
+			}
+			var err error
+			fSB, err = partitionTapeToDisk(e, up, e.driveS, s.Sub(off, n),
+				e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(), nil)
+			if err != nil {
+				return err
+			}
+			for b := doneB; b < plan.B; b++ {
+				b := b
+				if err := e.staged(up, func() error {
+					return joinBucketPair(e, up, rSrc(b), diskBucket{fSB[b]}, maxLoad, scanBuf)
+				}); err != nil {
+					return err
+				}
+				doneB = b + 1
+			}
+			return nil
+		})
+		if fSB != nil {
+			freeAll(fSB)
+		}
+		if err != nil {
+			return err
+		}
+		e.stats.Iterations++
+		e.stats.RScans++
+		off += n
+	}
+	return nil
 }
 
 // DTGH is Disk–Tape Grace Hash Join (Section 5.1.2): sequential; hash
@@ -197,42 +310,22 @@ func (DTGH) run(e *env, p *sim.Proc) error {
 	if err != nil {
 		return err
 	}
-	// Step I: hash R from tape to disk buckets.
-	fRB, err := partitionTapeToDisk(e, p, e.driveR, e.spec.R.Region,
-		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, "rb", e.filterR(), nil)
-	if err != nil {
+	// Step I: hash R from tape to disk buckets, restartable as one unit.
+	var fRB []*disk.File
+	ensure := func(up *sim.Proc) error { return e.ensureRBuckets(up, plan, &fRB) }
+	if err := e.runUnit(p, "hash-R", ensure); err != nil {
 		return err
 	}
-	e.stats.RScans++
 	e.markStepI(p)
 
-	// Partitioning an n-block chunk can emit up to n + B blocks (one
-	// partial per bucket), so the chunk leaves that slack in d.
-	d := e.res.DiskBlocks - totalLen(fRB)
-	chunk := d - int64(plan.B)
-	if chunk < 1 {
-		return fmt.Errorf("%w: %d blocks left to buffer S over %d buckets", ErrNeedDisk, d, plan.B)
-	}
-	scanBuf := scanBufFor(plan, e.res.MemoryBlocks)
-	maxLoad := e.res.MemoryBlocks - scanBuf
-
-	// Step II: iterate chunks of S sized to the spare disk space.
-	s := e.spec.S.Region
-	for off := int64(0); off < s.N; off += chunk {
-		n := min64(chunk, s.N-off)
-		fSB, err := partitionTapeToDisk(e, p, e.driveS, s.Sub(off, n),
-			e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(), nil)
-		if err != nil {
-			return err
-		}
-		for b := 0; b < plan.B; b++ {
-			if err := joinBucketPair(e, p, diskBucket{fRB[b]}, diskBucket{fSB[b]}, maxLoad, scanBuf); err != nil {
-				return err
-			}
-		}
-		freeAll(fSB)
-		e.stats.Iterations++
-		e.stats.RScans++
+	// Step II: iterate chunks of S sized to the spare disk space
+	// (partitioning an n-block chunk can emit up to n + B blocks — one
+	// partial per bucket — so each chunk leaves that slack).
+	err = ghStepIISeq(e, p, plan, 0, ensure,
+		func(b int) bucketSource { return diskBucket{fRB[b]} },
+		func() int64 { return totalLen(fRB) })
+	if err != nil {
+		return err
 	}
 	freeAll(fRB)
 	return nil
@@ -260,12 +353,11 @@ func (CDTGH) run(e *env, p *sim.Proc) error {
 	if err != nil {
 		return err
 	}
-	fRB, err := partitionTapeToDisk(e, p, e.driveR, e.spec.R.Region,
-		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, "rb", e.filterR(), nil)
-	if err != nil {
+	var fRB []*disk.File
+	ensure := func(up *sim.Proc) error { return e.ensureRBuckets(up, plan, &fRB) }
+	if err := e.runUnit(p, "hash-R", ensure); err != nil {
 		return err
 	}
-	e.stats.RScans++
 	e.markStepI(p)
 
 	d := e.res.DiskBlocks - totalLen(fRB)
@@ -278,49 +370,119 @@ func (CDTGH) run(e *env, p *sim.Proc) error {
 	if chunkCap < int64(plan.B) {
 		return fmt.Errorf("%w: %d blocks left to buffer S over %d buckets", ErrNeedDisk, d, plan.B)
 	}
-	s := e.spec.S.Region
 
-	type iterChunk struct {
-		iter  int64
-		files []*disk.File
-	}
-	q := sim.NewQueue[iterChunk](e.k, "gh-chunks", 1)
+	q := sim.NewQueue[ghChunk](e.k, "gh-chunks", 1)
+	hasher := spawnChunkHasher(e, q, plan, chunkCap, dbuf)
 
-	hasher := e.k.Spawn("s-hasher", func(hp *sim.Proc) {
-		iter := int64(0)
-		for off := int64(0); off < s.N; off += chunkCap {
-			n := min64(chunkCap, s.N-off)
-			it := iter // capture for the reserve closure
-			files, err := partitionTapeToDisk(e, hp, e.driveS, s.Sub(off, n),
-				e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(),
-				func(fp *sim.Proc, blks int64) { dbuf.Acquire(fp, it, blks) })
-			if err != nil {
-				panic(err)
-			}
-			q.Send(hp, iterChunk{iter, files})
-			iter++
-		}
-		q.Close(hp)
-	})
-
+	// Joiner: output is staged per chunk, so a mid-chunk fault leaves no
+	// partial deliveries behind; the sequential tail redoes the chunk.
+	var pipeErr error
+	nextOff := int64(0)
 	for {
 		c, ok := q.Recv(p)
 		if !ok {
 			break
 		}
-		for b := 0; b < plan.B; b++ {
-			if err := joinBucketPair(e, p, diskBucket{fRB[b]}, diskBucket{c.files[b]}, maxLoad, scanBuf); err != nil {
-				return err
+		if c.err != nil || pipeErr != nil {
+			drainChunk(e, p, dbuf, c, &pipeErr)
+			continue
+		}
+		err := e.staged(p, func() error {
+			for b := 0; b < plan.B; b++ {
+				if err := joinBucketPair(e, p, diskBucket{fRB[b]}, diskBucket{c.files[b]}, maxLoad, scanBuf); err != nil {
+					for ; b < plan.B; b++ {
+						dbuf.Release(p, c.iter, c.files[b].Len())
+						c.files[b].Free()
+					}
+					return err
+				}
+				dbuf.Release(p, c.iter, c.files[b].Len())
+				c.files[b].Free()
 			}
-			dbuf.Release(p, c.iter, c.files[b].Len())
-			c.files[b].Free()
+			return nil
+		})
+		if err != nil {
+			pipeErr = err
+			e.abort = true
+			continue
 		}
 		e.stats.Iterations++
 		e.stats.RScans++
+		nextOff = c.off + c.n
 	}
 	if err := p.Wait(hasher); err != nil {
 		return err
 	}
+	e.abort = false
+	if pipeErr != nil {
+		if e.res.Recovery.Disabled || !e.unitRecoverable(pipeErr) {
+			return pipeErr
+		}
+		// Degrade to the sequential Step II for the rest of S: same
+		// chunks and buckets, no pipeline, checkpoints per bucket.
+		err := ghStepIISeq(e, p, plan, nextOff, ensure,
+			func(b int) bucketSource { return diskBucket{fRB[b]} },
+			func() int64 { return totalLen(fRB) })
+		if err != nil {
+			return err
+		}
+	}
 	freeAll(fRB)
 	return nil
+}
+
+// ghChunk is one hashed chunk of S handed from the hasher to the
+// joiner; a chunk with err set poisons the pipeline.
+type ghChunk struct {
+	iter  int64
+	off   int64
+	n     int64
+	files []*disk.File
+	err   error
+}
+
+// spawnChunkHasher starts the producer side of the concurrent Grace
+// Hash Step II: partition successive chunks of S into double-buffered
+// disk bucket files. On a fault it returns the chunk's buffer space,
+// poisons the queue and stops; the joiner's sequential tail takes over.
+func spawnChunkHasher(e *env, q *sim.Queue[ghChunk], plan hashutil.Plan,
+	chunkCap int64, dbuf buffer.DoubleBuffer) *sim.Proc {
+
+	s := e.spec.S.Region
+	return e.k.Spawn("s-hasher", func(hp *sim.Proc) {
+		iter := int64(0)
+		for off := int64(0); off < s.N && !e.abort; off += chunkCap {
+			n := min64(chunkCap, s.N-off)
+			it := iter // capture for the reserve closure
+			var acq int64
+			files, err := partitionTapeToDisk(e, hp, e.driveS, s.Sub(off, n),
+				e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(),
+				func(fp *sim.Proc, blks int64) {
+					dbuf.Acquire(fp, it, blks)
+					acq += blks
+				})
+			if err != nil {
+				dbuf.Release(hp, it, acq)
+				q.Send(hp, ghChunk{iter: it, off: off, err: err})
+				break
+			}
+			q.Send(hp, ghChunk{iter: it, off: off, n: n, files: files})
+			iter++
+		}
+		q.Close(hp)
+	})
+}
+
+// drainChunk disposes of a chunk the joiner will not process, keeping
+// buffer and disk accounting balanced while the pipeline winds down.
+func drainChunk(e *env, p *sim.Proc, dbuf buffer.DoubleBuffer, c ghChunk, pipeErr *error) {
+	if c.err != nil && *pipeErr == nil {
+		*pipeErr = c.err
+	}
+	for _, f := range c.files {
+		if f != nil {
+			dbuf.Release(p, c.iter, f.Len())
+			f.Free()
+		}
+	}
 }

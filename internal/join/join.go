@@ -15,6 +15,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/buffer"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/relation"
 	"repro/internal/sim"
 	"repro/internal/tape"
@@ -58,6 +59,11 @@ type Resources struct {
 	// Trace, when non-nil, records every device I/O event of the run
 	// for timeline rendering.
 	Trace *trace.Recorder
+	// Faults, when non-nil, is the deterministic fault schedule
+	// injected into the tape drives and disk array.
+	Faults *fault.Schedule
+	// Recovery is the retry/checkpoint/degrade policy.
+	Recovery Recovery
 }
 
 // WithDefaults fills zero fields with the calibrated defaults used in
@@ -78,6 +84,7 @@ func (r Resources) WithDefaults() Resources {
 	if r.IOChunk == 0 {
 		r.IOChunk = 32
 	}
+	r.Recovery = r.Recovery.withDefaults()
 	return r
 }
 
@@ -174,10 +181,28 @@ type Stats struct {
 	// pushed-down selections.
 	RFiltered, SFiltered int64
 	// TapeRBusy, TapeSBusy and DiskBusy are the devices' total busy
-	// times, for utilization analysis (busy / Response).
+	// times, for utilization analysis (busy / Response). After a
+	// drive-loss degrade both tape figures report the shared
+	// transport.
 	TapeRBusy sim.Duration
 	TapeSBusy sim.Duration
 	DiskBusy  sim.Duration
+
+	// Fault-recovery accounting (see Resources.Faults and Recovery).
+	// Faults counts injected faults the run hit; Retries the re-read
+	// attempts; UnitRestarts the restarted work units; RecoveryTime
+	// the virtual time spent in retry backoff (included in Response).
+	Faults       int64
+	Retries      int64
+	UnitRestarts int64
+	RecoveryTime sim.Duration
+	// DisksLost counts permanently failed disk drives; DriveLost
+	// reports a permanent tape-drive failure; DegradedTo names the
+	// sequential method the join re-planned to after a drive loss
+	// (empty when no degrade happened).
+	DisksLost  int
+	DriveLost  bool
+	DegradedTo string
 }
 
 // DiskTraffic returns total disk blocks moved (Figure 7's metric).
@@ -245,6 +270,16 @@ type env struct {
 
 	dbuf    buffer.DoubleBuffer // set by methods that stage S on disk
 	dbufCap int64
+
+	// Recovery state. outer stages the whole run's output so a
+	// drive-loss re-plan can discard and restart it; abort asks
+	// concurrent producer procs to wind down; retired devices keep
+	// contributing to final stats after a degrade swaps them out.
+	outer         *stagedSink
+	abort         bool
+	retiredDrives []*tape.Drive
+	retiredArrays []*disk.Array
+	eodR, eodS    tape.Addr // media EODs at run start, for scratch rollback
 }
 
 // newDoubleBuffer builds the configured double-buffer discipline over
@@ -304,17 +339,34 @@ func Run(m Method, spec Spec, res Resources, sink Sink) (*Result, error) {
 		driveS.SetRecorder(res.Trace)
 		array.SetRecorder(res.Trace)
 	}
+	if res.Faults != nil {
+		driveR.SetInjector(res.Faults)
+		driveS.SetInjector(res.Faults)
+		array.SetInjector(res.Faults)
+	}
 
 	stats := &Stats{}
 	e := &env{
 		k: k, spec: spec, res: res,
 		driveR: driveR, driveS: driveS, disks: array,
 		mem: &ledger{}, sink: sink, stats: stats,
+		eodR: spec.R.Media.EOD(), eodS: spec.S.Media.EOD(),
+	}
+	// Stage the whole run's output so a drive-loss re-plan can discard
+	// the failed attempt's emissions and start over without
+	// double-delivering.
+	if !res.Recovery.Disabled {
+		e.outer = &stagedSink{inner: sink}
+		e.sink = e.outer
 	}
 
 	var runErr error
 	k.Spawn("join:"+m.Symbol(), func(p *sim.Proc) {
 		runErr = m.run(e, p)
+		if runErr != nil && !res.Recovery.Disabled &&
+			errors.Is(runErr, fault.ErrDriveLost) && !e.stats.DriveLost {
+			runErr = e.degradeRerun(p, runErr)
+		}
 	})
 	if err := k.Run(); err != nil {
 		return nil, fmt.Errorf("%s: simulation: %w", m.Symbol(), err)
@@ -322,19 +374,35 @@ func Run(m Method, spec Spec, res Resources, sink Sink) (*Result, error) {
 	if runErr != nil {
 		return nil, fmt.Errorf("%s: %w", m.Symbol(), runErr)
 	}
+	if e.outer != nil {
+		e.outer.commit(nil)
+	}
 
 	stats.Response = sim.Duration(k.Now())
-	stats.TapeBlocksRead = driveR.Stats.BlocksRead + driveS.Stats.BlocksRead
-	stats.TapeBlocksWritten = driveR.Stats.BlocksWritten + driveS.Stats.BlocksWritten
-	stats.TapeSeeks = driveR.Stats.Seeks + driveS.Stats.Seeks
-	stats.DiskBlocksRead = array.Stats.BlocksRead
-	stats.DiskBlocksWritten = array.Stats.BlocksWritten
-	stats.DiskHighWater = array.HighWater
+	for _, d := range append([]*tape.Drive{e.driveR, e.driveS}, e.retiredDrives...) {
+		stats.TapeBlocksRead += d.Stats.BlocksRead
+		stats.TapeBlocksWritten += d.Stats.BlocksWritten
+		stats.TapeSeeks += d.Stats.Seeks
+		stats.Faults += d.Stats.InjectedFaults
+	}
+	deadIDs := map[int]bool{}
+	for _, a := range append([]*disk.Array{e.disks}, e.retiredArrays...) {
+		stats.DiskBlocksRead += a.Stats.BlocksRead
+		stats.DiskBlocksWritten += a.Stats.BlocksWritten
+		stats.Faults += a.Stats.Faults
+		if a.HighWater > stats.DiskHighWater {
+			stats.DiskHighWater = a.HighWater
+		}
+		stats.DiskBusy += a.BusyTime()
+		for _, id := range a.DeadDisks() {
+			deadIDs[id] = true
+		}
+	}
+	stats.DisksLost = len(deadIDs)
 	stats.MemHighWater = e.mem.high
 	stats.OutputTuples = sink.Count()
-	stats.TapeRBusy = driveR.BusyTime()
-	stats.TapeSBusy = driveS.BusyTime()
-	stats.DiskBusy = array.BusyTime()
+	stats.TapeRBusy = e.driveR.BusyTime()
+	stats.TapeSBusy = e.driveS.BusyTime()
 
 	result := &Result{Method: m.Symbol(), Stats: *stats}
 	if e.dbuf != nil {

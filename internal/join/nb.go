@@ -29,16 +29,38 @@ func copyRToDisk(e *env, p *sim.Proc) (*disk.File, error) {
 	e.mem.acquire(e.res.MemoryBlocks)
 	defer e.mem.release(e.res.MemoryBlocks)
 	keep := e.filterR()
-	err = readTape(p, e.driveR, e.spec.R.Region, e.res.MemoryBlocks,
+	err = e.readTape(p, e.driveR, e.spec.R.Region, e.res.MemoryBlocks,
 		func(_ int64, blks []block.Block) error {
-			blks, _ = filterRepack(blks, keep, e.spec.R.TuplesPerBlock, e.spec.R.Tag)
+			blks, _, err := filterRepack(blks, keep, e.spec.R.TuplesPerBlock, e.spec.R.Tag)
+			if err != nil {
+				return err
+			}
 			return f.Append(p, blks)
 		})
 	if err != nil {
+		f.Free()
 		return nil, err
 	}
 	e.stats.RScans++
 	return f, nil
+}
+
+// ensureRFile (re)copies R to disk when it is absent or lost extents to
+// a failed disk, paying a fresh tape scan of R.
+func (e *env) ensureRFile(p *sim.Proc, fR **disk.File) error {
+	if *fR != nil && !(*fR).Lost() {
+		return nil
+	}
+	if *fR != nil {
+		(*fR).Free()
+		*fR = nil
+	}
+	f, err := copyRToDisk(e, p)
+	if err != nil {
+		return err
+	}
+	*fR = f
+	return nil
 }
 
 // scanRAndProbe performs the inner loop of a Nested Block iteration:
@@ -49,15 +71,55 @@ func scanRAndProbe(e *env, p *sim.Proc, fR *disk.File, mr int64, table *hashTabl
 	defer e.mem.release(mr)
 	for off := int64(0); off < fR.Len(); off += mr {
 		n := min64(mr, fR.Len()-off)
-		blks, err := fR.ReadAt(p, off, n)
+		blks, err := e.diskRead(p, fR, off, n)
 		if err != nil {
 			return err
 		}
-		forEachTuple(blks, func(t block.Tuple) {
+		err = forEachTuple(blks, func(t block.Tuple) {
 			table.probeWithR(p, e.sink, t)
 		})
+		if err != nil {
+			return err
+		}
 	}
 	e.stats.RScans++
+	return nil
+}
+
+// nbJoinChunks is the sequential Step II of DT-NB and the recovery
+// tail of the concurrent Nested Block variants: join ms-block chunks
+// of S against disk-resident R starting at startOff. Each chunk is one
+// restartable unit with staged output; ensureR re-stages R when a disk
+// loss destroyed it.
+func nbJoinChunks(e *env, p *sim.Proc, fR **disk.File, ensureR func(*sim.Proc) error,
+	mr, ms, startOff int64) error {
+
+	s := e.spec.S.Region
+	for off := startOff; off < s.N; off += ms {
+		n := min64(ms, s.N-off)
+		err := e.runUnit(p, fmt.Sprintf("S-chunk@%d", off), func(up *sim.Proc) error {
+			if err := ensureR(up); err != nil {
+				return err
+			}
+			e.mem.acquire(n)
+			defer e.mem.release(n)
+			blks, err := e.tapeRead(up, e.driveS, s.Start+addr(off), n)
+			if err != nil {
+				return err
+			}
+			table := newHashTable()
+			if err := table.addBlocksFiltered(blks, e.filterS()); err != nil {
+				return err
+			}
+			return e.staged(up, func() error {
+				return scanRAndProbe(e, up, *fR, mr, table)
+			})
+		})
+		if err != nil {
+			return err
+		}
+		e.stats.Iterations++
+	}
 	return nil
 }
 
@@ -83,28 +145,16 @@ func (DTNB) Check(spec Spec, res Resources) error {
 }
 
 func (DTNB) run(e *env, p *sim.Proc) error {
-	fR, err := copyRToDisk(e, p)
-	if err != nil {
+	var fR *disk.File
+	ensure := func(up *sim.Proc) error { return e.ensureRFile(up, &fR) }
+	if err := e.runUnit(p, "copy-R", ensure); err != nil {
 		return err
 	}
 	e.markStepI(p)
 
 	mr, ms := nbSplit(e.res.MemoryBlocks)
-	s := e.spec.S.Region
-	for off := int64(0); off < s.N; off += ms {
-		n := min64(ms, s.N-off)
-		e.mem.acquire(n)
-		blks, err := e.driveS.ReadAt(p, s.Start+addr(off), n)
-		if err != nil {
-			return err
-		}
-		table := newHashTable()
-		table.addBlocksFiltered(blks, e.filterS())
-		if err := scanRAndProbe(e, p, fR, mr, table); err != nil {
-			return err
-		}
-		e.mem.release(n)
-		e.stats.Iterations++
+	if err := nbJoinChunks(e, p, &fR, ensure, mr, ms, 0); err != nil {
+		return err
 	}
 	fR.Free()
 	return nil
@@ -136,8 +186,9 @@ func (CDTNBMB) Check(spec Spec, res Resources) error {
 }
 
 func (CDTNBMB) run(e *env, p *sim.Proc) error {
-	fR, err := copyRToDisk(e, p)
-	if err != nil {
+	var fR *disk.File
+	ensure := func(up *sim.Proc) error { return e.ensureRFile(up, &fR) }
+	if err := e.runUnit(p, "copy-R", ensure); err != nil {
 		return err
 	}
 	e.markStepI(p)
@@ -148,7 +199,9 @@ func (CDTNBMB) run(e *env, p *sim.Proc) error {
 
 	type chunk struct {
 		blks []block.Block
+		off  int64
 		n    int64
+		err  error
 	}
 	// Two physical buffers: the reader may fill one while the joiner
 	// drains the other. Interleaving is impossible here because the
@@ -158,35 +211,67 @@ func (CDTNBMB) run(e *env, p *sim.Proc) error {
 	q := sim.NewQueue[chunk](e.k, "nb-chunks", 1)
 
 	reader := e.k.Spawn("s-reader", func(rp *sim.Proc) {
-		for off := int64(0); off < s.N; off += ms {
+		for off := int64(0); off < s.N && !e.abort; off += ms {
 			n := min64(ms, s.N-off)
 			bufs.Get(rp, 1)
 			e.mem.acquire(n)
-			blks, err := e.driveS.ReadAt(rp, s.Start+addr(off), n)
+			blks, err := e.tapeRead(rp, e.driveS, s.Start+addr(off), n)
 			if err != nil {
-				panic(err)
+				e.mem.release(n)
+				bufs.Put(rp, 1)
+				q.Send(rp, chunk{off: off, err: err})
+				break
 			}
-			q.Send(rp, chunk{blks, n})
+			q.Send(rp, chunk{blks: blks, off: off, n: n})
 		}
 		q.Close(rp)
 	})
 
+	var pipeErr error
+	nextOff := int64(0)
 	for {
 		c, ok := q.Recv(p)
 		if !ok {
 			break
 		}
+		if c.err != nil || pipeErr != nil {
+			if c.err != nil && pipeErr == nil {
+				pipeErr = c.err
+			}
+			if c.blks != nil {
+				e.mem.release(c.n)
+				bufs.Put(p, 1)
+			}
+			continue
+		}
 		table := newHashTable()
-		table.addBlocksFiltered(c.blks, e.filterS())
-		if err := scanRAndProbe(e, p, fR, mr, table); err != nil {
-			return err
+		err := table.addBlocksFiltered(c.blks, e.filterS())
+		if err == nil {
+			err = e.staged(p, func() error { return scanRAndProbe(e, p, fR, mr, table) })
 		}
 		e.mem.release(c.n)
 		bufs.Put(p, 1)
+		if err != nil {
+			pipeErr = err
+			e.abort = true
+			continue
+		}
 		e.stats.Iterations++
+		nextOff = c.off + c.n
 	}
 	if err := p.Wait(reader); err != nil {
 		return err
+	}
+	e.abort = false
+	if pipeErr != nil {
+		if e.res.Recovery.Disabled || !e.unitRecoverable(pipeErr) {
+			return pipeErr
+		}
+		// Finish the rest of S sequentially, DT-NB style, re-staging R
+		// if the fault destroyed it.
+		if err := nbJoinChunks(e, p, &fR, ensure, mr, ms, nextOff); err != nil {
+			return err
+		}
 	}
 	fR.Free()
 	return nil
@@ -220,8 +305,9 @@ func (CDTNBDB) Check(spec Spec, res Resources) error {
 }
 
 func (CDTNBDB) run(e *env, p *sim.Proc) error {
-	fR, err := copyRToDisk(e, p)
-	if err != nil {
+	var fR *disk.File
+	ensure := func(up *sim.Proc) error { return e.ensureRFile(up, &fR) }
+	if err := e.runUnit(p, "copy-R", ensure); err != nil {
 		return err
 	}
 	e.markStepI(p)
@@ -234,67 +320,115 @@ func (CDTNBDB) run(e *env, p *sim.Proc) error {
 	type chunk struct {
 		iter int64
 		file *disk.File
+		off  int64
 		n    int64
+		err  error
 	}
 	q := sim.NewQueue[chunk](e.k, "db-chunks", 1)
 
 	producer := e.k.Spawn("s-stager", func(rp *sim.Proc) {
 		iter := int64(0)
-		for off := int64(0); off < s.N; off += chunkCap {
+		for off := int64(0); off < s.N && !e.abort; off += chunkCap {
 			n := min64(chunkCap, s.N-off)
 			f, err := e.disks.Create("schunk", nil)
 			if err != nil {
-				panic(err)
+				q.Send(rp, chunk{iter: iter, off: off, err: err})
+				break
 			}
 			// Stage tape -> disk through a small transfer buffer
 			// (ignored in M per Section 6), acquiring buffer space as
 			// the previous iteration releases it.
+			var acq int64
+			var stageErr error
 			for sub := int64(0); sub < n; sub += e.res.IOChunk {
 				g := min64(e.res.IOChunk, n-sub)
 				dbuf.Acquire(rp, iter, g)
-				blks, err := e.driveS.ReadAt(rp, s.Start+addr(off+sub), g)
-				if err != nil {
-					panic(err)
+				acq += g
+				blks, err := e.tapeRead(rp, e.driveS, s.Start+addr(off+sub), g)
+				if err == nil {
+					err = f.Append(rp, blks)
 				}
-				if err := f.Append(rp, blks); err != nil {
-					panic(err)
+				if err != nil {
+					stageErr = err
+					break
 				}
 			}
-			q.Send(rp, chunk{iter, f, n})
+			if stageErr != nil {
+				dbuf.Release(rp, iter, acq)
+				f.Free()
+				q.Send(rp, chunk{iter: iter, off: off, err: stageErr})
+				break
+			}
+			q.Send(rp, chunk{iter: iter, file: f, off: off, n: n})
 			iter++
 		}
 		q.Close(rp)
 	})
 
+	var pipeErr error
+	nextOff := int64(0)
 	for {
 		c, ok := q.Recv(p)
 		if !ok {
 			break
 		}
+		if c.err != nil || pipeErr != nil {
+			if c.err != nil && pipeErr == nil {
+				pipeErr = c.err
+			}
+			if c.file != nil {
+				dbuf.Release(p, c.iter, c.n)
+				c.file.Free()
+			}
+			continue
+		}
 		// Read the staged chunk into memory, releasing buffer space
 		// as it is consumed so the producer can refill it (the
 		// interleaved scheme of Section 4).
-		e.mem.acquire(c.n)
-		table := newHashTable()
-		keepS := e.filterS()
-		for sub := int64(0); sub < c.n; sub += e.res.IOChunk {
-			g := min64(e.res.IOChunk, c.n-sub)
-			blks, err := c.file.ReadAt(p, sub, g)
-			if err != nil {
-				return err
+		err := func() error {
+			e.mem.acquire(c.n)
+			defer e.mem.release(c.n)
+			table := newHashTable()
+			keepS := e.filterS()
+			for sub := int64(0); sub < c.n; sub += e.res.IOChunk {
+				g := min64(e.res.IOChunk, c.n-sub)
+				blks, err := e.diskRead(p, c.file, sub, g)
+				if err != nil {
+					dbuf.Release(p, c.iter, c.n-sub)
+					c.file.Free()
+					return err
+				}
+				if err := table.addBlocksFiltered(blks, keepS); err != nil {
+					dbuf.Release(p, c.iter, c.n-sub)
+					c.file.Free()
+					return err
+				}
+				dbuf.Release(p, c.iter, g)
 			}
-			table.addBlocksFiltered(blks, keepS)
-			dbuf.Release(p, c.iter, g)
+			c.file.Free()
+			return e.staged(p, func() error { return scanRAndProbe(e, p, fR, mr, table) })
+		}()
+		if err != nil {
+			pipeErr = err
+			e.abort = true
+			continue
 		}
-		c.file.Free()
-		if err := scanRAndProbe(e, p, fR, mr, table); err != nil {
-			return err
-		}
-		e.mem.release(c.n)
 		e.stats.Iterations++
+		nextOff = c.off + c.n
 	}
 	if err := p.Wait(producer); err != nil {
 		return err
+	}
+	e.abort = false
+	if pipeErr != nil {
+		if e.res.Recovery.Disabled || !e.unitRecoverable(pipeErr) {
+			return pipeErr
+		}
+		// Finish the rest of S sequentially with direct tape reads,
+		// memory-sized chunks at a time.
+		if err := nbJoinChunks(e, p, &fR, ensure, mr, ms, nextOff); err != nil {
+			return err
+		}
 	}
 	fR.Free()
 	return nil

@@ -1,0 +1,345 @@
+package join
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/fault"
+	"repro/internal/relation"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runWith runs method symbol over a fresh small spec with the given
+// fault schedule (nil = clean) and returns the result and the expected
+// match count.
+func runWith(t *testing.T, symbol string, res Resources, sched *fault.Schedule) (*Result, int64, error) {
+	t.Helper()
+	spec := testSpec(t)
+	want := relation.ExpectedMatches(spec.R, spec.S)
+	res.Faults = sched
+	sink := &CountSink{}
+	result, err := Run(mustMethod(t, symbol), spec, res, sink)
+	return result, want, err
+}
+
+func mustMethod(t *testing.T, symbol string) Method {
+	t.Helper()
+	m, err := BySymbol(symbol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTransientFaultsRecoverEveryMethod injects retryable read faults
+// on both tapes into every join method and demands a correct join with
+// the recovery charged in virtual time.
+func TestTransientFaultsRecoverEveryMethod(t *testing.T) {
+	for _, m := range Methods() {
+		m := m
+		t.Run(m.Symbol(), func(t *testing.T) {
+			res := fastRes(10, 64)
+			clean, want, err := runWith(t, m.Symbol(), res, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			spec := testSpec(t)
+			sched := &fault.Schedule{}
+			sched.AddTransient("tape:R", int64(spec.R.Region.Start)+3, 2)
+			sched.AddTransient("tape:S", int64(spec.S.Region.Start)+7, 1)
+			faulted, _, err := runWith(t, m.Symbol(), res, sched)
+			if err != nil {
+				t.Fatalf("faulted run: %v", err)
+			}
+
+			if faulted.Stats.OutputTuples != want {
+				t.Fatalf("matches = %d, want %d", faulted.Stats.OutputTuples, want)
+			}
+			if faulted.Stats.Faults < 3 {
+				t.Fatalf("Faults = %d, want >= 3 injected", faulted.Stats.Faults)
+			}
+			if faulted.Stats.Retries < 3 {
+				t.Fatalf("Retries = %d, want >= 3", faulted.Stats.Retries)
+			}
+			if faulted.Stats.RecoveryTime <= 0 {
+				t.Fatal("no recovery time charged")
+			}
+			if faulted.Stats.Response <= clean.Stats.Response {
+				t.Fatalf("faulted response %v not above clean %v",
+					faulted.Stats.Response, clean.Stats.Response)
+			}
+		})
+	}
+}
+
+// TestCorruptDeliveryRereadRecovers injects delivered-copy corruption:
+// the stored blocks are intact, so the checksum failure must trigger a
+// re-read that recovers, not a panic or a wrong answer.
+func TestCorruptDeliveryRereadRecovers(t *testing.T) {
+	for _, symbol := range []string{"DT-NB", "CDT-GH", "CTT-GH"} {
+		symbol := symbol
+		t.Run(symbol, func(t *testing.T) {
+			spec := testSpec(t)
+			sched := &fault.Schedule{}
+			sched.AddCorrupt("tape:S", int64(spec.S.Region.Start)+5, 2)
+			faulted, want, err := runWith(t, symbol, fastRes(10, 64), sched)
+			if err != nil {
+				t.Fatalf("faulted run: %v", err)
+			}
+			if faulted.Stats.OutputTuples != want {
+				t.Fatalf("matches = %d, want %d", faulted.Stats.OutputTuples, want)
+			}
+			if faulted.Stats.Retries < 2 {
+				t.Fatalf("Retries = %d, want >= 2", faulted.Stats.Retries)
+			}
+		})
+	}
+}
+
+// TestDiskCorruptionSurfacesTypedError verifies the MustDecode audit:
+// corruption on the disk path surfaces as block.ErrBadChecksum, never
+// a panic, both with recovery off (typed error returned) and with
+// recovery on (re-read absorbs it).
+func TestDiskCorruptionSurfacesTypedError(t *testing.T) {
+	// Recovery disabled: DT-NB reads R back from disk; a corrupt
+	// delivered copy must fail the join with the typed checksum error.
+	res := fastRes(10, 64)
+	res.Recovery.Disabled = true
+	sched := &fault.Schedule{}
+	sched.AddCorrupt("disk", 5, 1)
+	_, _, err := runWith(t, "DT-NB", res, sched)
+	if err == nil {
+		t.Fatal("corrupt disk delivery with recovery off should fail the join")
+	}
+	if !errors.Is(err, block.ErrBadChecksum) {
+		t.Fatalf("err = %v, want block.ErrBadChecksum in chain", err)
+	}
+
+	// Recovery enabled: the same corruption is absorbed by a re-read.
+	sched = &fault.Schedule{}
+	sched.AddCorrupt("disk", 5, 1)
+	faulted, want, err := runWith(t, "DT-NB", fastRes(10, 64), sched)
+	if err != nil {
+		t.Fatalf("recovered run: %v", err)
+	}
+	if faulted.Stats.OutputTuples != want {
+		t.Fatalf("matches = %d, want %d", faulted.Stats.OutputTuples, want)
+	}
+	if faulted.Stats.Retries < 1 {
+		t.Fatalf("Retries = %d, want >= 1", faulted.Stats.Retries)
+	}
+}
+
+// TestRecoveryDisabledFailsFast: with recovery off, the first injected
+// fault aborts the join with the transient cause intact.
+func TestRecoveryDisabledFailsFast(t *testing.T) {
+	spec := testSpec(t)
+	res := fastRes(10, 64)
+	res.Recovery.Disabled = true
+	sched := &fault.Schedule{}
+	sched.AddTransient("tape:R", int64(spec.R.Region.Start)+3, 1)
+	result, _, err := runWith(t, "DT-GH", res, sched)
+	if err == nil {
+		t.Fatal("transient fault with recovery off should abort the join")
+	}
+	if !fault.IsTransient(err) {
+		t.Fatalf("err = %v, want transient cause preserved", err)
+	}
+	if result != nil && result.Stats.Retries != 0 {
+		t.Fatalf("Retries = %d with recovery disabled", result.Stats.Retries)
+	}
+}
+
+// TestRetryBudgetExhausted: a fault that outlives every retry and unit
+// restart surfaces as the typed ErrFaultExhausted.
+func TestRetryBudgetExhausted(t *testing.T) {
+	spec := testSpec(t)
+	sched := &fault.Schedule{}
+	sched.AddTransient("tape:S", int64(spec.S.Region.Start)+7, 1000)
+	_, _, err := runWith(t, "DT-NB", fastRes(10, 64), sched)
+	if err == nil {
+		t.Fatal("persistent fault should exhaust the retry budget")
+	}
+	if !errors.Is(err, ErrFaultExhausted) {
+		t.Fatalf("err = %v, want ErrFaultExhausted", err)
+	}
+}
+
+// TestHardMediaErrorNotRetried: hard media errors are terminal — no
+// retry budget is spent on them.
+func TestHardMediaErrorNotRetried(t *testing.T) {
+	spec := testSpec(t)
+	sched := &fault.Schedule{}
+	sched.AddHard("tape:S", int64(spec.S.Region.Start)+7)
+	result, _, err := runWith(t, "DT-NB", fastRes(10, 64), sched)
+	if err == nil {
+		t.Fatal("hard media error should fail the join")
+	}
+	if !errors.Is(err, fault.ErrMedia) {
+		t.Fatalf("err = %v, want fault.ErrMedia", err)
+	}
+	if result != nil && result.Stats.Retries != 0 {
+		t.Fatalf("Retries = %d on a hard error", result.Stats.Retries)
+	}
+}
+
+// table3Res is the acceptance-test geometry: Table 3's shape (|S| =
+// 2|R|, D = |R|/2, two disks) at test scale, sized so losing one of
+// the two disks still leaves an assemblable bucket window.
+func table3Spec(t *testing.T) (Spec, Resources) {
+	t.Helper()
+	spec := specWithSizes(t, 320, 640, 4)
+	return spec, fastRes(20, 160)
+}
+
+// TestCTTGHFaultedTable3Acceptance is the PR's acceptance scenario: a
+// Table-3-shaped CTT-GH join survives a transient tape error plus a
+// mid-run disk failure, produces the exact cardinality, and its
+// response time exceeds the fault-free run by the charged recovery.
+func TestCTTGHFaultedTable3Acceptance(t *testing.T) {
+	spec, res := table3Spec(t)
+	want := relation.ExpectedMatches(spec.R, spec.S)
+	sink := &CountSink{}
+	clean, err := Run(mustMethod(t, "CTT-GH"), spec, res, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Matches != want {
+		t.Fatalf("clean matches = %d, want %d", sink.Matches, want)
+	}
+
+	for _, tc := range []struct {
+		name string
+		frac float64 // disk death time as a fraction of the clean response
+	}{
+		{"disk dies in Step I", 0.10},
+		{"disk dies in Step II", 0.70},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			spec, res := table3Spec(t)
+			sched := &fault.Schedule{}
+			sched.AddTransient("tape:R", int64(spec.R.Region.Start)+11, 2)
+			sched.AddDiskFail(1, sim.Time(float64(clean.Stats.Response)*tc.frac))
+			res.Faults = sched
+			sink := &CountSink{}
+			faulted, err := Run(mustMethod(t, "CTT-GH"), spec, res, sink)
+			if err != nil {
+				t.Fatalf("faulted run: %v", err)
+			}
+			if sink.Matches != want {
+				t.Fatalf("matches = %d, want %d", sink.Matches, want)
+			}
+			if faulted.Stats.DisksLost != 1 {
+				t.Fatalf("DisksLost = %d, want 1", faulted.Stats.DisksLost)
+			}
+			if faulted.Stats.Retries < 2 {
+				t.Fatalf("Retries = %d, want >= 2 for the transient", faulted.Stats.Retries)
+			}
+			if faulted.Stats.RecoveryTime <= 0 {
+				t.Fatal("no recovery time charged")
+			}
+			if faulted.Stats.Response <= clean.Stats.Response {
+				t.Fatalf("faulted response %v not above clean %v",
+					faulted.Stats.Response, clean.Stats.Response)
+			}
+		})
+	}
+}
+
+// TestDriveLossDegradesToSequential: a permanent tape-drive failure
+// mid-run re-plans onto a shared transport and a feasible sequential
+// method, still producing the exact output.
+func TestDriveLossDegradesToSequential(t *testing.T) {
+	// CDT-GH needs all of R on disk, so give it a roomy array.
+	spec := specWithSizes(t, 320, 640, 4)
+	res := fastRes(20, 500)
+	want := relation.ExpectedMatches(spec.R, spec.S)
+	clean, err := Run(mustMethod(t, "CDT-GH"), spec, res, &CountSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec = specWithSizes(t, 320, 640, 4)
+	sched := &fault.Schedule{}
+	sched.AddDriveFail("tape:S", sim.Time(clean.Stats.Response/3))
+	res.Faults = sched
+	sink := &CountSink{}
+	faulted, err := Run(mustMethod(t, "CDT-GH"), spec, res, sink)
+	if err != nil {
+		t.Fatalf("degraded run: %v", err)
+	}
+	if sink.Matches != want {
+		t.Fatalf("matches = %d, want %d", sink.Matches, want)
+	}
+	if !faulted.Stats.DriveLost {
+		t.Fatal("DriveLost not recorded")
+	}
+	if faulted.Stats.DegradedTo == "" {
+		t.Fatal("DegradedTo empty after drive loss")
+	}
+	found := false
+	for _, c := range degradeCandidates {
+		if faulted.Stats.DegradedTo == c {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DegradedTo = %q, not a sequential candidate %v",
+			faulted.Stats.DegradedTo, degradeCandidates)
+	}
+	if faulted.Stats.Response <= clean.Stats.Response {
+		t.Fatalf("degraded response %v not above clean %v",
+			faulted.Stats.Response, clean.Stats.Response)
+	}
+}
+
+// TestSameFaultSeedIsDeterministic is the seed-determinism regression:
+// two runs under the identical seeded random schedule must produce
+// byte-identical stats and device traces.
+func TestSameFaultSeedIsDeterministic(t *testing.T) {
+	run := func() (Stats, string) {
+		spec := testSpec(t)
+		res := fastRes(10, 64)
+		res.Faults = fault.Random(99, 8, fault.RandomConfig{MaxAddr: 20})
+		rec := &trace.Recorder{}
+		res.Trace = rec
+		sink := &CountSink{}
+		result, err := Run(mustMethod(t, "CTT-GH"), spec, res, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result.Stats, rec.Timeline(sim.Time(result.Stats.Response), 120)
+	}
+	statsA, traceA := run()
+	statsB, traceB := run()
+	if !reflect.DeepEqual(statsA, statsB) {
+		t.Fatalf("stats differ across identical seeds:\nA: %+v\nB: %+v", statsA, statsB)
+	}
+	if traceA != traceB {
+		t.Fatal("trace timelines differ across identical seeds")
+	}
+	if statsA.Faults == 0 {
+		t.Fatal("seeded schedule injected nothing; test is vacuous")
+	}
+}
+
+// TestFaultStatsZeroOnCleanRuns: without a schedule the recovery
+// counters stay zero and response time is untouched by recovery code.
+func TestFaultStatsZeroOnCleanRuns(t *testing.T) {
+	for _, m := range Methods() {
+		clean, _, err := runWith(t, m.Symbol(), fastRes(10, 64), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := clean.Stats
+		if st.Faults != 0 || st.Retries != 0 || st.UnitRestarts != 0 ||
+			st.RecoveryTime != 0 || st.DisksLost != 0 || st.DriveLost || st.DegradedTo != "" {
+			t.Fatalf("%s: clean run has recovery stats: %+v", m.Symbol(), st)
+		}
+	}
+}

@@ -122,8 +122,11 @@ func (w *smWorkspace) write(p *sim.Proc, blks []block.Block) (tape.Region, error
 }
 
 // tupleStream reads a sorted tape region sequentially, bufBlocks at a
-// time.
+// time. Reads go through the env's retrying device-read path; TT-SM
+// has no checkpoints (a failed read aborts the sort), so retries are
+// its only recovery.
 type tupleStream struct {
+	e      *env
 	drive  *tape.Drive
 	region tape.Region
 	buf    int64
@@ -142,14 +145,16 @@ func (ts *tupleStream) next(p *sim.Proc) (block.Tuple, bool, error) {
 			return block.Tuple{}, false, nil
 		}
 		n := min64(ts.buf, ts.region.N-ts.off)
-		blks, err := ts.drive.ReadAt(p, ts.region.Start+tape.Addr(ts.off), n)
+		blks, err := ts.e.tapeRead(p, ts.drive, ts.region.Start+tape.Addr(ts.off), n)
 		if err != nil {
 			return block.Tuple{}, false, err
 		}
 		ts.off += n
 		ts.cur = ts.cur[:0]
 		ts.idx = 0
-		forEachTuple(blks, func(t block.Tuple) { ts.cur = append(ts.cur, t) })
+		if err := forEachTuple(blks, func(t block.Tuple) { ts.cur = append(ts.cur, t) }); err != nil {
+			return block.Tuple{}, false, err
+		}
 	}
 	t := ts.cur[ts.idx]
 	ts.idx++
@@ -230,17 +235,20 @@ func sortOnTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
 	e.mem.acquire(m)
 	for off := int64(0); off < region.N; off += m {
 		n := min64(m, region.N-off)
-		blks, err := src.ReadAt(p, region.Start+tape.Addr(off), n)
+		blks, err := e.tapeRead(p, src, region.Start+tape.Addr(off), n)
 		if err != nil {
 			return nil, tape.Region{}, err
 		}
 		var tuples []block.Tuple
-		forEachTuple(blks, func(t block.Tuple) {
+		err = forEachTuple(blks, func(t block.Tuple) {
 			if keep != nil && !keep(t) {
 				return
 			}
 			tuples = append(tuples, t)
 		})
+		if err != nil {
+			return nil, tape.Region{}, err
+		}
 		sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].Key < tuples[j].Key })
 		bp := newBlockPacker(wsAway, tag, perBlk, outBuf)
 		for _, t := range tuples {
@@ -294,7 +302,7 @@ func mergeRuns(e *env, p *sim.Proc, src *tape.Drive, runs []tape.Region,
 	heads := make([]block.Tuple, len(runs))
 	alive := make([]bool, len(runs))
 	for i, run := range runs {
-		streams[i] = &tupleStream{drive: src, region: run, buf: inBuf}
+		streams[i] = &tupleStream{e: e, drive: src, region: run, buf: inBuf}
 		t, ok, err := streams[i].next(p)
 		if err != nil {
 			return tape.Region{}, err
@@ -370,7 +378,7 @@ func copySorted(e *env, p *sim.Proc, src *tape.Drive, region tape.Region, dst *s
 	var out tape.Region
 	for off := int64(0); off < region.N; off += e.res.IOChunk {
 		n := min64(e.res.IOChunk, region.N-off)
-		blks, err := src.ReadAt(p, region.Start+tape.Addr(off), n)
+		blks, err := e.tapeRead(p, src, region.Start+tape.Addr(off), n)
 		if err != nil {
 			return tape.Region{}, err
 		}
@@ -399,8 +407,8 @@ func mergeJoin(e *env, p *sim.Proc, rDrive *tape.Drive, rReg tape.Region,
 	}
 	e.mem.acquire(2 * buf)
 	defer e.mem.release(2 * buf)
-	rs := &tupleStream{drive: rDrive, region: rReg, buf: buf}
-	ss := &tupleStream{drive: sDrive, region: sReg, buf: buf}
+	rs := &tupleStream{e: e, drive: rDrive, region: rReg, buf: buf}
+	ss := &tupleStream{e: e, drive: sDrive, region: sReg, buf: buf}
 
 	rT, rOK, err := rs.next(p)
 	if err != nil {

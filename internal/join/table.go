@@ -20,15 +20,20 @@ func newHashTable() *hashTable {
 	return &hashTable{m: make(map[uint64][]block.Tuple)}
 }
 
-// addBlocks inserts every tuple of blks.
-func (h *hashTable) addBlocks(blks []block.Block) {
-	h.addBlocksFiltered(blks, nil)
+// addBlocks inserts every tuple of blks. Corrupt blocks surface as the
+// decoder's typed error, never a panic: the blocks come from device
+// reads, and delivered-copy corruption is an input condition here.
+func (h *hashTable) addBlocks(blks []block.Block) error {
+	return h.addBlocksFiltered(blks, nil)
 }
 
 // addBlocksFiltered inserts tuples surviving keep (nil keeps all).
-func (h *hashTable) addBlocksFiltered(blks []block.Block, keep keepFn) {
+func (h *hashTable) addBlocksFiltered(blks []block.Block, keep keepFn) error {
 	for _, blk := range blks {
-		_, tuples := blk.MustDecode()
+		_, tuples, err := blk.Decode()
+		if err != nil {
+			return fmt.Errorf("join: build side: %w", err)
+		}
 		for _, t := range tuples {
 			if keep != nil && !keep(t) {
 				continue
@@ -36,6 +41,7 @@ func (h *hashTable) addBlocksFiltered(blks []block.Block, keep keepFn) {
 			h.m[t.Key] = append(h.m[t.Key], t)
 		}
 	}
+	return nil
 }
 
 // probeWithR probes with an R tuple against a table built on S tuples,
@@ -62,14 +68,20 @@ func (h *hashTable) len() int {
 	return n
 }
 
-// forEachTuple decodes blocks and applies fn to every tuple.
-func forEachTuple(blks []block.Block, fn func(block.Tuple)) {
+// forEachTuple decodes blocks and applies fn to every tuple. A corrupt
+// block stops the walk with the decoder's typed error — device-read
+// corruption must never panic a join.
+func forEachTuple(blks []block.Block, fn func(block.Tuple)) error {
 	for _, blk := range blks {
-		_, tuples := blk.MustDecode()
+		_, tuples, err := blk.Decode()
+		if err != nil {
+			return fmt.Errorf("join: decode: %w", err)
+		}
 		for _, t := range tuples {
 			fn(t)
 		}
 	}
+	return nil
 }
 
 // keepFn reports whether a tuple survives a pushed-down selection.
@@ -78,14 +90,14 @@ type keepFn func(block.Tuple) bool
 // filterRepack drops tuples failing keep and repacks the survivors at
 // the original density, returning the smaller block run and the number
 // of tuples dropped. A nil keep returns the input unchanged.
-func filterRepack(blks []block.Block, keep keepFn, perBlk int, tag byte) ([]block.Block, int64) {
+func filterRepack(blks []block.Block, keep keepFn, perBlk int, tag byte) ([]block.Block, int64, error) {
 	if keep == nil {
-		return blks, 0
+		return blks, 0, nil
 	}
 	bld := block.NewBuilder(tag)
 	out := make([]block.Block, 0, len(blks))
 	var dropped int64
-	forEachTuple(blks, func(t block.Tuple) {
+	err := forEachTuple(blks, func(t block.Tuple) {
 		if !keep(t) {
 			dropped++
 			return
@@ -95,10 +107,13 @@ func filterRepack(blks []block.Block, keep keepFn, perBlk int, tag byte) ([]bloc
 			out = append(out, bld.Finish())
 		}
 	})
+	if err != nil {
+		return nil, 0, err
+	}
 	if bld.Len() > 0 {
 		out = append(out, bld.Finish())
 	}
-	return out, dropped
+	return out, dropped, nil
 }
 
 // filterFor returns the pushed-down filter for a relation tag, with
@@ -131,14 +146,15 @@ func (e *env) filterS() keepFn {
 
 // readTape streams region from drive in chunk-block requests, calling
 // fn with each batch. The stream is strictly sequential, keeping the
-// drive streaming when fn is fast.
-func readTape(p *sim.Proc, drive *tape.Drive, region tape.Region, chunk int64, fn func(off int64, blks []block.Block) error) error {
+// drive streaming when fn is fast. Reads go through the retrying
+// device-read path, so transient faults are absorbed here.
+func (e *env) readTape(p *sim.Proc, drive *tape.Drive, region tape.Region, chunk int64, fn func(off int64, blks []block.Block) error) error {
 	if chunk < 1 {
 		return fmt.Errorf("join: readTape chunk %d", chunk)
 	}
 	for off := int64(0); off < region.N; off += chunk {
 		n := min64(chunk, region.N-off)
-		blks, err := drive.ReadAt(p, region.Start+tape.Addr(off), n)
+		blks, err := e.tapeRead(p, drive, region.Start+tape.Addr(off), n)
 		if err != nil {
 			return err
 		}

@@ -90,11 +90,19 @@ func (TTGH) run(e *env, p *sim.Proc) error {
 	maxLoad := e.res.MemoryBlocks - scanBuf
 
 	// Step II: join bucket pairs; R buckets now live on the S tape
-	// and S buckets on the R tape, both in bucket order.
+	// and S buckets on the R tape, both in bucket order. Each bucket
+	// pair is one restartable unit with staged output — both inputs
+	// are on tape, so any retry simply re-reads them.
 	for b := 0; b < plan.B; b++ {
-		r := tapeBucket{drive: e.driveS, region: rRegions[b]}
-		s := tapeBucket{drive: e.driveR, region: sRegions[b]}
-		if err := joinBucketPair(e, p, r, s, maxLoad, scanBuf); err != nil {
+		b := b
+		err := e.runUnit(p, fmt.Sprintf("bucket %d", b), func(up *sim.Proc) error {
+			return e.staged(up, func() error {
+				r := tapeBucket{drive: e.driveS, region: rRegions[b]}
+				s := tapeBucket{drive: e.driveR, region: sRegions[b]}
+				return joinBucketPair(e, up, r, s, maxLoad, scanBuf)
+			})
+		})
+		if err != nil {
 			return err
 		}
 		e.stats.Iterations++

@@ -1,0 +1,25 @@
+package sim
+
+// Deadline bounds a stretch of work in virtual time — e.g. the total
+// recovery budget a retry loop may spend on one device read. It has no
+// goroutine or event of its own: processes check it between holds.
+type Deadline struct {
+	at Time
+}
+
+// NewDeadline returns a deadline d of virtual time from now.
+func NewDeadline(p *Proc, d Duration) Deadline {
+	return Deadline{at: p.Now() + Time(d)}
+}
+
+// Exceeded reports whether the deadline has passed.
+func (dl Deadline) Exceeded(p *Proc) bool { return p.Now() >= dl.at }
+
+// Remaining returns the virtual time left before the deadline (zero
+// once exceeded).
+func (dl Deadline) Remaining(p *Proc) Duration {
+	if r := dl.at - p.Now(); r > 0 {
+		return Duration(r)
+	}
+	return 0
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeadlineExceededAndRemaining(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		dl := NewDeadline(p, Duration(10*time.Second))
+		if dl.Exceeded(p) {
+			t.Error("fresh deadline already exceeded")
+		}
+		if got := dl.Remaining(p); got != Duration(10*time.Second) {
+			t.Errorf("remaining = %v, want 10s", got)
+		}
+		p.Hold(Duration(4 * time.Second))
+		if dl.Exceeded(p) {
+			t.Error("deadline exceeded at 4s of 10s")
+		}
+		if got := dl.Remaining(p); got != Duration(6*time.Second) {
+			t.Errorf("remaining = %v, want 6s", got)
+		}
+		p.Hold(Duration(6 * time.Second))
+		if !dl.Exceeded(p) {
+			t.Error("deadline not exceeded at exactly 10s")
+		}
+		if got := dl.Remaining(p); got != 0 {
+			t.Errorf("remaining = %v, want 0", got)
+		}
+		p.Hold(Duration(time.Second))
+		if got := dl.Remaining(p); got != 0 {
+			t.Errorf("remaining past deadline = %v, want clamped 0", got)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroDeadlineExceedsImmediately(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		dl := NewDeadline(p, 0)
+		if !dl.Exceeded(p) {
+			t.Error("zero-duration deadline should be exceeded at once")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -101,6 +102,10 @@ type DriveStats struct {
 	StartStopTime sim.Duration
 	Exchanges     int64
 	ExchangeTime  sim.Duration
+	// Fault-injection activity (see internal/fault).
+	Stalls         int64
+	StallTime      sim.Duration
+	InjectedFaults int64
 }
 
 // Drive is a simulated tape drive. A drive serves one request at a
@@ -118,6 +123,10 @@ type Drive struct {
 	lastEnd sim.Time // virtual time the last transfer finished
 	started bool     // at least one transfer has run
 	reverse bool     // head is oriented for reverse reading
+
+	inj    fault.Injector // optional fault schedule
+	lost   bool           // an injected drive failure killed the transport
+	shared *transport     // non-nil when two drives share one transport
 
 	rec   *trace.Recorder
 	Stats DriveStats
@@ -263,6 +272,11 @@ func (d *Drive) ReadAt(p *sim.Proc, addr Addr, n int64) ([]block.Block, error) {
 	}
 	d.res.Acquire(p)
 	defer d.res.Release(p)
+	d.switchIn(p)
+	corrupt, err := d.consult(p, false, addr, n)
+	if err != nil {
+		return nil, err
+	}
 	data, err := d.media.read(addr, n)
 	if err != nil {
 		return nil, err
@@ -270,6 +284,9 @@ func (d *Drive) ReadAt(p *sim.Proc, addr Addr, n int64) ([]block.Block, error) {
 	d.transferSegments(p, addr, n, trace.TapeRead)
 	d.Stats.Requests++
 	d.Stats.BlocksRead += n
+	if corrupt {
+		corruptDelivered(data)
+	}
 	return data, nil
 }
 
@@ -292,9 +309,17 @@ func (d *Drive) ReadRegionReverse(p *sim.Proc, r Region) ([]block.Block, error) 
 	}
 	d.res.Acquire(p)
 	defer d.res.Release(p)
+	d.switchIn(p)
+	corrupt, err := d.consult(p, false, r.Start, r.N)
+	if err != nil {
+		return nil, err
+	}
 	data, err := d.media.read(r.Start, r.N)
 	if err != nil {
 		return nil, err
+	}
+	if corrupt {
+		defer corruptDelivered(data)
 	}
 	// Reverse reading starts at the region's end: position there
 	// (free when the head is already there) and stream backward.
@@ -329,7 +354,11 @@ func (d *Drive) Append(p *sim.Proc, blks []block.Block) (Region, error) {
 	}
 	d.res.Acquire(p)
 	defer d.res.Release(p)
+	d.switchIn(p)
 	eod := d.media.EOD()
+	if _, err := d.consult(p, true, eod, int64(len(blks))); err != nil {
+		return Region{}, err
+	}
 	reg, err := d.media.append(blks)
 	if err != nil {
 		return Region{}, err
@@ -350,6 +379,10 @@ func (d *Drive) WriteAt(p *sim.Proc, addr Addr, blks []block.Block) error {
 	}
 	d.res.Acquire(p)
 	defer d.res.Release(p)
+	d.switchIn(p)
+	if _, err := d.consult(p, true, addr, int64(len(blks))); err != nil {
+		return err
+	}
 	if err := d.media.writeAt(addr, blks); err != nil {
 		return err
 	}

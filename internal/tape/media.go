@@ -42,7 +42,16 @@ type Media struct {
 	name     string
 	capacity int64
 	blocks   []block.Block
-	readErrs map[Addr]error
+	// readErrs holds injected hard media errors in insertion order —
+	// an ordered slice, not a map, so error reporting is deterministic
+	// when several injected errors overlap one read.
+	readErrs []mediaErr
+}
+
+// mediaErr is one injected hard error on a media block.
+type mediaErr struct {
+	addr Addr
+	err  error
 }
 
 // ErrTapeFull is returned when an append exceeds media capacity.
@@ -83,9 +92,9 @@ func (m *Media) read(addr Addr, n int64) ([]block.Block, error) {
 	if addr < 0 || n < 0 || addr+Addr(n) > m.EOD() {
 		return nil, fmt.Errorf("tape: read [%d,%d) beyond EOD %d on %q", addr, addr+Addr(n), m.EOD(), m.name)
 	}
-	for a, err := range m.readErrs {
-		if a >= addr && a < addr+Addr(n) {
-			return nil, fmt.Errorf("tape: %q block %d: %w", m.name, a, err)
+	for _, me := range m.readErrs {
+		if me.addr >= addr && me.addr < addr+Addr(n) {
+			return nil, fmt.Errorf("tape: %q block %d: %w", m.name, me.addr, me.err)
 		}
 	}
 	out := make([]block.Block, n)
@@ -121,11 +130,12 @@ func (m *Media) writeAt(addr Addr, blks []block.Block) error {
 // InjectReadError makes any read covering addr fail with err — a hard
 // media error, for failure-injection tests.
 func (m *Media) InjectReadError(addr Addr, err error) {
-	if m.readErrs == nil {
-		m.readErrs = make(map[Addr]error)
-	}
-	m.readErrs[addr] = err
+	m.readErrs = append(m.readErrs, mediaErr{addr: addr, err: err})
 }
+
+// ClearReadErrors removes injected read errors, e.g. after a test
+// exercises recovery from a repaired medium.
+func (m *Media) ClearReadErrors() { m.readErrs = nil }
 
 // Corrupt flips bits in the stored block at addr, simulating silent
 // media corruption that only the block checksum catches.

@@ -24,7 +24,10 @@ const (
 	TapeExchange
 	DiskRead
 	DiskWrite
-	Mark // phase boundaries and other annotations
+	Fault   // an injected fault or device stall hit the run
+	Retry   // recovery work: backoff and re-reads after a fault
+	Degrade // a permanent device loss forced a re-plan
+	Mark    // phase boundaries and other annotations
 )
 
 func (k Kind) String() string {
@@ -41,6 +44,12 @@ func (k Kind) String() string {
 		return "disk-read"
 	case DiskWrite:
 		return "disk-write"
+	case Fault:
+		return "fault"
+	case Retry:
+		return "retry"
+	case Degrade:
+		return "degrade"
 	case Mark:
 		return "mark"
 	}
@@ -58,6 +67,12 @@ func (k Kind) glyph() byte {
 		return 's'
 	case TapeExchange:
 		return 'x'
+	case Fault:
+		return '!'
+	case Retry:
+		return '~'
+	case Degrade:
+		return 'X'
 	}
 	return '|'
 }

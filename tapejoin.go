@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/join"
 	"repro/internal/relation"
 	"repro/internal/sim"
@@ -143,6 +144,15 @@ type Config struct {
 	// CollectTrace records every device I/O event during Join and
 	// renders Result.Timeline and Result.DeviceSummary.
 	CollectTrace bool
+	// Faults injects a deterministic fault schedule into the devices of
+	// every Join, in the internal/fault spec grammar, e.g.
+	// "transient=R:100:2,diskfail=1@40s,random=7:3". Each Join parses a
+	// fresh schedule, so runs stay independent and reproducible. See
+	// the fault.Parse documentation for the full grammar.
+	Faults string
+	// DisableRecovery turns off retry/checkpoint/degrade handling: the
+	// first device fault aborts the join.
+	DisableRecovery bool
 }
 
 // System is a configured tertiary-storage device complex on which
@@ -362,6 +372,20 @@ type Stats struct {
 	// TapeRUtil, TapeSUtil and DiskUtil report each device's busy
 	// fraction of the response time.
 	TapeRUtil, TapeSUtil, DiskUtil float64
+	// Fault-recovery accounting (zero on fault-free runs): Faults
+	// counts injected faults hit, Retries the re-read attempts,
+	// UnitRestarts the restarted work units, and RecoveryTime the
+	// virtual time spent in retry backoff (already part of Response).
+	Faults       int64
+	Retries      int64
+	UnitRestarts int64
+	RecoveryTime time.Duration
+	// DisksLost counts permanently failed disk drives. DriveLost
+	// reports a permanent tape-drive failure; DegradedTo then names the
+	// sequential method the join re-planned to on the surviving drive.
+	DisksLost  int
+	DriveLost  bool
+	DegradedTo string
 }
 
 // DiskTrafficMB is the paper's Figure 7 metric.
@@ -399,6 +423,14 @@ func (s *System) Join(method Method, r, bigS *Relation) (*Result, error) {
 		rec = &trace.Recorder{}
 		runRes.Trace = rec
 	}
+	if s.cfg.Faults != "" {
+		sched, err := fault.Parse(s.cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("tapejoin: %w", err)
+		}
+		runRes.Faults = sched
+	}
+	runRes.Recovery.Disabled = s.cfg.DisableRecovery
 	sink := &join.CountSink{}
 	res, err := join.Run(m, join.Spec{R: r.rel, S: bigS.rel}, runRes, sink)
 	if err != nil {
@@ -422,6 +454,13 @@ func (s *System) Join(method Method, r, bigS *Relation) (*Result, error) {
 			TapeRUtil:     float64(res.Stats.TapeRBusy) / float64(res.Stats.Response),
 			TapeSUtil:     float64(res.Stats.TapeSBusy) / float64(res.Stats.Response),
 			DiskUtil:      float64(res.Stats.DiskBusy) / float64(res.Stats.Response),
+			Faults:        res.Stats.Faults,
+			Retries:       res.Stats.Retries,
+			UnitRestarts:  res.Stats.UnitRestarts,
+			RecoveryTime:  time.Duration(res.Stats.RecoveryTime),
+			DisksLost:     res.Stats.DisksLost,
+			DriveLost:     res.Stats.DriveLost,
+			DegradedTo:    res.Stats.DegradedTo,
 		},
 		BufferCapacityMB: mbOf(res.BufferCapacity),
 	}
