@@ -13,6 +13,7 @@
 //	paperbench -exp fig11           # Experiment 3 at 50% compressible
 //	paperbench -exp ablations       # design-choice ablations
 //	paperbench -exp recovery        # fault injection and recovery
+//	paperbench -exp overlap         # per-phase critical path and device overlap
 //	paperbench -exp all             # everything
 //
 // -scale shrinks the workloads (1.0 = the paper's sizes; see package
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, or all")
+	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
 	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
@@ -125,6 +126,13 @@ func runJSON(which string, scale float64) error {
 			return err
 		}
 		out["recovery"] = rows
+	}
+	if all || which == "overlap" {
+		rows, err := exp.Overlap(scale)
+		if err != nil {
+			return err
+		}
+		out["overlap"] = rows
 	}
 	if len(out) == 1 {
 		return fmt.Errorf("unknown experiment %q", which)
@@ -247,8 +255,17 @@ func run(which string, scale float64) error {
 		fmt.Println(exp.FormatRecovery(rows))
 	}
 
+	if all || which == "overlap" {
+		section("Overlap: per-phase critical path and device overlap, all methods")
+		rows, err := exp.Overlap(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatOverlap(rows))
+	}
+
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, overlap, or all)", which)
 	}
 	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
 	return nil

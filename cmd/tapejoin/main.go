@@ -33,18 +33,39 @@ func main() {
 	timeline := flag.Bool("timeline", false, "render a device-activity timeline of the run")
 	faults := flag.String("faults", "", `fault schedule to inject, e.g. "transient=R:100:2,diskfail=1@40s" or "random=7:3"`)
 	noRecover := flag.Bool("no-recover", false, "disable retry/checkpoint/degrade recovery (faults become fatal)")
+	phases := flag.Bool("phases", false, "print the per-phase critical-path analysis (bottleneck device, overlap)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (load in Perfetto / chrome://tracing)")
+	eventsOut := flag.String("events-out", "", "write the span/event stream as JSON Lines")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry in Prometheus text format")
 	flag.Parse()
 
+	obsOut := obsOutputs{
+		phases:  *phases,
+		trace:   *traceOut,
+		events:  *eventsOut,
+		metrics: *metricsOut,
+	}
 	if err := run(*method, *rMB, *sMB, *memMB, *diskMB, *disks, *ratio, *compress,
-		*ideal, *split, *seed, *keyspace, *verify, *timeline, *faults, *noRecover); err != nil {
+		*ideal, *split, *seed, *keyspace, *verify, *timeline, *faults, *noRecover, obsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "tapejoin:", err)
 		os.Exit(1)
 	}
 }
 
+// obsOutputs collects the observability flags; any of them enables
+// Config.Observe.
+type obsOutputs struct {
+	phases                 bool
+	trace, events, metrics string
+}
+
+func (o obsOutputs) enabled() bool {
+	return o.phases || o.trace != "" || o.events != "" || o.metrics != ""
+}
+
 func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 	ratio float64, compress int, ideal, split bool, seed int64, keyspace uint64,
-	verify, timeline bool, faults string, noRecover bool) error {
+	verify, timeline bool, faults string, noRecover bool, obsOut obsOutputs) error {
 
 	cfg := tapejoin.Config{
 		MemoryMB:           memMB,
@@ -53,6 +74,7 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 		DiskTapeSpeedRatio: ratio,
 		SplitBuffering:     split,
 		CollectTrace:       timeline,
+		Observe:            obsOut.enabled(),
 		Faults:             faults,
 		DisableRecovery:    noRecover,
 	}
@@ -136,12 +158,58 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 		fmt.Println()
 	}
 
+	if obsOut.enabled() {
+		if err := writeObs(res.Report, obsOut); err != nil {
+			return err
+		}
+	}
+
 	if verify {
 		want := tapejoin.ExpectedMatches(r, s)
 		if st.Matches != want {
 			return fmt.Errorf("VERIFICATION FAILED: %d matches, expected %d", st.Matches, want)
 		}
 		fmt.Printf("  verification      ok (%d expected matches)\n", want)
+	}
+	return nil
+}
+
+// writeObs prints the phase analysis and writes the requested export
+// files from a Join's observability report.
+func writeObs(rep *tapejoin.Report, out obsOutputs) error {
+	if out.phases {
+		fmt.Println("\nphase analysis (critical path per phase):")
+		fmt.Print(rep.String())
+	}
+	if out.trace != "" {
+		data, err := rep.ChromeTrace()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out.trace, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  chrome trace      %s (load in ui.perfetto.dev)\n", out.trace)
+	}
+	if out.events != "" {
+		f, err := os.Create(out.events)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  event stream      %s\n", out.events)
+	}
+	if out.metrics != "" {
+		if err := os.WriteFile(out.metrics, []byte(rep.MetricsText()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  metrics           %s\n", out.metrics)
 	}
 	return nil
 }

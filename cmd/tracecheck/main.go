@@ -1,0 +1,40 @@
+// Command tracecheck validates Chrome trace_event JSON files produced
+// by tapejoin -trace-out (or any Perfetto-loadable trace following the
+// same subset): it decodes each file and asserts the structural
+// invariants the exporter guarantees. Used by CI to keep the trace
+// export loadable.
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			bad = true
+			continue
+		}
+		if err := obs.CheckChromeTrace(data); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,7 @@ package buffer
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -43,13 +44,44 @@ type DoubleBuffer interface {
 	ChunkCapacity() int64
 	// Trace returns the utilization samples recorded so far.
 	Trace() []Sample
+	// SetMetrics registers an occupancy gauge and histogram in reg
+	// (nil detaches).
+	SetMetrics(reg *obs.Registry)
+}
+
+// bufferMetrics are a buffer's series exported to an obs.Registry; the
+// nil-safe handles let record() call unconditionally.
+type bufferMetrics struct {
+	used      *obs.Gauge
+	occupancy *obs.Histogram
+}
+
+func newBufferMetrics(reg *obs.Registry, name string) bufferMetrics {
+	if reg == nil {
+		return bufferMetrics{}
+	}
+	l := obs.A("buffer", name)
+	return bufferMetrics{
+		used: reg.Gauge("buffer_used_blocks", "Blocks currently held in the staging buffer.", l),
+		occupancy: reg.Histogram("buffer_occupancy_ratio",
+			"Buffer occupancy sampled at each acquire/release.", obs.OccupancyBuckets, l),
+	}
+}
+
+func (m bufferMetrics) sample(total, capacity int64) {
+	m.used.Set(float64(total))
+	if capacity > 0 {
+		m.occupancy.Observe(float64(total) / float64(capacity))
+	}
 }
 
 // Interleaved is the shared-space discipline of Section 4.
 type Interleaved struct {
+	name  string
 	space *sim.Container
 	used  [2]int64
 	trace []Sample
+	met   bufferMetrics
 }
 
 var _ DoubleBuffer = (*Interleaved)(nil)
@@ -57,8 +89,11 @@ var _ DoubleBuffer = (*Interleaved)(nil)
 // NewInterleaved returns an interleaved double buffer over capacity
 // blocks of disk space.
 func NewInterleaved(k *sim.Kernel, name string, capacity int64) *Interleaved {
-	return &Interleaved{space: sim.NewContainer(k, name, capacity, capacity)}
+	return &Interleaved{name: name, space: sim.NewContainer(k, name, capacity, capacity)}
 }
+
+// SetMetrics implements DoubleBuffer.
+func (b *Interleaved) SetMetrics(reg *obs.Registry) { b.met = newBufferMetrics(reg, b.name) }
 
 // Acquire implements DoubleBuffer.
 func (b *Interleaved) Acquire(p *sim.Proc, iter int64, n int64) {
@@ -86,13 +121,16 @@ func (b *Interleaved) Trace() []Sample { return b.trace }
 
 func (b *Interleaved) record(p *sim.Proc) {
 	b.trace = append(b.trace, Sample{T: p.Now(), Even: b.used[0], Odd: b.used[1]})
+	b.met.sample(b.used[0]+b.used[1], b.space.Capacity())
 }
 
 // Split is the naive two-halves discipline.
 type Split struct {
+	name   string
 	halves [2]*sim.Container
 	used   [2]int64
 	trace  []Sample
+	met    bufferMetrics
 }
 
 var _ DoubleBuffer = (*Split)(nil)
@@ -101,11 +139,14 @@ var _ DoubleBuffer = (*Split)(nil)
 // capacity/2 blocks each.
 func NewSplit(k *sim.Kernel, name string, capacity int64) *Split {
 	half := capacity / 2
-	return &Split{halves: [2]*sim.Container{
+	return &Split{name: name, halves: [2]*sim.Container{
 		sim.NewContainer(k, name+"-even", half, half),
 		sim.NewContainer(k, name+"-odd", half, half),
 	}}
 }
+
+// SetMetrics implements DoubleBuffer.
+func (b *Split) SetMetrics(reg *obs.Registry) { b.met = newBufferMetrics(reg, b.name) }
 
 // Acquire implements DoubleBuffer.
 func (b *Split) Acquire(p *sim.Proc, iter int64, n int64) {
@@ -134,6 +175,7 @@ func (b *Split) Trace() []Sample { return b.trace }
 
 func (b *Split) record(p *sim.Proc) {
 	b.trace = append(b.trace, Sample{T: p.Now(), Even: b.used[0], Odd: b.used[1]})
+	b.met.sample(b.used[0]+b.used[1], 2*b.halves[0].Capacity())
 }
 
 // MeanUtilization summarizes a trace as the time-weighted mean of

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -112,8 +113,18 @@ type Array struct {
 	Stats     Stats
 
 	rec      *trace.Recorder
+	met      arrayMetrics
 	inj      fault.Injector
 	nextFile int
+}
+
+// arrayMetrics are the array's series exported to an obs.Registry.
+// The handles are nil-safe, so instrumentation calls unconditionally.
+type arrayMetrics struct {
+	blocksRead    *obs.Counter
+	blocksWritten *obs.Counter
+	latency       *obs.Histogram
+	used          *obs.Gauge
 }
 
 // NewArray returns an array attached to the kernel.
@@ -138,6 +149,22 @@ func (a *Array) SetRecorder(r *trace.Recorder) { a.rec = r }
 // operation (nil disables injection).
 func (a *Array) SetInjector(inj fault.Injector) { a.inj = inj }
 
+// SetMetrics registers the array's counters, per-request latency
+// histogram, and occupancy gauge in reg (nil detaches).
+func (a *Array) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		a.met = arrayMetrics{}
+		return
+	}
+	a.met = arrayMetrics{
+		blocksRead:    reg.Counter("disk_blocks_read_total", "Blocks read from the disk array."),
+		blocksWritten: reg.Counter("disk_blocks_written_total", "Blocks written to the disk array."),
+		latency: reg.Histogram("disk_request_seconds",
+			"Virtual latency of per-drive disk requests.", obs.DeviceLatencyBuckets),
+		used: reg.Gauge("disk_used_blocks", "Blocks currently allocated on the array."),
+	}
+}
+
 // DeadDisks returns the ids of permanently failed drives, in order.
 func (a *Array) DeadDisks() []int {
 	var out []int
@@ -160,15 +187,17 @@ func (a *Array) LiveDisks() int {
 	return n
 }
 
-// record emits a per-drive trace event.
-func (a *Array) record(p *sim.Proc, id int, write bool, from sim.Time, blocks int64) {
+// record emits a per-drive trace event stamped with span — captured by
+// the caller, because striped transfers run on helper processes that
+// carry no span stack of their own.
+func (a *Array) record(p *sim.Proc, id int, write bool, from sim.Time, blocks, span int64) {
 	kind := trace.DiskRead
 	if write {
 		kind = trace.DiskWrite
 	}
-	a.rec.Add(trace.Event{
+	a.rec.AddFor(p, trace.Event{
 		Device: fmt.Sprintf("disk%d", id), Kind: kind,
-		Start: from, End: p.Now(), Blocks: blocks,
+		Start: from, End: p.Now(), Blocks: blocks, Span: span,
 	})
 }
 
@@ -307,7 +336,7 @@ func (a *Array) markDead(p *sim.Proc, id int) {
 		return
 	}
 	d.dead = true
-	a.rec.Add(trace.Event{
+	a.rec.AddFor(p, trace.Event{
 		Device: fmt.Sprintf("disk%d", id), Kind: trace.Fault,
 		Start: p.Now(), End: p.Now(), Note: "disk lost",
 	})
@@ -340,7 +369,7 @@ func (f *File) checkFaults(p *sim.Proc, off, n int64, write bool) (corrupt bool,
 		f.a.Stats.StallTime += dec.Stall
 		t0 := p.Now()
 		p.Hold(dec.Stall)
-		f.a.rec.Add(trace.Event{Device: "disk", Kind: trace.Fault, Start: t0, End: p.Now(), Note: "stall"})
+		f.a.rec.AddFor(p, trace.Event{Device: "disk", Kind: trace.Fault, Start: t0, End: p.Now(), Note: "stall"})
 	}
 	if dec.Err != nil {
 		f.a.Stats.Faults++
@@ -388,6 +417,7 @@ func (f *File) doIO(p *sim.Proc, off, n int64, write bool) {
 			singles++
 		}
 	}
+	span := f.a.rec.SpanAt(p)
 	if singles == 1 {
 		// Fast path: one drive involved, no helper process needed.
 		t := f.a.transferTime(n)
@@ -397,7 +427,8 @@ func (f *File) doIO(p *sim.Proc, off, n int64, write bool) {
 		single.res.Acquire(p)
 		t0 := p.Now()
 		p.Hold(t)
-		f.a.record(p, single.id, write, t0, n)
+		f.a.record(p, single.id, write, t0, n, span)
+		f.a.met.latency.Observe(sim.Duration(p.Now() - t0).Seconds())
 		single.res.Release(p)
 	} else {
 		active := make([]*sim.Proc, 0, singles)
@@ -415,7 +446,8 @@ func (f *File) doIO(p *sim.Proc, off, n int64, write bool) {
 				d.res.Acquire(c)
 				t0 := c.Now()
 				c.Hold(t)
-				f.a.record(c, d.id, write, t0, cnt)
+				f.a.record(c, d.id, write, t0, cnt, span)
+				f.a.met.latency.Observe(sim.Duration(c.Now() - t0).Seconds())
 				d.res.Release(c)
 			})
 			active = append(active, child)
@@ -426,8 +458,10 @@ func (f *File) doIO(p *sim.Proc, off, n int64, write bool) {
 	}
 	if write {
 		f.a.Stats.BlocksWritten += n
+		f.a.met.blocksWritten.Add(float64(n))
 	} else {
 		f.a.Stats.BlocksRead += n
+		f.a.met.blocksRead.Add(float64(n))
 	}
 }
 
@@ -514,6 +548,7 @@ func (f *File) charge(n int64) error {
 	if f.a.Used > f.a.HighWater {
 		f.a.HighWater = f.a.Used
 	}
+	f.a.met.used.Set(float64(f.a.Used))
 	return nil
 }
 
@@ -570,6 +605,7 @@ func (f *File) Free() {
 		}
 	}
 	f.a.Used -= int64(len(f.blocks))
+	f.a.met.used.Set(float64(f.a.Used))
 	f.blocks = nil
 	f.perDisk = nil
 	f.freed = true

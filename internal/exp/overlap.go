@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	tapejoin "repro"
+)
+
+// OverlapRow is one line of the device-overlap experiment: a method's
+// whole-run critical path ("TOTAL") or one of its phases, with the
+// bottleneck device and the fraction of device busy time hidden behind
+// other devices. Concurrent methods earn their "C" by overlapping tape
+// and disk I/O; sequential methods should report near-zero overlap
+// outside the striped disk array's internal parallelism.
+type OverlapRow struct {
+	Method     string
+	Phase      string // "TOTAL" or the phase (span) name
+	Count      int    // span instances merged into the phase
+	Wall       time.Duration
+	Bottleneck string
+	Busy       time.Duration // the bottleneck device's busy time
+	Overlap    float64       // fraction of busy time overlapped, in [0, 1)
+}
+
+// Overlap runs all seven methods with the observability layer enabled
+// and reports each method's per-phase critical path: which device
+// bounds each phase, and how much device work the method overlaps.
+// This is the structural claim behind the paper's Section 5
+// "concurrent" variants, made measurable: CDT-* and CTT-GH should
+// report higher whole-run overlap than DT-* and TT-GH.
+func Overlap(scale float64) ([]OverlapRow, error) {
+	rMB := scaleMB(50, scale)
+	sMB := scaleMB(200, scale)
+	cfg := tapejoin.Config{
+		MemoryMB: scaleMBf(16, math.Sqrt(scale)),
+		DiskMB:   scaleMBf(120, scale),
+		Observe:  true,
+	}
+	var rows []OverlapRow
+	for _, m := range tapejoin.Methods() {
+		sys, r, s, err := buildJoin(cfg, rMB, sMB, 99)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.Join(m, r, s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m, err)
+		}
+		rep := res.Report
+		add := func(p tapejoin.PhaseReport) {
+			rows = append(rows, OverlapRow{
+				Method:     string(m),
+				Phase:      p.Name,
+				Count:      p.Count,
+				Wall:       p.Wall,
+				Bottleneck: p.Bottleneck,
+				Busy:       p.BottleneckBusy,
+				Overlap:    p.Overlap,
+			})
+		}
+		add(rep.Total)
+		for _, p := range rep.Phases {
+			add(p)
+		}
+	}
+	return rows, nil
+}
+
+// FormatOverlap renders the overlap experiment as a table.
+func FormatOverlap(rows []OverlapRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		method := r.Method
+		if r.Phase != "TOTAL" {
+			method = "" // group phases under their method's TOTAL line
+		}
+		out = append(out, []string{
+			method,
+			r.Phase,
+			fmt.Sprintf("%d", r.Count),
+			secs(r.Wall),
+			r.Bottleneck,
+			secs(r.Busy),
+			fmt.Sprintf("%.1f%%", r.Overlap*100),
+		})
+	}
+	return FormatTable(
+		[]string{"Join", "Phase", "Count", "Wall", "Bottleneck", "Busy", "Overlap"},
+		out)
+}

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOverlapConcurrentBeatsSequential(t *testing.T) {
+	rows, err := Overlap(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := map[string]float64{}
+	for _, r := range rows {
+		if r.Phase == "TOTAL" {
+			totals[r.Method] = r.Overlap
+		}
+	}
+	if len(totals) != 7 {
+		t.Fatalf("want TOTAL rows for all 7 methods, got %v", totals)
+	}
+	for _, pair := range [][2]string{
+		{"CDT-NB/MB", "DT-NB"},
+		{"CDT-NB/DB", "DT-NB"},
+		{"CDT-GH", "DT-GH"},
+		{"CTT-GH", "TT-GH"},
+	} {
+		conc, seq := totals[pair[0]], totals[pair[1]]
+		if conc <= seq {
+			t.Errorf("%s overlap %.3f not above %s %.3f", pair[0], conc, pair[1], seq)
+		}
+	}
+	for m, v := range totals {
+		if v < 0 || v >= 1 {
+			t.Errorf("%s overlap %v outside [0, 1)", m, v)
+		}
+	}
+
+	text := FormatOverlap(rows)
+	if !strings.Contains(text, "Bottleneck") || !strings.Contains(text, "CTT-GH") {
+		t.Errorf("table:\n%s", text)
+	}
+}

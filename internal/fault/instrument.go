@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+// instrumented wraps an Injector, counting its decisions by outcome in
+// an obs.Registry and recording injected stall durations.
+type instrumented struct {
+	inner Injector
+
+	ok, transient, media, deviceLost, driveLost, corrupt, stall *obs.Counter
+
+	stallSeconds *obs.Histogram
+}
+
+// Instrument wraps inj so every decision is counted in reg under
+// fault_decisions_total{outcome=...} and stall durations land in a
+// fault_stall_seconds histogram. Returns inj unchanged when either
+// argument is nil.
+func Instrument(inj Injector, reg *obs.Registry) Injector {
+	if inj == nil || reg == nil {
+		return inj
+	}
+	c := func(outcome string) *obs.Counter {
+		return reg.Counter("fault_decisions_total",
+			"Fault-injector decisions by outcome.", obs.A("outcome", outcome))
+	}
+	return &instrumented{
+		inner:      inj,
+		ok:         c("ok"),
+		transient:  c("transient"),
+		media:      c("media"),
+		deviceLost: c("device-lost"),
+		driveLost:  c("drive-lost"),
+		corrupt:    c("corrupt"),
+		stall:      c("stall"),
+		stallSeconds: reg.Histogram("fault_stall_seconds",
+			"Injected device stall durations.", obs.BackoffBuckets),
+	}
+}
+
+// Decide implements Injector.
+func (i *instrumented) Decide(op Op) Decision {
+	d := i.inner.Decide(op)
+	switch {
+	case errors.Is(d.Err, ErrDriveLost):
+		i.driveLost.Inc()
+	case errors.Is(d.Err, ErrDeviceLost):
+		i.deviceLost.Inc()
+	case errors.Is(d.Err, ErrMedia):
+		i.media.Inc()
+	case d.Err != nil:
+		i.transient.Inc()
+	case d.Corrupt:
+		i.corrupt.Inc()
+	case d.Stall > 0:
+		i.stall.Inc()
+	default:
+		i.ok.Inc()
+	}
+	if d.Stall > 0 {
+		i.stallSeconds.Observe(d.Stall.Seconds())
+	}
+	return d
+}

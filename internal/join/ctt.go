@@ -6,6 +6,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/disk"
 	"repro/internal/hashutil"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tape"
 )
@@ -46,6 +47,8 @@ func planTapeTape(rBlocks, mBlocks, dBlocks int64) (hashutil.Plan, error) {
 // overlap tape writes through a small queue (the concurrent methods);
 // otherwise the two alternate in one process (the sequential TT-GH).
 func appendFileToTape(e *env, p *sim.Proc, f *disk.File, dst *tape.Drive, pipelined bool) (tape.Region, error) {
+	sp := e.span(p, "spool-bucket", obs.AInt("blocks", f.Len()))
+	defer sp.Close(p)
 	var region tape.Region
 	write := func(wp *sim.Proc, blks []block.Block) error {
 		reg, err := dst.Append(wp, blks)
@@ -144,6 +147,8 @@ func hashRelationToTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region
 		// appended bucket leaves garbage at the scratch EOD, which is
 		// simply abandoned — tape appends are monotonic.
 		err := e.runUnit(p, fmt.Sprintf("hash-window@%d", lo), func(up *sim.Proc) error {
+			sp := e.span(up, "hash-window", obs.AInt("lo", int64(lo)))
+			defer sp.Close(up)
 			// Window sizing happens per attempt against the surviving
 			// array, so a disk lost mid-run shrinks subsequent windows
 			// (costing extra scans) instead of overflowing the disks.
@@ -332,6 +337,7 @@ func (CTTGH) run(e *env, p *sim.Proc) error {
 			continue
 		}
 		backward := biDir && c.iter%2 == 1
+		sp := e.span(p, "join-chunk", obs.AInt("off", c.off))
 		err := e.staged(p, func() error {
 			for b := 0; b < plan.B; b++ {
 				idx := b
@@ -355,6 +361,7 @@ func (CTTGH) run(e *env, p *sim.Proc) error {
 			}
 			return nil
 		})
+		sp.Close(p)
 		if err != nil {
 			pipeErr = err
 			e.abort = true

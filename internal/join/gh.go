@@ -7,6 +7,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/disk"
 	"repro/internal/hashutil"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tape"
 )
@@ -72,6 +73,9 @@ func joinBucketPair(e *env, p *sim.Proc, r, s bucketSource, maxLoad, scanBuf int
 	if maxLoad < 1 {
 		return fmt.Errorf("%w: no memory for R bucket", ErrNeedMemory)
 	}
+	sp := e.span(p, "bucket-pair",
+		obs.AInt("r_blocks", r.blocks()), obs.AInt("s_blocks", s.blocks()))
+	defer sp.Close(p)
 	for roff := int64(0); roff < r.blocks(); roff += maxLoad {
 		n := min64(maxLoad, r.blocks()-roff)
 		err := func() error {
@@ -215,8 +219,10 @@ func (e *env) ensureRBuckets(p *sim.Proc, plan hashutil.Plan, fRB *[]*disk.File)
 		freeAll(*fRB)
 		*fRB = nil
 	}
+	sp := e.span(p, "hash-R", obs.AInt("buckets", int64(plan.B)))
 	files, err := partitionTapeToDisk(e, p, e.driveR, e.spec.R.Region,
 		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, "rb", e.filterR(), nil)
+	sp.Close(p)
 	if err != nil {
 		return err
 	}
@@ -258,9 +264,11 @@ func ghStepIISeq(e *env, p *sim.Proc, plan hashutil.Plan, startOff int64,
 				freeAll(fSB)
 				fSB = nil
 			}
+			sp := e.span(up, "stage-S", obs.AInt("off", off))
 			var err error
 			fSB, err = partitionTapeToDisk(e, up, e.driveS, s.Sub(off, n),
 				e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(), nil)
+			sp.Close(up)
 			if err != nil {
 				return err
 			}
@@ -387,6 +395,7 @@ func (CDTGH) run(e *env, p *sim.Proc) error {
 			drainChunk(e, p, dbuf, c, &pipeErr)
 			continue
 		}
+		sp := e.span(p, "join-chunk", obs.AInt("off", c.off))
 		err := e.staged(p, func() error {
 			for b := 0; b < plan.B; b++ {
 				if err := joinBucketPair(e, p, diskBucket{fRB[b]}, diskBucket{c.files[b]}, maxLoad, scanBuf); err != nil {
@@ -401,6 +410,7 @@ func (CDTGH) run(e *env, p *sim.Proc) error {
 			}
 			return nil
 		})
+		sp.Close(p)
 		if err != nil {
 			pipeErr = err
 			e.abort = true
@@ -455,12 +465,14 @@ func spawnChunkHasher(e *env, q *sim.Queue[ghChunk], plan hashutil.Plan,
 			n := min64(chunkCap, s.N-off)
 			it := iter // capture for the reserve closure
 			var acq int64
+			sp := e.span(hp, "stage-S", obs.AInt("off", off))
 			files, err := partitionTapeToDisk(e, hp, e.driveS, s.Sub(off, n),
 				e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(),
 				func(fp *sim.Proc, blks int64) {
 					dbuf.Acquire(fp, it, blks)
 					acq += blks
 				})
+			sp.Close(hp)
 			if err != nil {
 				dbuf.Release(hp, it, acq)
 				q.Send(hp, ghChunk{iter: it, off: off, err: err})

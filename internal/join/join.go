@@ -16,6 +16,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/disk"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/sim"
 	"repro/internal/tape"
@@ -64,6 +65,12 @@ type Resources struct {
 	Faults *fault.Schedule
 	// Recovery is the retry/checkpoint/degrade policy.
 	Recovery Recovery
+	// Spans, when non-nil, records hierarchical phase spans; device
+	// events in Trace are stamped with the issuing phase.
+	Spans *obs.Tracker
+	// Metrics, when non-nil, receives device/buffer/fault counters,
+	// gauges and histograms.
+	Metrics *obs.Registry
 }
 
 // WithDefaults fills zero fields with the calibrated defaults used in
@@ -271,6 +278,13 @@ type env struct {
 	dbuf    buffer.DoubleBuffer // set by methods that stage S on disk
 	dbufCap int64
 
+	// inj is the (possibly metrics-wrapped) fault injector shared by
+	// the original devices and any replacements built during recovery.
+	inj fault.Injector
+	// Recovery-path metric handles (nil-safe when Metrics is unset).
+	retryBackoff *obs.Histogram
+	unitRestarts *obs.Counter
+
 	// Recovery state. outer stages the whole run's output so a
 	// drive-loss re-plan can discard and restart it; abort asks
 	// concurrent producer procs to wind down; retired devices keep
@@ -291,9 +305,16 @@ func (e *env) newDoubleBuffer(name string, capacity int64) buffer.DoubleBuffer {
 	} else {
 		b = buffer.NewInterleaved(e.k, name, capacity)
 	}
+	b.SetMetrics(e.res.Metrics)
 	e.dbuf = b
 	e.dbufCap = capacity
 	return b
+}
+
+// span opens a phase span on p; a no-op returning nil when no tracker
+// is attached.
+func (e *env) span(p *sim.Proc, name string, attrs ...obs.Attr) *obs.Span {
+	return e.res.Spans.Begin(p, name, attrs...)
 }
 
 // markStepI records the end of the setup phase.
@@ -335,14 +356,22 @@ func Run(m Method, spec Spec, res Resources, sink Sink) (*Result, error) {
 	}
 
 	if res.Trace != nil {
+		res.Trace.Spans = res.Spans
 		driveR.SetRecorder(res.Trace)
 		driveS.SetRecorder(res.Trace)
 		array.SetRecorder(res.Trace)
 	}
+	if res.Metrics != nil {
+		driveR.SetMetrics(res.Metrics)
+		driveS.SetMetrics(res.Metrics)
+		array.SetMetrics(res.Metrics)
+	}
+	var inj fault.Injector
 	if res.Faults != nil {
-		driveR.SetInjector(res.Faults)
-		driveS.SetInjector(res.Faults)
-		array.SetInjector(res.Faults)
+		inj = fault.Instrument(res.Faults, res.Metrics)
+		driveR.SetInjector(inj)
+		driveS.SetInjector(inj)
+		array.SetInjector(inj)
 	}
 
 	stats := &Stats{}
@@ -351,6 +380,11 @@ func Run(m Method, spec Spec, res Resources, sink Sink) (*Result, error) {
 		driveR: driveR, driveS: driveS, disks: array,
 		mem: &ledger{}, sink: sink, stats: stats,
 		eodR: spec.R.Media.EOD(), eodS: spec.S.Media.EOD(),
+		inj: inj,
+		retryBackoff: res.Metrics.Histogram("join_retry_backoff_seconds",
+			"Backoff waits before fault-recovery re-reads.", obs.BackoffBuckets),
+		unitRestarts: res.Metrics.Counter("join_unit_restarts_total",
+			"Work units restarted from a checkpoint after a fault."),
 	}
 	// Stage the whole run's output so a drive-loss re-plan can discard
 	// the failed attempt's emissions and start over without
@@ -371,6 +405,7 @@ func Run(m Method, spec Spec, res Resources, sink Sink) (*Result, error) {
 	if err := k.Run(); err != nil {
 		return nil, fmt.Errorf("%s: simulation: %w", m.Symbol(), err)
 	}
+	res.Spans.Finish(k.Now())
 	if runErr != nil {
 		return nil, fmt.Errorf("%s: %w", m.Symbol(), runErr)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -22,6 +23,8 @@ func nbSplit(m int64) (mr, ms int64) {
 // relation R is copied from tape to a striped disk file, staging
 // through main memory.
 func copyRToDisk(e *env, p *sim.Proc) (*disk.File, error) {
+	sp := e.span(p, "copy-R", obs.AInt("blocks", e.spec.R.Region.N))
+	defer sp.Close(p)
 	f, err := e.disks.Create("R", nil)
 	if err != nil {
 		return nil, err
@@ -67,6 +70,8 @@ func (e *env) ensureRFile(p *sim.Proc, fR **disk.File) error {
 // scan the disk-resident R in mr-block requests and probe each R tuple
 // against the in-memory table built over the current chunk of S.
 func scanRAndProbe(e *env, p *sim.Proc, fR *disk.File, mr int64, table *hashTable) error {
+	sp := e.span(p, "probe")
+	defer sp.Close(p)
 	e.mem.acquire(mr)
 	defer e.mem.release(mr)
 	for off := int64(0); off < fR.Len(); off += mr {
@@ -98,6 +103,8 @@ func nbJoinChunks(e *env, p *sim.Proc, fR **disk.File, ensureR func(*sim.Proc) e
 	for off := startOff; off < s.N; off += ms {
 		n := min64(ms, s.N-off)
 		err := e.runUnit(p, fmt.Sprintf("S-chunk@%d", off), func(up *sim.Proc) error {
+			sp := e.span(up, "join-chunk", obs.AInt("off", off))
+			defer sp.Close(up)
 			if err := ensureR(up); err != nil {
 				return err
 			}
@@ -215,7 +222,9 @@ func (CDTNBMB) run(e *env, p *sim.Proc) error {
 			n := min64(ms, s.N-off)
 			bufs.Get(rp, 1)
 			e.mem.acquire(n)
+			sp := e.span(rp, "stage-S", obs.AInt("off", off))
 			blks, err := e.tapeRead(rp, e.driveS, s.Start+addr(off), n)
+			sp.Close(rp)
 			if err != nil {
 				e.mem.release(n)
 				bufs.Put(rp, 1)
@@ -244,11 +253,13 @@ func (CDTNBMB) run(e *env, p *sim.Proc) error {
 			}
 			continue
 		}
+		sp := e.span(p, "join-chunk", obs.AInt("off", c.off))
 		table := newHashTable()
 		err := table.addBlocksFiltered(c.blks, e.filterS())
 		if err == nil {
 			err = e.staged(p, func() error { return scanRAndProbe(e, p, fR, mr, table) })
 		}
+		sp.Close(p)
 		e.mem.release(c.n)
 		bufs.Put(p, 1)
 		if err != nil {
@@ -330,8 +341,10 @@ func (CDTNBDB) run(e *env, p *sim.Proc) error {
 		iter := int64(0)
 		for off := int64(0); off < s.N && !e.abort; off += chunkCap {
 			n := min64(chunkCap, s.N-off)
+			sp := e.span(rp, "stage-S", obs.AInt("off", off))
 			f, err := e.disks.Create("schunk", nil)
 			if err != nil {
+				sp.Close(rp)
 				q.Send(rp, chunk{iter: iter, off: off, err: err})
 				break
 			}
@@ -353,6 +366,7 @@ func (CDTNBDB) run(e *env, p *sim.Proc) error {
 					break
 				}
 			}
+			sp.Close(rp)
 			if stageErr != nil {
 				dbuf.Release(rp, iter, acq)
 				f.Free()
@@ -385,6 +399,7 @@ func (CDTNBDB) run(e *env, p *sim.Proc) error {
 		// Read the staged chunk into memory, releasing buffer space
 		// as it is consumed so the producer can refill it (the
 		// interleaved scheme of Section 4).
+		sp := e.span(p, "join-chunk", obs.AInt("off", c.off))
 		err := func() error {
 			e.mem.acquire(c.n)
 			defer e.mem.release(c.n)
@@ -408,6 +423,7 @@ func (CDTNBDB) run(e *env, p *sim.Proc) error {
 			c.file.Free()
 			return e.staged(p, func() error { return scanRAndProbe(e, p, fR, mr, table) })
 		}()
+		sp.Close(p)
 		if err != nil {
 			pipeErr = err
 			e.abort = true

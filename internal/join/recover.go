@@ -9,6 +9,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/disk"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tape"
 	"repro/internal/trace"
@@ -125,12 +126,15 @@ func (e *env) readDev(p *sim.Proc, device string, read func() ([]block.Block, er
 		}
 		e.stats.Retries++
 		e.stats.RecoveryTime += hold
+		sp := e.span(p, "retry-backoff", obs.A("device", device))
 		t0 := p.Now()
 		p.Hold(hold)
-		e.res.Trace.Add(trace.Event{
+		e.res.Trace.AddFor(p, trace.Event{
 			Device: device, Kind: trace.Retry,
 			Start: t0, End: p.Now(), Note: "read retry backoff",
 		})
+		sp.Close(p)
+		e.retryBackoff.Observe(hold.Seconds())
 		backoff *= 2
 	}
 }
@@ -196,7 +200,9 @@ func (e *env) staged(p *sim.Proc, work func() error) error {
 	err := work()
 	e.sink = outer
 	if err == nil {
+		sp := e.span(p, "stage-commit", obs.AInt("pairs", int64(len(st.pairs))))
 		st.commit(p)
+		sp.Close(p)
 	}
 	return err
 }
@@ -215,7 +221,8 @@ func (e *env) runUnit(p *sim.Proc, name string, work func(*sim.Proc) error) erro
 			return err
 		}
 		e.stats.UnitRestarts++
-		e.res.Trace.Add(trace.Event{
+		e.unitRestarts.Inc()
+		e.res.Trace.AddFor(p, trace.Event{
 			Device: "-", Kind: trace.Retry,
 			Start: p.Now(), End: p.Now(),
 			Note: fmt.Sprintf("restart %s after: %v", name, err),
@@ -255,7 +262,8 @@ var degradeCandidates = []string{"DT-GH", "DT-NB", "TT-GH"}
 // everything the failed attempt cost.
 func (e *env) degradeRerun(p *sim.Proc, cause error) error {
 	e.stats.DriveLost = true
-	e.res.Trace.Add(trace.Event{
+	replan := e.span(p, "degrade-replan")
+	e.res.Trace.AddFor(p, trace.Event{
 		Device: "-", Kind: trace.Degrade,
 		Start: p.Now(), End: p.Now(),
 		Note: fmt.Sprintf("drive lost, re-planning: %v", cause),
@@ -284,8 +292,10 @@ func (e *env) degradeRerun(p *sim.Proc, cause error) error {
 	ds.Load(e.spec.S.Media)
 	dr.SetRecorder(e.res.Trace)
 	ds.SetRecorder(e.res.Trace)
-	dr.SetInjector(e.res.Faults)
-	ds.SetInjector(e.res.Faults)
+	dr.SetMetrics(e.res.Metrics)
+	ds.SetMetrics(e.res.Metrics)
+	dr.SetInjector(e.inj)
+	ds.SetInjector(e.inj)
 	e.driveR, e.driveS = dr, ds
 	e.res.DiskBlocks = e.effectiveD()
 	e.dbuf, e.dbufCap = nil, 0
@@ -318,6 +328,7 @@ func (e *env) degradeRerun(p *sim.Proc, cause error) error {
 		ranked = append(ranked, scored{m, est.Seconds})
 	}
 	if len(ranked) == 0 {
+		replan.Close(p)
 		return fmt.Errorf("join: no feasible fallback after drive loss: %w", cause)
 	}
 	best := ranked[0]
@@ -327,11 +338,13 @@ func (e *env) degradeRerun(p *sim.Proc, cause error) error {
 		}
 	}
 	e.stats.DegradedTo = best.m.Symbol()
-	e.res.Trace.Add(trace.Event{
+	e.res.Trace.AddFor(p, trace.Event{
 		Device: "-", Kind: trace.Degrade,
 		Start: p.Now(), End: p.Now(),
 		Note: "degraded to " + best.m.Symbol() + " on shared transport",
 	})
+	// Close before the rerun so the fallback's phases stay top-level.
+	replan.Close(p)
 	return best.m.run(e, p)
 }
 
@@ -346,6 +359,7 @@ func (e *env) retireDisks() {
 		panic(err) // config was valid for the original array
 	}
 	a.SetRecorder(e.res.Trace)
-	a.SetInjector(e.res.Faults)
+	a.SetMetrics(e.res.Metrics)
+	a.SetInjector(e.inj)
 	e.disks = a
 }

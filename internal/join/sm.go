@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/block"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tape"
 )
@@ -232,37 +233,45 @@ func sortOnTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
 	// the away workspace.
 	wsAway.reset()
 	var runs []tape.Region
-	e.mem.acquire(m)
-	for off := int64(0); off < region.N; off += m {
-		n := min64(m, region.N-off)
-		blks, err := e.tapeRead(p, src, region.Start+tape.Addr(off), n)
-		if err != nil {
-			return nil, tape.Region{}, err
-		}
-		var tuples []block.Tuple
-		err = forEachTuple(blks, func(t block.Tuple) {
-			if keep != nil && !keep(t) {
-				return
+	sp := e.span(p, "sort-runs", obs.AInt("blocks", region.N))
+	err := func() error {
+		e.mem.acquire(m)
+		defer e.mem.release(m)
+		for off := int64(0); off < region.N; off += m {
+			n := min64(m, region.N-off)
+			blks, err := e.tapeRead(p, src, region.Start+tape.Addr(off), n)
+			if err != nil {
+				return err
 			}
-			tuples = append(tuples, t)
-		})
-		if err != nil {
-			return nil, tape.Region{}, err
-		}
-		sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].Key < tuples[j].Key })
-		bp := newBlockPacker(wsAway, tag, perBlk, outBuf)
-		for _, t := range tuples {
-			if err := bp.add(p, t); err != nil {
-				return nil, tape.Region{}, err
+			var tuples []block.Tuple
+			err = forEachTuple(blks, func(t block.Tuple) {
+				if keep != nil && !keep(t) {
+					return
+				}
+				tuples = append(tuples, t)
+			})
+			if err != nil {
+				return err
 			}
+			sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].Key < tuples[j].Key })
+			bp := newBlockPacker(wsAway, tag, perBlk, outBuf)
+			for _, t := range tuples {
+				if err := bp.add(p, t); err != nil {
+					return err
+				}
+			}
+			run, err := bp.finish(p)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, run)
 		}
-		run, err := bp.finish(p)
-		if err != nil {
-			return nil, tape.Region{}, err
-		}
-		runs = append(runs, run)
+		return nil
+	}()
+	sp.Close(p)
+	if err != nil {
+		return nil, tape.Region{}, err
 	}
-	e.mem.release(m)
 	*scans++
 
 	// Merge passes: read k runs interleaved from one workspace, write
@@ -271,6 +280,7 @@ func sortOnTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
 	for len(runs) > 1 {
 		other.reset()
 		var merged []tape.Region
+		sp := e.span(p, "merge-pass", obs.AInt("runs", int64(len(runs))))
 		for lo := 0; lo < len(runs); lo += k {
 			hi := lo + k
 			if hi > len(runs) {
@@ -278,10 +288,12 @@ func sortOnTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
 			}
 			run, err := mergeRuns(e, p, cur.drive, runs[lo:hi], other, perBlk, tag, inBuf, outBuf)
 			if err != nil {
+				sp.Close(p)
 				return nil, tape.Region{}, err
 			}
 			merged = append(merged, run)
 		}
+		sp.Close(p)
 		runs = merged
 		cur, other = other, cur
 		e.stats.Iterations++
@@ -401,6 +413,8 @@ func copySorted(e *env, p *sim.Proc, src *tape.Drive, region tape.Region, dst *s
 func mergeJoin(e *env, p *sim.Proc, rDrive *tape.Drive, rReg tape.Region,
 	sDrive *tape.Drive, sReg tape.Region) error {
 
+	sp := e.span(p, "merge-join")
+	defer sp.Close(p)
 	buf := min64(e.res.IOChunk, e.res.MemoryBlocks/3)
 	if buf < 1 {
 		buf = 1

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bucket presets for the simulator's histograms, in seconds (virtual
+// time) or ratios. Chosen to straddle the device model's constants:
+// tape seeks are tens of seconds, disk ops are milliseconds, retry
+// backoff is 1s·2^attempt, occupancy is a [0,1] ratio.
+var (
+	DeviceLatencyBuckets = []float64{0.001, 0.01, 0.1, 1, 5, 20, 60, 180, 600}
+	BackoffBuckets       = []float64{0.5, 1, 2, 4, 8, 16, 32, 64}
+	OccupancyBuckets     = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1}
+)
+
+// series is one named+labelled time series in a Registry.
+type series struct {
+	name, help, typ string
+	labels          []Attr
+
+	value float64 // counter / gauge
+
+	buckets []float64 // histogram upper bounds
+	counts  []int64   // observations per bucket (len(buckets)+1, last is +Inf)
+	sum     float64
+	count   int64
+}
+
+// Counter is a monotonically increasing value. Nil-safe.
+type Counter struct{ s *series }
+
+// Add increases the counter by v (negative v is ignored).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	c.s.value += v
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.s.value
+}
+
+// Gauge is a value that can go up and down. Nil-safe.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.s.value = v
+}
+
+// Add adjusts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.s.value += v
+}
+
+// Value returns the current gauge value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.s.value
+}
+
+// Histogram counts observations into fixed buckets. Nil-safe.
+type Histogram struct{ s *series }
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	s := h.s
+	i := sort.SearchFloat64s(s.buckets, v) // first bucket with bound >= v
+	s.counts[i]++
+	s.sum += v
+	s.count++
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.s.count
+}
+
+// Registry holds named metric series in registration order. Like the
+// rest of the package it is single-threaded (the simulation kernel
+// serializes processes) and nil-safe: every lookup on a nil *Registry
+// returns a nil handle whose methods do nothing.
+type Registry struct {
+	series []*series
+	index  map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]*series{}}
+}
+
+func seriesKey(name string, labels []Attr) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + labelString(labels) + "}"
+}
+
+func labelString(labels []Attr) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *Registry) lookup(name, help, typ string, labels []Attr) *series {
+	key := seriesKey(name, labels)
+	if s, ok := r.index[key]; ok {
+		return s
+	}
+	s := &series{name: name, help: help, typ: typ, labels: labels}
+	r.index[key] = s
+	r.series = append(r.series, s)
+	return s
+}
+
+// Counter returns (registering on first use) the counter with the
+// given name and labels.
+func (r *Registry) Counter(name, help string, labels ...Attr) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{s: r.lookup(name, help, "counter", labels)}
+}
+
+// Gauge returns (registering on first use) the gauge with the given
+// name and labels.
+func (r *Registry) Gauge(name, help string, labels ...Attr) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{s: r.lookup(name, help, "gauge", labels)}
+}
+
+// Histogram returns (registering on first use) the histogram with the
+// given name, bucket upper bounds, and labels.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Attr) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, "histogram", labels)
+	if s.counts == nil {
+		s.buckets = buckets
+		s.counts = make([]int64, len(buckets)+1)
+	}
+	return &Histogram{s: s}
+}
+
+// Exposition renders the registry in the Prometheus text format.
+// Series appear in registration order; # HELP / # TYPE headers are
+// emitted once per metric name.
+func (r *Registry) Exposition() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	seen := map[string]bool{}
+	for _, s := range r.series {
+		if !seen[s.name] {
+			seen[s.name] = true
+			fmt.Fprintf(&b, "# HELP %s %s\n", s.name, s.help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.typ)
+		}
+		switch s.typ {
+		case "histogram":
+			cum := int64(0)
+			for i, ub := range s.buckets {
+				cum += s.counts[i]
+				fmt.Fprintf(&b, "%s_bucket{%s} %d\n", s.name,
+					labelString(append(append([]Attr{}, s.labels...), A("le", formatBound(ub)))), cum)
+			}
+			cum += s.counts[len(s.buckets)]
+			fmt.Fprintf(&b, "%s_bucket{%s} %d\n", s.name,
+				labelString(append(append([]Attr{}, s.labels...), A("le", "+Inf"))), cum)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", s.name, labelSuffix(s.labels), formatValue(s.sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", s.name, labelSuffix(s.labels), s.count)
+		default:
+			fmt.Fprintf(&b, "%s%s %s\n", s.name, labelSuffix(s.labels), formatValue(s.value))
+		}
+	}
+	return b.String()
+}
+
+func labelSuffix(labels []Attr) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + labelString(labels) + "}"
+}
+
+func formatBound(v float64) string { return formatValue(v) }
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// MetricJSON is one series in the registry's JSON dump.
+type MetricJSON struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Count   int64             `json:"count,omitempty"`
+	Buckets []BucketJSON      `json:"buckets,omitempty"`
+}
+
+// BucketJSON is one cumulative histogram bucket.
+type BucketJSON struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// JSON renders the registry as a JSON array of series, in registration
+// order.
+func (r *Registry) JSON() ([]byte, error) {
+	out := []MetricJSON{}
+	if r != nil {
+		for _, s := range r.series {
+			m := MetricJSON{Name: s.name, Type: s.typ}
+			if len(s.labels) > 0 {
+				m.Labels = map[string]string{}
+				for _, l := range s.labels {
+					m.Labels[l.Key] = l.Value
+				}
+			}
+			if s.typ == "histogram" {
+				m.Sum, m.Count = s.sum, s.count
+				cum := int64(0)
+				for i, ub := range s.buckets {
+					cum += s.counts[i]
+					m.Buckets = append(m.Buckets, BucketJSON{LE: formatBound(ub), Count: cum})
+				}
+				cum += s.counts[len(s.buckets)]
+				m.Buckets = append(m.Buckets, BucketJSON{LE: "+Inf", Count: cum})
+			} else {
+				m.Value = s.value
+			}
+			out = append(out, m)
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

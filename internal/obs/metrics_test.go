@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryIdempotentLookup(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("ops_total", "ops", A("dev", "R"))
+	b := reg.Counter("ops_total", "ops", A("dev", "R"))
+	other := reg.Counter("ops_total", "ops", A("dev", "S"))
+	a.Inc()
+	b.Add(2)
+	other.Inc()
+	if a.Value() != 3 {
+		t.Errorf("same series should share state, got %v", a.Value())
+	}
+	if other.Value() != 1 {
+		t.Errorf("distinct labels should not share state, got %v", other.Value())
+	}
+	// Counters ignore negative increments.
+	a.Add(-5)
+	if a.Value() != 3 {
+		t.Errorf("counter went backwards: %v", a.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	text := reg.Exposition()
+	for _, want := range []string{
+		"# HELP lat_seconds latency",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="1"} 2`, // cumulative: 0.5 and the exact bound 1
+		`lat_seconds_bucket{le="10"} 3`,
+		`lat_seconds_bucket{le="100"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 556.5",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExpositionHeadersOncePerName(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x", A("dev", "R")).Inc()
+	reg.Counter("x_total", "x", A("dev", "S")).Inc()
+	reg.Gauge("y", "y").Set(2.5)
+	text := reg.Exposition()
+	if strings.Count(text, "# TYPE x_total counter") != 1 {
+		t.Errorf("TYPE header should appear once:\n%s", text)
+	}
+	if !strings.Contains(text, `x_total{dev="R"} 1`) || !strings.Contains(text, `x_total{dev="S"} 1`) {
+		t.Errorf("labelled samples missing:\n%s", text)
+	}
+	if !strings.Contains(text, "y 2.5") {
+		t.Errorf("gauge sample missing:\n%s", text)
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "c", A("dev", "R")).Add(7)
+	h := reg.Histogram("h_seconds", "h", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	data, err := reg.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []MetricJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d series", len(out))
+	}
+	if out[0].Name != "c_total" || out[0].Value != 7 || out[0].Labels["dev"] != "R" {
+		t.Errorf("counter = %+v", out[0])
+	}
+	if out[1].Count != 2 || out[1].Sum != 2.5 || len(out[1].Buckets) != 2 {
+		t.Errorf("histogram = %+v", out[1])
+	}
+	if out[1].Buckets[1].LE != "+Inf" || out[1].Buckets[1].Count != 2 {
+		t.Errorf("+Inf bucket = %+v", out[1].Buckets[1])
+	}
+}

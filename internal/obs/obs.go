@@ -1,0 +1,168 @@
+// Package obs is the structured observability layer of the simulator:
+// hierarchical phase spans opened and closed in virtual time, a
+// metrics registry with Prometheus-style text exposition, exporters to
+// a JSONL event stream and Chrome trace_event JSON (loadable in
+// Perfetto or chrome://tracing), and a critical-path analyzer that
+// turns span and device intervals into a per-phase bottleneck and
+// overlap table — the paper's Figures 7–9 argument as a computed
+// number.
+//
+// Everything is nil-tolerant in the style of trace.Recorder: a nil
+// *Tracker or nil *Registry (and the nil *Counter etc. they hand out)
+// records nothing, so instrumented code calls unconditionally.
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Attr is one key/value annotation on a span or one label on a metric
+// series.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// A builds a string attribute.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// AInt builds an integer attribute.
+func AInt(key string, v int64) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", v)} }
+
+// Span is one phase of a join run, bounded in virtual time. Spans form
+// a tree per simulation process: a span opened while another is open
+// on the same process becomes its child.
+type Span struct {
+	// ID is unique within the tracker; 0 is "no span".
+	ID int64
+	// Parent is the enclosing span's ID, or 0 for a top-level phase.
+	Parent int64
+	// Name is the phase name, e.g. "stage-S" or "bucket-pair".
+	Name string
+	// Proc names the simulation process that opened the span.
+	Proc string
+	// Start and End bound the span in virtual time.
+	Start, End sim.Time
+	// Attrs are the span's key/value annotations.
+	Attrs []Attr
+
+	t    *Tracker
+	open bool
+}
+
+// SetAttr adds (or replaces) an annotation on an open span. Nil-safe.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Value = value
+			return
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// Duration returns the span's length.
+func (s *Span) Duration() sim.Duration {
+	if s == nil || s.End < s.Start {
+		return 0
+	}
+	return sim.Duration(s.End - s.Start)
+}
+
+// Close ends the span at p's current virtual time. Children still open
+// on the same process (skipped by an error path) are closed first.
+// Nil-safe and idempotent.
+func (s *Span) Close(p *sim.Proc) {
+	if s == nil || !s.open {
+		return
+	}
+	stack := s.t.active[p]
+	for i := len(stack) - 1; i >= 0; i-- {
+		sp := stack[i]
+		sp.End = p.Now()
+		sp.open = false
+		if sp == s {
+			s.t.active[p] = stack[:i]
+			return
+		}
+	}
+	// Closed from a process other than the opener: end it alone.
+	s.End = p.Now()
+	s.open = false
+}
+
+// Tracker records spans. The simulation kernel runs one process at a
+// time, so no locking is needed; a nil *Tracker records nothing.
+type Tracker struct {
+	nextID int64
+	spans  []*Span
+	active map[*sim.Proc][]*Span
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{active: map[*sim.Proc][]*Span{}}
+}
+
+// Begin opens a span named name on process p at the current virtual
+// time. The innermost open span on p becomes its parent. Nil-safe:
+// returns nil (whose Close is a no-op) on a nil tracker.
+func (t *Tracker) Begin(p *sim.Proc, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.nextID++
+	s := &Span{
+		ID: t.nextID, Name: name, Proc: p.Name(),
+		Start: p.Now(), Attrs: attrs,
+		t: t, open: true,
+	}
+	if stack := t.active[p]; len(stack) > 0 {
+		s.Parent = stack[len(stack)-1].ID
+	}
+	t.active[p] = append(t.active[p], s)
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// ActiveSpan returns the innermost open span's ID on process p, or 0.
+// It implements trace.SpanSource, which is how device events get
+// stamped with the phase that issued them.
+func (t *Tracker) ActiveSpan(p *sim.Proc) int64 {
+	if t == nil {
+		return 0
+	}
+	stack := t.active[p]
+	if len(stack) == 0 {
+		return 0
+	}
+	return stack[len(stack)-1].ID
+}
+
+// Finish closes every span still open at virtual time now — a safety
+// net for error paths that unwound past their Close calls. Nil-safe.
+func (t *Tracker) Finish(now sim.Time) {
+	if t == nil {
+		return
+	}
+	for _, s := range t.spans {
+		if s.open {
+			s.End = now
+			s.open = false
+		}
+	}
+	t.active = map[*sim.Proc][]*Span{}
+}
+
+// Spans returns every span recorded so far, in open order.
+func (t *Tracker) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -129,7 +130,18 @@ type Drive struct {
 	shared *transport     // non-nil when two drives share one transport
 
 	rec   *trace.Recorder
+	met   driveMetrics
 	Stats DriveStats
+}
+
+// driveMetrics are the per-drive series exported to an obs.Registry.
+// The handles are nil-safe, so instrumentation calls unconditionally.
+type driveMetrics struct {
+	blocksRead    *obs.Counter
+	blocksWritten *obs.Counter
+	seeks         *obs.Counter
+	exchanges     *obs.Counter
+	latency       *obs.Histogram
 }
 
 // NewDrive returns a drive attached to the kernel with the given
@@ -164,9 +176,34 @@ func (d *Drive) Load(m Medium) {
 // SetRecorder attaches an event recorder (nil disables tracing).
 func (d *Drive) SetRecorder(r *trace.Recorder) { d.rec = r }
 
-// record emits a trace event spanning [from, now].
+// SetMetrics registers this drive's counters and request-latency
+// histogram in reg (nil detaches).
+func (d *Drive) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		d.met = driveMetrics{}
+		return
+	}
+	l := obs.A("drive", d.name)
+	d.met = driveMetrics{
+		blocksRead:    reg.Counter("tape_blocks_read_total", "Blocks read from tape.", l),
+		blocksWritten: reg.Counter("tape_blocks_written_total", "Blocks written to tape.", l),
+		seeks:         reg.Counter("tape_seeks_total", "Head repositioning seeks.", l),
+		exchanges:     reg.Counter("tape_exchanges_total", "Robot cartridge exchanges.", l),
+		latency: reg.Histogram("tape_request_seconds",
+			"Virtual latency of tape requests, queueing included.", obs.DeviceLatencyBuckets, l),
+	}
+}
+
+// observe records a completed request's latency, measured from entry
+// (queueing on the drive included) to completion.
+func (d *Drive) observe(p *sim.Proc, t0 sim.Time) {
+	d.met.latency.Observe(sim.Duration(p.Now() - t0).Seconds())
+}
+
+// record emits a trace event spanning [from, now], stamped with the
+// issuing process's phase span.
 func (d *Drive) record(p *sim.Proc, kind trace.Kind, from sim.Time, blocks int64) {
-	d.rec.Add(trace.Event{
+	d.rec.AddFor(p, trace.Event{
 		Device: "tape:" + d.name, Kind: kind,
 		Start: from, End: p.Now(), Blocks: blocks,
 	})
@@ -196,6 +233,7 @@ func (d *Drive) exchangeTo(p *sim.Proc, addr Addr) {
 	}
 	d.Stats.Exchanges++
 	d.Stats.ExchangeTime += d.cfg.ExchangeTime
+	d.met.exchanges.Inc()
 	d.curVol = vol
 	// A fresh cartridge starts at its first block.
 	d.pos = d.media.volumeSpan(vol).Start
@@ -215,6 +253,7 @@ func (d *Drive) seekWithin(p *sim.Proc, addr Addr) {
 	if st > 0 {
 		d.Stats.Seeks++
 		d.Stats.SeekTime += st
+		d.met.seeks.Inc()
 		t0 := p.Now()
 		p.Hold(st)
 		d.record(p, trace.TapeSeek, t0, 0)
@@ -270,6 +309,7 @@ func (d *Drive) ReadAt(p *sim.Proc, addr Addr, n int64) ([]block.Block, error) {
 	if d.media == nil {
 		return nil, fmt.Errorf("tape: drive %q has no cartridge", d.name)
 	}
+	t0 := p.Now()
 	d.res.Acquire(p)
 	defer d.res.Release(p)
 	d.switchIn(p)
@@ -284,6 +324,8 @@ func (d *Drive) ReadAt(p *sim.Proc, addr Addr, n int64) ([]block.Block, error) {
 	d.transferSegments(p, addr, n, trace.TapeRead)
 	d.Stats.Requests++
 	d.Stats.BlocksRead += n
+	d.met.blocksRead.Add(float64(n))
+	d.observe(p, t0)
 	if corrupt {
 		corruptDelivered(data)
 	}
@@ -307,6 +349,7 @@ func (d *Drive) ReadRegionReverse(p *sim.Proc, r Region) ([]block.Block, error) 
 	if !d.cfg.BiDirectional {
 		return nil, fmt.Errorf("tape: drive %q cannot read in reverse", d.name)
 	}
+	t0 := p.Now()
 	d.res.Acquire(p)
 	defer d.res.Release(p)
 	d.switchIn(p)
@@ -333,15 +376,17 @@ func (d *Drive) ReadRegionReverse(p *sim.Proc, r Region) ([]block.Block, error) 
 		d.reverse = true
 	}
 	t := d.TransferTime(r.N)
-	t0 := p.Now()
+	tx := p.Now()
 	p.Hold(t)
-	d.record(p, trace.TapeRead, t0, r.N)
+	d.record(p, trace.TapeRead, tx, r.N)
 	d.Stats.TransferTime += t
 	d.pos = r.Start
 	d.lastEnd = p.Now()
 	d.started = true
 	d.Stats.Requests++
 	d.Stats.BlocksRead += r.N
+	d.met.blocksRead.Add(float64(r.N))
+	d.observe(p, t0)
 	return data, nil
 }
 
@@ -352,6 +397,7 @@ func (d *Drive) Append(p *sim.Proc, blks []block.Block) (Region, error) {
 	if d.media == nil {
 		return Region{}, fmt.Errorf("tape: drive %q has no cartridge", d.name)
 	}
+	t0 := p.Now()
 	d.res.Acquire(p)
 	defer d.res.Release(p)
 	d.switchIn(p)
@@ -366,6 +412,8 @@ func (d *Drive) Append(p *sim.Proc, blks []block.Block) (Region, error) {
 	d.transferSegments(p, eod, reg.N, trace.TapeWrite)
 	d.Stats.Requests++
 	d.Stats.BlocksWritten += reg.N
+	d.met.blocksWritten.Add(float64(reg.N))
+	d.observe(p, t0)
 	return reg, nil
 }
 
@@ -377,6 +425,7 @@ func (d *Drive) WriteAt(p *sim.Proc, addr Addr, blks []block.Block) error {
 	if d.media == nil {
 		return fmt.Errorf("tape: drive %q has no cartridge", d.name)
 	}
+	t0 := p.Now()
 	d.res.Acquire(p)
 	defer d.res.Release(p)
 	d.switchIn(p)
@@ -389,6 +438,8 @@ func (d *Drive) WriteAt(p *sim.Proc, addr Addr, blks []block.Block) error {
 	d.transferSegments(p, addr, int64(len(blks)), trace.TapeWrite)
 	d.Stats.Requests++
 	d.Stats.BlocksWritten += int64(len(blks))
+	d.met.blocksWritten.Add(float64(int64(len(blks))))
+	d.observe(p, t0)
 	return nil
 }
 

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// faultedRecorder reproduces a recovery run's event shapes: a fault
+// marker (instantaneous), a retry interval overlapping the re-read it
+// issues, a phase mark, and an event running past the render window.
+func faultedRecorder() *Recorder {
+	r := &Recorder{}
+	r.Add(Event{Device: "tape:R", Kind: TapeRead, Start: 0, End: secs(40), Blocks: 40})
+	r.Add(Event{Device: "tape:R", Kind: Fault, Start: secs(40), End: secs(40), Note: "transient"})
+	r.Add(Event{Device: "tape:R", Kind: Retry, Start: secs(40), End: secs(52)})
+	r.Add(Event{Device: "tape:R", Kind: TapeRead, Start: secs(48), End: secs(52), Blocks: 4})
+	r.Add(Event{Device: "disk0", Kind: DiskWrite, Start: secs(10), End: secs(30), Blocks: 20})
+	r.Add(Event{Device: "disk0", Kind: DiskRead, Start: secs(95), End: secs(110), Blocks: 15})
+	r.Mark(secs(52), "step I done")
+	return r
+}
+
+func TestTimelineGolden(t *testing.T) {
+	want := "" +
+		"disk0  |..wwww.............r|\n" +
+		"tape:R |rrrrrrrr~~~.........|\n" +
+		"        0               1m40s\n"
+	if got := faultedRecorder().Timeline(secs(100), 20); got != want {
+		t.Fatalf("timeline:\n%swant:\n%s", got, want)
+	}
+}
+
+func TestSummaryGolden(t *testing.T) {
+	want := "" +
+		"disk0    busy   35.0%  disk-read 15s  disk-write 20s\n" +
+		"tape:R   busy   52.0%  tape-read 44s  fault 0s  retry 12s\n"
+	if got := faultedRecorder().Summary(secs(100)); got != want {
+		t.Fatalf("summary:\n%swant:\n%s", got, want)
+	}
+}
+
+func TestBusyTimeMergesOverlap(t *testing.T) {
+	r := faultedRecorder()
+	// tape:R: read 0-40s, retry 40-52s, re-read 48-52s. Naive summing
+	// gives 56s; the merged interval [0, 52] is the truth.
+	if got := r.BusyTime("tape:R"); got.Seconds() != 52 {
+		t.Fatalf("tape:R busy = %v, want 52s", got)
+	}
+	// Identical duplicated intervals collapse entirely.
+	d := &Recorder{}
+	d.Add(Event{Device: "d", Kind: DiskRead, Start: 0, End: secs(10)})
+	d.Add(Event{Device: "d", Kind: DiskRead, Start: 0, End: secs(10)})
+	if got := d.BusyTime("d"); got.Seconds() != 10 {
+		t.Fatalf("duplicate busy = %v, want 10s", got)
+	}
+	// An interval containing another contributes only its own length.
+	n := &Recorder{}
+	n.Add(Event{Device: "d", Kind: Retry, Start: 0, End: secs(20)})
+	n.Add(Event{Device: "d", Kind: DiskRead, Start: secs(5), End: secs(10)})
+	if got := n.BusyTime("d"); got.Seconds() != 20 {
+		t.Fatalf("nested busy = %v, want 20s", got)
+	}
+}
+
+func TestTimelineInstantAndOverrun(t *testing.T) {
+	// A zero-duration event renders a one-cell glyph, and its full-cell
+	// weight beats partial occupants of the same cell.
+	r := &Recorder{}
+	r.Add(Event{Device: "d", Kind: DiskRead, Start: 0, End: secs(2)})
+	r.Add(Event{Device: "d", Kind: Fault, Start: secs(3), End: secs(3)})
+	tl := r.Timeline(secs(10), 2) // cells of 5s: read covers 2s of cell 0
+	if !strings.Contains(tl, "|!.|") {
+		t.Fatalf("instant fault should win its cell:\n%s", tl)
+	}
+	// An event entirely past end clamps into the last cell instead of
+	// being dropped.
+	o := &Recorder{}
+	o.Add(Event{Device: "d", Kind: DiskWrite, Start: 0, End: secs(1)})
+	o.Add(Event{Device: "d", Kind: DiskRead, Start: secs(12), End: secs(15)})
+	tl = o.Timeline(secs(10), 2)
+	if !strings.Contains(tl, "|wr|") {
+		t.Fatalf("past-end event should clamp into last cell:\n%s", tl)
+	}
+}

@@ -87,6 +87,9 @@ type Event struct {
 	Start, End sim.Time
 	// Blocks is the transfer size, when applicable.
 	Blocks int64
+	// Span is the obs span ID of the join phase that issued the event,
+	// or 0 when unattributed.
+	Span int64
 	// Note annotates marks.
 	Note string
 }
@@ -94,10 +97,20 @@ type Event struct {
 // Duration returns the event's length.
 func (e Event) Duration() sim.Duration { return sim.Duration(e.End - e.Start) }
 
+// SpanSource resolves the phase span currently open on a simulation
+// process. It is implemented by obs.Tracker; the interface lives here
+// so that devices depend only on trace.
+type SpanSource interface {
+	ActiveSpan(p *sim.Proc) int64
+}
+
 // Recorder accumulates events. A nil *Recorder is valid and records
 // nothing, so devices can call it unconditionally.
 type Recorder struct {
 	Events []Event
+	// Spans, when set, stamps events added via AddFor with the issuing
+	// process's active phase span.
+	Spans SpanSource
 }
 
 // Add appends an event. No-op on a nil recorder.
@@ -106,6 +119,28 @@ func (r *Recorder) Add(e Event) {
 		return
 	}
 	r.Events = append(r.Events, e)
+}
+
+// AddFor appends an event issued by process p, stamping it with p's
+// active phase span unless the event already carries one. No-op on a
+// nil recorder.
+func (r *Recorder) AddFor(p *sim.Proc, e Event) {
+	if r == nil {
+		return
+	}
+	if e.Span == 0 && r.Spans != nil {
+		e.Span = r.Spans.ActiveSpan(p)
+	}
+	r.Events = append(r.Events, e)
+}
+
+// SpanAt returns the phase span open on p, for callers that spawn
+// helper processes and must stamp the helpers' events explicitly.
+func (r *Recorder) SpanAt(p *sim.Proc) int64 {
+	if r == nil || r.Spans == nil {
+		return 0
+	}
+	return r.Spans.ActiveSpan(p)
 }
 
 // Mark records a zero-width annotation at time t.
@@ -132,14 +167,39 @@ func (r *Recorder) Devices() []string {
 	return out
 }
 
-// BusyTime sums a device's event durations.
+// BusyTime returns the device's total busy time. Overlapping events —
+// a retry backoff spanning the stalled read it re-issues — are merged
+// before summing, so busy time never exceeds wall-clock time.
 func (r *Recorder) BusyTime(device string) sim.Duration {
-	var total sim.Duration
+	if r == nil {
+		return 0
+	}
+	type iv struct{ s, t sim.Time }
+	var ivs []iv
 	for _, e := range r.Events {
-		if e.Device == device && e.Kind != Mark {
-			total += e.Duration()
+		if e.Device == device && e.Kind != Mark && e.End > e.Start {
+			ivs = append(ivs, iv{e.Start, e.End})
 		}
 	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].s != ivs[j].s {
+			return ivs[i].s < ivs[j].s
+		}
+		return ivs[i].t < ivs[j].t
+	})
+	var total sim.Duration
+	var cur iv
+	for i, v := range ivs {
+		if i == 0 || v.s > cur.t {
+			total += sim.Duration(cur.t - cur.s)
+			cur = v
+			continue
+		}
+		if v.t > cur.t {
+			cur.t = v.t
+		}
+	}
+	total += sim.Duration(cur.t - cur.s)
 	return total
 }
 
@@ -147,6 +207,8 @@ func (r *Recorder) BusyTime(device string) sim.Duration {
 // columns spanning [0, end]: one row per device, 'r' for reads, 'w'
 // for writes, 's' for seeks, 'x' for media exchanges, '.' for idle.
 // When multiple kinds land in one cell the busiest kind wins.
+// Activity past end is clamped into the last cell, and instantaneous
+// events (Start == End, e.g. fault markers) get a one-cell glyph.
 func (r *Recorder) Timeline(end sim.Time, width int) string {
 	if r == nil || len(r.Events) == 0 || end <= 0 || width < 1 {
 		return ""
@@ -164,12 +226,30 @@ func (r *Recorder) Timeline(end sim.Time, width int) string {
 	for _, dev := range devices {
 		// Accumulate busy time per (cell, kind).
 		weights := make([]map[Kind]float64, width)
+		add := func(c int, k Kind, w float64) {
+			if weights[c] == nil {
+				weights[c] = make(map[Kind]float64)
+			}
+			weights[c][k] += w
+		}
 		for _, e := range r.Events {
 			if e.Device != dev || e.Kind == Mark {
 				continue
 			}
 			s, t := float64(e.Start), float64(e.End)
+			s = minF(maxF(s, 0), float64(end))
+			t = minF(maxF(t, s), float64(end))
 			first := int(s / cell)
+			if first >= width {
+				first = width - 1
+			}
+			if t <= s {
+				// Instantaneous (or entirely past end): a full-cell
+				// weight so the glyph renders and outranks partial
+				// occupants of the cell.
+				add(first, e.Kind, cell)
+				continue
+			}
 			last := int(t / cell)
 			if last >= width {
 				last = width - 1
@@ -181,18 +261,17 @@ func (r *Recorder) Timeline(end sim.Time, width int) string {
 				if ov <= 0 {
 					continue
 				}
-				if weights[c] == nil {
-					weights[c] = make(map[Kind]float64)
-				}
-				weights[c][e.Kind] += ov
+				add(c, e.Kind, ov)
 			}
 		}
 		row := make([]byte, width)
 		for c := range row {
 			row[c] = '.'
 			var best float64
-			for k, w := range weights[c] {
-				if w > best {
+			// Fixed descending kind order keeps ties deterministic and
+			// lets fault/retry/degrade glyphs win them.
+			for k := Mark; k >= TapeRead; k-- {
+				if w := weights[c][k]; w > best {
 					best = w
 					row[c] = k.glyph()
 				}

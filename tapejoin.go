@@ -33,6 +33,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/fault"
 	"repro/internal/join"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/sim"
 	"repro/internal/tape"
@@ -144,6 +145,13 @@ type Config struct {
 	// CollectTrace records every device I/O event during Join and
 	// renders Result.Timeline and Result.DeviceSummary.
 	CollectTrace bool
+	// Observe enables the structured observability layer: phase spans,
+	// a metrics registry, and trace export. Join then attaches a
+	// Result.Report with per-phase critical-path analysis and
+	// Chrome-trace / JSONL / Prometheus exporters. Implies event
+	// recording (but not the text Timeline, which stays behind
+	// CollectTrace).
+	Observe bool
 	// Faults injects a deterministic fault schedule into the devices of
 	// every Join, in the internal/fault spec grammar, e.g.
 	// "transient=R:100:2,diskfail=1@40s,random=7:3". Each Join parses a
@@ -405,6 +413,10 @@ type Result struct {
 	// was configured with CollectTrace.
 	Timeline      string
 	DeviceSummary string
+	// Report carries the structured observability data when the system
+	// was configured with Observe: per-phase critical-path analysis
+	// plus Chrome-trace, JSONL and metrics exporters.
+	Report *Report
 }
 
 func mbOf(blocks int64) float64 { return float64(blocks) / BlocksPerMB }
@@ -419,9 +431,17 @@ func (s *System) Join(method Method, r, bigS *Relation) (*Result, error) {
 	}
 	runRes := s.res
 	var rec *trace.Recorder
-	if s.cfg.CollectTrace {
+	if s.cfg.CollectTrace || s.cfg.Observe {
 		rec = &trace.Recorder{}
 		runRes.Trace = rec
+	}
+	var tracker *obs.Tracker
+	var reg *obs.Registry
+	if s.cfg.Observe {
+		tracker = obs.NewTracker()
+		reg = obs.NewRegistry()
+		runRes.Spans = tracker
+		runRes.Metrics = reg
 	}
 	if s.cfg.Faults != "" {
 		sched, err := fault.Parse(s.cfg.Faults)
@@ -471,10 +491,13 @@ func (s *System) Join(method Method, r, bigS *Relation) (*Result, error) {
 			OddMB:   mbOf(smp.Odd),
 		})
 	}
-	if rec != nil {
+	if s.cfg.CollectTrace {
 		end := sim.Time(res.Stats.Response)
 		out.Timeline = rec.Timeline(end, 100)
 		out.DeviceSummary = rec.Summary(end)
+	}
+	if s.cfg.Observe {
+		out.Report = newReport(tracker, rec, reg, sim.Time(res.Stats.Response))
 	}
 	return out, nil
 }
