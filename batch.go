@@ -1,0 +1,191 @@
+package tapejoin
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// BatchPolicy selects how a batch of joins is scheduled over the
+// shared drives: "fifo", "mount-aware" or "shared-scan".
+type BatchPolicy string
+
+const (
+	// BatchFIFO runs queries in submission order.
+	BatchFIFO BatchPolicy = "fifo"
+	// BatchMountAware reorders queries to minimize cartridge switches.
+	BatchMountAware BatchPolicy = "mount-aware"
+	// BatchSharedScan additionally fuses same-S queries onto shared
+	// tape passes.
+	BatchSharedScan BatchPolicy = "shared-scan"
+)
+
+// BatchQuery is one join request in a multi-query batch.
+type BatchQuery struct {
+	// ID labels the query in results (default "q<index>").
+	ID string
+	// Method requests a join method; empty lets the cost advisor pick.
+	Method Method
+	// R is the smaller relation, S the larger.
+	R, S *Relation
+}
+
+// BatchOptions tunes the workload engine.
+type BatchOptions struct {
+	// Policy selects the scheduler (default mount-aware).
+	Policy BatchPolicy
+	// CacheMB reserves disk space as a staging cache that retains
+	// copied-R partitions across queries (LRU). Zero disables it.
+	CacheMB float64
+	// MountSeconds is the cartridge exchange cost (default 30).
+	MountSeconds float64
+	// MaxShared caps riders per shared S-pass (default 4).
+	MaxShared int
+}
+
+// BatchQueryResult reports one query of a batch.
+type BatchQueryResult struct {
+	ID string
+	// Requested and Method are the asked-for and executed join methods;
+	// a shared-scan rider reports "SHARED".
+	Requested, Method Method
+	// Substituted, Shared, CacheHit and Failed mirror the scheduler's
+	// decisions for this query; Reason explains a failure.
+	Substituted, Shared, CacheHit, Failed bool
+	Reason                                string
+	// Start, End and Wait position the query's service in virtual time.
+	Start, End, Wait time.Duration
+	// Matches is the output cardinality.
+	Matches int64
+}
+
+// BatchReport is the outcome of a batch run.
+type BatchReport struct {
+	Policy BatchPolicy
+	// Makespan is batch arrival to last completion, in virtual time.
+	Makespan time.Duration
+	// Mounts counts cartridge switches (RMounts + SMounts).
+	Mounts, RMounts, SMounts int
+	// SharedPasses counts shared S-scans executed.
+	SharedPasses int
+	// Staging-cache activity.
+	CacheHits, CacheMisses, CacheEvictions int64
+	// TapeReadMB and TapeWrittenMB aggregate both drives.
+	TapeReadMB, TapeWrittenMB float64
+	// DiskPeakMB is the batch's peak disk footprint, cache included.
+	DiskPeakMB float64
+	// Queries holds per-query results in submission order.
+	Queries []BatchQueryResult
+	// Schedule is the engine's deterministic schedule log.
+	Schedule []string
+	// Timeline and DeviceSummary render device activity when the
+	// system was configured with CollectTrace.
+	Timeline, DeviceSummary string
+	// Report carries structured observability when Observe is set.
+	Report *Report
+}
+
+// RunBatch executes a batch of join queries on the system under the
+// given scheduling policy. All queries share the system's two drives,
+// disk array and memory; the engine orders them to minimize cartridge
+// mounts, fuses same-S queries onto shared tape passes, and retains
+// staged R partitions in a disk cache, depending on the policy.
+func (s *System) RunBatch(queries []BatchQuery, opts BatchOptions) (*BatchReport, error) {
+	if opts.Policy == "" {
+		opts.Policy = BatchMountAware
+	}
+	policy, err := workload.ParsePolicy(string(opts.Policy))
+	if err != nil {
+		return nil, err
+	}
+	runRes := s.res
+	var rec *trace.Recorder
+	if s.cfg.CollectTrace || s.cfg.Observe {
+		rec = &trace.Recorder{}
+		runRes.Trace = rec
+	}
+	var tracker *obs.Tracker
+	var reg *obs.Registry
+	if s.cfg.Observe {
+		tracker = obs.NewTracker()
+		reg = obs.NewRegistry()
+		runRes.Spans = tracker
+		runRes.Metrics = reg
+	}
+	if s.cfg.Faults != "" {
+		sched, err := fault.Parse(s.cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("tapejoin: %w", err)
+		}
+		runRes.Faults = sched
+	}
+	runRes.Recovery.Disabled = s.cfg.DisableRecovery
+
+	cfg := workload.Config{
+		Resources:   runRes,
+		Policy:      policy,
+		CacheBlocks: MBf(opts.CacheMB),
+		MountTime:   time.Duration(opts.MountSeconds * float64(time.Second)),
+		MaxShared:   opts.MaxShared,
+	}
+	wq := make([]workload.Query, len(queries))
+	for i, q := range queries {
+		if q.R == nil || q.S == nil {
+			return nil, fmt.Errorf("tapejoin: batch query %d missing a relation", i)
+		}
+		wq[i] = workload.Query{
+			ID: q.ID, Method: string(q.Method),
+			R: q.R.rel, S: q.S.rel,
+		}
+	}
+	out, err := workload.Run(cfg, wq)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &BatchReport{
+		Policy:         BatchPolicy(out.Policy.String()),
+		Makespan:       out.Makespan,
+		Mounts:         out.Mounts,
+		RMounts:        out.RMounts,
+		SMounts:        out.SMounts,
+		SharedPasses:   out.SharedPasses,
+		CacheHits:      out.CacheHits,
+		CacheMisses:    out.CacheMisses,
+		CacheEvictions: out.CacheEvictions,
+		TapeReadMB:     mbOf(out.TapeBlocksRead),
+		TapeWrittenMB:  mbOf(out.TapeBlocksWritten),
+		DiskPeakMB:     mbOf(out.DiskHighWater),
+		Schedule:       out.Schedule,
+	}
+	for _, qr := range out.Queries {
+		rep.Queries = append(rep.Queries, BatchQueryResult{
+			ID:          qr.ID,
+			Requested:   Method(qr.Requested),
+			Method:      Method(qr.Method),
+			Substituted: qr.Substituted,
+			Shared:      qr.Shared,
+			CacheHit:    qr.CacheHit,
+			Failed:      qr.Failed,
+			Reason:      qr.Reason,
+			Start:       qr.Start,
+			End:         qr.End,
+			Wait:        qr.Wait,
+			Matches:     qr.Matches,
+		})
+	}
+	end := sim.Time(out.Makespan)
+	if s.cfg.CollectTrace {
+		rep.Timeline = rec.Timeline(end, 100)
+		rep.DeviceSummary = rec.Summary(end)
+	}
+	if s.cfg.Observe {
+		rep.Report = newReport(tracker, rec, reg, end)
+	}
+	return rep, nil
+}

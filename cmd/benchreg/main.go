@@ -1,0 +1,223 @@
+// Command benchreg is the benchmark regression harness: it parses
+// `go test -bench` output into a JSON snapshot and compares runs
+// against a previous snapshot, warning when a benchmark regressed
+// beyond a threshold.
+//
+// Snapshot the current benchmarks:
+//
+//	go test -run='^$' -bench=. -benchtime=1x . | benchreg -snapshot BENCH.json
+//
+// Compare a fresh run against the checked-in snapshot (prints WARN
+// lines for >15% regressions; -strict turns warnings into a non-zero
+// exit):
+//
+//	go test -run='^$' -bench=. -benchtime=1x . | benchreg -compare BENCH.json
+//
+// Wall-clock ns/op is noisy across machines, so ns/op is compared
+// only when both snapshots carry it and drift is reported as a
+// warning. Custom metrics (the virtual-time quantities the benchmarks
+// report via b.ReportMetric, e.g. "vsec" or "relcost") come from the
+// deterministic simulation: any drift there is a real behavioral
+// change, and is flagged at the same threshold.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's parsed result.
+type Bench struct {
+	// NsPerOp is wall time per iteration (noisy; compared loosely).
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds custom b.ReportMetric values by unit. These are
+	// virtual quantities from the deterministic simulator.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the JSON document benchreg reads and writes.
+type Snapshot struct {
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+func main() {
+	snapshot := flag.String("snapshot", "", "write parsed benchmarks from stdin to this JSON file")
+	compare := flag.String("compare", "", "compare benchmarks from stdin against this JSON snapshot")
+	threshold := flag.Float64("threshold", 15, "regression warning threshold (%)")
+	strict := flag.Bool("strict", false, "exit non-zero when any warning fires")
+	wall := flag.Bool("ns", true, "also compare wall-clock ns/op (disable on shared CI runners)")
+	flag.Parse()
+
+	if (*snapshot == "") == (*compare == "") {
+		fmt.Fprintln(os.Stderr, "benchreg: exactly one of -snapshot or -compare is required")
+		os.Exit(2)
+	}
+
+	cur, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreg:", err)
+		os.Exit(2)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreg: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	if *snapshot != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreg:", err)
+			os.Exit(2)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*snapshot, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreg:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchreg: wrote %d benchmarks to %s\n", len(cur.Benchmarks), *snapshot)
+		return
+	}
+
+	old, err := load(*compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreg:", err)
+		os.Exit(2)
+	}
+	warnings := diff(old, cur, *threshold, *wall)
+	for _, w := range warnings {
+		fmt.Println(w)
+	}
+	fmt.Printf("benchreg: %d benchmarks compared against %s, %d warnings (threshold %.0f%%)\n",
+		len(cur.Benchmarks), *compare, len(warnings), *threshold)
+	if *strict && len(warnings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// parse extracts benchmark result lines from `go test -bench` output.
+// A line looks like:
+//
+//	BenchmarkName-8   100   123456 ns/op   42.5 vsec   1.9 relcost
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parse(r io.Reader) (*Snapshot, error) {
+	out := &Snapshot{Benchmarks: map[string]Bench{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so snapshots compare across
+		// machines with different core counts.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		b := Bench{Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = v
+			} else if !strings.HasSuffix(unit, "/op") || isCustom(unit) {
+				b.Metrics[unit] = v
+			}
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		out.Benchmarks[name] = b
+	}
+	return out, sc.Err()
+}
+
+// isCustom keeps custom per-op metrics (anything that is not the
+// standard B/op and allocs/op memory counters).
+func isCustom(unit string) bool {
+	return unit != "B/op" && unit != "allocs/op"
+}
+
+// diff reports regressions of cur against old beyond pct percent.
+// Missing and new benchmarks are reported too: a silently vanished
+// benchmark is how coverage rots.
+func diff(old, cur *Snapshot, pct float64, wall bool) []string {
+	var warnings []string
+	names := make([]string, 0, len(old.Benchmarks))
+	for name := range old.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := old.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("WARN %s: benchmark missing from current run", name))
+			continue
+		}
+		if wall && o.NsPerOp > 0 && c.NsPerOp > 0 {
+			if d := change(o.NsPerOp, c.NsPerOp); d > pct {
+				warnings = append(warnings, fmt.Sprintf(
+					"WARN %s: ns/op regressed %.1f%% (%.0f -> %.0f)", name, d, o.NsPerOp, c.NsPerOp))
+			}
+		}
+		units := make([]string, 0, len(o.Metrics))
+		for unit := range o.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov := o.Metrics[unit]
+			cv, ok := c.Metrics[unit]
+			if !ok {
+				warnings = append(warnings, fmt.Sprintf("WARN %s: metric %q missing from current run", name, unit))
+				continue
+			}
+			// Deterministic virtual metrics: drift in either direction
+			// beyond the threshold is a behavioral change worth eyes.
+			if d := change(ov, cv); d > pct {
+				warnings = append(warnings, fmt.Sprintf(
+					"WARN %s: %s drifted %.1f%% (%g -> %g)", name, unit, d, ov, cv))
+			}
+		}
+	}
+	return warnings
+}
+
+// change returns the absolute percent change from a to b.
+func change(a, b float64) float64 {
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(b-a) / math.Abs(a) * 100
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.70GHz
+BenchmarkFig1SmallR-8         	       1	     35366 ns/op	         3.950 relcost-DT-NB@5M
+BenchmarkFig4Utilization-8    	       1	  43828083 ns/op	        98.60 util-%
+BenchmarkPlain-8              	     100	      1234 ns/op
+BenchmarkWithAllocs-8         	     100	      1234 ns/op	     512 B/op	       3 allocs/op
+not a benchmark line
+PASS
+ok  	repro	12.007s
+`
+
+func TestParse(t *testing.T) {
+	s, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(s.Benchmarks), s.Benchmarks)
+	}
+	fig1, ok := s.Benchmarks["BenchmarkFig1SmallR"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if fig1.NsPerOp != 35366 {
+		t.Errorf("ns/op = %v, want 35366", fig1.NsPerOp)
+	}
+	if got := fig1.Metrics["relcost-DT-NB@5M"]; got != 3.950 {
+		t.Errorf("custom metric = %v, want 3.950", got)
+	}
+	if got := s.Benchmarks["BenchmarkFig4Utilization"].Metrics["util-%"]; got != 98.60 {
+		t.Errorf("util metric = %v, want 98.60", got)
+	}
+	if m := s.Benchmarks["BenchmarkPlain"].Metrics; m != nil {
+		t.Errorf("plain benchmark grew metrics: %v", m)
+	}
+	// Memory counters are standard tooling output, not tracked metrics.
+	if m := s.Benchmarks["BenchmarkWithAllocs"].Metrics; len(m) != 0 {
+		t.Errorf("B/op and allocs/op leaked into metrics: %v", m)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := &Snapshot{Benchmarks: map[string]Bench{
+		"A": {NsPerOp: 100, Metrics: map[string]float64{"vsec": 50}},
+		"B": {NsPerOp: 100},
+		"C": {NsPerOp: 100, Metrics: map[string]float64{"vsec": 10}},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Bench{
+		"A": {NsPerOp: 105, Metrics: map[string]float64{"vsec": 80}}, // metric drift 60%
+		"B": {NsPerOp: 300},                                          // ns/op regression 200%
+		// C missing entirely
+	}}
+
+	warnings := diff(old, cur, 15, true)
+	if len(warnings) != 3 {
+		t.Fatalf("got %d warnings, want 3:\n%s", len(warnings), strings.Join(warnings, "\n"))
+	}
+	for _, want := range []string{"A: vsec drifted", "B: ns/op regressed", "C: benchmark missing"} {
+		found := false
+		for _, w := range warnings {
+			if strings.Contains(w, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no warning matching %q in:\n%s", want, strings.Join(warnings, "\n"))
+		}
+	}
+
+	// Same snapshots, wall-clock comparison off: only the deterministic
+	// metric and the missing benchmark should fire.
+	warnings = diff(old, cur, 15, false)
+	for _, w := range warnings {
+		if strings.Contains(w, "ns/op") {
+			t.Errorf("ns/op warning with -ns=false: %s", w)
+		}
+	}
+	if len(warnings) != 2 {
+		t.Fatalf("got %d warnings with -ns=false, want 2:\n%s", len(warnings), strings.Join(warnings, "\n"))
+	}
+
+	// Within threshold: quiet.
+	if w := diff(old, old, 15, true); len(w) != 0 {
+		t.Fatalf("self-diff produced warnings: %v", w)
+	}
+}

@@ -14,6 +14,7 @@
 //	paperbench -exp ablations       # design-choice ablations
 //	paperbench -exp recovery        # fault injection and recovery
 //	paperbench -exp overlap         # per-phase critical path and device overlap
+//	paperbench -exp workload        # multi-query batch scheduling policies
 //	paperbench -exp all             # everything
 //
 // -scale shrinks the workloads (1.0 = the paper's sizes; see package
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, or all")
+	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, workload, or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
 	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
@@ -133,6 +134,13 @@ func runJSON(which string, scale float64) error {
 			return err
 		}
 		out["overlap"] = rows
+	}
+	if all || which == "workload" {
+		rows, err := exp.Workload(scale)
+		if err != nil {
+			return err
+		}
+		out["workload"] = rows
 	}
 	if len(out) == 1 {
 		return fmt.Errorf("unknown experiment %q", which)
@@ -264,8 +272,17 @@ func run(which string, scale float64) error {
 		fmt.Println(exp.FormatOverlap(rows))
 	}
 
+	if all || which == "workload" {
+		section("Workload: multi-query batch under fifo / mount-aware / shared-scan scheduling")
+		rows, err := exp.Workload(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatWorkload(rows))
+	}
+
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, overlap, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, overlap, workload, or all)", which)
 	}
 	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
 	return nil

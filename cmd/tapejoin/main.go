@@ -6,6 +6,12 @@
 // Sizes are in megabytes (the paper's units). The output reports the
 // virtual response time, phase breakdown, device traffic, and the
 // verified join cardinality.
+//
+// With -batch N the command instead runs a synthetic N-query workload
+// through the multi-query engine, scheduling the batch over the shared
+// drives under -policy (fifo, mount-aware or shared-scan):
+//
+//	tapejoin -batch 9 -policy shared-scan -r 4 -s 64 -mem 16 -disk 128 -cache 32
 package main
 
 import (
@@ -37,6 +43,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (load in Perfetto / chrome://tracing)")
 	eventsOut := flag.String("events-out", "", "write the span/event stream as JSON Lines")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry in Prometheus text format")
+	batch := flag.Int("batch", 0, "run a synthetic batch of this many queries through the workload engine (0 = single join)")
+	policy := flag.String("policy", "mount-aware", "batch scheduling policy: fifo, mount-aware or shared-scan")
+	cacheMB := flag.Float64("cache", 0, "disk staging cache for the batch engine (MB, 0 = disabled)")
 	flag.Parse()
 
 	obsOut := obsOutputs{
@@ -45,8 +54,15 @@ func main() {
 		events:  *eventsOut,
 		metrics: *metricsOut,
 	}
-	if err := run(*method, *rMB, *sMB, *memMB, *diskMB, *disks, *ratio, *compress,
-		*ideal, *split, *seed, *keyspace, *verify, *timeline, *faults, *noRecover, obsOut); err != nil {
+	var err error
+	if *batch > 0 {
+		err = runBatch(*batch, *policy, *cacheMB, *rMB, *sMB, *memMB, *diskMB,
+			*disks, *ratio, *seed, *keyspace, *verify)
+	} else {
+		err = run(*method, *rMB, *sMB, *memMB, *diskMB, *disks, *ratio, *compress,
+			*ideal, *split, *seed, *keyspace, *verify, *timeline, *faults, *noRecover, obsOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tapejoin:", err)
 		os.Exit(1)
 	}
@@ -170,6 +186,112 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 			return fmt.Errorf("VERIFICATION FAILED: %d matches, expected %d", st.Matches, want)
 		}
 		fmt.Printf("  verification      ok (%d expected matches)\n", want)
+	}
+	return nil
+}
+
+// runBatch builds a synthetic n-query batch — S relations spread over
+// three cartridges, R relations over two, submission order alternating
+// S cartridges — and runs it through the workload engine under the
+// given policy.
+func runBatch(n int, policy string, cacheMB float64, rMB, sMB int64,
+	memMB, diskMB float64, disks int, ratio float64, seed int64,
+	keyspace uint64, verify bool) error {
+
+	sys, err := tapejoin.NewSystem(tapejoin.Config{
+		MemoryMB:           memMB,
+		DiskMB:             diskMB,
+		NumDisks:           disks,
+		DiskTapeSpeedRatio: ratio,
+	})
+	if err != nil {
+		return err
+	}
+
+	nS := 3
+	if n < nS {
+		nS = n
+	}
+	sRels := make([]*tapejoin.Relation, nS)
+	for i := range sRels {
+		t, err := sys.NewTape(fmt.Sprintf("tape-S%d", i+1), sMB+2)
+		if err != nil {
+			return err
+		}
+		sRels[i], err = sys.CreateRelation(t, tapejoin.RelationConfig{
+			Name: fmt.Sprintf("S%d", i+1), SizeMB: sMB,
+			KeySpace: keyspace, Seed: seed + int64(100+i),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	nR := 4
+	if n < nR {
+		nR = n
+	}
+	rRels := make([]*tapejoin.Relation, nR)
+	for i := range rRels {
+		t, err := sys.NewTape(fmt.Sprintf("tape-R%d", i/2+1), 2*rMB+2)
+		if err != nil {
+			return err
+		}
+		rRels[i], err = sys.CreateRelation(t, tapejoin.RelationConfig{
+			Name: fmt.Sprintf("R%d", i+1), SizeMB: rMB,
+			KeySpace: keyspace, Seed: seed + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	queries := make([]tapejoin.BatchQuery, n)
+	expected := make([]int64, n)
+	for i := range queries {
+		r, s := rRels[i%nR], sRels[i%nS]
+		queries[i] = tapejoin.BatchQuery{R: r, S: s}
+		expected[i] = tapejoin.ExpectedMatches(r, s)
+	}
+
+	rep, err := sys.RunBatch(queries, tapejoin.BatchOptions{
+		Policy:  tapejoin.BatchPolicy(policy),
+		CacheMB: cacheMB,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("batch: %d queries  policy=%s  M=%g MB  D=%g MB  cache=%g MB\n",
+		n, rep.Policy, memMB, diskMB, cacheMB)
+	fmt.Printf("  makespan          %v\n", rep.Makespan.Round(0))
+	fmt.Printf("  mounts            %d (R %d, S %d)\n", rep.Mounts, rep.RMounts, rep.SMounts)
+	fmt.Printf("  shared passes     %d\n", rep.SharedPasses)
+	fmt.Printf("  cache             %d hits, %d misses, %d evictions\n",
+		rep.CacheHits, rep.CacheMisses, rep.CacheEvictions)
+	fmt.Printf("  tape read/write   %.0f / %.0f MB\n", rep.TapeReadMB, rep.TapeWrittenMB)
+	fmt.Printf("  disk peak         %.1f MB\n", rep.DiskPeakMB)
+	fmt.Println("  queries:")
+	for i, qr := range rep.Queries {
+		flagStr := ""
+		if qr.Shared {
+			flagStr += " shared"
+		}
+		if qr.CacheHit {
+			flagStr += " cache-hit"
+		}
+		if qr.Failed {
+			fmt.Printf("    %-4s FAILED: %s\n", qr.ID, qr.Reason)
+			continue
+		}
+		fmt.Printf("    %-4s %-10s wait %8v  run %8v  %d matches%s\n",
+			qr.ID, qr.Method, qr.Wait.Round(0), (qr.End - qr.Start).Round(0), qr.Matches, flagStr)
+		if verify && qr.Matches != expected[i] {
+			return fmt.Errorf("VERIFICATION FAILED: query %s got %d matches, expected %d",
+				qr.ID, qr.Matches, expected[i])
+		}
+	}
+	if verify {
+		fmt.Println("  verification      ok (all queries match expected cardinalities)")
 	}
 	return nil
 }

@@ -210,6 +210,12 @@ func (a *Array) TotalCapacity() int64 {
 // Free returns unallocated blocks across the whole array.
 func (a *Array) Free() int64 { return a.TotalCapacity() - a.Used }
 
+// ResetHighWater restarts peak-space tracking from the current usage.
+// A session running several joins on one array calls this between
+// runs so each reports its own disk footprint rather than the
+// session's maximum.
+func (a *Array) ResetHighWater() { a.HighWater = a.Used }
+
 // BusyTime returns the summed busy time of all drives.
 func (a *Array) BusyTime() sim.Duration {
 	var t sim.Duration

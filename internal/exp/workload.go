@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	tapejoin "repro"
+)
+
+// WorkloadRow is one policy of the multi-query workload experiment.
+type WorkloadRow struct {
+	Policy       string
+	Makespan     time.Duration
+	MeanWait     time.Duration
+	Mounts       int
+	SharedPasses int
+	CacheHitRate float64
+	TapeReadMB   float64
+}
+
+// workloadBatch builds the experiment's 9-query batch on a fresh
+// system: three S cartridges (each holding one S relation), two R
+// cartridges with four R relations, and a submission order that
+// alternates S cartridges on nearly every query. FIFO therefore pays
+// a cartridge exchange per query, while the mount-aware order needs
+// one S mount per cartridge, three queries share S1's relation on one
+// tape pass, and R1 repeats enough to earn staging-cache hits.
+func workloadBatch(scale float64) (*tapejoin.System, []tapejoin.BatchQuery, error) {
+	sys, err := tapejoin.NewSystem(tapejoin.Config{
+		MemoryMB: scaleMBf(16, scale),
+		DiskMB:   float64(scaleMB(128, scale)),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sMB := scaleMB(64, scale)
+	rMB := scaleMB(4, scale)
+
+	var sRel [3]*tapejoin.Relation
+	for i := range sRel {
+		t, err := sys.NewTape(fmt.Sprintf("S%d", i+1), sMB+2)
+		if err != nil {
+			return nil, nil, err
+		}
+		sRel[i], err = sys.CreateRelation(t, tapejoin.RelationConfig{
+			Name: fmt.Sprintf("S%d", i+1), SizeMB: sMB,
+			KeySpace: 1 << 18, Seed: int64(100 + i),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var rRel [4]*tapejoin.Relation
+	for i := range rRel {
+		t, err := sys.NewTape(fmt.Sprintf("RA%d", i/2), 4*rMB+2)
+		if err != nil {
+			return nil, nil, err
+		}
+		rRel[i], err = sys.CreateRelation(t, tapejoin.RelationConfig{
+			Name: fmt.Sprintf("R%d", i+1), SizeMB: rMB,
+			KeySpace: 1 << 18, Seed: int64(10 + i),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	mk := func(r, s int) tapejoin.BatchQuery {
+		return tapejoin.BatchQuery{
+			Method: tapejoin.CDTNBMB, R: rRel[r], S: sRel[s],
+		}
+	}
+	queries := []tapejoin.BatchQuery{
+		mk(0, 0), mk(2, 1), mk(0, 0), mk(1, 2), mk(1, 0),
+		mk(3, 1), mk(0, 0), mk(2, 2), mk(0, 1),
+	}
+	return sys, queries, nil
+}
+
+// Workload runs the experiment's batch under each scheduling policy
+// on identical fresh systems and reports the makespan comparison:
+// FIFO thrashes cartridges, mount-aware amortizes mounts, shared-scan
+// additionally fuses same-S queries onto single tape passes.
+func Workload(scale float64) ([]WorkloadRow, error) {
+	policies := []tapejoin.BatchPolicy{
+		tapejoin.BatchFIFO, tapejoin.BatchMountAware, tapejoin.BatchSharedScan,
+	}
+	var rows []WorkloadRow
+	for _, policy := range policies {
+		sys, queries, err := workloadBatch(scale)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sys.RunBatch(queries, tapejoin.BatchOptions{
+			Policy:  policy,
+			CacheMB: float64(scaleMB(32, scale)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", policy, err)
+		}
+		var wait time.Duration
+		for _, qr := range rep.Queries {
+			if qr.Failed {
+				return nil, fmt.Errorf("workload %s: query %s failed: %s", policy, qr.ID, qr.Reason)
+			}
+			wait += qr.Wait
+		}
+		hitRate := 0.0
+		if lookups := rep.CacheHits + rep.CacheMisses; lookups > 0 {
+			hitRate = float64(rep.CacheHits) / float64(lookups)
+		}
+		rows = append(rows, WorkloadRow{
+			Policy:       string(rep.Policy),
+			Makespan:     rep.Makespan,
+			MeanWait:     wait / time.Duration(len(rep.Queries)),
+			Mounts:       rep.Mounts,
+			SharedPasses: rep.SharedPasses,
+			CacheHitRate: hitRate,
+			TapeReadMB:   rep.TapeReadMB,
+		})
+	}
+	return rows, nil
+}
+
+// FormatWorkload renders the workload experiment as a text table.
+func FormatWorkload(rows []WorkloadRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Policy,
+			secs(r.Makespan),
+			secs(r.MeanWait),
+			fmt.Sprintf("%d", r.Mounts),
+			fmt.Sprintf("%d", r.SharedPasses),
+			fmt.Sprintf("%.0f%%", 100*r.CacheHitRate),
+			fmt.Sprintf("%.0f", r.TapeReadMB),
+		})
+	}
+	return FormatTable(
+		[]string{"Policy", "Makespan", "Mean wait", "Mounts", "Shared passes", "Cache hits", "Tape read (MB)"},
+		out,
+	)
+}

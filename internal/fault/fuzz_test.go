@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"testing"
+)
+
+// FuzzParse throws arbitrary specs at the fault-schedule grammar. The
+// property is total robustness: Parse never panics, and a nil error
+// implies a usable schedule. The parser fronts the cmd/tapejoin
+// -faults flag, so every byte sequence a user can type must come back
+// as either a schedule or an error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"transient=R:100:2",
+		"hard=S:42",
+		"corrupt=disk:7:3",
+		"stall=R:90s:2",
+		"diskfail=1@40s",
+		"drivefail=R@1h10m",
+		"random=7:3",
+		"transient=R:100:2,diskfail=1@40s,random=7:3",
+		"stall=disk0:500ms",
+		// Near-misses that must error cleanly, not crash.
+		"transient=R",
+		"transient=R:x:y",
+		"diskfail=@",
+		"drivefail=Q@-5s",
+		"random=",
+		"=",
+		"unknown=1",
+		"transient=R:9223372036854775807:2147483647",
+		",,,",
+		"stall=R:1ns:0,stall=R:1ns:0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := Parse(spec)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("Parse(%q) returned both a schedule and error %v", spec, err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatalf("Parse(%q) returned nil schedule and nil error", spec)
+		}
+	})
+}

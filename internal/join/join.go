@@ -274,6 +274,14 @@ type env struct {
 	mem    *ledger
 	sink   Sink
 	stats  *Stats
+	// t0 is the virtual time the run started; Response and StepI are
+	// measured from it so runs inside a shared Session report their
+	// own durations.
+	t0 sim.Time
+	// stagedR, when non-nil, is a caller-owned disk copy of R
+	// (ExecOptions.StagedR): copyRToDisk returns it instead of reading
+	// tape, and freeR leaves it alone.
+	stagedR *disk.File
 
 	dbuf    buffer.DoubleBuffer // set by methods that stage S on disk
 	dbufCap int64
@@ -317,132 +325,32 @@ func (e *env) span(p *sim.Proc, name string, attrs ...obs.Attr) *obs.Span {
 	return e.res.Spans.Begin(p, name, attrs...)
 }
 
-// markStepI records the end of the setup phase.
+// markStepI records the end of the setup phase, relative to the
+// run's start.
 func (e *env) markStepI(p *sim.Proc) {
-	e.stats.StepI = sim.Duration(p.Now())
+	e.stats.StepI = sim.Duration(p.Now() - e.t0)
 }
 
 // Run executes method m on spec with the given resources, returning
 // the measured result. The sink receives every output tuple pair; a
-// nil sink counts matches only.
+// nil sink counts matches only. Run is the single-join entry point: it
+// builds a one-shot Session, executes the join, and drains the kernel.
 func Run(m Method, spec Spec, res Resources, sink Sink) (*Result, error) {
-	res = res.WithDefaults()
-	if err := res.Validate(); err != nil {
-		return nil, err
-	}
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	if err := m.Check(spec, res); err != nil {
-		return nil, fmt.Errorf("%s: %w", m.Symbol(), err)
-	}
-	if sink == nil {
-		sink = &CountSink{}
-	}
-
-	k := sim.NewKernel()
-	driveR := tape.NewDrive(k, "R", res.Tape)
-	driveR.Load(spec.R.Media)
-	driveS := tape.NewDrive(k, "S", res.Tape)
-	driveS.Load(spec.S.Media)
-	array, err := disk.NewArray(k, disk.Config{
-		NumDisks:        res.NumDisks,
-		AggregateRate:   res.DiskRate,
-		RequestOverhead: res.DiskOverhead,
-		BlocksPerDisk:   (res.DiskBlocks + int64(res.NumDisks) - 1) / int64(res.NumDisks),
-	})
+	s, err := NewSession(res)
 	if err != nil {
 		return nil, err
 	}
-
-	if res.Trace != nil {
-		res.Trace.Spans = res.Spans
-		driveR.SetRecorder(res.Trace)
-		driveS.SetRecorder(res.Trace)
-		array.SetRecorder(res.Trace)
-	}
-	if res.Metrics != nil {
-		driveR.SetMetrics(res.Metrics)
-		driveS.SetMetrics(res.Metrics)
-		array.SetMetrics(res.Metrics)
-	}
-	var inj fault.Injector
-	if res.Faults != nil {
-		inj = fault.Instrument(res.Faults, res.Metrics)
-		driveR.SetInjector(inj)
-		driveS.SetInjector(inj)
-		array.SetInjector(inj)
-	}
-
-	stats := &Stats{}
-	e := &env{
-		k: k, spec: spec, res: res,
-		driveR: driveR, driveS: driveS, disks: array,
-		mem: &ledger{}, sink: sink, stats: stats,
-		eodR: spec.R.Media.EOD(), eodS: spec.S.Media.EOD(),
-		inj: inj,
-		retryBackoff: res.Metrics.Histogram("join_retry_backoff_seconds",
-			"Backoff waits before fault-recovery re-reads.", obs.BackoffBuckets),
-		unitRestarts: res.Metrics.Counter("join_unit_restarts_total",
-			"Work units restarted from a checkpoint after a fault."),
-	}
-	// Stage the whole run's output so a drive-loss re-plan can discard
-	// the failed attempt's emissions and start over without
-	// double-delivering.
-	if !res.Recovery.Disabled {
-		e.outer = &stagedSink{inner: sink}
-		e.sink = e.outer
-	}
-
+	var result *Result
 	var runErr error
-	k.Spawn("join:"+m.Symbol(), func(p *sim.Proc) {
-		runErr = m.run(e, p)
-		if runErr != nil && !res.Recovery.Disabled &&
-			errors.Is(runErr, fault.ErrDriveLost) && !e.stats.DriveLost {
-			runErr = e.degradeRerun(p, runErr)
-		}
+	s.k.Spawn("join:"+m.Symbol(), func(p *sim.Proc) {
+		result, runErr = s.Exec(p, m, spec, sink, ExecOptions{})
 	})
-	if err := k.Run(); err != nil {
+	if err := s.k.Run(); err != nil {
 		return nil, fmt.Errorf("%s: simulation: %w", m.Symbol(), err)
 	}
-	res.Spans.Finish(k.Now())
+	s.Finish()
 	if runErr != nil {
-		return nil, fmt.Errorf("%s: %w", m.Symbol(), runErr)
-	}
-	if e.outer != nil {
-		e.outer.commit(nil)
-	}
-
-	stats.Response = sim.Duration(k.Now())
-	for _, d := range append([]*tape.Drive{e.driveR, e.driveS}, e.retiredDrives...) {
-		stats.TapeBlocksRead += d.Stats.BlocksRead
-		stats.TapeBlocksWritten += d.Stats.BlocksWritten
-		stats.TapeSeeks += d.Stats.Seeks
-		stats.Faults += d.Stats.InjectedFaults
-	}
-	deadIDs := map[int]bool{}
-	for _, a := range append([]*disk.Array{e.disks}, e.retiredArrays...) {
-		stats.DiskBlocksRead += a.Stats.BlocksRead
-		stats.DiskBlocksWritten += a.Stats.BlocksWritten
-		stats.Faults += a.Stats.Faults
-		if a.HighWater > stats.DiskHighWater {
-			stats.DiskHighWater = a.HighWater
-		}
-		stats.DiskBusy += a.BusyTime()
-		for _, id := range a.DeadDisks() {
-			deadIDs[id] = true
-		}
-	}
-	stats.DisksLost = len(deadIDs)
-	stats.MemHighWater = e.mem.high
-	stats.OutputTuples = sink.Count()
-	stats.TapeRBusy = e.driveR.BusyTime()
-	stats.TapeSBusy = e.driveS.BusyTime()
-
-	result := &Result{Method: m.Symbol(), Stats: *stats}
-	if e.dbuf != nil {
-		result.BufferTrace = e.dbuf.Trace()
-		result.BufferCapacity = e.dbufCap
+		return nil, runErr
 	}
 	return result, nil
 }

@@ -21,8 +21,13 @@ func nbSplit(m int64) (mr, ms int64) {
 
 // copyRToDisk is Step I of every disk–tape Nested Block method:
 // relation R is copied from tape to a striped disk file, staging
-// through main memory.
+// through main memory. A caller-staged copy (ExecOptions.StagedR)
+// short-circuits the tape read entirely — the workload engine's
+// cross-query cache hit.
 func copyRToDisk(e *env, p *sim.Proc) (*disk.File, error) {
+	if f := e.stagedR; f != nil && !f.Lost() {
+		return f, nil
+	}
 	sp := e.span(p, "copy-R", obs.AInt("blocks", e.spec.R.Region.N))
 	defer sp.Close(p)
 	f, err := e.disks.Create("R", nil)
@@ -55,7 +60,7 @@ func (e *env) ensureRFile(p *sim.Proc, fR **disk.File) error {
 		return nil
 	}
 	if *fR != nil {
-		(*fR).Free()
+		e.freeR(*fR)
 		*fR = nil
 	}
 	f, err := copyRToDisk(e, p)
@@ -64,6 +69,14 @@ func (e *env) ensureRFile(p *sim.Proc, fR **disk.File) error {
 	}
 	*fR = f
 	return nil
+}
+
+// freeR releases a method-owned R copy; a caller-owned staged file
+// (ExecOptions.StagedR) is kept for future runs.
+func (e *env) freeR(f *disk.File) {
+	if f != nil && f != e.stagedR {
+		f.Free()
+	}
 }
 
 // scanRAndProbe performs the inner loop of a Nested Block iteration:
@@ -163,7 +176,7 @@ func (DTNB) run(e *env, p *sim.Proc) error {
 	if err := nbJoinChunks(e, p, &fR, ensure, mr, ms, 0); err != nil {
 		return err
 	}
-	fR.Free()
+	e.freeR(fR)
 	return nil
 }
 
@@ -284,7 +297,7 @@ func (CDTNBMB) run(e *env, p *sim.Proc) error {
 			return err
 		}
 	}
-	fR.Free()
+	e.freeR(fR)
 	return nil
 }
 
@@ -446,6 +459,6 @@ func (CDTNBDB) run(e *env, p *sim.Proc) error {
 			return err
 		}
 	}
-	fR.Free()
+	e.freeR(fR)
 	return nil
 }

@@ -1,0 +1,301 @@
+package join
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/disk"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/sim"
+	"repro/internal/tape"
+)
+
+// Session hosts a sequence of joins on one simulation kernel and one
+// shared device complex — two tape drives and a disk array — so state
+// that outlives a single join carries across queries: tape-drive head
+// positions (later mounts of the same cartridge resume where the head
+// stopped) and disk-resident staging files (the workload engine's
+// cross-query cache). Run wraps a Session around one join; the
+// workload engine runs a whole batch inside one.
+//
+// A Session is single-threaded in simulation terms: Exec, ExecShared
+// and StageR must be called from a proc of the session's kernel, one
+// at a time.
+type Session struct {
+	k              *sim.Kernel
+	res            Resources
+	driveR, driveS *tape.Drive
+	disks          *disk.Array
+	inj            fault.Injector
+	retryBackoff   *obs.Histogram
+	unitRestarts   *obs.Counter
+}
+
+// NewSession builds the device complex described by res: two tape
+// drives named "R" and "S" and a striped disk array, with trace,
+// metrics and fault-injection wiring attached.
+func NewSession(res Resources) (*Session, error) {
+	res = res.WithDefaults()
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	driveR := tape.NewDrive(k, "R", res.Tape)
+	driveS := tape.NewDrive(k, "S", res.Tape)
+	array, err := disk.NewArray(k, disk.Config{
+		NumDisks:        res.NumDisks,
+		AggregateRate:   res.DiskRate,
+		RequestOverhead: res.DiskOverhead,
+		BlocksPerDisk:   (res.DiskBlocks + int64(res.NumDisks) - 1) / int64(res.NumDisks),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if res.Trace != nil {
+		res.Trace.Spans = res.Spans
+		driveR.SetRecorder(res.Trace)
+		driveS.SetRecorder(res.Trace)
+		array.SetRecorder(res.Trace)
+	}
+	if res.Metrics != nil {
+		driveR.SetMetrics(res.Metrics)
+		driveS.SetMetrics(res.Metrics)
+		array.SetMetrics(res.Metrics)
+	}
+	var inj fault.Injector
+	if res.Faults != nil {
+		inj = fault.Instrument(res.Faults, res.Metrics)
+		driveR.SetInjector(inj)
+		driveS.SetInjector(inj)
+		array.SetInjector(inj)
+	}
+	return &Session{
+		k: k, res: res,
+		driveR: driveR, driveS: driveS, disks: array,
+		inj: inj,
+		retryBackoff: res.Metrics.Histogram("join_retry_backoff_seconds",
+			"Backoff waits before fault-recovery re-reads.", obs.BackoffBuckets),
+		unitRestarts: res.Metrics.Counter("join_unit_restarts_total",
+			"Work units restarted from a checkpoint after a fault."),
+	}, nil
+}
+
+// Kernel returns the session's simulation kernel.
+func (s *Session) Kernel() *sim.Kernel { return s.k }
+
+// DriveR returns the R-side tape drive.
+func (s *Session) DriveR() *tape.Drive { return s.driveR }
+
+// DriveS returns the S-side tape drive.
+func (s *Session) DriveS() *tape.Drive { return s.driveS }
+
+// Disks returns the shared disk array.
+func (s *Session) Disks() *disk.Array { return s.disks }
+
+// Resources returns the session's resource configuration (defaults
+// filled).
+func (s *Session) Resources() Resources { return s.res }
+
+// Finish closes the observability tracker at the kernel's final time.
+// Call once after the kernel has drained.
+func (s *Session) Finish() { s.res.Spans.Finish(s.k.Now()) }
+
+// ExecOptions tune one join executed inside a Session.
+type ExecOptions struct {
+	// MemoryBlocks and DiskBlocks, when non-zero, override the
+	// session's M and D for this run: the workload engine's admission
+	// control partitions the shared budgets across concurrent queries
+	// this way. The physical array keeps the session's capacity; the
+	// override only bounds what this run's method plans with.
+	MemoryBlocks, DiskBlocks int64
+	// StagedR, when non-nil, is a disk-resident unfiltered-or-
+	// equivalently-filtered copy of R staged by an earlier run (the
+	// workload staging cache). Methods that begin by plain-copying R
+	// to disk — the Nested Block family — use it directly and skip
+	// their Step I tape read. Ownership stays with the caller: the
+	// run never frees the file. Hash-partitioning methods ignore it
+	// (their Step I layout depends on M).
+	StagedR *disk.File
+}
+
+// devSnapshot records cumulative device counters at exec start so
+// per-run stats can be reported as deltas on the shared devices.
+type devSnapshot struct {
+	driveR, driveS *tape.Drive
+	rStats, sStats tape.DriveStats
+	rBusy, sBusy   sim.Duration
+	array          *disk.Array
+	aStats         disk.Stats
+	aBusy          sim.Duration
+}
+
+func (s *Session) snapshot() devSnapshot {
+	return devSnapshot{
+		driveR: s.driveR, driveS: s.driveS,
+		rStats: s.driveR.Stats, sStats: s.driveS.Stats,
+		rBusy: s.driveR.BusyTime(), sBusy: s.driveS.BusyTime(),
+		array:  s.disks,
+		aStats: s.disks.Stats, aBusy: s.disks.BusyTime(),
+	}
+}
+
+// newEnv builds a method runtime context on the session's devices.
+func (s *Session) newEnv(t0 sim.Time, spec Spec, res Resources, sink Sink) *env {
+	return &env{
+		k: s.k, spec: spec, res: res,
+		driveR: s.driveR, driveS: s.driveS, disks: s.disks,
+		mem: &ledger{}, sink: sink, stats: &Stats{}, t0: t0,
+		eodR: spec.R.Media.EOD(), eodS: spec.S.Media.EOD(),
+		inj:          s.inj,
+		retryBackoff: s.retryBackoff,
+		unitRestarts: s.unitRestarts,
+	}
+}
+
+// ensureLoaded mounts the spec's cartridges into drives that hold
+// different media. Loading itself is free of virtual time — the paper
+// assumes pre-mounted input tapes — so a scheduler that wants mount
+// delays charged must hold for them before calling Exec (the workload
+// engine does).
+func (s *Session) ensureLoaded(spec Spec) {
+	if s.driveR.Media() != spec.R.Media {
+		s.driveR.Load(spec.R.Media)
+	}
+	if s.driveS.Media() != spec.S.Media {
+		s.driveS.Load(spec.S.Media)
+	}
+}
+
+// Exec runs one join on the session's devices from within a proc of
+// the session's kernel. Stats are per-run: device counters are
+// reported as deltas, Response is the run's own duration, and disk
+// high water restarts from the space currently held (staging-cache
+// files included). On a drive-loss degrade the replacement devices
+// become the session's devices for subsequent runs.
+func (s *Session) Exec(p *sim.Proc, m Method, spec Spec, sink Sink, opts ExecOptions) (*Result, error) {
+	res := s.res
+	if opts.MemoryBlocks > 0 {
+		res.MemoryBlocks = opts.MemoryBlocks
+	}
+	if opts.DiskBlocks > 0 {
+		res.DiskBlocks = opts.DiskBlocks
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Check(spec, res); err != nil {
+		return nil, fmt.Errorf("%s: %w", m.Symbol(), err)
+	}
+	if sink == nil {
+		sink = &CountSink{}
+	}
+	s.ensureLoaded(spec)
+
+	snap := s.snapshot()
+	s.disks.ResetHighWater()
+	e := s.newEnv(p.Now(), spec, res, sink)
+	e.stagedR = opts.StagedR
+	// Stage the run's output so a drive-loss re-plan can discard the
+	// failed attempt's emissions and start over without
+	// double-delivering.
+	if !res.Recovery.Disabled {
+		e.outer = &stagedSink{inner: sink}
+		e.sink = e.outer
+	}
+
+	runErr := m.run(e, p)
+	if runErr != nil && !res.Recovery.Disabled &&
+		errors.Is(runErr, fault.ErrDriveLost) && !e.stats.DriveLost {
+		runErr = e.degradeRerun(p, runErr)
+	}
+	// A degrade swapped in replacement devices; they are the session's
+	// devices from here on.
+	s.driveR, s.driveS, s.disks = e.driveR, e.driveS, e.disks
+	if runErr != nil {
+		return nil, fmt.Errorf("%s: %w", m.Symbol(), runErr)
+	}
+	if e.outer != nil {
+		e.outer.commit(p)
+	}
+
+	s.finishStats(e, p.Now(), snap)
+	result := &Result{Method: m.Symbol(), Stats: *e.stats}
+	if e.dbuf != nil {
+		result.BufferTrace = e.dbuf.Trace()
+		result.BufferCapacity = e.dbufCap
+	}
+	return result, nil
+}
+
+// finishStats fills the run's device stats as deltas against the
+// exec-start snapshot. Devices created during the run (degrade
+// replacements) contribute their full counters; the snapshotted
+// originals — whether still active or retired mid-run — contribute
+// what the run added.
+func (s *Session) finishStats(e *env, now sim.Time, snap devSnapshot) {
+	st := e.stats
+	st.Response = sim.Duration(now - e.t0)
+	for _, d := range append([]*tape.Drive{e.driveR, e.driveS}, e.retiredDrives...) {
+		st.TapeBlocksRead += d.Stats.BlocksRead
+		st.TapeBlocksWritten += d.Stats.BlocksWritten
+		st.TapeSeeks += d.Stats.Seeks
+		st.Faults += d.Stats.InjectedFaults
+	}
+	st.TapeBlocksRead -= snap.rStats.BlocksRead + snap.sStats.BlocksRead
+	st.TapeBlocksWritten -= snap.rStats.BlocksWritten + snap.sStats.BlocksWritten
+	st.TapeSeeks -= snap.rStats.Seeks + snap.sStats.Seeks
+	st.Faults -= snap.rStats.InjectedFaults + snap.sStats.InjectedFaults
+
+	deadIDs := map[int]bool{}
+	for _, a := range append([]*disk.Array{e.disks}, e.retiredArrays...) {
+		st.DiskBlocksRead += a.Stats.BlocksRead
+		st.DiskBlocksWritten += a.Stats.BlocksWritten
+		st.Faults += a.Stats.Faults
+		if a.HighWater > st.DiskHighWater {
+			st.DiskHighWater = a.HighWater
+		}
+		st.DiskBusy += a.BusyTime()
+		for _, id := range a.DeadDisks() {
+			deadIDs[id] = true
+		}
+	}
+	st.DiskBlocksRead -= snap.aStats.BlocksRead
+	st.DiskBlocksWritten -= snap.aStats.BlocksWritten
+	st.Faults -= snap.aStats.Faults
+	st.DiskBusy -= snap.aBusy
+	st.DisksLost = len(deadIDs)
+
+	st.MemHighWater = e.mem.high
+	st.OutputTuples = e.sink.Count()
+	st.TapeRBusy = e.driveR.BusyTime()
+	st.TapeSBusy = e.driveS.BusyTime()
+	if e.driveR == snap.driveR {
+		st.TapeRBusy -= snap.rBusy
+	}
+	if e.driveS == snap.driveS {
+		st.TapeSBusy -= snap.sBusy
+	}
+}
+
+// StageR copies relation r from the R-side drive to a striped disk
+// file without running a join — the workload engine's staging cache
+// fills itself through this path, then hands the file to later runs
+// via ExecOptions.StagedR. keep, when non-nil, filters tuples during
+// the copy (a filtered copy must only serve queries with the same
+// predicate). Returns the file and the copy's virtual duration.
+func (s *Session) StageR(p *sim.Proc, r *relation.Relation, keep func(block.Tuple) bool) (*disk.File, sim.Duration, error) {
+	if s.driveR.Media() != r.Media {
+		s.driveR.Load(r.Media)
+	}
+	t0 := p.Now()
+	e := s.newEnv(t0, Spec{R: r, S: r, FilterR: keep}, s.res, &CountSink{})
+	f, err := copyRToDisk(e, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, sim.Duration(p.Now() - t0), nil
+}

@@ -1,0 +1,132 @@
+package query
+
+import (
+	"testing"
+)
+
+// fuzzSchemas are the fixed schemas the fuzzer builds expressions
+// against. Column 0 is the join key by the package's convention.
+var fuzzRS = Schema{
+	{Name: "k", Type: Int64}, {Name: "a", Type: Int64},
+	{Name: "b", Type: Float64}, {Name: "c", Type: String},
+}
+
+var fuzzSS = Schema{
+	{Name: "k", Type: Int64}, {Name: "x", Type: Int64},
+	{Name: "y", Type: Float64}, {Name: "z", Type: String},
+}
+
+// fuzzRows are schema-conformant rows for evaluation.
+var (
+	fuzzRRow = Row{int64(7), int64(-3), 2.5, "abc"}
+	fuzzSRow = Row{int64(7), int64(9), -0.5, "xyz"}
+)
+
+// exprBuilder derives an expression tree deterministically from fuzz
+// bytes: each byte drives one construction decision, so the fuzzer
+// explores tree shapes (including invalid column names and mixed-type
+// comparisons) by mutating the input.
+type exprBuilder struct {
+	data []byte
+	pos  int
+}
+
+func (b *exprBuilder) next() byte {
+	if b.pos >= len(b.data) {
+		return 0
+	}
+	c := b.data[b.pos]
+	b.pos++
+	return c
+}
+
+// cols includes one name absent from either schema so Check's error
+// path gets exercised.
+var fuzzCols = []string{"k", "a", "b", "c", "x", "y", "z", "missing"}
+
+func (b *exprBuilder) build(depth int) Expr {
+	op := b.next()
+	if depth <= 0 {
+		op %= 4 // leaves only
+	}
+	switch op % 8 {
+	case 0:
+		return Col(SideR, fuzzCols[int(b.next())%len(fuzzCols)])
+	case 1:
+		return Col(SideS, fuzzCols[int(b.next())%len(fuzzCols)])
+	case 2:
+		return Lit(int64(int8(b.next())))
+	case 3:
+		if b.next()%2 == 0 {
+			return Lit(float64(int8(b.next())) / 2)
+		}
+		return Lit(string(rune('a' + b.next()%26)))
+	case 4:
+		opc := CmpOp(b.next() % 6)
+		return Cmp(opc, b.build(depth-1), b.build(depth-1))
+	case 5:
+		n := int(b.next()%3) + 1
+		es := make([]Expr, n)
+		for i := range es {
+			es[i] = b.build(depth - 1)
+		}
+		return And(es...)
+	case 6:
+		n := int(b.next()%3) + 1
+		es := make([]Expr, n)
+		for i := range es {
+			es[i] = b.build(depth - 1)
+		}
+		return Or(es...)
+	default:
+		return Not(b.build(depth - 1))
+	}
+}
+
+// FuzzExpr builds arbitrary expression trees and asserts the
+// evaluator's contract: Check never panics; a tree that passes Check
+// must bind, evaluate without error on conforming rows, and produce a
+// value of exactly the type Check reported. This is the guard against
+// Check accepting a tree whose Eval would hit the unchecked int64
+// assertions in the boolean operators.
+func FuzzExpr(f *testing.F) {
+	seeds := [][]byte{
+		{},
+		{0, 0},                               // R.k
+		{4, 0, 0, 2, 1},                      // R.k = 1
+		{7, 4, 0, 0, 1, 0},                   // NOT (R.k = S.k)
+		{5, 2, 4, 0, 0, 1, 0, 4, 2, 3, 2, 5}, // AND of comparisons
+		{6, 1, 7, 4, 0, 1, 1, 1},
+		{4, 3, 2, 0, 3, 1, 0}, // string vs int comparison (must fail Check)
+		{0, 7},                // missing column
+		{5, 2, 2, 9, 2, 9},    // AND over int literals
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := &exprBuilder{data: data}
+		e := b.build(6)
+		_ = e.String() // must not panic on any tree
+
+		typ, err := e.Check(fuzzRS, fuzzSS)
+		if err != nil {
+			return
+		}
+		bound, err := bindExpr(e, fuzzRS, fuzzSS)
+		if err != nil {
+			t.Fatalf("Check accepted %v but bind failed: %v", e, err)
+		}
+		v, err := bound.Eval(fuzzRRow, fuzzSRow)
+		if err != nil {
+			t.Fatalf("Check accepted %v but Eval failed: %v", e, err)
+		}
+		got, err := typeOf(v)
+		if err != nil {
+			t.Fatalf("%v evaluated to unsupported value %T", e, v)
+		}
+		if got != typ {
+			t.Fatalf("%v: Check said %v, Eval produced %v", e, typ, got)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"repro/internal/cost"
+	"repro/internal/join"
+)
+
+// admitShared decides which of a same-S candidate group may join one
+// shared tape pass, partitioning M and D across the riders with the
+// cost model so every admitted query still satisfies its method's
+// Table 2 row. A shared rider behaves like DT-NB on its partition: a
+// disk-resident R probed against memory-buffered S chunks, so DT-NB's
+// feasibility row (D >= |R|, M >= mr + 2) is the one each share must
+// clear. Candidates that don't fit fall back to solo execution.
+//
+// The packing is greedy in candidate order (deterministic): a rider is
+// admitted while
+//
+//   - its equal M share keeps DT-NB feasible per the cost model,
+//   - the staged R copies of all admitted riders fit the disk that is
+//     left after the cache carve-out,
+//   - the residual S buffers stay >= 1 block per double buffer.
+func admitShared(cfg Config, res join.Resources, queries []Query, cand []int) (admitted, rejected []int) {
+	dFree := res.DiskBlocks - cfg.CacheBlocks
+	var rTotal int64
+	for _, qi := range cand {
+		q := queries[qi]
+		k := int64(len(admitted) + 1)
+		mShare := res.MemoryBlocks / k
+		est := cost.EstimateMethod("DT-NB", cost.Params{
+			RBlocks: q.R.Region.N, SBlocks: q.S.Region.N,
+			MBlocks: mShare, DBlocks: q.R.Region.N,
+			TapeRate: res.Tape.EffectiveRate(), DiskRate: res.DiskRate,
+		})
+		// mr is the rider's R-scan buffer under the engine's rule
+		// (half the share, capped at IOChunk); the rest of everyone's
+		// shares must still leave two S buffers.
+		mr := mShare / 2
+		if mr > res.IOChunk {
+			mr = res.IOChunk
+		}
+		if mr < 1 {
+			mr = 1
+		}
+		msLeft := (res.MemoryBlocks - mr*k) / 2
+		switch {
+		case est.Err != nil,
+			rTotal+q.R.Region.N > dFree,
+			msLeft < 1:
+			rejected = append(rejected, qi)
+		default:
+			admitted = append(admitted, qi)
+			rTotal += q.R.Region.N
+		}
+	}
+	return admitted, rejected
+}

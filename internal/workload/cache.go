@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"repro/internal/disk"
+	"repro/internal/relation"
+)
+
+// cacheEntry is one retained R partition.
+type cacheEntry struct {
+	rel    *relation.Relation
+	file   *disk.File
+	blocks int64
+	// pins counts queries currently using the entry; pinned entries
+	// cannot be evicted (their blocks are live on the array).
+	pins int
+	// stamp is a logical clock tick recording last use, for LRU.
+	stamp int64
+}
+
+// stagingCache retains copied-R partitions on the disk array across
+// queries, LRU-evicted under a block budget. It tracks which relation
+// each disk file holds; the files themselves live on the session's
+// array, so an eviction frees real simulated disk space.
+type stagingCache struct {
+	budget  int64
+	used    int64
+	clock   int64
+	entries map[*relation.Relation]*cacheEntry
+
+	Hits, Misses, Evictions int64
+}
+
+func newStagingCache(budget int64) *stagingCache {
+	return &stagingCache{budget: budget, entries: make(map[*relation.Relation]*cacheEntry)}
+}
+
+// lookup returns the live entry for r, dropping entries whose file was
+// lost to a disk fault. Every lookup counts as a hit or a miss.
+func (c *stagingCache) lookup(r *relation.Relation) *cacheEntry {
+	ce := c.entries[r]
+	if ce != nil && ce.file.Lost() {
+		c.drop(ce)
+		ce = nil
+	}
+	if ce == nil {
+		c.Misses++
+		return nil
+	}
+	c.clock++
+	ce.stamp = c.clock
+	c.Hits++
+	return ce
+}
+
+func (c *stagingCache) pin(ce *cacheEntry)   { ce.pins++ }
+func (c *stagingCache) unpin(ce *cacheEntry) { ce.pins-- }
+
+// makeRoom evicts unpinned LRU entries until n blocks fit in the
+// budget, returning the names of evicted relations. Eviction happens
+// BEFORE the new partition is staged so the array never physically
+// overflows. Reports false when pinned entries block the way.
+func (c *stagingCache) makeRoom(n int64) (evicted []string, ok bool) {
+	if n > c.budget {
+		return nil, false
+	}
+	for c.used+n > c.budget {
+		victim := c.lruVictim()
+		if victim == nil {
+			return evicted, false
+		}
+		evicted = append(evicted, victim.rel.Name)
+		victim.file.Free()
+		c.drop(victim)
+		c.Evictions++
+	}
+	return evicted, true
+}
+
+// lruVictim picks the least-recently-used unpinned entry.
+func (c *stagingCache) lruVictim() *cacheEntry {
+	var victim *cacheEntry
+	for _, ce := range c.entries {
+		if ce.pins > 0 {
+			continue
+		}
+		if victim == nil || ce.stamp < victim.stamp {
+			victim = ce
+		}
+	}
+	return victim
+}
+
+// insert records a freshly staged partition. The caller must have made
+// room first; the entry arrives unpinned at the current clock.
+func (c *stagingCache) insert(r *relation.Relation, f *disk.File) *cacheEntry {
+	c.clock++
+	ce := &cacheEntry{rel: r, file: f, blocks: f.Len(), stamp: c.clock}
+	c.entries[r] = ce
+	c.used += ce.blocks
+	return ce
+}
+
+// drop removes an entry's bookkeeping without freeing its file.
+func (c *stagingCache) drop(ce *cacheEntry) {
+	delete(c.entries, ce.rel)
+	c.used -= ce.blocks
+}

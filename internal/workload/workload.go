@@ -1,0 +1,566 @@
+// Package workload schedules batches of join queries over the shared
+// tertiary device complex — two tape drives and one disk array. The
+// paper treats one ad hoc join at a time; under multi-query traffic
+// the dominant cost becomes cartridge mounts and repeated tape passes,
+// so the engine adds what a single join cannot have:
+//
+//   - a tape-mount scheduler that orders queries to minimize cartridge
+//     switches (FIFO vs. mount-aware policies),
+//   - shared S-scans: queries joining the same S relation piggyback on
+//     one tape pass, fanning streamed chunks to per-query operators,
+//   - admission control partitioning M and D across the riders of a
+//     shared pass with the internal/cost model, so every admitted
+//     query still satisfies its method's Table 2 row,
+//   - a disk staging cache retaining copied-R partitions across
+//     queries with LRU eviction, so repeated joins skip the tape.
+//
+// The whole batch runs inside one join.Session: a single simulation
+// kernel whose drive head positions and disk files persist across
+// queries, which is what makes mounts, seeks and cache hits real
+// effects rather than bookkeeping.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/cost"
+	"repro/internal/disk"
+	"repro/internal/join"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/sim"
+	"repro/internal/tape"
+)
+
+// Query is one join request in a batch.
+type Query struct {
+	// ID labels the query in results and the schedule log; defaults to
+	// "q<index>".
+	ID string
+	// Method is the requested join method symbol ("CDT-NB/MB", ...).
+	// Empty lets the cost advisor pick the cheapest feasible method.
+	// An infeasible request is substituted by the advisor's choice;
+	// the cross-method equivalence oracle (internal/join) is what
+	// licenses swapping one method for another.
+	Method string
+	// R is the smaller relation, S the larger.
+	R, S *relation.Relation
+	// FilterR and FilterS are pushed-down selections. A query with a
+	// FilterR never uses the staging cache (its R copy is
+	// predicate-specific).
+	FilterR, FilterS func(block.Tuple) bool
+	// Sink receives the query's output pairs; nil counts matches only.
+	Sink join.Sink
+}
+
+// Policy selects the batch scheduling policy.
+type Policy int
+
+const (
+	// FIFO runs queries in submission order, mounting whatever each
+	// one needs — the baseline that thrashes cartridges.
+	FIFO Policy = iota
+	// MountAware reorders the batch to group queries by S cartridge
+	// (then by R cartridge within a group), minimizing mounts; every
+	// query still runs as its own join.
+	MountAware
+	// SharedScan is MountAware plus shared S-passes: same-S queries
+	// admitted by the cost model join on a single tape pass of S.
+	SharedScan
+)
+
+// String returns the policy's CLI name.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case MountAware:
+		return "mount-aware"
+	case SharedScan:
+		return "shared-scan"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy converts a CLI name to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fifo":
+		return FIFO, nil
+	case "mount-aware":
+		return MountAware, nil
+	case "shared-scan":
+		return SharedScan, nil
+	}
+	return 0, fmt.Errorf("workload: unknown policy %q (want fifo, mount-aware or shared-scan)", s)
+}
+
+// Config describes the shared system and the scheduling policy.
+type Config struct {
+	// Resources is the device complex every query shares (one M, one
+	// D, two drives, n disks).
+	Resources join.Resources
+	// Policy selects the scheduler.
+	Policy Policy
+	// CacheBlocks carves this much of D out as the staging cache for
+	// copied-R partitions (LRU). Methods plan with D - CacheBlocks.
+	// Zero disables the cache.
+	CacheBlocks int64
+	// MountTime is the virtual cost of switching a cartridge in a
+	// drive (robot exchange + load + thread); default 30 s.
+	MountTime sim.Duration
+	// MaxShared caps riders per shared S-pass (default 4).
+	MaxShared int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MountTime == 0 {
+		c.MountTime = 30 * time.Second
+	}
+	if c.MaxShared == 0 {
+		c.MaxShared = 4
+	}
+	return c
+}
+
+// QueryResult reports one query of a batch.
+type QueryResult struct {
+	// ID echoes the query.
+	ID string
+	// Requested is the method asked for ("" = advisor's choice);
+	// Method is what actually ran. A shared-pass rider reports
+	// "SHARED" — its join work was subsumed by the group's scan.
+	Requested, Method string
+	// Substituted marks a requested method replaced by the scheduler
+	// (infeasible on the query's resource partition, or subsumed by a
+	// shared pass).
+	Substituted bool
+	// Shared marks a rider of a shared S-scan.
+	Shared bool
+	// CacheHit marks a query whose R copy came from the staging cache
+	// instead of tape.
+	CacheHit bool
+	// Failed marks a query no feasible method could serve; Reason
+	// explains. Failed queries produce no output but do not abort the
+	// batch.
+	Failed bool
+	Reason string
+	// Start and End bound the query's service in virtual time; Wait is
+	// the queue wait (the batch arrives at t=0, so Wait = Start).
+	Start, End, Wait sim.Duration
+	// Matches is the output cardinality.
+	Matches int64
+}
+
+// BatchResult reports a whole batch run.
+type BatchResult struct {
+	// Policy echoes the scheduler used.
+	Policy Policy
+	// Makespan is the virtual time from batch arrival to the last
+	// query's completion.
+	Makespan sim.Duration
+	// Mounts counts cartridge switches charged (RMounts + SMounts).
+	Mounts, RMounts, SMounts int
+	// SharedPasses counts shared S-scans executed.
+	SharedPasses int
+	// Staging-cache activity.
+	CacheHits, CacheMisses, CacheEvictions int64
+	// Tape traffic across both drives for the whole batch.
+	TapeBlocksRead, TapeBlocksWritten int64
+	// DiskHighWater is the batch's peak disk footprint, cache included.
+	DiskHighWater int64
+	// Queries holds per-query results in submission order.
+	Queries []QueryResult
+	// Schedule is the deterministic, human-readable schedule log: one
+	// line per scheduling action with virtual timestamps.
+	Schedule []string
+}
+
+// engine is the per-batch runtime state.
+type engine struct {
+	cfg     Config
+	session *join.Session
+	cache   *stagingCache
+	queries []Query
+	results []QueryResult
+	out     *BatchResult
+
+	queueWait *obs.Histogram
+	mountsC   *obs.Counter
+	hitsC     *obs.Counter
+	missesC   *obs.Counter
+	sharedC   *obs.Counter
+}
+
+// Run executes the batch under the configured policy and returns
+// per-query and batch-level results. The run is deterministic: the
+// same config and queries produce byte-identical schedules, traces
+// and results.
+func Run(cfg Config, queries []Query) (*BatchResult, error) {
+	cfg = cfg.withDefaults()
+	if len(queries) == 0 {
+		return nil, errors.New("workload: empty batch")
+	}
+	session, err := join.NewSession(cfg.Resources)
+	if err != nil {
+		return nil, err
+	}
+	res := session.Resources()
+	if cfg.CacheBlocks < 0 || cfg.CacheBlocks >= res.DiskBlocks {
+		return nil, fmt.Errorf("workload: CacheBlocks %d outside [0, D=%d)", cfg.CacheBlocks, res.DiskBlocks)
+	}
+	for i := range queries {
+		if queries[i].ID == "" {
+			queries[i].ID = fmt.Sprintf("q%d", i)
+		}
+		spec := join.Spec{R: queries[i].R, S: queries[i].S}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: query %s: %w", queries[i].ID, err)
+		}
+	}
+
+	reg := res.Metrics
+	en := &engine{
+		cfg: cfg, session: session, queries: queries,
+		cache:   newStagingCache(cfg.CacheBlocks),
+		results: make([]QueryResult, len(queries)),
+		out:     &BatchResult{Policy: cfg.Policy},
+		queueWait: reg.Histogram("workload_queue_wait_seconds",
+			"Virtual time queries waited before service started.", obs.BackoffBuckets),
+		mountsC: reg.Counter("workload_mounts_total", "Cartridge switches charged by the scheduler."),
+		hitsC:   reg.Counter("workload_cache_hits_total", "Staging-cache hits (R copies served from disk)."),
+		missesC: reg.Counter("workload_cache_misses_total", "Staging-cache misses (R copies read from tape)."),
+		sharedC: reg.Counter("workload_shared_passes_total", "Shared S-scan passes executed."),
+	}
+	steps := plan(cfg, res, queries)
+
+	var runErr error
+	session.Kernel().Spawn("workload", func(p *sim.Proc) {
+		for _, st := range steps {
+			if st.shared {
+				runErr = en.runShared(p, st.indices)
+			} else {
+				runErr = en.runSingle(p, st.indices[0])
+			}
+			if runErr != nil {
+				return
+			}
+		}
+	})
+	if err := session.Kernel().Run(); err != nil {
+		return nil, fmt.Errorf("workload: simulation: %w", err)
+	}
+	session.Finish()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	en.out.Makespan = sim.Duration(session.Kernel().Now())
+	en.out.Queries = en.results
+	en.out.CacheHits = en.cache.Hits
+	en.out.CacheMisses = en.cache.Misses
+	en.out.CacheEvictions = en.cache.Evictions
+	en.out.TapeBlocksRead = session.DriveR().Stats.BlocksRead + session.DriveS().Stats.BlocksRead
+	en.out.TapeBlocksWritten = session.DriveR().Stats.BlocksWritten + session.DriveS().Stats.BlocksWritten
+	en.out.DiskHighWater = session.Disks().HighWater
+	return en.out, nil
+}
+
+// logf appends one line to the deterministic schedule log, stamped
+// with the current virtual time.
+func (en *engine) logf(p *sim.Proc, format string, args ...any) {
+	line := fmt.Sprintf("t=%08.1fs %s", sim.Duration(p.Now()).Seconds(), fmt.Sprintf(format, args...))
+	en.out.Schedule = append(en.out.Schedule, line)
+}
+
+// mount switches the given drive to medium m, charging MountTime when
+// the cartridge actually changes. The first load of an empty drive is
+// charged too: a batch system owns its robot time, unlike the paper's
+// single pre-mounted join.
+func (en *engine) mount(p *sim.Proc, drive *tape.Drive, m tape.Medium, side string) {
+	if drive.Media() == m {
+		return
+	}
+	sp := en.session.Resources().Spans.Begin(p, "mount",
+		obs.A("side", side), obs.A("media", m.Name()))
+	p.Hold(en.cfg.MountTime)
+	drive.Load(m)
+	sp.Close(p)
+	en.out.Mounts++
+	if side == "R" {
+		en.out.RMounts++
+	} else {
+		en.out.SMounts++
+	}
+	en.mountsC.Inc()
+	en.logf(p, "mount %s drive <- %s", side, m.Name())
+}
+
+// methodDiskBudget is the disk partition a query's method plans with:
+// the array minus the staging-cache carve-out, plus the blocks of its
+// own staged R when that copy lives inside the cache (the method's
+// Table 2 check counts R's copy against its budget).
+func (en *engine) methodDiskBudget(staged int64) int64 {
+	return en.session.Resources().DiskBlocks - en.cfg.CacheBlocks + staged
+}
+
+// usesCopiedR reports whether a method's Step I is a plain copy of R
+// to disk — the Nested Block family. Only these can consume a staged
+// (cached) R partition; the Grace Hash methods lay R out in an
+// M-dependent bucket structure instead.
+func usesCopiedR(symbol string) bool {
+	switch symbol {
+	case "DT-NB", "CDT-NB/MB", "CDT-NB/DB":
+		return true
+	}
+	return false
+}
+
+// chooseMethod picks the method a single query runs: the requested one
+// when feasible on the query's resource partition, otherwise the cost
+// advisor's cheapest feasible alternative.
+func (en *engine) chooseMethod(q Query, spec join.Spec, dBudget int64) (join.Method, bool, error) {
+	res := en.session.Resources()
+	res.DiskBlocks = dBudget
+	if q.Method != "" {
+		m, err := join.BySymbol(q.Method)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := m.Check(spec, res); err == nil {
+			return m, false, nil
+		}
+	}
+	params := cost.Params{
+		RBlocks: spec.R.Region.N, SBlocks: spec.S.Region.N,
+		MBlocks: res.MemoryBlocks, DBlocks: dBudget,
+		TapeRate: res.Tape.EffectiveRate(), DiskRate: res.DiskRate,
+	}
+	adv := cost.Advise(params, cost.Scratch{
+		RTape: spec.R.Media.Free(), STape: spec.S.Media.Free(),
+	})
+	for _, est := range adv.Ranked {
+		if est.Err != nil {
+			continue
+		}
+		m, err := join.BySymbol(est.Method)
+		if err != nil {
+			continue
+		}
+		if err := m.Check(spec, res); err != nil {
+			continue
+		}
+		return m, q.Method != "" && est.Method != q.Method, nil
+	}
+	return nil, false, fmt.Errorf("no feasible method for %s (M=%d, D=%d)",
+		q.ID, res.MemoryBlocks, dBudget)
+}
+
+// staged is a resolved disk-resident R handle: either a pinned cache
+// entry or a pass-owned copy to free after use.
+type staged struct {
+	file   *disk.File
+	pinned *cacheEntry
+	owned  *disk.File
+	hit    bool
+}
+
+// stagedR resolves a query's disk-resident R copy: a cache hit, a
+// fresh cache fill, or — when forceStage is set and the cache cannot
+// serve — a pass-owned copy staged outside the cache. A nil file with
+// nil error means the query should read R from tape itself.
+func (en *engine) stagedR(p *sim.Proc, q Query, forceStage bool) (*staged, error) {
+	out := &staged{}
+	cacheable := q.FilterR == nil && en.cfg.CacheBlocks > 0
+	if cacheable {
+		if ce := en.cache.lookup(q.R); ce != nil {
+			en.cache.pin(ce)
+			out.pinned = ce
+			out.file = ce.file
+			out.hit = true
+			en.hitsC.Inc()
+			en.logf(p, "cache hit: R=%s (%d blocks)", q.R.Name, ce.blocks)
+			return out, nil
+		}
+		en.missesC.Inc()
+		if q.R.Region.N <= en.cfg.CacheBlocks {
+			evicted, ok := en.cache.makeRoom(q.R.Region.N)
+			for _, name := range evicted {
+				en.logf(p, "cache evict: R=%s", name)
+			}
+			if ok {
+				en.mount(p, en.session.DriveR(), q.R.Media, "R")
+				f, d, err := en.session.StageR(p, q.R, nil)
+				if err != nil {
+					return nil, err
+				}
+				ce := en.cache.insert(q.R, f)
+				en.cache.pin(ce)
+				out.pinned = ce
+				out.file = f
+				en.logf(p, "cache fill: R=%s (%d blocks, %.1fs)", q.R.Name, f.Len(), d.Seconds())
+				return out, nil
+			}
+		}
+	}
+	if forceStage {
+		// Shared riders need a disk-resident R even when it cannot be
+		// cached: stage a pass-owned (possibly filtered) copy.
+		en.mount(p, en.session.DriveR(), q.R.Media, "R")
+		f, d, err := en.session.StageR(p, q.R, q.FilterR)
+		if err != nil {
+			return nil, err
+		}
+		out.file = f
+		out.owned = f
+		en.logf(p, "stage R=%s for shared pass (%d blocks, %.1fs)", q.R.Name, f.Len(), d.Seconds())
+		return out, nil
+	}
+	return out, nil
+}
+
+// release unpins or frees whatever stagedR resolved.
+func (en *engine) release(s *staged) {
+	if s == nil {
+		return
+	}
+	if s.pinned != nil {
+		en.cache.unpin(s.pinned)
+	}
+	if s.owned != nil {
+		s.owned.Free()
+	}
+}
+
+// runSingle serves one query as its own join.
+func (en *engine) runSingle(p *sim.Proc, qi int) error {
+	q := en.queries[qi]
+	start := sim.Duration(p.Now())
+	sp := en.session.Resources().Spans.Begin(p, "query", obs.A("id", q.ID))
+	defer sp.Close(p)
+	en.queueWait.Observe(start.Seconds())
+
+	spec := join.Spec{R: q.R, S: q.S, FilterR: q.FilterR, FilterS: q.FilterS}
+	en.mount(p, en.session.DriveS(), q.S.Media, "S")
+
+	m, substituted, err := en.chooseMethod(q, spec, en.methodDiskBudget(0))
+	if err != nil {
+		en.results[qi] = QueryResult{
+			ID: q.ID, Requested: q.Method, Failed: true, Reason: err.Error(),
+			Start: start, End: start, Wait: start,
+		}
+		en.logf(p, "query %s: failed (%v)", q.ID, err)
+		return nil
+	}
+
+	var st *staged
+	opts := join.ExecOptions{DiskBlocks: en.methodDiskBudget(0)}
+	if usesCopiedR(m.Symbol()) {
+		st, err = en.stagedR(p, q, false)
+		if err != nil {
+			return fmt.Errorf("workload: query %s: %w", q.ID, err)
+		}
+		if st.file != nil {
+			opts.StagedR = st.file
+			opts.DiskBlocks = en.methodDiskBudget(st.file.Len())
+		}
+	}
+	if opts.StagedR == nil {
+		en.mount(p, en.session.DriveR(), q.R.Media, "R")
+	}
+
+	sink := q.Sink
+	if sink == nil {
+		sink = &join.CountSink{}
+	}
+	cached := ""
+	if st != nil && st.hit {
+		cached = ", cached R"
+	}
+	en.logf(p, "run %s: %s (R=%s, S=%s%s)", q.ID, m.Symbol(), q.R.Name, q.S.Name, cached)
+	result, err := en.session.Exec(p, m, spec, sink, opts)
+	en.release(st)
+	if err != nil {
+		return fmt.Errorf("workload: query %s: %w", q.ID, err)
+	}
+	en.results[qi] = QueryResult{
+		ID: q.ID, Requested: q.Method, Method: m.Symbol(),
+		Substituted: substituted, CacheHit: st != nil && st.hit,
+		Start: start, End: sim.Duration(p.Now()), Wait: start,
+		Matches: result.Stats.OutputTuples,
+	}
+	return nil
+}
+
+// runShared serves a group of same-S queries on one shared tape pass.
+func (en *engine) runShared(p *sim.Proc, indices []int) error {
+	start := sim.Duration(p.Now())
+	bigS := en.queries[indices[0]].S
+	sp := en.session.Resources().Spans.Begin(p, "shared-pass",
+		obs.A("s", bigS.Name), obs.AInt("riders", int64(len(indices))))
+	defer sp.Close(p)
+
+	res := en.session.Resources()
+	mShare := res.MemoryBlocks / int64(len(indices))
+	riders := make([]join.SharedQuery, 0, len(indices))
+	handles := make([]*staged, 0, len(indices))
+	for _, qi := range indices {
+		q := en.queries[qi]
+		en.queueWait.Observe(start.Seconds())
+		st, err := en.stagedR(p, q, true)
+		if err != nil {
+			for _, h := range handles {
+				en.release(h)
+			}
+			return fmt.Errorf("workload: query %s: %w", q.ID, err)
+		}
+		handles = append(handles, st)
+		sink := q.Sink
+		if sink == nil {
+			sink = &join.CountSink{}
+		}
+		// The rider's R-scan buffer: IOChunk-sized when the share
+		// allows, so per-chunk R re-scans amortize the disk's
+		// per-request positioning overhead; at most half the share, so
+		// the S double buffers keep the larger part of memory (bigger S
+		// chunks mean fewer R re-scans, which dominates traffic).
+		mr := mShare / 2
+		if mr > res.IOChunk {
+			mr = res.IOChunk
+		}
+		if mr < 1 {
+			mr = 1
+		}
+		riders = append(riders, join.SharedQuery{
+			R: q.R, StagedR: st.file, FilterS: q.FilterS,
+			Sink: sink, MrBlocks: mr,
+		})
+	}
+
+	en.mount(p, en.session.DriveS(), bigS.Media, "S")
+	en.logf(p, "shared pass over S=%s with %d riders", bigS.Name, len(riders))
+	shared, err := en.session.ExecShared(p, bigS, riders, res.MemoryBlocks)
+	for _, h := range handles {
+		en.release(h)
+	}
+	if err != nil {
+		return fmt.Errorf("workload: shared pass over %s: %w", bigS.Name, err)
+	}
+	en.out.SharedPasses++
+	en.sharedC.Inc()
+	end := sim.Duration(p.Now())
+	for i, qi := range indices {
+		q := en.queries[qi]
+		en.results[qi] = QueryResult{
+			ID: q.ID, Requested: q.Method, Method: "SHARED",
+			Substituted: q.Method != "", Shared: true,
+			CacheHit: handles[i].hit,
+			Start:    start, End: end, Wait: start,
+			Matches: shared.Matches[i],
+		}
+	}
+	return nil
+}
