@@ -207,8 +207,38 @@ func diff(old, cur *Snapshot, pct float64, wall bool) []string {
 					"WARN %s: %s drifted %.1f%% (%g -> %g)", name, unit, d, ov, cv))
 			}
 		}
+		for _, unit := range newKeys(o.Metrics, c.Metrics) {
+			warnings = append(warnings, fmt.Sprintf(
+				"WARN %s: metric %q missing from snapshot (re-snapshot to start guarding it)", name, unit))
+		}
+	}
+	// A benchmark or metric the snapshot has never seen passes every
+	// comparison vacuously; surface it so the snapshot gets refreshed
+	// and the new quantity comes under guard.
+	curNames := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok {
+			curNames = append(curNames, name)
+		}
+	}
+	sort.Strings(curNames)
+	for _, name := range curNames {
+		warnings = append(warnings, fmt.Sprintf(
+			"WARN %s: benchmark missing from snapshot (re-snapshot to start guarding it)", name))
 	}
 	return warnings
+}
+
+// newKeys returns the keys of cur absent from old, sorted.
+func newKeys(old, cur map[string]float64) []string {
+	var keys []string
+	for k := range cur {
+		if _, ok := old[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // change returns the absolute percent change from a to b.

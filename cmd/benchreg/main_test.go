@@ -93,3 +93,42 @@ func TestDiff(t *testing.T) {
 		t.Fatalf("self-diff produced warnings: %v", w)
 	}
 }
+
+// TestDiffWarnsOnSnapshotGaps guards the guard: a benchmark or metric
+// present in the current run but absent from the snapshot used to pass
+// silently — every comparison loop iterated the snapshot's keys only —
+// so a newly added quantity was never under regression watch.
+func TestDiffWarnsOnSnapshotGaps(t *testing.T) {
+	old := &Snapshot{Benchmarks: map[string]Bench{
+		"A": {NsPerOp: 100, Metrics: map[string]float64{"vsec": 50}},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Bench{
+		"A":   {NsPerOp: 100, Metrics: map[string]float64{"vsec": 50, "relcost": 2.5}},
+		"New": {NsPerOp: 100},
+	}}
+
+	warnings := diff(old, cur, 15, true)
+	if len(warnings) != 2 {
+		t.Fatalf("got %d warnings, want 2:\n%s", len(warnings), strings.Join(warnings, "\n"))
+	}
+	for _, want := range []string{
+		`A: metric "relcost" missing from snapshot`,
+		"New: benchmark missing from snapshot",
+	} {
+		found := false
+		for _, w := range warnings {
+			if strings.Contains(w, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no warning matching %q in:\n%s", want, strings.Join(warnings, "\n"))
+		}
+	}
+
+	// Identical key sets stay quiet — the gap warnings must not fire on
+	// an up-to-date snapshot.
+	if w := diff(old, old, 15, true); len(w) != 0 {
+		t.Fatalf("self-diff produced warnings: %v", w)
+	}
+}

@@ -46,6 +46,8 @@ func main() {
 	batch := flag.Int("batch", 0, "run a synthetic batch of this many queries through the workload engine (0 = single join)")
 	policy := flag.String("policy", "mount-aware", "batch scheduling policy: fifo, mount-aware or shared-scan")
 	cacheMB := flag.Float64("cache", 0, "disk staging cache for the batch engine (MB, 0 = disabled)")
+	backend := flag.String("backend", "sim", "storage backend: sim (virtual-time simulator) or file (real OS files, wall-clock transfers)")
+	backendDir := flag.String("backend-dir", "", "scratch directory for -backend=file (default: the OS temp directory)")
 	flag.Parse()
 
 	obsOut := obsOutputs{
@@ -57,10 +59,11 @@ func main() {
 	var err error
 	if *batch > 0 {
 		err = runBatch(*batch, *policy, *cacheMB, *rMB, *sMB, *memMB, *diskMB,
-			*disks, *ratio, *seed, *keyspace, *verify)
+			*disks, *ratio, *seed, *keyspace, *verify, *backend, *backendDir)
 	} else {
 		err = run(*method, *rMB, *sMB, *memMB, *diskMB, *disks, *ratio, *compress,
-			*ideal, *split, *seed, *keyspace, *verify, *timeline, *faults, *noRecover, obsOut)
+			*ideal, *split, *seed, *keyspace, *verify, *timeline, *faults, *noRecover,
+			obsOut, *backend, *backendDir)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tapejoin:", err)
@@ -81,9 +84,12 @@ func (o obsOutputs) enabled() bool {
 
 func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 	ratio float64, compress int, ideal, split bool, seed int64, keyspace uint64,
-	verify, timeline bool, faults string, noRecover bool, obsOut obsOutputs) error {
+	verify, timeline bool, faults string, noRecover bool, obsOut obsOutputs,
+	backend, backendDir string) error {
 
 	cfg := tapejoin.Config{
+		Backend:            backend,
+		BackendDir:         backendDir,
 		MemoryMB:           memMB,
 		DiskMB:             diskMB,
 		NumDisks:           disks,
@@ -139,8 +145,8 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 	}
 	st := res.Stats
 
-	fmt.Printf("%s: R=%d MB  S=%d MB  M=%g MB  D=%g MB  n=%d disks\n",
-		method, rMB, sMB, memMB, diskMB, disks)
+	fmt.Printf("%s: R=%d MB  S=%d MB  M=%g MB  D=%g MB  n=%d disks  backend=%s\n",
+		method, rMB, sMB, memMB, diskMB, disks, backend)
 	fmt.Printf("  response time     %v\n", st.Response.Round(0))
 	fmt.Printf("  step I (setup)    %v\n", st.StepI.Round(0))
 	fmt.Printf("  bare read of S+R  %v\n", sys.BareReadTime(float64(sMB+rMB)).Round(0))
@@ -196,9 +202,11 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 // given policy.
 func runBatch(n int, policy string, cacheMB float64, rMB, sMB int64,
 	memMB, diskMB float64, disks int, ratio float64, seed int64,
-	keyspace uint64, verify bool) error {
+	keyspace uint64, verify bool, backend, backendDir string) error {
 
 	sys, err := tapejoin.NewSystem(tapejoin.Config{
+		Backend:            backend,
+		BackendDir:         backendDir,
 		MemoryMB:           memMB,
 		DiskMB:             diskMB,
 		NumDisks:           disks,

@@ -1,0 +1,227 @@
+// Package filedev is the real-I/O backend: cartridges and disk
+// scratch map to OS files, and transfers cost the wall-clock time the
+// OS actually took, charged into the simulation clock so phase spans
+// and stats report honest hardware numbers.
+//
+// Tape files are sequential-only: every read and write streams
+// length-prefixed block records through an OS file, and head
+// repositioning charges the drive profile's modeled seek latency
+// (SeekFixed + distance * SeekPerBlock) — an OS file seeks for free,
+// a tape transport does not, so the position model is the one part of
+// the virtual cost model that survives into this backend. Disk
+// scratch files are direct-offset: any block is one pread away and
+// only the measured transfer time is charged.
+//
+// The mounted tape.Medium stays authoritative for content: appends
+// and overwrites dual-write through the medium's setup interface, and
+// Load respools the medium's current contents into the drive's
+// spool file. That keeps media state consistent across unload/reload,
+// shared-transport degrades, and the workload engine's mount
+// scheduling, while every in-run transfer still moves real bytes
+// through the OS.
+package filedev
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Backend builds file-backed drives and stores rooted in one scratch
+// directory. The zero Dir uses the process temp directory.
+type Backend struct {
+	// Dir is the root scratch directory; it is created on demand.
+	Dir string
+}
+
+var _ device.Backend = &Backend{}
+
+// New returns a backend rooted at dir.
+func New(dir string) *Backend { return &Backend{Dir: dir} }
+
+// Name implements device.Backend.
+func (b *Backend) Name() string { return "file" }
+
+// scratch makes a fresh unique directory for one device under the
+// backend root.
+func (b *Backend) scratch(kind, name string) (string, error) {
+	root := b.Dir
+	if root == "" {
+		root = os.TempDir()
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return "", err
+	}
+	return os.MkdirTemp(root, fmt.Sprintf("%s-%s-", kind, sanitize(name)))
+}
+
+// sanitize keeps device names path-safe.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// NewDrive implements device.Backend.
+func (b *Backend) NewDrive(k *sim.Kernel, name string, cfg device.DriveConfig) (device.Drive, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dir, err := b.scratch("tape", name)
+	if err != nil {
+		return nil, err
+	}
+	return &Drive{name: name, k: k, cfg: cfg, dir: dir,
+		res: sim.NewResource(k, "tape:"+name, 1)}, nil
+}
+
+// NewSharedDrivePair implements device.Backend: two logical drives
+// serialized on one transport resource, for the post-drive-loss
+// degraded configuration. Switching the transport between the drives
+// forces a reposition on the next request, like moving one physical
+// head between two mounted cartridges.
+func (b *Backend) NewSharedDrivePair(k *sim.Kernel, nameA, nameB string, cfg device.DriveConfig) (device.Drive, device.Drive, error) {
+	da, err := b.NewDrive(k, nameA, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := b.NewDrive(k, nameB, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, bb := da.(*Drive), db.(*Drive)
+	t := &transport{res: a.res}
+	a.shared, bb.shared = t, t
+	bb.res = a.res
+	return a, bb, nil
+}
+
+// NewStore implements device.Backend.
+func (b *Backend) NewStore(k *sim.Kernel, cfg device.StoreConfig) (device.Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dir, err := b.scratch("disk", "store")
+	if err != nil {
+		return nil, err
+	}
+	return &Store{k: k, cfg: cfg, dir: dir}, nil
+}
+
+// transport is the shared-head state of a degraded drive pair.
+type transport struct {
+	res  *sim.Resource
+	last *Drive
+}
+
+// recFile is a length-prefixed block-record file with an in-memory
+// index: record i of the logical device lives at index[i] with length
+// lens[i]. Overwrites append a fresh record and repoint the index —
+// the file itself is append-only, like a tape with block remapping.
+type recFile struct {
+	f     *os.File
+	index []int64
+	lens  []int32
+	end   int64 // append offset
+}
+
+func createRecFile(path string) (*recFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &recFile{f: f}, nil
+}
+
+// appendRecords writes blks as new records and registers them at
+// logical positions pos, pos+1, ...; pos may repoint existing entries
+// or extend the index by exactly one record at a time.
+func (r *recFile) appendRecords(pos int64, blks []block.Block) error {
+	var hdr [4]byte
+	for _, blk := range blks {
+		off := r.end
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(blk)))
+		if _, err := r.f.WriteAt(hdr[:], off); err != nil {
+			return err
+		}
+		if _, err := r.f.WriteAt(blk, off+4); err != nil {
+			return err
+		}
+		r.end = off + 4 + int64(len(blk))
+		switch {
+		case pos < int64(len(r.index)):
+			r.index[pos], r.lens[pos] = off, int32(len(blk))
+		case pos == int64(len(r.index)):
+			r.index = append(r.index, off)
+			r.lens = append(r.lens, int32(len(blk)))
+		default:
+			return fmt.Errorf("filedev: write at %d leaves a gap (len %d)", pos, len(r.index))
+		}
+		pos++
+	}
+	return nil
+}
+
+// readRecords reads n records starting at logical position off.
+func (r *recFile) readRecords(off, n int64) ([]block.Block, error) {
+	if off < 0 || n < 0 || off+n > int64(len(r.index)) {
+		return nil, fmt.Errorf("filedev: read [%d,%d) out of range [0,%d)", off, off+n, len(r.index))
+	}
+	out := make([]block.Block, 0, n)
+	for i := off; i < off+n; i++ {
+		buf := make([]byte, r.lens[i])
+		if _, err := r.f.ReadAt(buf, r.index[i]+4); err != nil {
+			return nil, fmt.Errorf("filedev: record %d: %w", i, err)
+		}
+		out = append(out, block.Block(buf))
+	}
+	return out, nil
+}
+
+// truncate drops all records from logical position n onward.
+func (r *recFile) truncate(n int64) {
+	if n < int64(len(r.index)) {
+		r.index = r.index[:n]
+		r.lens = r.lens[:n]
+	}
+}
+
+func (r *recFile) close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}
+
+// hold charges the measured wall-clock duration of a completed OS
+// operation into the simulation clock.
+func hold(p *sim.Proc, t0 time.Time) sim.Duration {
+	d := sim.Duration(time.Since(t0))
+	if d > 0 {
+		p.Hold(d)
+	}
+	return d
+}
+
+// remove deletes a device's scratch directory, ignoring errors — the
+// OS temp cleaner is the backstop.
+func remove(dir string) {
+	if dir != "" && dir != string(filepath.Separator) {
+		os.RemoveAll(dir)
+	}
+}

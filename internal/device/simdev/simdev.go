@@ -1,0 +1,81 @@
+// Package simdev adapts the virtual-time tape and disk simulators to
+// the device interfaces. It is the default backend: all timing is
+// virtual, fully deterministic, and calibrated to the paper's
+// experimental platform.
+package simdev
+
+import (
+	"repro/internal/device"
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/tape"
+)
+
+// Drive wraps the simulated tape drive. Everything promotes from the
+// embedded drive; only the stats snapshot needs an accessor method
+// over the public Stats field.
+type Drive struct {
+	*tape.Drive
+}
+
+// DriveStats implements device.Drive.
+func (d Drive) DriveStats() device.DriveStats { return d.Drive.Stats }
+
+// Store wraps the simulated striped disk array. The accessor methods
+// shadow the array's public accounting fields so the interface stays
+// read-only, and Create rewraps the concrete file type.
+type Store struct {
+	*disk.Array
+}
+
+// Create implements device.Store.
+func (s Store) Create(name string, placement []int) (device.File, error) {
+	f, err := s.Array.Create(name, placement)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Used implements device.Store.
+func (s Store) Used() int64 { return s.Array.Used }
+
+// HighWater implements device.Store.
+func (s Store) HighWater() int64 { return s.Array.HighWater }
+
+// DiskStats implements device.Store.
+func (s Store) DiskStats() device.DiskStats { return s.Array.Stats }
+
+// Backend builds simulated drives and arrays.
+type Backend struct{}
+
+var _ device.Backend = Backend{}
+
+// Name implements device.Backend.
+func (Backend) Name() string { return "sim" }
+
+// NewDrive implements device.Backend.
+func (Backend) NewDrive(k *sim.Kernel, name string, cfg device.DriveConfig) (device.Drive, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return Drive{tape.NewDrive(k, name, cfg)}, nil
+}
+
+// NewSharedDrivePair implements device.Backend.
+func (Backend) NewSharedDrivePair(k *sim.Kernel, nameA, nameB string, cfg device.DriveConfig) (device.Drive, device.Drive, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	a, b := tape.NewSharedDrivePair(k, nameA, nameB, cfg)
+	return Drive{a}, Drive{b}, nil
+}
+
+// NewStore implements device.Backend.
+func (Backend) NewStore(k *sim.Kernel, cfg device.StoreConfig) (device.Store, error) {
+	a, err := disk.NewArray(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Store{a}, nil
+}

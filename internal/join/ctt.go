@@ -4,11 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/block"
-	"repro/internal/disk"
+	"repro/internal/device"
 	"repro/internal/hashutil"
 	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/tape"
 )
 
 // estBucketBlocks estimates one bucket's on-disk size for a relation
@@ -46,10 +45,10 @@ func planTapeTape(rBlocks, mBlocks, dBlocks int64) (hashutil.Plan, error) {
 // returns the contiguous region written. When pipelined, disk reads
 // overlap tape writes through a small queue (the concurrent methods);
 // otherwise the two alternate in one process (the sequential TT-GH).
-func appendFileToTape(e *env, p *sim.Proc, f *disk.File, dst *tape.Drive, pipelined bool) (tape.Region, error) {
+func appendFileToTape(e *env, p *sim.Proc, f device.File, dst device.Drive, pipelined bool) (device.Region, error) {
 	sp := e.span(p, "spool-bucket", obs.AInt("blocks", f.Len()))
 	defer sp.Close(p)
-	var region tape.Region
+	var region device.Region
 	write := func(wp *sim.Proc, blks []block.Block) error {
 		reg, err := dst.Append(wp, blks)
 		if err != nil {
@@ -71,10 +70,10 @@ func appendFileToTape(e *env, p *sim.Proc, f *disk.File, dst *tape.Drive, pipeli
 			g := min64(e.res.IOChunk, f.Len()-off)
 			blks, err := e.diskRead(p, f, off, g)
 			if err != nil {
-				return tape.Region{}, err
+				return device.Region{}, err
 			}
 			if err := write(p, blks); err != nil {
-				return tape.Region{}, err
+				return device.Region{}, err
 			}
 		}
 		return region, nil
@@ -114,10 +113,10 @@ func appendFileToTape(e *env, p *sim.Proc, f *disk.File, dst *tape.Drive, pipeli
 		}
 	}
 	if err := p.Wait(reader); err != nil {
-		return tape.Region{}, err
+		return device.Region{}, err
 	}
 	if pipeErr != nil {
-		return tape.Region{}, pipeErr
+		return device.Region{}, pipeErr
 	}
 	return region, nil
 }
@@ -128,14 +127,14 @@ func appendFileToTape(e *env, p *sim.Proc, f *disk.File, dst *tape.Drive, pipeli
 // the tuples of the current bucket window, assembles those buckets in
 // full on disk, and appends them to dst's scratch space. Returns the
 // per-bucket tape regions, stored contiguously in bucket order.
-func hashRelationToTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
-	tuplesPerBlock int, tag byte, plan hashutil.Plan, dst *tape.Drive,
-	pipelined bool, keep keepFn, scans *int) ([]tape.Region, error) {
+func hashRelationToTape(e *env, p *sim.Proc, src device.Drive, region device.Region,
+	tuplesPerBlock int, tag byte, plan hashutil.Plan, dst device.Drive,
+	pipelined bool, keep keepFn, scans *int) ([]device.Region, error) {
 
 	b := plan.B
 	est := estBucketBlocks(region.N, b)
 
-	regions := make([]tape.Region, b)
+	regions := make([]device.Region, b)
 	done := 0
 	for done < b {
 		lo := done
@@ -173,7 +172,7 @@ func hashRelationToTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region
 			if !anyNeed {
 				return nil
 			}
-			files := make([]*disk.File, window)
+			files := make([]device.File, window)
 			defer freeAll(files)
 			for i := 0; i < window; i++ {
 				if !need[i] {

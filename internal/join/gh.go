@@ -5,15 +5,14 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/buffer"
-	"repro/internal/disk"
+	"repro/internal/device"
 	"repro/internal/hashutil"
 	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/tape"
 )
 
 // addr converts a block offset to a tape address.
-func addr(n int64) tape.Addr { return tape.Addr(n) }
+func addr(n int64) device.Addr { return device.Addr(n) }
 
 // bucketSource abstracts where a hash bucket lives: a disk file or a
 // tape region. Reads charge the owning device.
@@ -23,7 +22,7 @@ type bucketSource interface {
 	read(p *sim.Proc, off, n int64) ([]block.Block, error)
 }
 
-type diskBucket struct{ f *disk.File }
+type diskBucket struct{ f device.File }
 
 func (d diskBucket) blocks() int64  { return d.f.Len() }
 func (d diskBucket) device() string { return "disk:" + d.f.Name() }
@@ -32,8 +31,8 @@ func (d diskBucket) read(p *sim.Proc, off, n int64) ([]block.Block, error) {
 }
 
 type tapeBucket struct {
-	drive  *tape.Drive
-	region tape.Region
+	drive  device.Drive
+	region device.Region
 	// reverse reads the whole bucket backward (paper footnote 2):
 	// used by CTT-GH's joiner on alternate iterations so the head
 	// never seeks back across the bucket run. Applies only to a
@@ -119,11 +118,11 @@ func joinBucketPair(e *env, p *sim.Proc, r, s bucketSource, maxLoad, scanBuf int
 // files. reserve, when non-nil, is called with the block count of each
 // flush before the disk write — concurrent methods use it to acquire
 // double-buffer space.
-func partitionTapeToDisk(e *env, p *sim.Proc, drive *tape.Drive, region tape.Region,
+func partitionTapeToDisk(e *env, p *sim.Proc, drive device.Drive, region device.Region,
 	tuplesPerBlock int, tag byte, plan hashutil.Plan, namePrefix string,
-	keep keepFn, reserve func(p *sim.Proc, n int64)) ([]*disk.File, error) {
+	keep keepFn, reserve func(p *sim.Proc, n int64)) ([]device.File, error) {
 
-	files := make([]*disk.File, plan.B)
+	files := make([]device.File, plan.B)
 	ok := false
 	defer func() {
 		// A failed partition frees every bucket file, so retried units
@@ -191,7 +190,7 @@ func checkGH(spec Spec, res Resources) (hashutil.Plan, error) {
 }
 
 // totalLen sums file lengths.
-func totalLen(files []*disk.File) int64 {
+func totalLen(files []device.File) int64 {
 	var n int64
 	for _, f := range files {
 		n += f.Len()
@@ -200,7 +199,7 @@ func totalLen(files []*disk.File) int64 {
 }
 
 // freeAll frees every non-nil file.
-func freeAll(files []*disk.File) {
+func freeAll(files []device.File) {
 	for _, f := range files {
 		if f != nil {
 			f.Free()
@@ -211,7 +210,7 @@ func freeAll(files []*disk.File) {
 // ensureRBuckets (re)partitions R into disk bucket files when they are
 // absent or lost extents to a failed disk. Re-entry pays a fresh tape
 // scan of R, counted in RScans.
-func (e *env) ensureRBuckets(p *sim.Proc, plan hashutil.Plan, fRB *[]*disk.File) error {
+func (e *env) ensureRBuckets(p *sim.Proc, plan hashutil.Plan, fRB *[]device.File) error {
 	if *fRB != nil && !anyLost(*fRB) {
 		return nil
 	}
@@ -247,7 +246,7 @@ func ghStepIISeq(e *env, p *sim.Proc, plan hashutil.Plan, startOff int64,
 	for off := startOff; off < s.N; {
 		var n int64 // fixed once a bucket commits, so checkpoints stay valid
 		doneB := 0
-		var fSB []*disk.File
+		var fSB []device.File
 		err := e.runUnit(p, fmt.Sprintf("S-chunk@%d", off), func(up *sim.Proc) error {
 			if err := ensureR(up); err != nil {
 				return err
@@ -319,7 +318,7 @@ func (DTGH) run(e *env, p *sim.Proc) error {
 		return err
 	}
 	// Step I: hash R from tape to disk buckets, restartable as one unit.
-	var fRB []*disk.File
+	var fRB []device.File
 	ensure := func(up *sim.Proc) error { return e.ensureRBuckets(up, plan, &fRB) }
 	if err := e.runUnit(p, "hash-R", ensure); err != nil {
 		return err
@@ -361,7 +360,7 @@ func (CDTGH) run(e *env, p *sim.Proc) error {
 	if err != nil {
 		return err
 	}
-	var fRB []*disk.File
+	var fRB []device.File
 	ensure := func(up *sim.Proc) error { return e.ensureRBuckets(up, plan, &fRB) }
 	if err := e.runUnit(p, "hash-R", ensure); err != nil {
 		return err
@@ -447,7 +446,7 @@ type ghChunk struct {
 	iter  int64
 	off   int64
 	n     int64
-	files []*disk.File
+	files []device.File
 	err   error
 }
 

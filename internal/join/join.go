@@ -14,12 +14,12 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/buffer"
-	"repro/internal/disk"
+	"repro/internal/device"
+	"repro/internal/device/simdev"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/sim"
-	"repro/internal/tape"
 	"repro/internal/trace"
 )
 
@@ -36,9 +36,19 @@ const (
 	SplitHalves
 )
 
+// DefaultDiskTapeSpeedRatio is the paper's X_D = 2 X_T assumption
+// (Section 5.3): the disk array's aggregate rate defaults to twice
+// the effective tape rate. The facade and WithDefaults both derive
+// disk rates from this one constant.
+const DefaultDiskTapeSpeedRatio = 2.0
+
 // Resources describes the device complex available to a join: the
 // paper's M, D, n, X_D and X_T.
 type Resources struct {
+	// Backend constructs the device complex: simdev (virtual-time
+	// simulator, the default) or filedev (real OS files, wall-clock
+	// transfer timing).
+	Backend device.Backend
 	// MemoryBlocks is M, the main memory allocated to the join.
 	MemoryBlocks int64
 	// DiskBlocks is D, total disk scratch space across all drives.
@@ -50,7 +60,7 @@ type Resources struct {
 	// DiskOverhead is the per-request positioning cost.
 	DiskOverhead sim.Duration
 	// Tape is the drive profile for both tape drives (X_T etc.).
-	Tape tape.DriveConfig
+	Tape device.DriveConfig
 	// IOChunk is the preferred transfer request size in blocks;
 	// defaults to 32 (>= the 30 blocks that make positioning
 	// negligible, Section 3.2).
@@ -76,17 +86,20 @@ type Resources struct {
 // WithDefaults fills zero fields with the calibrated defaults used in
 // the paper's experiments.
 func (r Resources) WithDefaults() Resources {
+	if r.Backend == nil {
+		r.Backend = simdev.Backend{}
+	}
 	if r.NumDisks == 0 {
 		r.NumDisks = 2
 	}
 	if r.DiskRate == 0 {
-		r.DiskRate = 2 * tape.DLT4000().EffectiveRate()
+		r.DiskRate = DefaultDiskTapeSpeedRatio * device.DLT4000().EffectiveRate()
 	}
 	if r.DiskOverhead == 0 {
 		r.DiskOverhead = 18 * time.Millisecond
 	}
-	if r.Tape == (tape.DriveConfig{}) {
-		r.Tape = tape.DLT4000()
+	if r.Tape == (device.DriveConfig{}) {
+		r.Tape = device.DLT4000()
 	}
 	if r.IOChunk == 0 {
 		r.IOChunk = 32
@@ -268,9 +281,9 @@ type env struct {
 	k      *sim.Kernel
 	spec   Spec
 	res    Resources
-	driveR *tape.Drive
-	driveS *tape.Drive
-	disks  *disk.Array
+	driveR device.Drive
+	driveS device.Drive
+	disks  device.Store
 	mem    *ledger
 	sink   Sink
 	stats  *Stats
@@ -281,7 +294,7 @@ type env struct {
 	// stagedR, when non-nil, is a caller-owned disk copy of R
 	// (ExecOptions.StagedR): copyRToDisk returns it instead of reading
 	// tape, and freeR leaves it alone.
-	stagedR *disk.File
+	stagedR device.File
 
 	dbuf    buffer.DoubleBuffer // set by methods that stage S on disk
 	dbufCap int64
@@ -299,9 +312,9 @@ type env struct {
 	// contributing to final stats after a degrade swaps them out.
 	outer         *stagedSink
 	abort         bool
-	retiredDrives []*tape.Drive
-	retiredArrays []*disk.Array
-	eodR, eodS    tape.Addr // media EODs at run start, for scratch rollback
+	retiredDrives []device.Drive
+	retiredArrays []device.Store
+	eodR, eodS    device.Addr // media EODs at run start, for scratch rollback
 }
 
 // newDoubleBuffer builds the configured double-buffer discipline over

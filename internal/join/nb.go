@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/block"
-	"repro/internal/disk"
+	"repro/internal/device"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -24,7 +24,7 @@ func nbSplit(m int64) (mr, ms int64) {
 // through main memory. A caller-staged copy (ExecOptions.StagedR)
 // short-circuits the tape read entirely — the workload engine's
 // cross-query cache hit.
-func copyRToDisk(e *env, p *sim.Proc) (*disk.File, error) {
+func copyRToDisk(e *env, p *sim.Proc) (device.File, error) {
 	if f := e.stagedR; f != nil && !f.Lost() {
 		return f, nil
 	}
@@ -55,7 +55,7 @@ func copyRToDisk(e *env, p *sim.Proc) (*disk.File, error) {
 
 // ensureRFile (re)copies R to disk when it is absent or lost extents to
 // a failed disk, paying a fresh tape scan of R.
-func (e *env) ensureRFile(p *sim.Proc, fR **disk.File) error {
+func (e *env) ensureRFile(p *sim.Proc, fR *device.File) error {
 	if *fR != nil && !(*fR).Lost() {
 		return nil
 	}
@@ -73,7 +73,7 @@ func (e *env) ensureRFile(p *sim.Proc, fR **disk.File) error {
 
 // freeR releases a method-owned R copy; a caller-owned staged file
 // (ExecOptions.StagedR) is kept for future runs.
-func (e *env) freeR(f *disk.File) {
+func (e *env) freeR(f device.File) {
 	if f != nil && f != e.stagedR {
 		f.Free()
 	}
@@ -82,7 +82,7 @@ func (e *env) freeR(f *disk.File) {
 // scanRAndProbe performs the inner loop of a Nested Block iteration:
 // scan the disk-resident R in mr-block requests and probe each R tuple
 // against the in-memory table built over the current chunk of S.
-func scanRAndProbe(e *env, p *sim.Proc, fR *disk.File, mr int64, table *hashTable) error {
+func scanRAndProbe(e *env, p *sim.Proc, fR device.File, mr int64, table *hashTable) error {
 	sp := e.span(p, "probe")
 	defer sp.Close(p)
 	e.mem.acquire(mr)
@@ -109,7 +109,7 @@ func scanRAndProbe(e *env, p *sim.Proc, fR *disk.File, mr int64, table *hashTabl
 // of S against disk-resident R starting at startOff. Each chunk is one
 // restartable unit with staged output; ensureR re-stages R when a disk
 // loss destroyed it.
-func nbJoinChunks(e *env, p *sim.Proc, fR **disk.File, ensureR func(*sim.Proc) error,
+func nbJoinChunks(e *env, p *sim.Proc, fR *device.File, ensureR func(*sim.Proc) error,
 	mr, ms, startOff int64) error {
 
 	s := e.spec.S.Region
@@ -165,7 +165,7 @@ func (DTNB) Check(spec Spec, res Resources) error {
 }
 
 func (DTNB) run(e *env, p *sim.Proc) error {
-	var fR *disk.File
+	var fR device.File
 	ensure := func(up *sim.Proc) error { return e.ensureRFile(up, &fR) }
 	if err := e.runUnit(p, "copy-R", ensure); err != nil {
 		return err
@@ -206,7 +206,7 @@ func (CDTNBMB) Check(spec Spec, res Resources) error {
 }
 
 func (CDTNBMB) run(e *env, p *sim.Proc) error {
-	var fR *disk.File
+	var fR device.File
 	ensure := func(up *sim.Proc) error { return e.ensureRFile(up, &fR) }
 	if err := e.runUnit(p, "copy-R", ensure); err != nil {
 		return err
@@ -329,7 +329,7 @@ func (CDTNBDB) Check(spec Spec, res Resources) error {
 }
 
 func (CDTNBDB) run(e *env, p *sim.Proc) error {
-	var fR *disk.File
+	var fR device.File
 	ensure := func(up *sim.Proc) error { return e.ensureRFile(up, &fR) }
 	if err := e.runUnit(p, "copy-R", ensure); err != nil {
 		return err
@@ -343,7 +343,7 @@ func (CDTNBDB) run(e *env, p *sim.Proc) error {
 
 	type chunk struct {
 		iter int64
-		file *disk.File
+		file device.File
 		off  int64
 		n    int64
 		err  error

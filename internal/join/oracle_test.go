@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/block"
+	"repro/internal/device/filedev"
 	"repro/internal/relation"
 	"repro/internal/sim"
 	"repro/internal/tape"
@@ -90,12 +91,35 @@ func (c oracleCase) build(t *testing.T) Spec {
 	return Spec{R: r, S: s}
 }
 
+// oracleBackends lists the storage backends the oracle exercises: the
+// virtual-time simulator and the file backend against real OS files in
+// a per-test temp directory. Every backend must yield the identical
+// output multiset — the backends move the same blocks, only the
+// clocks differ.
+func oracleBackends() []struct {
+	name string
+	res  func(t *testing.T) Resources
+} {
+	return []struct {
+		name string
+		res  func(t *testing.T) Resources
+	}{
+		{"sim", func(t *testing.T) Resources { return fastRes(24, 1024) }},
+		{"file", func(t *testing.T) Resources {
+			res := fastRes(24, 1024)
+			res.Backend = filedev.New(t.TempDir())
+			return res
+		}},
+	}
+}
+
 // TestCrossMethodEquivalenceOracle is the equivalence oracle: all
 // seven paper methods plus the TT-SM baseline must produce the
 // identical multiset of joined tuple pairs on the same input, across
-// sizes, skews and seeds. Any divergence in dataflow — a dropped
-// chunk, a double-probed bucket, an off-by-one region — shows up as a
-// multiset mismatch.
+// sizes, skews, seeds and storage backends. Any divergence in
+// dataflow — a dropped chunk, a double-probed bucket, an off-by-one
+// region, a backend mis-spooling a cartridge — shows up as a multiset
+// mismatch.
 func TestCrossMethodEquivalenceOracle(t *testing.T) {
 	cases := []oracleCase{
 		{name: "tiny-dense", rBlocks: 8, sBlocks: 24, tuplesPerBlock: 4, keySpace: 64, seed: 1},
@@ -129,32 +153,35 @@ func TestCrossMethodEquivalenceOracle(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			var want []outputTriple
 			var wantFrom string
-			for _, m := range AllMethods() {
-				spec := c.build(t)
-				sink := &oracleSink{}
-				// Generous M and D so every method is feasible at every
-				// case size (GH needs M >= sqrt(|R|), NB/DB needs
-				// D >= |R| + 0.9M).
-				res := fastRes(24, 1024)
-				if _, err := Run(m, spec, res, sink); err != nil {
-					t.Fatalf("%s: %v", m.Symbol(), err)
-				}
-				got := sink.sorted()
-				if want == nil {
-					if len(got) == 0 {
-						t.Fatalf("%s produced no output; oracle case is degenerate", m.Symbol())
+			for _, be := range oracleBackends() {
+				for _, m := range AllMethods() {
+					spec := c.build(t)
+					sink := &oracleSink{}
+					// Generous M and D so every method is feasible at every
+					// case size (GH needs M >= sqrt(|R|), NB/DB needs
+					// D >= |R| + 0.9M).
+					res := be.res(t)
+					if _, err := Run(m, spec, res, sink); err != nil {
+						t.Fatalf("%s/%s: %v", be.name, m.Symbol(), err)
 					}
-					want, wantFrom = got, m.Symbol()
-					continue
-				}
-				if len(got) != len(want) {
-					t.Fatalf("%s emitted %d pairs, %s emitted %d",
-						m.Symbol(), len(got), wantFrom, len(want))
-				}
-				for i := range got {
-					if got[i] != want[i] {
-						t.Fatalf("%s diverges from %s at pair %d: %+v vs %+v",
-							m.Symbol(), wantFrom, i, got[i], want[i])
+					got := sink.sorted()
+					from := be.name + "/" + m.Symbol()
+					if want == nil {
+						if len(got) == 0 {
+							t.Fatalf("%s produced no output; oracle case is degenerate", from)
+						}
+						want, wantFrom = got, from
+						continue
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s emitted %d pairs, %s emitted %d",
+							from, len(got), wantFrom, len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s diverges from %s at pair %d: %+v vs %+v",
+								from, wantFrom, i, got[i], want[i])
+						}
 					}
 				}
 			}

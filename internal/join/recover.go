@@ -7,11 +7,10 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/cost"
-	"repro/internal/disk"
+	"repro/internal/device"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/tape"
 	"repro/internal/trace"
 )
 
@@ -77,7 +76,7 @@ func (e *env) unitRecoverable(err error) bool {
 	if errors.Is(err, ErrFaultExhausted) || errors.Is(err, fault.ErrDeviceLost) {
 		return true
 	}
-	return errors.Is(err, disk.ErrDiskFull) && len(e.disks.DeadDisks()) > 0
+	return errors.Is(err, device.ErrDiskFull) && len(e.disks.DeadDisks()) > 0
 }
 
 // verifyBlocks checks every delivered block's checksum, converting
@@ -140,14 +139,14 @@ func (e *env) readDev(p *sim.Proc, device string, read func() ([]block.Block, er
 }
 
 // tapeRead is readDev over a drive read.
-func (e *env) tapeRead(p *sim.Proc, drive *tape.Drive, a tape.Addr, n int64) ([]block.Block, error) {
+func (e *env) tapeRead(p *sim.Proc, drive device.Drive, a device.Addr, n int64) ([]block.Block, error) {
 	return e.readDev(p, "tape:"+drive.Name(), func() ([]block.Block, error) {
 		return drive.ReadAt(p, a, n)
 	})
 }
 
 // diskRead is readDev over a file read.
-func (e *env) diskRead(p *sim.Proc, f *disk.File, off, n int64) ([]block.Block, error) {
+func (e *env) diskRead(p *sim.Proc, f device.File, off, n int64) ([]block.Block, error) {
 	return e.readDev(p, "disk:"+f.Name(), func() ([]block.Block, error) {
 		return f.ReadAt(p, off, n)
 	})
@@ -240,7 +239,7 @@ func (e *env) effectiveD() int64 {
 }
 
 // anyLost reports whether any file lost extents to a dead drive.
-func anyLost(files []*disk.File) bool {
+func anyLost(files []device.File) bool {
 	for _, f := range files {
 		if f.Lost() {
 			return true
@@ -276,10 +275,10 @@ func (e *env) degradeRerun(p *sim.Proc, cause error) error {
 	}
 	e.mem.used = 0
 	e.retireDisks()
-	if m, ok := e.spec.R.Media.(*tape.Media); ok && m.EOD() > e.eodR {
+	if m, ok := e.spec.R.Media.(device.Truncatable); ok && m.EOD() > e.eodR {
 		m.Truncate(e.eodR)
 	}
-	if m, ok := e.spec.S.Media.(*tape.Media); ok && m.EOD() > e.eodS {
+	if m, ok := e.spec.S.Media.(device.Truncatable); ok && m.EOD() > e.eodS {
 		m.Truncate(e.eodS)
 	}
 
@@ -287,7 +286,11 @@ func (e *env) degradeRerun(p *sim.Proc, cause error) error {
 	// logical drives carry fresh names so device-keyed fault rules
 	// that killed the old drive do not re-fire.
 	e.retiredDrives = append(e.retiredDrives, e.driveR, e.driveS)
-	dr, ds := tape.NewSharedDrivePair(e.k, "R2", "S2", e.res.Tape)
+	dr, ds, err := e.res.Backend.NewSharedDrivePair(e.k, "R2", "S2", e.res.Tape)
+	if err != nil {
+		replan.Close(p)
+		return fmt.Errorf("join: no shared transport after drive loss: %w", err)
+	}
 	dr.Load(e.spec.R.Media)
 	ds.Load(e.spec.S.Media)
 	dr.SetRecorder(e.res.Trace)
@@ -354,7 +357,7 @@ func (e *env) degradeRerun(p *sim.Proc, cause error) error {
 // new array's drives, so a dead disk stays dead.
 func (e *env) retireDisks() {
 	e.retiredArrays = append(e.retiredArrays, e.disks)
-	a, err := disk.NewArray(e.k, e.disks.Config())
+	a, err := e.res.Backend.NewStore(e.k, e.disks.Config())
 	if err != nil {
 		panic(err) // config was valid for the original array
 	}

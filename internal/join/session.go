@@ -5,12 +5,11 @@ import (
 	"fmt"
 
 	"repro/internal/block"
-	"repro/internal/disk"
+	"repro/internal/device"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/sim"
-	"repro/internal/tape"
 )
 
 // Session hosts a sequence of joins on one simulation kernel and one
@@ -27,8 +26,8 @@ import (
 type Session struct {
 	k              *sim.Kernel
 	res            Resources
-	driveR, driveS *tape.Drive
-	disks          *disk.Array
+	driveR, driveS device.Drive
+	disks          device.Store
 	inj            fault.Injector
 	retryBackoff   *obs.Histogram
 	unitRestarts   *obs.Counter
@@ -43,9 +42,15 @@ func NewSession(res Resources) (*Session, error) {
 		return nil, err
 	}
 	k := sim.NewKernel()
-	driveR := tape.NewDrive(k, "R", res.Tape)
-	driveS := tape.NewDrive(k, "S", res.Tape)
-	array, err := disk.NewArray(k, disk.Config{
+	driveR, err := res.Backend.NewDrive(k, "R", res.Tape)
+	if err != nil {
+		return nil, err
+	}
+	driveS, err := res.Backend.NewDrive(k, "S", res.Tape)
+	if err != nil {
+		return nil, err
+	}
+	array, err := res.Backend.NewStore(k, device.StoreConfig{
 		NumDisks:        res.NumDisks,
 		AggregateRate:   res.DiskRate,
 		RequestOverhead: res.DiskOverhead,
@@ -88,13 +93,13 @@ func NewSession(res Resources) (*Session, error) {
 func (s *Session) Kernel() *sim.Kernel { return s.k }
 
 // DriveR returns the R-side tape drive.
-func (s *Session) DriveR() *tape.Drive { return s.driveR }
+func (s *Session) DriveR() device.Drive { return s.driveR }
 
 // DriveS returns the S-side tape drive.
-func (s *Session) DriveS() *tape.Drive { return s.driveS }
+func (s *Session) DriveS() device.Drive { return s.driveS }
 
 // Disks returns the shared disk array.
-func (s *Session) Disks() *disk.Array { return s.disks }
+func (s *Session) Disks() device.Store { return s.disks }
 
 // Resources returns the session's resource configuration (defaults
 // filled).
@@ -119,27 +124,27 @@ type ExecOptions struct {
 	// their Step I tape read. Ownership stays with the caller: the
 	// run never frees the file. Hash-partitioning methods ignore it
 	// (their Step I layout depends on M).
-	StagedR *disk.File
+	StagedR device.File
 }
 
 // devSnapshot records cumulative device counters at exec start so
 // per-run stats can be reported as deltas on the shared devices.
 type devSnapshot struct {
-	driveR, driveS *tape.Drive
-	rStats, sStats tape.DriveStats
+	driveR, driveS device.Drive
+	rStats, sStats device.DriveStats
 	rBusy, sBusy   sim.Duration
-	array          *disk.Array
-	aStats         disk.Stats
+	array          device.Store
+	aStats         device.DiskStats
 	aBusy          sim.Duration
 }
 
 func (s *Session) snapshot() devSnapshot {
 	return devSnapshot{
 		driveR: s.driveR, driveS: s.driveS,
-		rStats: s.driveR.Stats, sStats: s.driveS.Stats,
+		rStats: s.driveR.DriveStats(), sStats: s.driveS.DriveStats(),
 		rBusy: s.driveR.BusyTime(), sBusy: s.driveS.BusyTime(),
 		array:  s.disks,
-		aStats: s.disks.Stats, aBusy: s.disks.BusyTime(),
+		aStats: s.disks.DiskStats(), aBusy: s.disks.BusyTime(),
 	}
 }
 
@@ -239,11 +244,12 @@ func (s *Session) Exec(p *sim.Proc, m Method, spec Spec, sink Sink, opts ExecOpt
 func (s *Session) finishStats(e *env, now sim.Time, snap devSnapshot) {
 	st := e.stats
 	st.Response = sim.Duration(now - e.t0)
-	for _, d := range append([]*tape.Drive{e.driveR, e.driveS}, e.retiredDrives...) {
-		st.TapeBlocksRead += d.Stats.BlocksRead
-		st.TapeBlocksWritten += d.Stats.BlocksWritten
-		st.TapeSeeks += d.Stats.Seeks
-		st.Faults += d.Stats.InjectedFaults
+	for _, d := range append([]device.Drive{e.driveR, e.driveS}, e.retiredDrives...) {
+		ds := d.DriveStats()
+		st.TapeBlocksRead += ds.BlocksRead
+		st.TapeBlocksWritten += ds.BlocksWritten
+		st.TapeSeeks += ds.Seeks
+		st.Faults += ds.InjectedFaults
 	}
 	st.TapeBlocksRead -= snap.rStats.BlocksRead + snap.sStats.BlocksRead
 	st.TapeBlocksWritten -= snap.rStats.BlocksWritten + snap.sStats.BlocksWritten
@@ -251,12 +257,13 @@ func (s *Session) finishStats(e *env, now sim.Time, snap devSnapshot) {
 	st.Faults -= snap.rStats.InjectedFaults + snap.sStats.InjectedFaults
 
 	deadIDs := map[int]bool{}
-	for _, a := range append([]*disk.Array{e.disks}, e.retiredArrays...) {
-		st.DiskBlocksRead += a.Stats.BlocksRead
-		st.DiskBlocksWritten += a.Stats.BlocksWritten
-		st.Faults += a.Stats.Faults
-		if a.HighWater > st.DiskHighWater {
-			st.DiskHighWater = a.HighWater
+	for _, a := range append([]device.Store{e.disks}, e.retiredArrays...) {
+		as := a.DiskStats()
+		st.DiskBlocksRead += as.BlocksRead
+		st.DiskBlocksWritten += as.BlocksWritten
+		st.Faults += as.Faults
+		if hw := a.HighWater(); hw > st.DiskHighWater {
+			st.DiskHighWater = hw
 		}
 		st.DiskBusy += a.BusyTime()
 		for _, id := range a.DeadDisks() {
@@ -287,7 +294,7 @@ func (s *Session) finishStats(e *env, now sim.Time, snap devSnapshot) {
 // via ExecOptions.StagedR. keep, when non-nil, filters tuples during
 // the copy (a filtered copy must only serve queries with the same
 // predicate). Returns the file and the copy's virtual duration.
-func (s *Session) StageR(p *sim.Proc, r *relation.Relation, keep func(block.Tuple) bool) (*disk.File, sim.Duration, error) {
+func (s *Session) StageR(p *sim.Proc, r *relation.Relation, keep func(block.Tuple) bool) (device.File, sim.Duration, error) {
 	if s.driveR.Media() != r.Media {
 		s.driveR.Load(r.Media)
 	}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/block"
-	"repro/internal/disk"
+	"repro/internal/device"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/sim"
@@ -19,7 +19,7 @@ type SharedQuery struct {
 	R *relation.Relation
 	// StagedR is R's disk-resident copy, staged via Session.StageR or
 	// the workload cache. Required; ownership stays with the caller.
-	StagedR *disk.File
+	StagedR device.File
 	// FilterS, when non-nil, drops S tuples from this rider's output
 	// only — the other riders still see them.
 	FilterS func(block.Tuple) bool

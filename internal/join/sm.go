@@ -5,9 +5,9 @@ import (
 	"sort"
 
 	"repro/internal/block"
+	"repro/internal/device"
 	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/tape"
 )
 
 // TTSM is Tape–Tape Sort-Merge Join: the classical alternative the
@@ -90,8 +90,8 @@ func (TTSM) Check(spec Spec, res Resources) error {
 // write appends (establishing the region); later passes overwrite in
 // place.
 type smWorkspace struct {
-	drive *tape.Drive
-	base  tape.Addr
+	drive device.Drive
+	base  device.Addr
 	used  int64 // blocks written by the current pass
 	live  bool  // base established
 }
@@ -100,12 +100,12 @@ type smWorkspace struct {
 func (w *smWorkspace) reset() { w.used = 0 }
 
 // write appends blocks to the workspace's current pass.
-func (w *smWorkspace) write(p *sim.Proc, blks []block.Block) (tape.Region, error) {
+func (w *smWorkspace) write(p *sim.Proc, blks []block.Block) (device.Region, error) {
 	n := int64(len(blks))
 	if !w.live {
 		reg, err := w.drive.Append(p, blks)
 		if err != nil {
-			return tape.Region{}, err
+			return device.Region{}, err
 		}
 		if w.used == 0 {
 			w.base = reg.Start
@@ -114,12 +114,12 @@ func (w *smWorkspace) write(p *sim.Proc, blks []block.Block) (tape.Region, error
 		w.used += n
 		return reg, nil
 	}
-	start := w.base + tape.Addr(w.used)
+	start := w.base + device.Addr(w.used)
 	if err := w.drive.WriteAt(p, start, blks); err != nil {
-		return tape.Region{}, err
+		return device.Region{}, err
 	}
 	w.used += n
-	return tape.Region{Start: start, N: n}, nil
+	return device.Region{Start: start, N: n}, nil
 }
 
 // tupleStream reads a sorted tape region sequentially, bufBlocks at a
@@ -128,8 +128,8 @@ func (w *smWorkspace) write(p *sim.Proc, blks []block.Block) (tape.Region, error
 // its only recovery.
 type tupleStream struct {
 	e      *env
-	drive  *tape.Drive
-	region tape.Region
+	drive  device.Drive
+	region device.Region
 	buf    int64
 
 	off  int64
@@ -146,7 +146,7 @@ func (ts *tupleStream) next(p *sim.Proc) (block.Tuple, bool, error) {
 			return block.Tuple{}, false, nil
 		}
 		n := min64(ts.buf, ts.region.N-ts.off)
-		blks, err := ts.e.tapeRead(p, ts.drive, ts.region.Start+tape.Addr(ts.off), n)
+		blks, err := ts.e.tapeRead(p, ts.drive, ts.region.Start+device.Addr(ts.off), n)
 		if err != nil {
 			return block.Tuple{}, false, err
 		}
@@ -171,7 +171,7 @@ type blockPacker struct {
 	perBlk  int
 	outBuf  int64
 
-	start   tape.Addr
+	start   device.Addr
 	written int64
 }
 
@@ -209,22 +209,22 @@ func (bp *blockPacker) flush(p *sim.Proc) error {
 
 // finish flushes the partial block and pending buffer and returns the
 // run's region.
-func (bp *blockPacker) finish(p *sim.Proc) (tape.Region, error) {
+func (bp *blockPacker) finish(p *sim.Proc) (device.Region, error) {
 	if bp.builder.Len() > 0 {
 		bp.pending = append(bp.pending, bp.builder.Finish())
 	}
 	if err := bp.flush(p); err != nil {
-		return tape.Region{}, err
+		return device.Region{}, err
 	}
-	return tape.Region{Start: bp.start, N: bp.written}, nil
+	return device.Region{Start: bp.start, N: bp.written}, nil
 }
 
 // sortOnTape sorts one relation: run formation from the source region,
 // then k-way merge passes ping-ponging between a workspace on each
 // cartridge. Returns the drive and region of the final sorted copy.
 // scans counts full passes over the relation's data.
-func sortOnTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
-	perBlk int, tag byte, wsHome, wsAway *smWorkspace, keep keepFn, scans *int) (*tape.Drive, tape.Region, error) {
+func sortOnTape(e *env, p *sim.Proc, src device.Drive, region device.Region,
+	perBlk int, tag byte, wsHome, wsAway *smWorkspace, keep keepFn, scans *int) (device.Drive, device.Region, error) {
 
 	m := e.res.MemoryBlocks
 	k, inBuf, outBuf := smFanIn(m, e.res.IOChunk)
@@ -232,14 +232,14 @@ func sortOnTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
 	// Run formation: memory-loads of the source, sorted and written to
 	// the away workspace.
 	wsAway.reset()
-	var runs []tape.Region
+	var runs []device.Region
 	sp := e.span(p, "sort-runs", obs.AInt("blocks", region.N))
 	err := func() error {
 		e.mem.acquire(m)
 		defer e.mem.release(m)
 		for off := int64(0); off < region.N; off += m {
 			n := min64(m, region.N-off)
-			blks, err := e.tapeRead(p, src, region.Start+tape.Addr(off), n)
+			blks, err := e.tapeRead(p, src, region.Start+device.Addr(off), n)
 			if err != nil {
 				return err
 			}
@@ -270,7 +270,7 @@ func sortOnTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
 	}()
 	sp.Close(p)
 	if err != nil {
-		return nil, tape.Region{}, err
+		return nil, device.Region{}, err
 	}
 	*scans++
 
@@ -279,7 +279,7 @@ func sortOnTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
 	cur, other := wsAway, wsHome
 	for len(runs) > 1 {
 		other.reset()
-		var merged []tape.Region
+		var merged []device.Region
 		sp := e.span(p, "merge-pass", obs.AInt("runs", int64(len(runs))))
 		for lo := 0; lo < len(runs); lo += k {
 			hi := lo + k
@@ -289,7 +289,7 @@ func sortOnTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
 			run, err := mergeRuns(e, p, cur.drive, runs[lo:hi], other, perBlk, tag, inBuf, outBuf)
 			if err != nil {
 				sp.Close(p)
-				return nil, tape.Region{}, err
+				return nil, device.Region{}, err
 			}
 			merged = append(merged, run)
 		}
@@ -304,8 +304,8 @@ func sortOnTape(e *env, p *sim.Proc, src *tape.Drive, region tape.Region,
 
 // mergeRuns k-way merges sorted runs living on one drive into a single
 // run on the destination workspace.
-func mergeRuns(e *env, p *sim.Proc, src *tape.Drive, runs []tape.Region,
-	dst *smWorkspace, perBlk int, tag byte, inBuf, outBuf int64) (tape.Region, error) {
+func mergeRuns(e *env, p *sim.Proc, src device.Drive, runs []device.Region,
+	dst *smWorkspace, perBlk int, tag byte, inBuf, outBuf int64) (device.Region, error) {
 
 	e.mem.acquire(int64(len(runs))*inBuf + outBuf)
 	defer e.mem.release(int64(len(runs))*inBuf + outBuf)
@@ -317,7 +317,7 @@ func mergeRuns(e *env, p *sim.Proc, src *tape.Drive, runs []tape.Region,
 		streams[i] = &tupleStream{e: e, drive: src, region: run, buf: inBuf}
 		t, ok, err := streams[i].next(p)
 		if err != nil {
-			return tape.Region{}, err
+			return device.Region{}, err
 		}
 		heads[i], alive[i] = t, ok
 	}
@@ -333,11 +333,11 @@ func mergeRuns(e *env, p *sim.Proc, src *tape.Drive, runs []tape.Region,
 			break
 		}
 		if err := bp.add(p, heads[best]); err != nil {
-			return tape.Region{}, err
+			return device.Region{}, err
 		}
 		t, ok, err := streams[best].next(p)
 		if err != nil {
-			return tape.Region{}, err
+			return device.Region{}, err
 		}
 		heads[best], alive[best] = t, ok
 	}
@@ -386,17 +386,17 @@ func (TTSM) run(e *env, p *sim.Proc) error {
 }
 
 // copySorted moves a sorted region to a workspace on another drive.
-func copySorted(e *env, p *sim.Proc, src *tape.Drive, region tape.Region, dst *smWorkspace) (tape.Region, error) {
-	var out tape.Region
+func copySorted(e *env, p *sim.Proc, src device.Drive, region device.Region, dst *smWorkspace) (device.Region, error) {
+	var out device.Region
 	for off := int64(0); off < region.N; off += e.res.IOChunk {
 		n := min64(e.res.IOChunk, region.N-off)
-		blks, err := e.tapeRead(p, src, region.Start+tape.Addr(off), n)
+		blks, err := e.tapeRead(p, src, region.Start+device.Addr(off), n)
 		if err != nil {
-			return tape.Region{}, err
+			return device.Region{}, err
 		}
 		reg, err := dst.write(p, blks)
 		if err != nil {
-			return tape.Region{}, err
+			return device.Region{}, err
 		}
 		if off == 0 {
 			out = reg
@@ -410,8 +410,8 @@ func copySorted(e *env, p *sim.Proc, src *tape.Drive, region tape.Region, dst *s
 // mergeJoin streams the two sorted relations and emits every matching
 // pair, buffering each R key group in memory (R is the smaller side;
 // groups are its key multiplicities).
-func mergeJoin(e *env, p *sim.Proc, rDrive *tape.Drive, rReg tape.Region,
-	sDrive *tape.Drive, sReg tape.Region) error {
+func mergeJoin(e *env, p *sim.Proc, rDrive device.Drive, rReg device.Region,
+	sDrive device.Drive, sReg device.Region) error {
 
 	sp := e.span(p, "merge-join")
 	defer sp.Close(p)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/device/simdev"
 	"repro/internal/relation"
 	"repro/internal/sim"
 	"repro/internal/tape"
@@ -178,7 +179,7 @@ func TestSMFanIn(t *testing.T) {
 func TestSMWorkspaceOverwriteReuse(t *testing.T) {
 	k := simNewKernelForSM()
 	cfg := tape.DriveConfig{NativeRate: 64 * 1024, CompressionFactor: 1}
-	d := tape.NewDrive(k, "w", cfg)
+	d := simdev.Drive{Drive: tape.NewDrive(k, "w", cfg)}
 	m := tape.NewMedia("t", 100)
 	m.AppendSetup(mkSMBlocks(5, 0))
 	d.Load(m)

@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/block"
+	"repro/internal/device"
 	"repro/internal/hashutil"
 	"repro/internal/sim"
-	"repro/internal/tape"
 )
 
 // hashTable is the in-memory build side of a join phase. CPU cost is
@@ -148,13 +148,13 @@ func (e *env) filterS() keepFn {
 // fn with each batch. The stream is strictly sequential, keeping the
 // drive streaming when fn is fast. Reads go through the retrying
 // device-read path, so transient faults are absorbed here.
-func (e *env) readTape(p *sim.Proc, drive *tape.Drive, region tape.Region, chunk int64, fn func(off int64, blks []block.Block) error) error {
+func (e *env) readTape(p *sim.Proc, drive device.Drive, region device.Region, chunk int64, fn func(off int64, blks []block.Block) error) error {
 	if chunk < 1 {
 		return fmt.Errorf("join: readTape chunk %d", chunk)
 	}
 	for off := int64(0); off < region.N; off += chunk {
 		n := min64(chunk, region.N-off)
-		blks, err := e.tapeRead(p, drive, region.Start+tape.Addr(off), n)
+		blks, err := e.tapeRead(p, drive, region.Start+device.Addr(off), n)
 		if err != nil {
 			return err
 		}

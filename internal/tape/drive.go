@@ -303,11 +303,28 @@ func (d *Drive) transferSegments(p *sim.Proc, addr Addr, n int64, kind trace.Kin
 	}
 }
 
+// checkRead validates a read request against the mounted medium: the
+// requested range must lie entirely within recorded data. Returning a
+// typed error here (rather than trusting the medium to reject it)
+// keeps out-of-range requests from reaching the positioning model,
+// and gives file-backed drives the same contract without relying on
+// OS short-read behavior.
+func (d *Drive) checkRead(addr Addr, n int64) error {
+	if d.media == nil {
+		return fmt.Errorf("tape: drive %q has no cartridge", d.name)
+	}
+	if eod := d.media.EOD(); addr < 0 || n < 0 || addr+Addr(n) > eod {
+		return fmt.Errorf("tape: drive %q read [%d,%d) out of range [0,%d)",
+			d.name, addr, addr+Addr(n), eod)
+	}
+	return nil
+}
+
 // ReadAt reads n blocks starting at addr, holding the drive for
 // seeks, exchanges and transfer time, and returns the block data.
 func (d *Drive) ReadAt(p *sim.Proc, addr Addr, n int64) ([]block.Block, error) {
-	if d.media == nil {
-		return nil, fmt.Errorf("tape: drive %q has no cartridge", d.name)
+	if err := d.checkRead(addr, n); err != nil {
+		return nil, err
 	}
 	t0 := p.Now()
 	d.res.Acquire(p)
@@ -343,8 +360,8 @@ func (d *Drive) ReadRegion(p *sim.Proc, r Region) ([]block.Block, error) {
 // that are independent of scan direction. The blocks are returned in
 // forward order. Requires a BiDirectional drive.
 func (d *Drive) ReadRegionReverse(p *sim.Proc, r Region) ([]block.Block, error) {
-	if d.media == nil {
-		return nil, fmt.Errorf("tape: drive %q has no cartridge", d.name)
+	if err := d.checkRead(r.Start, r.N); err != nil {
+		return nil, err
 	}
 	if !d.cfg.BiDirectional {
 		return nil, fmt.Errorf("tape: drive %q cannot read in reverse", d.name)

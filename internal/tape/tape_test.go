@@ -336,3 +336,41 @@ func TestDLT4000Calibration(t *testing.T) {
 		t.Fatalf("7500 MB at calibrated rate takes %.0f s, want ~4475 s", secs)
 	}
 }
+
+func TestDriveReadOutOfRange(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := idealCfg()
+	cfg.BiDirectional = true
+	d := NewDrive(k, "r", cfg)
+	m := NewMedia("t", 100)
+	m.append(mkBlocks(1, 10, 0))
+	d.Load(m)
+	k.Spawn("p", func(p *sim.Proc) {
+		// Every malformed request must come back as an error before any
+		// head movement — not a panic out of the medium's block store.
+		for _, c := range []struct{ addr, n int64 }{
+			{8, 3},  // runs past EOD
+			{10, 1}, // starts at EOD
+			{-1, 1}, // negative address
+			{0, -1}, // negative count
+			{0, 11}, // longer than the recorded data
+		} {
+			if _, err := d.ReadAt(p, Addr(c.addr), c.n); err == nil {
+				t.Errorf("ReadAt(%d, %d): want out-of-range error", c.addr, c.n)
+			}
+			if _, err := d.ReadRegion(p, Region{Start: Addr(c.addr), N: c.n}); err == nil {
+				t.Errorf("ReadRegion(%d, %d): want out-of-range error", c.addr, c.n)
+			}
+			if _, err := d.ReadRegionReverse(p, Region{Start: Addr(c.addr), N: c.n}); err == nil {
+				t.Errorf("ReadRegionReverse(%d, %d): want out-of-range error", c.addr, c.n)
+			}
+		}
+		// The drive still works after rejecting garbage.
+		if blks, err := d.ReadAt(p, 0, 10); err != nil || len(blks) != 10 {
+			t.Errorf("in-range read after rejections: %d blocks, err %v", len(blks), err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

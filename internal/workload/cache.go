@@ -1,14 +1,14 @@
 package workload
 
 import (
-	"repro/internal/disk"
+	"repro/internal/device"
 	"repro/internal/relation"
 )
 
 // cacheEntry is one retained R partition.
 type cacheEntry struct {
 	rel    *relation.Relation
-	file   *disk.File
+	file   device.File
 	blocks int64
 	// pins counts queries currently using the entry; pinned entries
 	// cannot be evicted (their blocks are live on the array).
@@ -92,7 +92,7 @@ func (c *stagingCache) lruVictim() *cacheEntry {
 
 // insert records a freshly staged partition. The caller must have made
 // room first; the entry arrives unpinned at the current clock.
-func (c *stagingCache) insert(r *relation.Relation, f *disk.File) *cacheEntry {
+func (c *stagingCache) insert(r *relation.Relation, f device.File) *cacheEntry {
 	c.clock++
 	ce := &cacheEntry{rel: r, file: f, blocks: f.Len(), stamp: c.clock}
 	c.entries[r] = ce

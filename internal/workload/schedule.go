@@ -1,9 +1,9 @@
 package workload
 
 import (
+	"repro/internal/device"
 	"repro/internal/join"
 	"repro/internal/relation"
-	"repro/internal/tape"
 )
 
 // step is one scheduler action: a single query, or a shared S-pass
@@ -45,9 +45,9 @@ func singles(order []int) []step {
 // relation, re-reading it dominates), so S grouping is the outer key.
 func mountAwareOrder(queries []Query) []int {
 	var order []int
-	bySMedia := groupBy(indices(len(queries)), func(qi int) tape.Medium { return queries[qi].S.Media })
+	bySMedia := groupBy(indices(len(queries)), func(qi int) device.Medium { return queries[qi].S.Media })
 	for _, sGroup := range bySMedia {
-		byRMedia := groupBy(sGroup, func(qi int) tape.Medium { return queries[qi].R.Media })
+		byRMedia := groupBy(sGroup, func(qi int) device.Medium { return queries[qi].R.Media })
 		for _, rGroup := range byRMedia {
 			order = append(order, rGroup...)
 		}

@@ -27,12 +27,11 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/cost"
-	"repro/internal/disk"
+	"repro/internal/device"
 	"repro/internal/join"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/sim"
-	"repro/internal/tape"
 )
 
 // Query is one join request in a batch.
@@ -263,9 +262,10 @@ func Run(cfg Config, queries []Query) (*BatchResult, error) {
 	en.out.CacheHits = en.cache.Hits
 	en.out.CacheMisses = en.cache.Misses
 	en.out.CacheEvictions = en.cache.Evictions
-	en.out.TapeBlocksRead = session.DriveR().Stats.BlocksRead + session.DriveS().Stats.BlocksRead
-	en.out.TapeBlocksWritten = session.DriveR().Stats.BlocksWritten + session.DriveS().Stats.BlocksWritten
-	en.out.DiskHighWater = session.Disks().HighWater
+	rStats, sStats := session.DriveR().DriveStats(), session.DriveS().DriveStats()
+	en.out.TapeBlocksRead = rStats.BlocksRead + sStats.BlocksRead
+	en.out.TapeBlocksWritten = rStats.BlocksWritten + sStats.BlocksWritten
+	en.out.DiskHighWater = session.Disks().HighWater()
 	return en.out, nil
 }
 
@@ -280,7 +280,7 @@ func (en *engine) logf(p *sim.Proc, format string, args ...any) {
 // the cartridge actually changes. The first load of an empty drive is
 // charged too: a batch system owns its robot time, unlike the paper's
 // single pre-mounted join.
-func (en *engine) mount(p *sim.Proc, drive *tape.Drive, m tape.Medium, side string) {
+func (en *engine) mount(p *sim.Proc, drive device.Drive, m device.Medium, side string) {
 	if drive.Media() == m {
 		return
 	}
@@ -362,9 +362,9 @@ func (en *engine) chooseMethod(q Query, spec join.Spec, dBudget int64) (join.Met
 // staged is a resolved disk-resident R handle: either a pinned cache
 // entry or a pass-owned copy to free after use.
 type staged struct {
-	file   *disk.File
+	file   device.File
 	pinned *cacheEntry
-	owned  *disk.File
+	owned  device.File
 	hit    bool
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/cost"
+	"repro/internal/device/filedev"
 	"repro/internal/fault"
 	"repro/internal/join"
 	"repro/internal/obs"
@@ -112,6 +113,14 @@ func (c Compression) factor() float64 {
 
 // Config sizes the device complex, in the paper's units.
 type Config struct {
+	// Backend selects the storage backend: "sim" (default) runs the
+	// deterministic virtual-time simulator; "file" maps cartridges and
+	// disk scratch to real OS files and reports honest wall-clock
+	// transfer timing.
+	Backend string
+	// BackendDir is the scratch directory for the "file" backend
+	// (default: the OS temp directory).
+	BackendDir string
 	// MemoryMB is M, main memory allocated to the join. Fractional
 	// megabytes are honored at block (64 KB) granularity.
 	MemoryMB float64
@@ -180,20 +189,22 @@ func NewSystem(cfg Config) (*System, error) {
 	if MBf(cfg.DiskMB) < 1 {
 		return nil, fmt.Errorf("tapejoin: DiskMB = %v", cfg.DiskMB)
 	}
-	if cfg.NumDisks == 0 {
-		cfg.NumDisks = 2
-	}
-	if cfg.NumDisks < 1 {
+	// Resource defaulting is owned by join.Resources.WithDefaults —
+	// the facade only rejects invalid values and leaves zero fields
+	// for the single source of truth to fill, so a new resource knob
+	// cannot drift between the two layers.
+	if cfg.NumDisks < 0 {
 		return nil, fmt.Errorf("tapejoin: NumDisks = %d", cfg.NumDisks)
 	}
-	if cfg.DiskTapeSpeedRatio == 0 {
-		cfg.DiskTapeSpeedRatio = 2
-	}
-	if cfg.DiskTapeSpeedRatio <= 0 {
+	if cfg.DiskTapeSpeedRatio < 0 {
 		return nil, errors.New("tapejoin: DiskTapeSpeedRatio must be positive")
 	}
 	if cfg.OutputDiskShare < 0 || cfg.OutputDiskShare >= 1 {
 		return nil, fmt.Errorf("tapejoin: OutputDiskShare %v outside [0, 1)", cfg.OutputDiskShare)
+	}
+	ratio := cfg.DiskTapeSpeedRatio
+	if ratio == 0 {
+		ratio = join.DefaultDiskTapeSpeedRatio
 	}
 
 	var tc tape.DriveConfig
@@ -213,8 +224,16 @@ func NewSystem(cfg Config) (*System, error) {
 		MemoryBlocks: MBf(cfg.MemoryMB),
 		DiskBlocks:   MBf(cfg.DiskMB),
 		NumDisks:     cfg.NumDisks,
-		DiskRate:     cfg.DiskTapeSpeedRatio * baseTapeRate * (1 - cfg.OutputDiskShare),
+		DiskRate:     ratio * baseTapeRate * (1 - cfg.OutputDiskShare),
 		Tape:         tc,
+	}
+	switch cfg.Backend {
+	case "", "sim":
+		// Leave res.Backend nil: WithDefaults fills the simulator.
+	case "file":
+		res.Backend = filedev.New(cfg.BackendDir)
+	default:
+		return nil, fmt.Errorf("tapejoin: unknown backend %q (want \"sim\" or \"file\")", cfg.Backend)
 	}
 	if cfg.Profile == IdealTape {
 		res.DiskOverhead = time.Nanosecond // effectively zero, skips the default
@@ -222,7 +241,12 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.SplitBuffering {
 		res.Discipline = join.SplitHalves
 	}
-	return &System{cfg: cfg, res: res.WithDefaults(), tapeRate: tc.EffectiveRate()}, nil
+	res = res.WithDefaults()
+	// Reflect the resolved defaults back into the public config.
+	cfg.NumDisks = res.NumDisks
+	cfg.DiskTapeSpeedRatio = ratio
+	cfg.Backend = res.Backend.Name()
+	return &System{cfg: cfg, res: res, tapeRate: tc.EffectiveRate()}, nil
 }
 
 // Config returns the system configuration.
