@@ -328,6 +328,40 @@ func BenchmarkBaselineSortMerge(b *testing.B) {
 	b.ReportMetric(ratio, "sortmerge/hash")
 }
 
+// BenchmarkFileBackendOverlap runs CDT-GH through the file backend's
+// async I/O engine with paced device emulation and reports the
+// measured wall-clock elapsed time and cross-device overlap fraction.
+// Both units start with "wall", so benchreg records them in snapshots
+// but excludes them from the regression compare — they vary with the
+// machine and the moment, unlike every virtual metric.
+func BenchmarkFileBackendOverlap(b *testing.B) {
+	var overlap, secs float64
+	for i := 0; i < b.N; i++ {
+		sys, err := tapejoin.NewSystem(tapejoin.Config{
+			Backend:    "file",
+			BackendDir: b.TempDir(),
+			FilePace:   100,
+			MemoryMB:   2,
+			DiskMB:     16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tR, _ := sys.NewTape("r", 12)
+		tS, _ := sys.NewTape("s", 24)
+		r, _ := sys.CreateRelation(tR, tapejoin.RelationConfig{Name: "R", SizeMB: 4, Seed: 1})
+		s, _ := sys.CreateRelation(tS, tapejoin.RelationConfig{Name: "S", SizeMB: 16, Seed: 2})
+		res, err := sys.Join(tapejoin.CDTGH, r, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overlap = res.Stats.WallOverlap
+		secs = res.Stats.WallElapsed.Seconds()
+	}
+	b.ReportMetric(overlap, "wall-overlap")
+	b.ReportMetric(secs, "wall-sec")
+}
+
 // BenchmarkPushdownSelectivity measures how a pushed-down R-side
 // selection shrinks a DT-NB join: response with a 25%-selective filter
 // over response without one.

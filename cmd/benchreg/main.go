@@ -18,7 +18,11 @@
 // warning. Custom metrics (the virtual-time quantities the benchmarks
 // report via b.ReportMetric, e.g. "vsec" or "relcost") come from the
 // deterministic simulation: any drift there is a real behavioral
-// change, and is flagged at the same threshold.
+// change, and is flagged at the same threshold. Metrics whose unit
+// starts with "wall" (the file backend's measured elapsed time and
+// overlap fraction) are recorded in snapshots for the history but are
+// excluded from the regression compare entirely — they measure the
+// machine, not the code, and are far too noisy for CI gating.
 package main
 
 import (
@@ -165,6 +169,13 @@ func isCustom(unit string) bool {
 	return unit != "B/op" && unit != "allocs/op"
 }
 
+// isWall reports whether a metric unit is a wall-clock measurement
+// ("wall-sec", "wall-overlap", ...): recorded in snapshots, never
+// compared.
+func isWall(unit string) bool {
+	return strings.HasPrefix(unit, "wall")
+}
+
 // diff reports regressions of cur against old beyond pct percent.
 // Missing and new benchmarks are reported too: a silently vanished
 // benchmark is how coverage rots.
@@ -194,6 +205,9 @@ func diff(old, cur *Snapshot, pct float64, wall bool) []string {
 		}
 		sort.Strings(units)
 		for _, unit := range units {
+			if isWall(unit) {
+				continue // wall-clock: recorded, never compared
+			}
 			ov := o.Metrics[unit]
 			cv, ok := c.Metrics[unit]
 			if !ok {
@@ -208,6 +222,9 @@ func diff(old, cur *Snapshot, pct float64, wall bool) []string {
 			}
 		}
 		for _, unit := range newKeys(o.Metrics, c.Metrics) {
+			if isWall(unit) {
+				continue
+			}
 			warnings = append(warnings, fmt.Sprintf(
 				"WARN %s: metric %q missing from snapshot (re-snapshot to start guarding it)", name, unit))
 		}

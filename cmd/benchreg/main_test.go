@@ -94,6 +94,46 @@ func TestDiff(t *testing.T) {
 	}
 }
 
+// TestDiffExcludesWallClockMetrics: "wall*"-unit metrics (the file
+// backend's measured elapsed time and overlap fraction) are recorded
+// in snapshots but never compared — not for drift, not for
+// missing-from-snapshot, not for missing-from-current. They measure
+// the machine the run happened on, not the code.
+func TestDiffExcludesWallClockMetrics(t *testing.T) {
+	old := &Snapshot{Benchmarks: map[string]Bench{
+		"A": {Metrics: map[string]float64{"vsec": 50, "wall-sec": 0.2, "wall-overlap": 0.4}},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Bench{
+		// wall-sec drifted 10x and wall-overlap vanished; vsec drifted
+		// too, and a wall metric appeared that the snapshot lacks.
+		"A": {Metrics: map[string]float64{"vsec": 80, "wall-sec": 2.0, "wall-new": 1}},
+	}}
+
+	warnings := diff(old, cur, 15, false)
+	for _, w := range warnings {
+		if strings.Contains(w, "wall") {
+			t.Errorf("wall-clock metric produced a warning: %s", w)
+		}
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "vsec drifted") {
+		t.Fatalf("want exactly the vsec drift warning, got:\n%s", strings.Join(warnings, "\n"))
+	}
+}
+
+// TestParseRecordsWallClockMetrics: excluded from comparison does not
+// mean dropped — snapshots keep the wall numbers for human history.
+func TestParseRecordsWallClockMetrics(t *testing.T) {
+	out := "BenchmarkFileBackendOverlap-8 \t 1 \t 150000000 ns/op \t 0.35 wall-overlap \t 0.15 wall-sec\n"
+	s, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Benchmarks["BenchmarkFileBackendOverlap"].Metrics
+	if m["wall-overlap"] != 0.35 || m["wall-sec"] != 0.15 {
+		t.Fatalf("wall metrics not recorded: %v", m)
+	}
+}
+
 // TestDiffWarnsOnSnapshotGaps guards the guard: a benchmark or metric
 // present in the current run but absent from the snapshot used to pass
 // silently — every comparison loop iterated the snapshot's keys only —

@@ -37,14 +37,15 @@ func main() {
 	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, workload, or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
 	format := flag.String("format", "text", "output format: text or json")
+	backend := flag.String("backend", "sim", "storage backend for the overlap experiment: sim or file")
 	flag.Parse()
 
 	var err error
 	switch *format {
 	case "text":
-		err = run(strings.ToLower(*which), *scale)
+		err = run(strings.ToLower(*which), *scale, *backend)
 	case "json":
-		err = runJSON(strings.ToLower(*which), *scale)
+		err = runJSON(strings.ToLower(*which), *scale, *backend)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}
@@ -56,7 +57,7 @@ func main() {
 
 // runJSON emits the requested experiments' raw rows as one JSON
 // document, for downstream plotting.
-func runJSON(which string, scale float64) error {
+func runJSON(which string, scale float64, backend string) error {
 	all := which == "all"
 	out := map[string]any{"scale": scale}
 
@@ -129,7 +130,7 @@ func runJSON(which string, scale float64) error {
 		out["recovery"] = rows
 	}
 	if all || which == "overlap" {
-		rows, err := exp.Overlap(scale)
+		rows, err := exp.Overlap(scale, backend)
 		if err != nil {
 			return err
 		}
@@ -150,7 +151,7 @@ func runJSON(which string, scale float64) error {
 	return enc.Encode(out)
 }
 
-func run(which string, scale float64) error {
+func run(which string, scale float64, backend string) error {
 	all := which == "all"
 	did := false
 	start := time.Now()
@@ -265,7 +266,7 @@ func run(which string, scale float64) error {
 
 	if all || which == "overlap" {
 		section("Overlap: per-phase critical path and device overlap, all methods")
-		rows, err := exp.Overlap(scale)
+		rows, err := exp.Overlap(scale, backend)
 		if err != nil {
 			return err
 		}

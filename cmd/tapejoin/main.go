@@ -48,6 +48,9 @@ func main() {
 	cacheMB := flag.Float64("cache", 0, "disk staging cache for the batch engine (MB, 0 = disabled)")
 	backend := flag.String("backend", "sim", "storage backend: sim (virtual-time simulator) or file (real OS files, wall-clock transfers)")
 	backendDir := flag.String("backend-dir", "", "scratch directory for -backend=file (default: the OS temp directory)")
+	fileSync := flag.String("file-sync", "interval", "-backend=file fsync policy: none, interval or always")
+	fileSynchronous := flag.Bool("file-synchronous", false, "-backend=file: disable the async I/O engine (transfers serialize in wall-clock time)")
+	filePace := flag.Float64("file-pace", 0, "-backend=file: emulate modeled device bandwidths sped up this factor in wall-clock (0 = page-cache speed)")
 	flag.Parse()
 
 	obsOut := obsOutputs{
@@ -63,7 +66,7 @@ func main() {
 	} else {
 		err = run(*method, *rMB, *sMB, *memMB, *diskMB, *disks, *ratio, *compress,
 			*ideal, *split, *seed, *keyspace, *verify, *timeline, *faults, *noRecover,
-			obsOut, *backend, *backendDir)
+			obsOut, *backend, *backendDir, *fileSync, *fileSynchronous, *filePace)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tapejoin:", err)
@@ -85,11 +88,14 @@ func (o obsOutputs) enabled() bool {
 func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 	ratio float64, compress int, ideal, split bool, seed int64, keyspace uint64,
 	verify, timeline bool, faults string, noRecover bool, obsOut obsOutputs,
-	backend, backendDir string) error {
+	backend, backendDir, fileSync string, fileSynchronous bool, filePace float64) error {
 
 	cfg := tapejoin.Config{
 		Backend:            backend,
 		BackendDir:         backendDir,
+		FileSync:           fileSync,
+		FileSynchronous:    fileSynchronous,
+		FilePace:           filePace,
 		MemoryMB:           memMB,
 		DiskMB:             diskMB,
 		NumDisks:           disks,
@@ -160,6 +166,10 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 	fmt.Printf("  device util       tapeR %.0f%%  tapeS %.0f%%  disks %.0f%%\n",
 		100*st.TapeRUtil, 100*st.TapeSUtil, 100*st.DiskUtil)
 	fmt.Printf("  output tuples     %d\n", st.Matches)
+	if st.WallElapsed > 0 {
+		fmt.Printf("  wall elapsed      %v (real I/O, overlap %.0f%%)\n",
+			st.WallElapsed.Round(0), 100*st.WallOverlap)
+	}
 	if faults != "" {
 		fmt.Printf("  faults injected   %d (%d retries, %d unit restarts)\n",
 			st.Faults, st.Retries, st.UnitRestarts)

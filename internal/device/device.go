@@ -10,6 +10,7 @@ package device
 
 import (
 	"repro/internal/block"
+	"repro/internal/device/ioengine"
 	"repro/internal/disk"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -88,6 +89,10 @@ type Drive interface {
 	SetMetrics(reg *obs.Registry)
 	// SetInjector attaches a fault injector (nil disables).
 	SetInjector(inj fault.Injector)
+	// Close releases the drive's OS resources (I/O worker, scratch
+	// files); a no-op for purely virtual backends. Safe to call more
+	// than once.
+	Close() error
 }
 
 // File is one scratch file on a store: append-only growth, direct
@@ -142,6 +147,10 @@ type Store interface {
 	SetMetrics(reg *obs.Registry)
 	// SetInjector attaches a fault injector (nil disables).
 	SetInjector(inj fault.Injector)
+	// Close releases the store's OS resources (I/O worker, scratch
+	// files); a no-op for purely virtual backends. Safe to call more
+	// than once.
+	Close() error
 }
 
 // Backend constructs a device complex. Implementations: simdev (the
@@ -165,4 +174,14 @@ type Backend interface {
 type Truncatable interface {
 	EOD() Addr
 	Truncate(addr Addr)
+}
+
+// WallStatser is implemented by backends that perform real OS I/O and
+// can report wall-clock device activity: merged busy time per device
+// and the fraction of it overlapped across devices (filedev).
+type WallStatser interface {
+	WallStats() ioengine.WallStats
+	// PublishWallMetrics exports the wall stats as obs gauges (nil
+	// registry is a no-op).
+	PublishWallMetrics(reg *obs.Registry)
 }

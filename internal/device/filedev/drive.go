@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
-	"time"
 
 	"repro/internal/block"
 	"repro/internal/device"
+	"repro/internal/device/ioengine"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -18,12 +18,19 @@ import (
 // in a sequential spool file, reads and writes stream real bytes
 // through the OS and charge their measured wall time, and head
 // repositioning charges the profile's modeled seek latency.
+//
+// Transfers are planned under the control token (index updates,
+// offset reservation) and executed on the drive's I/O worker while
+// the proc yields, so independent drives' transfers overlap in
+// wall-clock time.
 type Drive struct {
 	name string
 	k    *sim.Kernel
 	cfg  device.DriveConfig
 	res  *sim.Resource
 	dir  string
+	b    *Backend
+	w    *ioengine.Worker // nil when the backend is synchronous
 
 	m       device.Medium
 	spool   *recFile
@@ -34,6 +41,7 @@ type Drive struct {
 	inj    fault.Injector
 	lost   bool
 	shared *transport
+	closed bool
 
 	rec   *trace.Recorder
 	met   driveMetrics
@@ -74,6 +82,7 @@ func (d *Drive) SetInjector(inj fault.Injector) { d.inj = inj }
 
 // SetMetrics implements device.Drive.
 func (d *Drive) SetMetrics(reg *obs.Registry) {
+	d.w.SetMetrics(reg)
 	if reg == nil {
 		d.met = driveMetrics{}
 		return
@@ -90,8 +99,11 @@ func (d *Drive) SetMetrics(reg *obs.Registry) {
 
 // Load implements device.Drive: it respools the medium's current
 // contents into the drive's spool file, so the OS copy always matches
-// the authoritative medium at mount time. Spool errors surface on the
-// first transfer (Load itself cannot fail, matching the simulator).
+// the authoritative medium at mount time. The respool runs inline —
+// a mount is not a transfer and charges no time — which is safe
+// because the worker has no in-flight operations when the token
+// holder can call Load. Spool errors surface on the first transfer
+// (Load itself cannot fail, matching the simulator).
 func (d *Drive) Load(m device.Medium) {
 	d.m = m
 	d.pos = 0
@@ -104,7 +116,7 @@ func (d *Drive) Load(m device.Medium) {
 	if m == nil {
 		return
 	}
-	spool, err := createRecFile(filepath.Join(d.dir, "spool-"+sanitize(m.Name())+".dat"))
+	spool, err := d.b.createRecFile(filepath.Join(d.dir, "spool-"+sanitize(m.Name())+".dat"))
 	if err != nil {
 		d.loadErr = fmt.Errorf("filedev: drive %q load: %w", d.name, err)
 		return
@@ -128,6 +140,8 @@ func (d *Drive) ready() error {
 	switch {
 	case d.lost:
 		return fmt.Errorf("filedev: drive %q: %w", d.name, fault.ErrDriveLost)
+	case d.closed:
+		return fmt.Errorf("filedev: drive %q is closed", d.name)
 	case d.m == nil:
 		return fmt.Errorf("filedev: drive %q has no cartridge", d.name)
 	case d.loadErr != nil:
@@ -220,11 +234,15 @@ func (d *Drive) seekTo(p *sim.Proc, addr device.Addr, wantReverse bool) {
 	d.reverse = wantReverse
 }
 
-// finishTransfer charges the measured wall duration of an OS transfer
-// and updates counters shared by every read/write path.
-func (d *Drive) finishTransfer(p *sim.Proc, kind trace.Kind, t0 time.Time, entered sim.Time, n int64, write bool) {
+// transfer runs one planned spool operation through the drive's
+// worker (or inline when synchronous) and charges its measured wall
+// duration, updating the counters shared by every read/write path.
+func (d *Drive) transfer(p *sim.Proc, kind trace.Kind, entered sim.Time, n int64, write bool, op func() error) error {
 	tx := p.Now()
-	elapsed := hold(p, t0)
+	elapsed, err := doIO(p, d.w, paced(d.b.pace(d.cfg.EffectiveRate(), n), op))
+	if err != nil {
+		return err
+	}
 	d.stats.TransferTime += elapsed
 	d.stats.Requests++
 	if write {
@@ -236,6 +254,7 @@ func (d *Drive) finishTransfer(p *sim.Proc, kind trace.Kind, t0 time.Time, enter
 	}
 	d.record(p, kind, tx, n)
 	d.met.latency.Observe(sim.Duration(p.Now() - entered).Seconds())
+	return nil
 }
 
 // ReadAt implements device.Drive.
@@ -255,13 +274,17 @@ func (d *Drive) ReadAt(p *sim.Proc, addr device.Addr, n int64) ([]block.Block, e
 		return nil, err
 	}
 	d.seekTo(p, addr, false)
-	t0 := time.Now()
-	blks, err := d.spool.readRecords(int64(addr), n)
+	plan, err := d.spool.planRead(int64(addr), n)
 	if err != nil {
 		return nil, err
 	}
+	if err := d.transfer(p, trace.TapeRead, entered, n, false, func() error {
+		return d.spool.execReads(plan)
+	}); err != nil {
+		return nil, err
+	}
 	d.pos = addr + device.Addr(n)
-	d.finishTransfer(p, trace.TapeRead, t0, entered, n, false)
+	blks := assemble(plan)
 	if corrupt {
 		corruptDelivered(blks)
 	}
@@ -295,13 +318,17 @@ func (d *Drive) ReadRegionReverse(p *sim.Proc, r device.Region) ([]block.Block, 
 		return nil, err
 	}
 	d.seekTo(p, r.End(), true)
-	t0 := time.Now()
-	blks, err := d.spool.readRecords(int64(r.Start), r.N)
+	plan, err := d.spool.planRead(int64(r.Start), r.N)
 	if err != nil {
 		return nil, err
 	}
+	if err := d.transfer(p, trace.TapeRead, entered, r.N, false, func() error {
+		return d.spool.execReads(plan)
+	}); err != nil {
+		return nil, err
+	}
 	d.pos = r.Start
-	d.finishTransfer(p, trace.TapeRead, t0, entered, r.N, false)
+	blks := assemble(plan)
 	if corrupt {
 		corruptDelivered(blks)
 	}
@@ -328,12 +355,16 @@ func (d *Drive) Append(p *sim.Proc, blks []block.Block) (device.Region, error) {
 		return device.Region{}, err
 	}
 	d.seekTo(p, reg.Start, false)
-	t0 := time.Now()
-	if err := d.spool.appendRecords(int64(reg.Start), blks); err != nil {
+	plan, err := d.spool.planAppend(int64(reg.Start), blks)
+	if err != nil {
+		return device.Region{}, err
+	}
+	if err := d.transfer(p, trace.TapeWrite, entered, reg.N, true, func() error {
+		return d.spool.execWrites(plan)
+	}); err != nil {
 		return device.Region{}, err
 	}
 	d.pos = reg.End()
-	d.finishTransfer(p, trace.TapeWrite, t0, entered, reg.N, true)
 	return reg, nil
 }
 
@@ -354,12 +385,16 @@ func (d *Drive) WriteAt(p *sim.Proc, addr device.Addr, blks []block.Block) error
 		return err
 	}
 	d.seekTo(p, addr, false)
-	t0 := time.Now()
-	if err := d.spool.appendRecords(int64(addr), blks); err != nil {
+	plan, err := d.spool.planAppend(int64(addr), blks)
+	if err != nil {
+		return err
+	}
+	if err := d.transfer(p, trace.TapeWrite, entered, int64(len(blks)), true, func() error {
+		return d.spool.execWrites(plan)
+	}); err != nil {
 		return err
 	}
 	d.pos = addr + device.Addr(len(blks))
-	d.finishTransfer(p, trace.TapeWrite, t0, entered, int64(len(blks)), true)
 	return nil
 }
 
@@ -371,8 +406,16 @@ func (d *Drive) Rewind(p *sim.Proc) {
 	d.seekTo(p, 0, false)
 }
 
-// Close releases the drive's spool file and scratch directory.
+// Close implements device.Drive: it stops the drive's I/O worker
+// (draining any queued requests), releases the spool file, and
+// removes the scratch directory. Safe to call more than once and
+// after partial construction.
 func (d *Drive) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	d.w.Close()
 	var err error
 	if d.spool != nil {
 		err = d.spool.close()

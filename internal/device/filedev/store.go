@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"time"
 
 	"repro/internal/block"
 	"repro/internal/device"
+	"repro/internal/device/ioengine"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -19,15 +19,24 @@ import (
 // kept only for capacity accounting (NumDisks * BlocksPerDisk). Reads
 // and writes charge their measured wall time; there is no seek model
 // — that is what makes it a disk.
+//
+// All of the store's files share one I/O worker, so disk requests
+// serialize against each other in wall-clock time (one array, one
+// channel) but overlap with tape transfers. FIFO submission on the
+// worker orders a file's planned writes before any later read of the
+// same records.
 type Store struct {
 	k   *sim.Kernel
 	cfg device.StoreConfig
 	dir string
+	b   *Backend
+	w   *ioengine.Worker // nil when the backend is synchronous
 	seq int
 
 	used, high int64
 	busy       sim.Duration
 	stats      device.DiskStats
+	closed     bool
 
 	rec *trace.Recorder
 	met storeMetrics
@@ -84,6 +93,7 @@ func (s *Store) SetInjector(inj fault.Injector) { s.inj = inj }
 
 // SetMetrics implements device.Store.
 func (s *Store) SetMetrics(reg *obs.Registry) {
+	s.w.SetMetrics(reg)
 	if reg == nil {
 		s.met = storeMetrics{}
 		return
@@ -101,9 +111,12 @@ func (s *Store) SetMetrics(reg *obs.Registry) {
 // compatibility and ignored: OS files have no meaningful stripe
 // placement.
 func (s *Store) Create(name string, _ []int) (device.File, error) {
+	if s.closed {
+		return nil, fmt.Errorf("filedev: store is closed")
+	}
 	s.seq++
 	path := filepath.Join(s.dir, fmt.Sprintf("%04d-%s.dat", s.seq, sanitize(name)))
-	rf, err := createRecFile(path)
+	rf, err := s.b.createRecFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -143,10 +156,15 @@ func (s *Store) consult(p *sim.Proc, name string, write bool, off, n int64) (boo
 	return dec.Corrupt, nil
 }
 
-// finishIO charges the measured wall duration of one transfer.
-func (s *Store) finishIO(p *sim.Proc, t0 time.Time, n int64, write bool) {
+// transfer runs one planned file operation through the store's worker
+// (or inline when synchronous) and charges its measured wall
+// duration.
+func (s *Store) transfer(p *sim.Proc, n int64, write bool, op func() error) error {
 	tx := p.Now()
-	elapsed := hold(p, t0)
+	elapsed, err := doIO(p, s.w, paced(s.b.pace(s.cfg.AggregateRate, n), op))
+	if err != nil {
+		return err
+	}
 	s.busy += elapsed
 	s.stats.Requests++
 	s.stats.TransferTime += elapsed
@@ -162,6 +180,7 @@ func (s *Store) finishIO(p *sim.Proc, t0 time.Time, n int64, write bool) {
 		Start: tx, End: p.Now(), Blocks: n,
 	})
 	s.met.latency.Observe(sim.Duration(p.Now() - tx).Seconds())
+	return nil
 }
 
 func kindOf(write bool) trace.Kind {
@@ -171,8 +190,15 @@ func kindOf(write bool) trace.Kind {
 	return trace.DiskRead
 }
 
-// Close removes the store's scratch directory.
+// Close implements device.Store: it stops the store's I/O worker and
+// removes the scratch directory. Safe to call more than once and
+// after partial construction.
 func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.w.Close()
 	remove(s.dir)
 	return nil
 }
@@ -197,10 +223,12 @@ func (f *File) Len() int64 { return int64(len(f.rf.index)) }
 // Lost implements device.File: OS-backed files do not lose extents.
 func (f *File) Lost() bool { return false }
 
-// Append implements device.File.
+// Append implements device.File. Operating on a freed file is an
+// error, not a panic: recovery paths that lose a race with cleanup
+// must be able to degrade through the join's retry machinery.
 func (f *File) Append(p *sim.Proc, blks []block.Block) error {
 	if f.freed {
-		panic(fmt.Sprintf("filedev: append to freed file %q", f.name))
+		return fmt.Errorf("filedev: append to %q: %w", f.name, ErrFreed)
 	}
 	n := int64(len(blks))
 	corrupt, err := f.s.consult(p, f.name, true, f.Len(), n)
@@ -210,20 +238,25 @@ func (f *File) Append(p *sim.Proc, blks []block.Block) error {
 	if err := f.s.charge(n); err != nil {
 		return err
 	}
-	t0 := time.Now()
-	if err := f.rf.appendRecords(f.Len(), blks); err != nil {
+	plan, err := f.rf.planAppend(f.Len(), blks)
+	if err != nil {
 		return err
 	}
-	f.s.finishIO(p, t0, n, true)
+	if err := f.s.transfer(p, n, true, func() error {
+		return f.rf.execWrites(plan)
+	}); err != nil {
+		return err
+	}
 	_ = corrupt // stored-copy corruption is surfaced on read
 	return nil
 }
 
 // ReadAt implements device.File: out-of-range requests fail with a
-// typed error rather than an OS short read.
+// typed error rather than an OS short read, and freed files return
+// ErrFreed.
 func (f *File) ReadAt(p *sim.Proc, off, n int64) ([]block.Block, error) {
 	if f.freed {
-		panic(fmt.Sprintf("filedev: read from freed file %q", f.name))
+		return nil, fmt.Errorf("filedev: read from %q: %w", f.name, ErrFreed)
 	}
 	if off < 0 || n < 0 || off+n > f.Len() {
 		return nil, fmt.Errorf("filedev: read [%d,%d) beyond len %d of %q", off, off+n, f.Len(), f.name)
@@ -232,12 +265,16 @@ func (f *File) ReadAt(p *sim.Proc, off, n int64) ([]block.Block, error) {
 	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	blks, err := f.rf.readRecords(off, n)
+	plan, err := f.rf.planRead(off, n)
 	if err != nil {
 		return nil, err
 	}
-	f.s.finishIO(p, t0, n, false)
+	if err := f.s.transfer(p, n, false, func() error {
+		return f.rf.execReads(plan)
+	}); err != nil {
+		return nil, err
+	}
+	blks := assemble(plan)
 	if corrupt {
 		corruptDelivered(blks)
 	}

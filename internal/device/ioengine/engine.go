@@ -1,0 +1,280 @@
+// Package ioengine runs real OS I/O off the simulation's control
+// token: every device owns a worker goroutine with a bounded request
+// queue, a proc submits an operation and yields the token through
+// sim.Proc.StartIO/Await, and independent devices' transfers overlap
+// in wall-clock time while the kernel keeps virtual time deterministic.
+//
+// The engine also keeps the honest side of the books: per-device
+// wall-clock busy intervals (merged into an overlap fraction that
+// mirrors the virtual-time metric in internal/obs) and a per-device
+// queue-depth gauge. All gauge updates run on token-holding
+// goroutines; interval recording is the only mutex-guarded state
+// touched by workers.
+package ioengine
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// DefaultQueueDepth bounds each worker's request queue. Submissions
+// beyond it block the submitting goroutine in wall-clock time until
+// the worker drains; with the submit-then-await discipline every
+// device op uses, depth is bounded by the number of live procs anyway.
+const DefaultQueueDepth = 64
+
+// ErrClosed is returned for operations submitted to a closed worker.
+var ErrClosed = errors.New("ioengine: worker closed")
+
+// Engine owns the device workers of one backend instance and
+// aggregates their wall-clock activity.
+type Engine struct {
+	depth int
+
+	mu      sync.Mutex
+	start   time.Time
+	started bool
+	busy    map[string][]wallInterval // device name -> closed busy intervals
+}
+
+// wallInterval is one worker-side busy window, relative to the
+// engine's first submission.
+type wallInterval struct{ s, t time.Duration }
+
+// New returns an engine whose workers queue up to depth requests
+// (DefaultQueueDepth when depth <= 0).
+func New(depth int) *Engine {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	return &Engine{depth: depth, busy: map[string][]wallInterval{}}
+}
+
+// now returns wall time relative to the engine's epoch, starting the
+// epoch on first use.
+func (e *Engine) now() time.Duration {
+	e.mu.Lock()
+	if !e.started {
+		e.start, e.started = time.Now(), true
+	}
+	d := time.Since(e.start)
+	e.mu.Unlock()
+	return d
+}
+
+func (e *Engine) record(device string, s, t time.Duration) {
+	e.mu.Lock()
+	e.busy[device] = append(e.busy[device], wallInterval{s, t})
+	e.mu.Unlock()
+}
+
+// request is one queued operation.
+type request struct {
+	c  *sim.Completion
+	op func() error
+}
+
+// Worker is one device's I/O goroutine. Obtain it from Engine.Worker,
+// submit through Do (or Submit/Await for split-phase use), and Close
+// it when the device closes.
+type Worker struct {
+	e    *Engine
+	name string
+	reqs chan request
+	done chan struct{}
+
+	// Token-guarded (only ever touched while the submitting proc holds
+	// the simulation's control token, which orders the accesses).
+	queued int
+	closed bool
+	gauge  *obs.Gauge
+}
+
+// Worker creates a worker goroutine for the named device. Names are
+// labels, not keys: a second worker with the same name is a distinct
+// queue whose wall intervals merge into the same per-device series.
+func (e *Engine) Worker(name string) *Worker {
+	w := &Worker{e: e, name: name, reqs: make(chan request, e.depth), done: make(chan struct{})}
+	go w.run()
+	return w
+}
+
+func (w *Worker) run() {
+	defer close(w.done)
+	for req := range w.reqs {
+		t0 := w.e.now()
+		err := req.op()
+		t1 := w.e.now()
+		w.e.record(w.name, t0, t1)
+		req.c.Post(sim.Duration(t1-t0), err)
+	}
+}
+
+// Name returns the worker's device label.
+func (w *Worker) Name() string { return w.name }
+
+// SetMetrics registers the worker's queue-depth gauge in reg (nil
+// detaches). A nil worker (synchronous backend) is a no-op.
+func (w *Worker) SetMetrics(reg *obs.Registry) {
+	if w == nil {
+		return
+	}
+	if reg == nil {
+		w.gauge = nil
+		return
+	}
+	w.gauge = reg.Gauge("iodev_queue_depth",
+		"Requests queued or in flight on a device I/O worker.", obs.A("device", w.name))
+}
+
+// Submit enqueues op on the worker and returns its completion. The
+// caller must hold the control token and must eventually Await the
+// result through the same worker's Await (which maintains the queue
+// gauge). Submission blocks in wall-clock time when the queue is full.
+func (w *Worker) Submit(p *sim.Proc, op func() error) *sim.Completion {
+	c := p.StartIO(w.name)
+	if w.closed {
+		// Fail through the normal completion path so Await semantics
+		// hold for the caller.
+		c.Post(0, ErrClosed)
+		return c
+	}
+	w.queued++
+	w.gauge.Set(float64(w.queued))
+	w.reqs <- request{c: c, op: op}
+	return c
+}
+
+// Await reaps a completion submitted on this worker, yielding the
+// token until the operation is done and its virtual time charged.
+func (w *Worker) Await(p *sim.Proc, c *sim.Completion) (sim.Duration, error) {
+	d, err := p.Await(c)
+	if !errors.Is(err, ErrClosed) {
+		w.queued--
+		w.gauge.Set(float64(w.queued))
+	}
+	return d, err
+}
+
+// Do submits op and awaits it: the calling proc yields the control
+// token while the worker performs the operation, so other procs (and
+// other devices' workers) run meanwhile. Returns the measured
+// wall-clock duration, which Await has already charged to virtual
+// time.
+func (w *Worker) Do(p *sim.Proc, op func() error) (sim.Duration, error) {
+	return w.Await(p, w.Submit(p, op))
+}
+
+// Close stops the worker after draining queued requests and waits for
+// it to exit. Safe to call twice and on a nil worker. The caller must
+// ensure (by the submit-then-await discipline) that no submission
+// races the close.
+func (w *Worker) Close() {
+	if w == nil || w.closed {
+		return
+	}
+	w.closed = true
+	close(w.reqs)
+	<-w.done
+}
+
+// DeviceWall is one device's total wall-clock busy time.
+type DeviceWall struct {
+	Device string
+	Busy   time.Duration
+}
+
+// WallStats summarizes the engine's real-time device activity.
+type WallStats struct {
+	// PerDevice lists merged busy time per device, sorted by name.
+	PerDevice []DeviceWall
+	// Busy is the sum over devices of merged busy time.
+	Busy time.Duration
+	// Union is the wall time during which at least one device was busy.
+	Union time.Duration
+}
+
+// Overlap is the fraction of device busy time that ran concurrently
+// with another device: (Busy − Union) / Busy. Zero when devices took
+// strict turns — which is exactly what the pre-async file backend
+// measured — approaching 1 as transfers fully overlap.
+func (s WallStats) Overlap() float64 {
+	if s.Busy <= 0 {
+		return 0
+	}
+	return float64(s.Busy-s.Union) / float64(s.Busy)
+}
+
+// WallStats snapshots the engine's wall-clock accounting. Intended for
+// after-run reporting; it is safe to call concurrently with workers.
+func (e *Engine) WallStats() WallStats {
+	e.mu.Lock()
+	perDev := make(map[string][]wallInterval, len(e.busy))
+	var all []wallInterval
+	for dev, ivs := range e.busy {
+		perDev[dev] = append([]wallInterval(nil), ivs...)
+		all = append(all, ivs...)
+	}
+	e.mu.Unlock()
+
+	var out WallStats
+	names := make([]string, 0, len(perDev))
+	for dev := range perDev {
+		names = append(names, dev)
+	}
+	sort.Strings(names)
+	for _, dev := range names {
+		busy := mergedTotal(perDev[dev])
+		out.PerDevice = append(out.PerDevice, DeviceWall{Device: dev, Busy: busy})
+		out.Busy += busy
+	}
+	out.Union = mergedTotal(all)
+	return out
+}
+
+// PublishMetrics exports the wall-clock stats into reg as gauges, one
+// busy-seconds series per device plus the overlap fraction.
+func (e *Engine) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	st := e.WallStats()
+	for _, d := range st.PerDevice {
+		reg.Gauge("iodev_wall_busy_seconds",
+			"Wall-clock time the device's worker spent in OS I/O.",
+			obs.A("device", d.Device)).Set(d.Busy.Seconds())
+	}
+	reg.Gauge("iodev_wall_overlap_fraction",
+		"Fraction of wall-clock device busy time overlapped across devices.").Set(st.Overlap())
+}
+
+// mergedTotal sorts, coalesces and sums a set of intervals.
+func mergedTotal(ivs []wallInterval) time.Duration {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].s != ivs[j].s {
+			return ivs[i].s < ivs[j].s
+		}
+		return ivs[i].t < ivs[j].t
+	})
+	total := time.Duration(0)
+	cur := ivs[0]
+	for _, v := range ivs[1:] {
+		if v.s <= cur.t {
+			if v.t > cur.t {
+				cur.t = v.t
+			}
+			continue
+		}
+		total += cur.t - cur.s
+		cur = v
+	}
+	return total + (cur.t - cur.s)
+}

@@ -21,6 +21,10 @@ type Drive struct {
 // DriveStats implements device.Drive.
 func (d Drive) DriveStats() device.DriveStats { return d.Drive.Stats }
 
+// Close implements device.Drive: a simulated drive holds no OS
+// resources.
+func (d Drive) Close() error { return nil }
+
 // Store wraps the simulated striped disk array. The accessor methods
 // shadow the array's public accounting fields so the interface stays
 // read-only, and Create rewraps the concrete file type.
@@ -45,6 +49,10 @@ func (s Store) HighWater() int64 { return s.Array.HighWater }
 
 // DiskStats implements device.Store.
 func (s Store) DiskStats() device.DiskStats { return s.Array.Stats }
+
+// Close implements device.Store: a simulated array holds no OS
+// resources.
+func (s Store) Close() error { return nil }
 
 // Backend builds simulated drives and arrays.
 type Backend struct{}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestOverlapConcurrentBeatsSequential(t *testing.T) {
-	rows, err := Overlap(0.2)
+	rows, err := Overlap(0.2, "sim")
 	if err != nil {
 		t.Fatal(err)
 	}

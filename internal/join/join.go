@@ -223,6 +223,15 @@ type Stats struct {
 	DisksLost  int
 	DriveLost  bool
 	DegradedTo string
+
+	// WallElapsed is the real elapsed time of the kernel run and
+	// WallOverlap the fraction of wall-clock device busy time that ran
+	// concurrently across devices. Both are zero on the purely virtual
+	// backend, and — unlike every field above — they are measured, not
+	// simulated: they vary run to run and are excluded from regression
+	// comparisons.
+	WallElapsed sim.Duration
+	WallOverlap float64
 }
 
 // DiskTraffic returns total disk blocks moved (Figure 7's metric).
@@ -353,17 +362,28 @@ func Run(m Method, spec Spec, res Resources, sink Sink) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.Close()
 	var result *Result
 	var runErr error
 	s.k.Spawn("join:"+m.Symbol(), func(p *sim.Proc) {
 		result, runErr = s.Exec(p, m, spec, sink, ExecOptions{})
 	})
+	wall0 := time.Now()
 	if err := s.k.Run(); err != nil {
 		return nil, fmt.Errorf("%s: simulation: %w", m.Symbol(), err)
 	}
+	wallElapsed := time.Since(wall0)
 	s.Finish()
 	if runErr != nil {
 		return nil, runErr
+	}
+	// On a real-I/O backend, report the honest wall-clock figures next
+	// to the virtual ones: how long the run actually took, and how much
+	// of the devices' OS time overlapped.
+	if ws, ok := s.res.Backend.(device.WallStatser); ok {
+		result.Stats.WallElapsed = wallElapsed
+		result.Stats.WallOverlap = ws.WallStats().Overlap()
+		ws.PublishWallMetrics(s.res.Metrics)
 	}
 	return result, nil
 }

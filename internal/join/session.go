@@ -31,6 +31,10 @@ type Session struct {
 	inj            fault.Injector
 	retryBackoff   *obs.Histogram
 	unitRestarts   *obs.Counter
+	// retired holds devices swapped out by a mid-run degrade; they are
+	// kept until Close so their OS resources (I/O workers, scratch
+	// dirs) are released exactly once.
+	retired []interface{ Close() error }
 }
 
 // NewSession builds the device complex described by res: two tape
@@ -48,6 +52,7 @@ func NewSession(res Resources) (*Session, error) {
 	}
 	driveS, err := res.Backend.NewDrive(k, "S", res.Tape)
 	if err != nil {
+		driveR.Close()
 		return nil, err
 	}
 	array, err := res.Backend.NewStore(k, device.StoreConfig{
@@ -57,6 +62,8 @@ func NewSession(res Resources) (*Session, error) {
 		BlocksPerDisk:   (res.DiskBlocks + int64(res.NumDisks) - 1) / int64(res.NumDisks),
 	})
 	if err != nil {
+		driveR.Close()
+		driveS.Close()
 		return nil, err
 	}
 
@@ -108,6 +115,28 @@ func (s *Session) Resources() Resources { return s.res }
 // Finish closes the observability tracker at the kernel's final time.
 // Call once after the kernel has drained.
 func (s *Session) Finish() { s.res.Spans.Finish(s.k.Now()) }
+
+// Close releases the session's devices — current and retired — and
+// their OS resources (file-backend I/O workers and scratch
+// directories). A no-op on the virtual backend. Safe to call more
+// than once; call it after the kernel has drained.
+func (s *Session) Close() error {
+	var errs []error
+	for _, c := range s.retired {
+		if err := c.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	s.retired = nil
+	for _, c := range []interface{ Close() error }{s.driveR, s.driveS, s.disks} {
+		if c != nil {
+			if err := c.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
 
 // ExecOptions tune one join executed inside a Session.
 type ExecOptions struct {
@@ -218,7 +247,14 @@ func (s *Session) Exec(p *sim.Proc, m Method, spec Spec, sink Sink, opts ExecOpt
 		runErr = e.degradeRerun(p, runErr)
 	}
 	// A degrade swapped in replacement devices; they are the session's
-	// devices from here on.
+	// devices from here on. The replaced originals are kept until
+	// Close so their OS resources are released exactly once.
+	for _, d := range e.retiredDrives {
+		s.retired = append(s.retired, d)
+	}
+	for _, a := range e.retiredArrays {
+		s.retired = append(s.retired, a)
+	}
 	s.driveR, s.driveS, s.disks = e.driveR, e.driveS, e.disks
 	if runErr != nil {
 		return nil, fmt.Errorf("%s: %w", m.Symbol(), runErr)

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// worker stands in for a device worker: it performs op off the control
+// token and posts the measured duration.
+func worker(c *Completion, op func() error) {
+	go func() {
+		t0 := time.Now()
+		err := op()
+		c.Post(Duration(time.Since(t0)), err)
+	}()
+}
+
+func TestAwaitChargesVirtualTime(t *testing.T) {
+	k := NewKernel()
+	var got Duration
+	k.Spawn("io", func(p *Proc) {
+		c := p.StartIO("read")
+		worker(c, func() error { time.Sleep(5 * time.Millisecond); return nil })
+		d, err := p.Await(c)
+		if err != nil {
+			t.Errorf("Await err = %v", err)
+		}
+		got = d
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got < 5*time.Millisecond {
+		t.Errorf("measured %v, want >= 5ms", got)
+	}
+	if Duration(k.Now()) != got {
+		t.Errorf("virtual clock %v, want the measured duration %v", k.Now(), got)
+	}
+	if k.IOPending() != 0 {
+		t.Errorf("IOPending = %d after drain", k.IOPending())
+	}
+}
+
+func TestAwaitPropagatesError(t *testing.T) {
+	k := NewKernel()
+	boom := errors.New("boom")
+	k.Spawn("io", func(p *Proc) {
+		c := p.StartIO("write")
+		worker(c, func() error { return boom })
+		if _, err := p.Await(c); !errors.Is(err, boom) {
+			t.Errorf("Await err = %v, want boom", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAwaitAfterPost covers the proc doing other work between StartIO
+// and Await: the completion is integrated while the proc holds or
+// runs, and Await must still charge the operation's [start, start+d]
+// window — here entirely covered by the longer Hold, so Await adds
+// nothing.
+func TestAwaitAfterPost(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("io", func(p *Proc) {
+		c := p.StartIO("prefetch")
+		worker(c, func() error { time.Sleep(2 * time.Millisecond); return nil })
+		p.Hold(time.Hour) // wall I/O finishes long before this virtual hold
+		before := p.Now()
+		if _, err := p.Await(c); err != nil {
+			t.Errorf("Await err = %v", err)
+		}
+		if p.Now() != before {
+			t.Errorf("Await advanced the clock %v past the covering hold", p.Now()-before)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAwaitOverlapsWallClock is the point of the whole extension: two
+// procs awaiting I/O on independent workers must overlap in wall-clock
+// time, so the elapsed wall time is near max(a, b), not a+b.
+func TestAwaitOverlapsWallClock(t *testing.T) {
+	k := NewKernel()
+	const d = 40 * time.Millisecond
+	io := func(name string) {
+		k.Spawn(name, func(p *Proc) {
+			c := p.StartIO(name)
+			worker(c, func() error { time.Sleep(d); return nil })
+			if _, err := p.Await(c); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		})
+	}
+	io("devA")
+	io("devB")
+	t0 := time.Now()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(t0); wall > 2*d-5*time.Millisecond {
+		t.Errorf("wall elapsed %v: the two %v operations did not overlap", wall, d)
+	}
+	// In virtual time both ops start at t=0, so the clock ends at the
+	// slower one, not the sum.
+	if now := Duration(k.Now()); now < d || now > 2*d-5*time.Millisecond {
+		t.Errorf("virtual clock %v, want within [%v, <%v)", now, d, 2*d)
+	}
+}
+
+// TestUnawaitedCompletionStillDrains: a proc that starts I/O and exits
+// without awaiting must not wedge Run — the kernel waits for the
+// outstanding post, integrates it, and finishes.
+func TestUnawaitedCompletionStillDrains(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("fire-and-forget", func(p *Proc) {
+		c := p.StartIO("flush")
+		worker(c, func() error { time.Sleep(2 * time.Millisecond); return nil })
+	})
+	done := make(chan error, 1)
+	go func() { done <- k.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not finish with an unawaited completion outstanding")
+	}
+}
+
+// TestAsyncDoesNotPerturbPureVirtualRuns: a simulation with no
+// external I/O must schedule byte-identically to the pre-async kernel
+// (guarded here by event count + final clock against a mixed workload
+// run twice).
+func TestAsyncDeterministicWithoutIO(t *testing.T) {
+	runOnce := func() (Time, int64) {
+		k := NewKernel()
+		r := NewResource(k, "dev", 1)
+		for i := 0; i < 3; i++ {
+			k.Spawn("p", func(p *Proc) {
+				for j := 0; j < 4; j++ {
+					r.Acquire(p)
+					p.Hold(time.Duration(j+1) * time.Second)
+					r.Release(p)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now(), k.EventsProcessed
+	}
+	t1, e1 := runOnce()
+	t2, e2 := runOnce()
+	if t1 != t2 || e1 != e2 {
+		t.Errorf("nondeterministic schedule: (%v,%d) vs (%v,%d)", t1, e1, t2, e2)
+	}
+}

@@ -16,7 +16,11 @@
 //     device arm or a bus),
 //   - Container provides a blocking counting store (models memory pools
 //     and shared buffer space), and Queue[T] a bounded FIFO channel in
-//     virtual time (models producer/consumer pipelines).
+//     virtual time (models producer/consumer pipelines),
+//   - Proc.StartIO / Proc.Await (async.go) let a proc hand a real OS
+//     operation to a worker goroutine and yield the control token
+//     until the worker posts its completion — the file backend's
+//     bridge between wall-clock transfers and the virtual clock.
 //
 // The kernel detects deadlock: if live processes remain but no process
 // is runnable and no event is pending, Run returns an error naming the

@@ -120,6 +120,9 @@ type Kernel struct {
 	current *Proc
 	procs   []*Proc
 
+	// asyncState holds the external-completion plumbing (see async.go).
+	asyncState
+
 	// EventsProcessed counts kernel scheduling decisions, exposed for
 	// tests and diagnostics.
 	EventsProcessed int64
@@ -127,7 +130,10 @@ type Kernel struct {
 
 // NewKernel returns a kernel with the clock at zero and no processes.
 func NewKernel() *Kernel {
-	return &Kernel{yieldCh: make(chan struct{})}
+	return &Kernel{
+		yieldCh:    make(chan struct{}),
+		asyncState: asyncState{ioNotify: make(chan struct{}, 1)},
+	}
 }
 
 // Now returns the current virtual time.
@@ -245,6 +251,13 @@ func (k *Kernel) Run() error {
 	}
 	k.running = true
 	for {
+		// Integrate any external completions posted since the last
+		// decision, so awaiting procs compete for the token as soon as
+		// their I/O is done. No-op (and allocation-free) when the
+		// backend never starts external operations.
+		if k.ioPending > 0 {
+			k.drainIO()
+		}
 		var p *Proc
 		switch {
 		case len(k.ready) > 0:
@@ -258,6 +271,12 @@ func (k *Kernel) Run() error {
 			}
 			k.now = e.t
 			p = e.proc
+		case k.ioPending > 0:
+			// Every live proc is blocked and no event is pending, but
+			// real I/O is in flight: wait for it in wall-clock time.
+			// This is the moment independent device workers overlap.
+			k.waitIO()
+			continue
 		case k.alive == 0:
 			return k.collectErrors()
 		default:

@@ -207,6 +207,7 @@ func Run(cfg Config, queries []Query) (*BatchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer session.Close()
 	res := session.Resources()
 	if cfg.CacheBlocks < 0 || cfg.CacheBlocks >= res.DiskBlocks {
 		return nil, fmt.Errorf("workload: CacheBlocks %d outside [0, D=%d)", cfg.CacheBlocks, res.DiskBlocks)

@@ -1,0 +1,116 @@
+package tapejoin
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// stressOutcome is the deterministic part of one stressed join: the
+// join result and the fault/recovery counters. Wall-clock timings are
+// excluded — on the file backend they legitimately vary run to run.
+type stressOutcome struct {
+	matches int64
+	faults  int64
+	retries int64
+}
+
+// stressRound runs n concurrent file-backend joins, each with its own
+// system (kernel, device workers, scratch dir) and a seeded fault
+// schedule, alternating the two concurrent methods. It fails the test
+// on any join or verification error and returns the per-slot
+// outcomes.
+func stressRound(t *testing.T, n int) []stressOutcome {
+	t.Helper()
+	out := make([]stressOutcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys, err := NewSystem(Config{
+				Backend:    "file",
+				BackendDir: t.TempDir(),
+				MemoryMB:   1,
+				DiskMB:     4,
+				Profile:    IdealTape,
+				Faults:     "transient=R:5:2,corrupt=S:40:1",
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tR, err := sys.NewTape("R-tape", 32)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tS, err := sys.NewTape("S-tape", 32)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r, err := sys.CreateRelation(tR, RelationConfig{
+				Name: "R", SizeMB: 2, KeySpace: 4000, Seed: int64(1 + i),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s, err := sys.CreateRelation(tS, RelationConfig{
+				Name: "S", SizeMB: 8, KeySpace: 4000, Seed: int64(100 + i),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			method := CDTGH
+			if i%2 == 1 {
+				method = CTTGH
+			}
+			res, err := sys.Join(method, r, s)
+			if err != nil {
+				t.Errorf("join %d (%s): %v", i, method, err)
+				return
+			}
+			if want := ExpectedMatches(r, s); res.Stats.Matches != want {
+				t.Errorf("join %d (%s): matches = %d, want %d", i, method, res.Stats.Matches, want)
+				return
+			}
+			out[i] = stressOutcome{
+				matches: res.Stats.Matches,
+				faults:  res.Stats.Faults,
+				retries: res.Stats.Retries,
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// TestFileBackendConcurrentJoinStress drives N fault-injected joins
+// through the file backend's async I/O engine at once and repeats the
+// round, asserting every join recovers to the exact expected
+// cardinality and that the deterministic outcome (matches, faults,
+// retries) is identical across rounds. Under -race this is the
+// token/completion handoff stress: many kernels, many device workers,
+// real OS I/O and recovery retries all in flight together.
+func TestFileBackendConcurrentJoinStress(t *testing.T) {
+	const n = 4
+	first := stressRound(t, n)
+	if t.Failed() {
+		t.FailNow()
+	}
+	second := stressRound(t, n)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("join %d: outcome changed across rounds: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	if testing.Verbose() {
+		for i, o := range first {
+			fmt.Printf("join %d: %d matches, %d faults, %d retries\n", i, o.matches, o.faults, o.retries)
+		}
+	}
+}
