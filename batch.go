@@ -58,6 +58,11 @@ type BatchQueryResult struct {
 	// decisions for this query; Reason explains a failure.
 	Substituted, Shared, CacheHit, Failed bool
 	Reason                                string
+	// Requeued marks a query that was re-admitted on the surviving
+	// device complex after a device-class failure (including shared-
+	// pass riders demoted to solo service). A requeued query may still
+	// succeed; Failed reports the final outcome.
+	Requeued bool
 	// Start, End and Wait position the query's service in virtual time.
 	Start, End, Wait time.Duration
 	// Matches is the output cardinality.
@@ -73,6 +78,10 @@ type BatchReport struct {
 	Mounts, RMounts, SMounts int
 	// SharedPasses counts shared S-scans executed.
 	SharedPasses int
+	// Requeues counts device-failure re-admissions of single queries;
+	// Demotions counts riders of failed shared passes that fell back
+	// to solo service.
+	Requeues, Demotions int
 	// Staging-cache activity.
 	CacheHits, CacheMisses, CacheEvictions int64
 	// TapeReadMB and TapeWrittenMB aggregate both drives.
@@ -155,6 +164,8 @@ func (s *System) RunBatch(queries []BatchQuery, opts BatchOptions) (*BatchReport
 		RMounts:        out.RMounts,
 		SMounts:        out.SMounts,
 		SharedPasses:   out.SharedPasses,
+		Requeues:       out.Requeues,
+		Demotions:      out.Demotions,
 		CacheHits:      out.CacheHits,
 		CacheMisses:    out.CacheMisses,
 		CacheEvictions: out.CacheEvictions,
@@ -173,6 +184,7 @@ func (s *System) RunBatch(queries []BatchQuery, opts BatchOptions) (*BatchReport
 			CacheHit:    qr.CacheHit,
 			Failed:      qr.Failed,
 			Reason:      qr.Reason,
+			Requeued:    qr.Requeued,
 			Start:       qr.Start,
 			End:         qr.End,
 			Wait:        qr.Wait,

@@ -15,10 +15,19 @@
 //	paperbench -exp recovery        # fault injection and recovery
 //	paperbench -exp overlap         # per-phase critical path and device overlap
 //	paperbench -exp workload        # multi-query batch scheduling policies
+//	paperbench -exp chaos           # wall-clock fault tolerance on the file backend
 //	paperbench -exp all             # everything
 //
 // -scale shrinks the workloads (1.0 = the paper's sizes; see package
-// repro/internal/exp for what each experiment scales).
+// repro/internal/exp for what each experiment scales). -quick
+// restricts the chaos experiment to its CI smoke subset.
+//
+// The chaos experiment runs a fault matrix (transient syscall EIO,
+// stuck workers, stored corruption, a device death mid-batch) against
+// the file backend and asserts the robustness contract: every
+// scenario either completes with the clean reference's exact payload
+// hash or fails fast with a typed error — never a hang, never wrong
+// tuples. Any violated scenario makes the command exit nonzero.
 package main
 
 import (
@@ -34,18 +43,19 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, workload, or all")
+	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, workload, chaos, or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
 	format := flag.String("format", "text", "output format: text or json")
 	backend := flag.String("backend", "sim", "storage backend for the overlap experiment: sim or file")
+	quick := flag.Bool("quick", false, "chaos experiment: run only the CI smoke subset of the fault matrix")
 	flag.Parse()
 
 	var err error
 	switch *format {
 	case "text":
-		err = run(strings.ToLower(*which), *scale, *backend)
+		err = run(strings.ToLower(*which), *scale, *backend, *quick)
 	case "json":
-		err = runJSON(strings.ToLower(*which), *scale, *backend)
+		err = runJSON(strings.ToLower(*which), *scale, *backend, *quick)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}
@@ -57,9 +67,10 @@ func main() {
 
 // runJSON emits the requested experiments' raw rows as one JSON
 // document, for downstream plotting.
-func runJSON(which string, scale float64, backend string) error {
+func runJSON(which string, scale float64, backend string, quick bool) error {
 	all := which == "all"
 	out := map[string]any{"scale": scale}
+	var chaosErr error
 
 	for fig := 1; fig <= 3; fig++ {
 		if all || which == fmt.Sprintf("fig%d", fig) {
@@ -143,18 +154,27 @@ func runJSON(which string, scale float64, backend string) error {
 		}
 		out["workload"] = rows
 	}
+	if all || which == "chaos" {
+		rows := exp.Chaos(scale, quick)
+		out["chaos"] = rows
+		chaosErr = exp.ChaosVerdict(rows)
+	}
 	if len(out) == 1 {
 		return fmt.Errorf("unknown experiment %q", which)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	return chaosErr
 }
 
-func run(which string, scale float64, backend string) error {
+func run(which string, scale float64, backend string, quick bool) error {
 	all := which == "all"
 	did := false
 	start := time.Now()
+	var chaosErr error
 
 	section := func(title string) {
 		fmt.Printf("== %s ==\n", title)
@@ -282,9 +302,16 @@ func run(which string, scale float64, backend string) error {
 		fmt.Println(exp.FormatWorkload(rows))
 	}
 
+	if all || which == "chaos" {
+		section("Chaos: wall-clock fault tolerance on the file backend")
+		rows := exp.Chaos(scale, quick)
+		fmt.Println(exp.FormatChaos(rows))
+		chaosErr = exp.ChaosVerdict(rows)
+	}
+
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, overlap, workload, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, overlap, workload, chaos, or all)", which)
 	}
 	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
-	return nil
+	return chaosErr
 }

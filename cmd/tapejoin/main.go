@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	tapejoin "repro"
 )
@@ -51,6 +52,7 @@ func main() {
 	fileSync := flag.String("file-sync", "interval", "-backend=file fsync policy: none, interval or always")
 	fileSynchronous := flag.Bool("file-synchronous", false, "-backend=file: disable the async I/O engine (transfers serialize in wall-clock time)")
 	filePace := flag.Float64("file-pace", 0, "-backend=file: emulate modeled device bandwidths sped up this factor in wall-clock (0 = page-cache speed)")
+	fileTimeout := flag.Duration("file-timeout", 0, "-backend=file: wall-clock deadline per device operation; overruns degrade the device and trip its breaker (0 = no deadline)")
 	flag.Parse()
 
 	obsOut := obsOutputs{
@@ -66,7 +68,8 @@ func main() {
 	} else {
 		err = run(*method, *rMB, *sMB, *memMB, *diskMB, *disks, *ratio, *compress,
 			*ideal, *split, *seed, *keyspace, *verify, *timeline, *faults, *noRecover,
-			obsOut, *backend, *backendDir, *fileSync, *fileSynchronous, *filePace)
+			obsOut, *backend, *backendDir, *fileSync, *fileSynchronous, *filePace,
+			*fileTimeout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tapejoin:", err)
@@ -88,7 +91,8 @@ func (o obsOutputs) enabled() bool {
 func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 	ratio float64, compress int, ideal, split bool, seed int64, keyspace uint64,
 	verify, timeline bool, faults string, noRecover bool, obsOut obsOutputs,
-	backend, backendDir, fileSync string, fileSynchronous bool, filePace float64) error {
+	backend, backendDir, fileSync string, fileSynchronous bool, filePace float64,
+	fileTimeout time.Duration) error {
 
 	cfg := tapejoin.Config{
 		Backend:            backend,
@@ -96,6 +100,7 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 		FileSync:           fileSync,
 		FileSynchronous:    fileSynchronous,
 		FilePace:           filePace,
+		FileOpTimeout:      fileTimeout,
 		MemoryMB:           memMB,
 		DiskMB:             diskMB,
 		NumDisks:           disks,

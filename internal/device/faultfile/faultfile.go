@@ -1,0 +1,125 @@
+// Package faultfile wraps OS file handles so seeded fault schedules
+// can strike at the syscall layer: error returns, short (torn) writes,
+// wall-clock stalls, and bit-flips of the bytes crossing the
+// read/write boundary. It is the file backend's counterpart to the
+// device-model injection inside internal/tape and internal/disk — the
+// same -faults spec drives both levels.
+//
+// Decisions are not made here. The device layer consults the injector
+// at plan time, while it holds the simulation's control token, and
+// arms the wrapper with the verdict; the wrapper applies armed
+// decisions in FIFO order as the device worker executes the planned
+// syscalls. That split keeps the fault schedule's state
+// single-threaded while the faulted syscalls themselves run off-token
+// on worker goroutines — a small mutex hands the armed queue across.
+package faultfile
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// OSFile is the slice of *os.File the wrapper relies on.
+type OSFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Close() error
+}
+
+// File wraps an OSFile with deterministic, pre-armed fault
+// application. The zero-armed wrapper is a transparent passthrough.
+type File struct {
+	inner OSFile
+
+	mu    sync.Mutex
+	armed []fault.OSDecision
+}
+
+// Wrap returns a fault-capable wrapper around inner.
+func Wrap(inner OSFile) *File { return &File{inner: inner} }
+
+// Arm queues one decision to be applied to the next positioned read or
+// write. Call it under the control token, before submitting the
+// operation it should strike; per-file submission order then matches
+// application order.
+func (f *File) Arm(dec fault.OSDecision) {
+	if dec.Zero() {
+		return
+	}
+	f.mu.Lock()
+	f.armed = append(f.armed, dec)
+	f.mu.Unlock()
+}
+
+// take pops the next armed decision, if any.
+func (f *File) take() (fault.OSDecision, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.armed) == 0 {
+		return fault.OSDecision{}, false
+	}
+	dec := f.armed[0]
+	f.armed = f.armed[1:]
+	return dec, true
+}
+
+// ReadAt implements io.ReaderAt, applying at most one armed decision:
+// a wall-clock stall before the syscall, an error instead of it, or a
+// bit-flip of the delivered bytes.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	dec, ok := f.take()
+	if !ok {
+		return f.inner.ReadAt(p, off)
+	}
+	if dec.Stall > 0 {
+		time.Sleep(dec.Stall)
+	}
+	if dec.Err != nil {
+		return 0, dec.Err
+	}
+	n, err := f.inner.ReadAt(p, off)
+	if dec.Flip && n > 0 {
+		p[n/2] ^= 0x01
+	}
+	return n, err
+}
+
+// WriteAt implements io.WriterAt, applying at most one armed decision:
+// a wall-clock stall, an error return, a torn write that stores only a
+// prefix yet reports full success, or a bit-flip of the stored bytes.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	dec, ok := f.take()
+	if !ok {
+		return f.inner.WriteAt(p, off)
+	}
+	if dec.Stall > 0 {
+		time.Sleep(dec.Stall)
+	}
+	if dec.Err != nil {
+		return 0, dec.Err
+	}
+	if dec.Torn {
+		// Store a prefix, lie about the rest: the canonical torn write.
+		if _, err := f.inner.WriteAt(p[:len(p)/2], off); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	if dec.Flip && len(p) > 0 {
+		bad := append([]byte(nil), p...)
+		bad[len(bad)/2] ^= 0x01
+		n, err := f.inner.WriteAt(bad, off)
+		return n, err
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+// Sync passes through to the inner file.
+func (f *File) Sync() error { return f.inner.Sync() }
+
+// Close passes through to the inner file.
+func (f *File) Close() error { return f.inner.Close() }

@@ -1,0 +1,131 @@
+package faultfile
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func open(t *testing.T) *File {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "t.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return Wrap(f)
+}
+
+func TestPassthrough(t *testing.T) {
+	f := open(t)
+	data := []byte("hello, tape")
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q, want %q", got, data)
+	}
+}
+
+func TestArmedErrorStrikesOnce(t *testing.T) {
+	f := open(t)
+	boom := errors.New("injected EIO")
+	f.Arm(fault.OSDecision{Err: boom})
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, boom) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("second write should pass through, got %v", err)
+	}
+}
+
+func TestTornWriteLiesAboutLength(t *testing.T) {
+	f := open(t)
+	data := bytes.Repeat([]byte{0xAB}, 64)
+	f.Arm(fault.OSDecision{Torn: true})
+	n, err := f.WriteAt(data, 0)
+	if err != nil || n != len(data) {
+		t.Fatalf("torn write must report full success, got n=%d err=%v", n, err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err == nil && bytes.Equal(got, data) {
+		t.Fatal("torn write stored all bytes; wanted a prefix only")
+	}
+}
+
+func TestFlipCorruptsStoredBytes(t *testing.T) {
+	f := open(t)
+	data := bytes.Repeat([]byte{0x55}, 32)
+	f.Arm(fault.OSDecision{Flip: true})
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, data) {
+		t.Fatal("stored bytes survived a flip decision intact")
+	}
+	// Exactly one bit differs, and the caller's buffer was untouched.
+	diff := 0
+	for i := range got {
+		if got[i] != data[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flip touched %d bytes, want 1", diff)
+	}
+	if data[len(data)/2] != 0x55 {
+		t.Fatal("flip mutated the caller's write buffer")
+	}
+}
+
+func TestStallDelaysOp(t *testing.T) {
+	f := open(t)
+	f.Arm(fault.OSDecision{Stall: 30 * time.Millisecond})
+	t0 := time.Now()
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("stalled write returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestArmedDecisionsApplyFIFO(t *testing.T) {
+	f := open(t)
+	boom := errors.New("first")
+	f.Arm(fault.OSDecision{Err: boom})
+	f.Arm(fault.OSDecision{Torn: true})
+	if _, err := f.WriteAt([]byte("aa"), 0); !errors.Is(err, boom) {
+		t.Fatalf("first armed decision should fire first, got %v", err)
+	}
+	if n, err := f.WriteAt([]byte("bb"), 0); err != nil || n != 2 {
+		t.Fatalf("second decision should be the torn write, got n=%d err=%v", n, err)
+	}
+	if _, err := f.WriteAt([]byte("cc"), 0); err != nil {
+		t.Fatalf("queue drained, want passthrough, got %v", err)
+	}
+}
+
+func TestZeroDecisionNotQueued(t *testing.T) {
+	f := open(t)
+	f.Arm(fault.OSDecision{})
+	f.mu.Lock()
+	n := len(f.armed)
+	f.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("zero decision queued (%d armed)", n)
+	}
+}

@@ -171,12 +171,15 @@ func (d *Drive) switchIn() {
 }
 
 // consult asks the fault injector about one request while the drive
-// is held, charging stalls and marking permanent transport loss.
+// is held, charging stalls and marking permanent transport loss. The
+// injector's OS-level verdict, if any, is armed on the spool file so
+// it strikes the planned syscalls on the worker.
 func (d *Drive) consult(p *sim.Proc, write bool, addr device.Addr, n int64) (bool, error) {
-	dec := fault.Decide(d.inj, fault.Op{
+	op := fault.Op{
 		Device: "tape:" + d.name, Write: write,
 		Addr: int64(addr), N: n, Now: p.Now(),
-	})
+	}
+	dec := fault.Decide(d.inj, op)
 	if dec.Stall > 0 {
 		d.stats.Stalls++
 		d.stats.StallTime += dec.Stall
@@ -193,6 +196,10 @@ func (d *Drive) consult(p *sim.Proc, write bool, addr device.Addr, n int64) (boo
 	}
 	if dec.Corrupt {
 		d.stats.InjectedFaults++
+	}
+	if osd := fault.DecideOS(d.inj, op); !osd.Zero() {
+		d.stats.InjectedFaults++
+		d.spool.arm(osd)
 	}
 	return dec.Corrupt, nil
 }
@@ -240,7 +247,16 @@ func (d *Drive) seekTo(p *sim.Proc, addr device.Addr, wantReverse bool) {
 func (d *Drive) transfer(p *sim.Proc, kind trace.Kind, entered sim.Time, n int64, write bool, op func() error) error {
 	tx := p.Now()
 	elapsed, err := doIO(p, d.w, paced(d.b.pace(d.cfg.EffectiveRate(), n), op))
-	if err != nil {
+	switch {
+	case errors.Is(err, ioengine.ErrDeviceFailed):
+		// The worker's breaker tripped: the transport is gone for this
+		// run. Surface it as a drive loss so the session's degrade path
+		// rebuilds on a shared pair with fresh, healthy workers.
+		d.lost = true
+		return fmt.Errorf("filedev: drive %q: %w: %w", d.name, fault.ErrDriveLost, err)
+	case errors.Is(err, ioengine.ErrClosed):
+		return fmt.Errorf("filedev: drive %q: %w", d.name, err)
+	case err != nil:
 		return err
 	}
 	d.stats.TransferTime += elapsed

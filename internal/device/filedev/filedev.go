@@ -35,13 +35,17 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
 	"repro/internal/block"
 	"repro/internal/device"
+	"repro/internal/device/faultfile"
 	"repro/internal/device/ioengine"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -114,6 +118,22 @@ type Backend struct {
 	// QueueDepth bounds each device worker's request queue
 	// (ioengine.DefaultQueueDepth when zero).
 	QueueDepth int
+	// OpTimeout, when positive, bounds each device operation's
+	// wall-clock execution on its worker: an op past the deadline
+	// fails with a typed, retryable error, repeated misses degrade the
+	// device's health, and TripAfter consecutive misses trip its
+	// circuit breaker (the device then fails fast with
+	// device.ErrDeviceFailed and the join's recovery machinery rebuilds
+	// on surviving resources). Zero disables deadlines. Ignored by the
+	// synchronous path, which has no worker to watchdog.
+	OpTimeout time.Duration
+	// TripAfter overrides the consecutive-timeout count that trips a
+	// device's breaker (ioengine.DefaultTripAfter when zero).
+	TripAfter int
+	// RetryMax overrides the device-layer retry count for timed-out
+	// and transient operations (negative disables retries; zero keeps
+	// the engine default).
+	RetryMax int
 	// PaceScale, when positive, paces every transfer to occupy at
 	// least the modeled device time divided by PaceScale in
 	// wall-clock: the backend emulates the paper's device bandwidths
@@ -146,6 +166,14 @@ func (b *Backend) Engine() *ioengine.Engine {
 	}
 	if b.engine == nil {
 		b.engine = ioengine.New(b.QueueDepth)
+		pol := ioengine.Policy{OpTimeout: b.OpTimeout, TripAfter: b.TripAfter}
+		if b.RetryMax != 0 {
+			pol.Retry = ioengine.RetryPolicy{Max: b.RetryMax, Base: ioengine.DefaultRetry.Base}
+			if b.RetryMax < 0 {
+				pol.Retry = ioengine.RetryPolicy{Max: 0, Base: 1}
+			}
+		}
+		b.engine.SetPolicy(pol)
 	}
 	return b.engine
 }
@@ -279,7 +307,7 @@ type syncer struct {
 }
 
 // wrote records n freshly written bytes and fsyncs per policy.
-func (s *syncer) wrote(f *os.File, n int64) error {
+func (s *syncer) wrote(f *faultfile.File, n int64) error {
 	switch s.policy {
 	case SyncNone:
 		return nil
@@ -296,7 +324,7 @@ func (s *syncer) wrote(f *os.File, n int64) error {
 }
 
 // flush forces out any deferred dirty bytes.
-func (s *syncer) flush(f *os.File) error {
+func (s *syncer) flush(f *faultfile.File) error {
 	if s.policy == SyncInterval && s.dirty > 0 {
 		s.dirty = 0
 		return f.Sync()
@@ -304,45 +332,65 @@ func (s *syncer) flush(f *os.File) error {
 	return nil
 }
 
-// recFile is a length-prefixed block-record file with an in-memory
-// index: record i of the logical device lives at index[i] with length
-// lens[i]. Overwrites append a fresh record and repoint the index —
-// the file itself is append-only, like a tape with block remapping.
+// recFile is a checksummed length-prefixed block-record file with an
+// in-memory index: record i of the logical device lives at index[i]
+// with length lens[i] and stored CRC crcs[i]. Overwrites append a
+// fresh record and repoint the index — the file itself is append-only,
+// like a tape with block remapping.
+//
+// Every record frame is [len u32][crc32(payload) u32][payload], both
+// little-endian, and every read verifies the payload against the CRC
+// captured at plan time: torn writes, bit rot and truncated tails all
+// surface as typed device.ErrCorrupt instead of silently joining wrong
+// bytes. (The join layer re-verifies the block-level checksum on top —
+// the frame CRC catches corruption below the block encoding.)
 //
 // Operations are split so the async path has no shared mutable state:
 // planAppend/planRead mutate the index and reserve offsets on the
 // token-holding proc, and the returned ops run pure positioned
-// syscalls on the device worker (*os.File is goroutine-safe for
-// WriteAt/ReadAt). FIFO submission on one worker orders a write
-// before any read of the same reserved offset.
+// syscalls on the device worker (positioned I/O is goroutine-safe).
+// FIFO submission on one worker orders a write before any read of the
+// same reserved offset. The underlying OS file is wrapped by
+// faultfile.File, so fault decisions made at plan time can strike the
+// syscalls themselves.
 type recFile struct {
-	f     *os.File
+	f     *faultfile.File
 	index []int64
 	lens  []int32
+	crcs  []uint32
 	end   int64 // append offset
 	sync  syncer
 }
+
+// recHeader is the per-record frame overhead: length + payload CRC.
+const recHeader = 8
 
 func (b *Backend) createRecFile(path string) (*recFile, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &recFile{f: f, sync: syncer{policy: b.Sync, every: b.syncBytes()}}, nil
+	return &recFile{f: faultfile.Wrap(f), sync: syncer{policy: b.Sync, every: b.syncBytes()}}, nil
 }
 
-// writeOp is one planned record write: a 4-byte little-endian length
-// header and the payload, contiguous at a reserved offset.
+// arm queues one OS-level fault decision against the file's next
+// syscall. Called under the control token, before the planned ops are
+// submitted.
+func (r *recFile) arm(dec fault.OSDecision) { r.f.Arm(dec) }
+
+// writeOp is one planned record write: frame header and payload,
+// contiguous at a reserved offset.
 type writeOp struct {
 	off  int64
 	data []byte
 }
 
-// readOp is one planned record read: the payload offset and a
-// destination buffer sized from the index.
+// readOp is one planned record read: the payload offset, a destination
+// buffer sized from the index, and the expected payload CRC.
 type readOp struct {
 	off int64
 	buf []byte
+	crc uint32
 }
 
 // planAppend registers blks at logical positions pos, pos+1, ... and
@@ -355,16 +403,19 @@ func (r *recFile) planAppend(pos int64, blks []block.Block) ([]writeOp, error) {
 	ops := make([]writeOp, 0, len(blks))
 	for _, blk := range blks {
 		off := r.end
-		data := make([]byte, 4+len(blk))
+		crc := crc32.ChecksumIEEE(blk)
+		data := make([]byte, recHeader+len(blk))
 		binary.LittleEndian.PutUint32(data[:4], uint32(len(blk)))
-		copy(data[4:], blk)
+		binary.LittleEndian.PutUint32(data[4:8], crc)
+		copy(data[recHeader:], blk)
 		r.end = off + int64(len(data))
 		switch {
 		case pos < int64(len(r.index)):
-			r.index[pos], r.lens[pos] = off, int32(len(blk))
+			r.index[pos], r.lens[pos], r.crcs[pos] = off, int32(len(blk)), crc
 		case pos == int64(len(r.index)):
 			r.index = append(r.index, off)
 			r.lens = append(r.lens, int32(len(blk)))
+			r.crcs = append(r.crcs, crc)
 		default:
 			return nil, fmt.Errorf("filedev: write at %d leaves a gap (len %d)", pos, len(r.index))
 		}
@@ -388,23 +439,36 @@ func (r *recFile) execWrites(ops []writeOp) error {
 }
 
 // planRead resolves n records starting at logical position off into
-// positioned reads with preallocated buffers.
+// positioned reads with preallocated buffers and expected checksums.
 func (r *recFile) planRead(off, n int64) ([]readOp, error) {
 	if off < 0 || n < 0 || off+n > int64(len(r.index)) {
 		return nil, fmt.Errorf("filedev: read [%d,%d) out of range [0,%d)", off, off+n, len(r.index))
 	}
 	ops := make([]readOp, n)
 	for i := int64(0); i < n; i++ {
-		ops[i] = readOp{off: r.index[off+i] + 4, buf: make([]byte, r.lens[off+i])}
+		ops[i] = readOp{off: r.index[off+i] + recHeader,
+			buf: make([]byte, r.lens[off+i]), crc: r.crcs[off+i]}
 	}
 	return ops, nil
 }
 
-// execReads performs planned reads. Safe to run off the control token.
+// execReads performs planned reads and verifies each record against
+// its stored checksum, converting short reads and payload mismatches
+// into typed device.ErrCorrupt. Safe to run off the control token:
+// verification is pure CPU over op-owned buffers.
 func (r *recFile) execReads(ops []readOp) error {
 	for i, op := range ops {
-		if _, err := r.f.ReadAt(op.buf, op.off); err != nil {
+		n, err := r.f.ReadAt(op.buf, op.off)
+		switch {
+		case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
+			return fmt.Errorf("filedev: record %d truncated (%d of %d bytes): %w",
+				i, n, len(op.buf), device.ErrCorrupt)
+		case err != nil:
 			return fmt.Errorf("filedev: record %d: %w", i, err)
+		}
+		if got := crc32.ChecksumIEEE(op.buf); got != op.crc {
+			return fmt.Errorf("filedev: record %d: stored crc %08x, read %08x: %w",
+				i, op.crc, got, device.ErrCorrupt)
 		}
 	}
 	return nil
@@ -434,6 +498,7 @@ func (r *recFile) truncate(n int64) {
 	if n < int64(len(r.index)) {
 		r.index = r.index[:n]
 		r.lens = r.lens[:n]
+		r.crcs = r.crcs[:n]
 	}
 }
 

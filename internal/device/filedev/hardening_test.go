@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/device"
+	"repro/internal/device/faultfile"
 	"repro/internal/sim"
 	"repro/internal/tape"
 )
@@ -199,14 +200,15 @@ func TestSyncerIntervalResets(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
+	ff := faultfile.Wrap(f)
 	s := syncer{policy: SyncInterval, every: 100}
-	if err := s.wrote(f, 60); err != nil || s.dirty != 60 {
+	if err := s.wrote(ff, 60); err != nil || s.dirty != 60 {
 		t.Fatalf("dirty = %d, err %v", s.dirty, err)
 	}
-	if err := s.wrote(f, 60); err != nil || s.dirty != 0 {
+	if err := s.wrote(ff, 60); err != nil || s.dirty != 0 {
 		t.Fatalf("after flush: dirty = %d, err %v", s.dirty, err)
 	}
-	if err := s.flush(f); err != nil {
+	if err := s.flush(ff); err != nil {
 		t.Fatal(err)
 	}
 }

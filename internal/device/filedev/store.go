@@ -1,6 +1,7 @@
 package filedev
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -136,9 +137,12 @@ func (s *Store) charge(n int64) error {
 	return nil
 }
 
-// consult asks the fault injector about one file operation.
-func (s *Store) consult(p *sim.Proc, name string, write bool, off, n int64) (bool, error) {
-	dec := fault.Decide(s.inj, fault.Op{Device: "disk", Write: write, Addr: off, N: n, Now: p.Now()})
+// consult asks the fault injector about one file operation. The
+// injector's OS-level verdict, if any, is armed on the file so it
+// strikes the planned syscalls on the worker.
+func (s *Store) consult(p *sim.Proc, name string, rf *recFile, write bool, off, n int64) (bool, error) {
+	op := fault.Op{Device: "disk", Write: write, Addr: off, N: n, Now: p.Now()}
+	dec := fault.Decide(s.inj, op)
 	if dec.Stall > 0 {
 		s.stats.Faults++
 		s.stats.StallTime += dec.Stall
@@ -153,6 +157,10 @@ func (s *Store) consult(p *sim.Proc, name string, write bool, off, n int64) (boo
 	if dec.Corrupt {
 		s.stats.Faults++
 	}
+	if osd := fault.DecideOS(s.inj, op); !osd.Zero() {
+		s.stats.Faults++
+		rf.arm(osd)
+	}
 	return dec.Corrupt, nil
 }
 
@@ -162,7 +170,15 @@ func (s *Store) consult(p *sim.Proc, name string, write bool, off, n int64) (boo
 func (s *Store) transfer(p *sim.Proc, n int64, write bool, op func() error) error {
 	tx := p.Now()
 	elapsed, err := doIO(p, s.w, paced(s.b.pace(s.cfg.AggregateRate, n), op))
-	if err != nil {
+	switch {
+	case errors.Is(err, ioengine.ErrDeviceFailed):
+		// The shared disk worker's breaker tripped: all scratch is
+		// unreachable. Surface it as a device loss so unit recovery
+		// rebuilds the store (with a fresh worker) and re-stages.
+		return fmt.Errorf("filedev: disk store: %w: %w", fault.ErrDeviceLost, err)
+	case errors.Is(err, ioengine.ErrClosed):
+		return fmt.Errorf("filedev: disk store: %w", err)
+	case err != nil:
 		return err
 	}
 	s.busy += elapsed
@@ -231,7 +247,7 @@ func (f *File) Append(p *sim.Proc, blks []block.Block) error {
 		return fmt.Errorf("filedev: append to %q: %w", f.name, ErrFreed)
 	}
 	n := int64(len(blks))
-	corrupt, err := f.s.consult(p, f.name, true, f.Len(), n)
+	corrupt, err := f.s.consult(p, f.name, f.rf, true, f.Len(), n)
 	if err != nil {
 		return err
 	}
@@ -261,7 +277,7 @@ func (f *File) ReadAt(p *sim.Proc, off, n int64) ([]block.Block, error) {
 	if off < 0 || n < 0 || off+n > f.Len() {
 		return nil, fmt.Errorf("filedev: read [%d,%d) beyond len %d of %q", off, off+n, f.Len(), f.name)
 	}
-	corrupt, err := f.s.consult(p, f.name, false, off, n)
+	corrupt, err := f.s.consult(p, f.name, f.rf, false, off, n)
 	if err != nil {
 		return nil, err
 	}

@@ -14,10 +14,15 @@ package ioengine
 
 import (
 	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -34,7 +39,8 @@ var ErrClosed = errors.New("ioengine: worker closed")
 // Engine owns the device workers of one backend instance and
 // aggregates their wall-clock activity.
 type Engine struct {
-	depth int
+	depth  int
+	policy Policy
 
 	mu      sync.Mutex
 	start   time.Time
@@ -47,13 +53,18 @@ type Engine struct {
 type wallInterval struct{ s, t time.Duration }
 
 // New returns an engine whose workers queue up to depth requests
-// (DefaultQueueDepth when depth <= 0).
+// (DefaultQueueDepth when depth <= 0), with the default fault policy
+// (no deadline, device-layer retries enabled).
 func New(depth int) *Engine {
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
-	return &Engine{depth: depth, busy: map[string][]wallInterval{}}
+	return &Engine{depth: depth, policy: Policy{}.withDefaults(), busy: map[string][]wallInterval{}}
 }
+
+// SetPolicy replaces the engine's fault policy. Call before creating
+// workers; workers read the policy without locking.
+func (e *Engine) SetPolicy(p Policy) { e.policy = p.withDefaults() }
 
 // now returns wall time relative to the engine's epoch, starting the
 // epoch on first use.
@@ -88,18 +99,37 @@ type Worker struct {
 	reqs chan request
 	done chan struct{}
 
+	// Health state: written only by the worker goroutine, read from
+	// token-holding goroutines, so it lives in atomics. Metrics are
+	// synced from these on the token side (the obs registry is
+	// single-threaded).
+	state    atomic.Int32 // Health
+	consec   atomic.Int64 // consecutive deadline misses
+	timeouts atomic.Int64 // total deadline misses
+
 	// Token-guarded (only ever touched while the submitting proc holds
 	// the simulation's control token, which orders the accesses).
-	queued int
-	closed bool
-	gauge  *obs.Gauge
+	queued      int
+	closed      bool
+	retries     int64 // device-layer retries performed by Do
+	timeoutsPub int64 // timeouts already pushed to the counter
+	rng         *rand.Rand
+	gauge       *obs.Gauge
+	healthGauge *obs.Gauge
+	timeoutCtr  *obs.Counter
+	retryCtr    *obs.Counter
 }
 
 // Worker creates a worker goroutine for the named device. Names are
 // labels, not keys: a second worker with the same name is a distinct
-// queue whose wall intervals merge into the same per-device series.
+// queue whose wall intervals merge into the same per-device series —
+// and a fresh worker starts Healthy, which is how replacement devices
+// built after a trip escape their predecessor's breaker.
 func (e *Engine) Worker(name string) *Worker {
-	w := &Worker{e: e, name: name, reqs: make(chan request, e.depth), done: make(chan struct{})}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	w := &Worker{e: e, name: name, reqs: make(chan request, e.depth), done: make(chan struct{}),
+		rng: rand.New(rand.NewSource(int64(h.Sum64())))}
 	go w.run()
 	return w
 }
@@ -107,41 +137,91 @@ func (e *Engine) Worker(name string) *Worker {
 func (w *Worker) run() {
 	defer close(w.done)
 	for req := range w.reqs {
-		t0 := w.e.now()
-		err := req.op()
-		t1 := w.e.now()
-		w.e.record(w.name, t0, t1)
-		req.c.Post(sim.Duration(t1-t0), err)
+		if Health(w.state.Load()) == Failed {
+			// Breaker open: fail fast without touching the device (a
+			// timed-out zombie op may still own its buffers).
+			req.c.Post(0, fmt.Errorf("%s: %w", w.name, ErrDeviceFailed))
+			continue
+		}
+		w.execute(req)
 	}
 }
 
 // Name returns the worker's device label.
 func (w *Worker) Name() string { return w.name }
 
-// SetMetrics registers the worker's queue-depth gauge in reg (nil
-// detaches). A nil worker (synchronous backend) is a no-op.
+// Health returns the worker's current health state. Safe from any
+// goroutine.
+func (w *Worker) Health() Health {
+	if w == nil {
+		return Healthy
+	}
+	return Health(w.state.Load())
+}
+
+// Timeouts returns the number of operations that missed the deadline.
+func (w *Worker) Timeouts() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.timeouts.Load()
+}
+
+// Retries returns the number of device-layer retries Do performed.
+func (w *Worker) Retries() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.retries
+}
+
+// SetMetrics registers the worker's gauges and counters in reg (nil
+// detaches): queue depth, health state, deadline misses, and
+// device-layer retries. A nil worker (synchronous backend) is a no-op.
 func (w *Worker) SetMetrics(reg *obs.Registry) {
 	if w == nil {
 		return
 	}
 	if reg == nil {
-		w.gauge = nil
+		w.gauge, w.healthGauge, w.timeoutCtr, w.retryCtr = nil, nil, nil, nil
 		return
 	}
+	l := obs.A("device", w.name)
 	w.gauge = reg.Gauge("iodev_queue_depth",
-		"Requests queued or in flight on a device I/O worker.", obs.A("device", w.name))
+		"Requests queued or in flight on a device I/O worker.", l)
+	w.healthGauge = reg.Gauge("iodev_health",
+		"Device worker health: 0 healthy, 1 degraded, 2 failed.", l)
+	w.timeoutCtr = reg.Counter("iodev_timeouts_total",
+		"Operations that missed the per-op deadline.", l)
+	w.retryCtr = reg.Counter("iodev_op_retries_total",
+		"Device-layer retries after timeouts or transient errors.", l)
+}
+
+// syncMetrics publishes worker-side health state into the registry.
+// Must run on a token-holding goroutine.
+func (w *Worker) syncMetrics() {
+	w.healthGauge.Set(float64(w.state.Load()))
+	if t := w.timeouts.Load(); t > w.timeoutsPub {
+		w.timeoutCtr.Add(float64(t - w.timeoutsPub))
+		w.timeoutsPub = t
+	}
 }
 
 // Submit enqueues op on the worker and returns its completion. The
 // caller must hold the control token and must eventually Await the
 // result through the same worker's Await (which maintains the queue
 // gauge). Submission blocks in wall-clock time when the queue is full.
+// On a closed worker or an open breaker the completion fails
+// immediately with ErrClosed / ErrDeviceFailed through the normal
+// completion path, so Await semantics hold for the caller.
 func (w *Worker) Submit(p *sim.Proc, op func() error) *sim.Completion {
 	c := p.StartIO(w.name)
 	if w.closed {
-		// Fail through the normal completion path so Await semantics
-		// hold for the caller.
-		c.Post(0, ErrClosed)
+		c.Post(0, notEnqueued{ErrClosed})
+		return c
+	}
+	if Health(w.state.Load()) == Failed {
+		c.Post(0, notEnqueued{fmt.Errorf("%s: %w", w.name, ErrDeviceFailed)})
 		return c
 	}
 	w.queued++
@@ -154,20 +234,55 @@ func (w *Worker) Submit(p *sim.Proc, op func() error) *sim.Completion {
 // token until the operation is done and its virtual time charged.
 func (w *Worker) Await(p *sim.Proc, c *sim.Completion) (sim.Duration, error) {
 	d, err := p.Await(c)
-	if !errors.Is(err, ErrClosed) {
+	var ne notEnqueued
+	if !errors.As(err, &ne) {
 		w.queued--
 		w.gauge.Set(float64(w.queued))
 	}
+	w.syncMetrics()
 	return d, err
 }
 
 // Do submits op and awaits it: the calling proc yields the control
 // token while the worker performs the operation, so other procs (and
-// other devices' workers) run meanwhile. Returns the measured
-// wall-clock duration, which Await has already charged to virtual
-// time.
+// other devices' workers) run meanwhile. Timed-out and transient
+// failures are retried per the engine's RetryPolicy with exponential
+// backoff plus deterministic jitter, charged as virtual time. Returns
+// the total measured wall-clock duration, which Await has already
+// charged to virtual time.
 func (w *Worker) Do(p *sim.Proc, op func() error) (sim.Duration, error) {
-	return w.Await(p, w.Submit(p, op))
+	total, err := w.Await(p, w.Submit(p, op))
+	pol := w.e.policy.Retry
+	backoff := pol.Base
+	for attempt := 0; attempt < pol.Max && w.retryable(err); attempt++ {
+		p.Hold(backoff + w.jitter(backoff))
+		w.retries++
+		w.retryCtr.Inc()
+		d, e := w.Await(p, w.Submit(p, op))
+		total += d
+		err = e
+		backoff *= 2
+	}
+	return total, err
+}
+
+// retryable reports whether Do should retry err at the device layer:
+// deadline misses and transient faults, but never once the breaker has
+// tripped — a Failed device gets no further traffic.
+func (w *Worker) retryable(err error) bool {
+	if err == nil || Health(w.state.Load()) == Failed {
+		return false
+	}
+	return errors.Is(err, ErrTimeout) || fault.IsTransient(err)
+}
+
+// jitter derives a deterministic backoff perturbation in [0, b/2) from
+// the worker's seeded source. Token-guarded like the other Do state.
+func (w *Worker) jitter(b sim.Duration) sim.Duration {
+	if b <= 1 {
+		return 0
+	}
+	return sim.Duration(w.rng.Int63n(int64(b / 2)))
 }
 
 // Close stops the worker after draining queued requests and waits for

@@ -13,6 +13,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -93,6 +94,14 @@ const (
 	kindStall
 	kindDeviceLost
 	kindDriveLost
+
+	// OS-level kinds fire at the syscall layer of the file backend —
+	// consulted through DecideOS, never through Decide — so one spec
+	// string can drive both the simulated devices and real files.
+	kindOSErr
+	kindTornWrite
+	kindWallStall
+	kindFlipStored
 )
 
 // rule is one entry of a Schedule. Rules fire in insertion order; the
@@ -106,7 +115,18 @@ type rule struct {
 	at     sim.Time // rule activates at this virtual time
 	count  int      // remaining firings; < 0 means unbounded
 	stall  sim.Duration
-	err    error // cause attached to transient/hard decisions
+	wall   time.Duration // wall-clock stall for kindWallStall
+	err    error         // cause attached to transient/hard decisions
+}
+
+// osLevel reports whether the rule fires at the OS (file) layer rather
+// than the device model layer.
+func (r *rule) osLevel() bool {
+	switch r.kind {
+	case kindOSErr, kindTornWrite, kindWallStall, kindFlipStored:
+		return true
+	}
+	return false
 }
 
 // matches reports whether the rule applies to op.
@@ -147,7 +167,7 @@ func (s *Schedule) Decide(op Op) Decision {
 		return Decision{}
 	}
 	for _, r := range s.rules {
-		if !r.matches(op) {
+		if r.osLevel() || !r.matches(op) {
 			continue
 		}
 		if r.count > 0 {

@@ -21,6 +21,16 @@ func FuzzParse(f *testing.F) {
 		"random=7:3",
 		"transient=R:100:2,diskfail=1@40s,random=7:3",
 		"stall=disk0:500ms",
+		// OS-level directives for the file backend.
+		"oserr=S:12:2",
+		"torn=disk:5",
+		"oswait=disk:200ms:3",
+		"flip=disk0:9",
+		"oserr=R:0,torn=R:0,oswait=R:1ns,flip=R:0",
+		"transient=R:5,oswait=disk:2s:50,flip=disk:40,drivefail=S@30s",
+		"oswait=disk:-1s",
+		"torn=disk",
+		"flip=:3",
 		// Near-misses that must error cleanly, not crash.
 		"transient=R",
 		"transient=R:x:y",
@@ -46,6 +56,19 @@ func FuzzParse(f *testing.F) {
 		}
 		if s == nil {
 			t.Fatalf("Parse(%q) returned nil schedule and nil error", spec)
+		}
+		// Round-trip property: every accepted spec renders back into
+		// the grammar, and the rendered form is a fixed point.
+		rendered := s.String()
+		s2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", spec, rendered, err)
+		}
+		if again := s2.String(); again != rendered {
+			t.Fatalf("String not a fixed point for %q: %q -> %q", spec, rendered, again)
+		}
+		if s2.Len() != s.Len() {
+			t.Fatalf("round-trip of %q changed rule count: %d -> %d", spec, s.Len(), s2.Len())
 		}
 	})
 }

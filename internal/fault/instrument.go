@@ -13,6 +13,8 @@ type instrumented struct {
 
 	ok, transient, media, deviceLost, driveLost, corrupt, stall *obs.Counter
 
+	osErr, tornWrite, osStall, flipStored *obs.Counter
+
 	stallSeconds *obs.Histogram
 }
 
@@ -37,6 +39,10 @@ func Instrument(inj Injector, reg *obs.Registry) Injector {
 		driveLost:  c("drive-lost"),
 		corrupt:    c("corrupt"),
 		stall:      c("stall"),
+		osErr:      c("os-error"),
+		tornWrite:  c("torn-write"),
+		osStall:    c("os-stall"),
+		flipStored: c("flip-stored"),
 		stallSeconds: reg.Histogram("fault_stall_seconds",
 			"Injected device stall durations.", obs.BackoffBuckets),
 	}
@@ -63,6 +69,25 @@ func (i *instrumented) Decide(op Op) Decision {
 	}
 	if d.Stall > 0 {
 		i.stallSeconds.Observe(d.Stall.Seconds())
+	}
+	return d
+}
+
+// DecideOS implements OSInjector, forwarding to the inner injector's
+// OS side (if any) and counting non-clean verdicts. Clean OS consults
+// are not counted as "ok": every file operation consults both levels,
+// and the ok counter tracks device-level decisions only.
+func (i *instrumented) DecideOS(op Op) OSDecision {
+	d := DecideOS(i.inner, op)
+	switch {
+	case d.Err != nil:
+		i.osErr.Inc()
+	case d.Torn:
+		i.tornWrite.Inc()
+	case d.Flip:
+		i.flipStored.Inc()
+	case d.Stall > 0:
+		i.osStall.Inc()
 	}
 	return d
 }

@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func TestOSRulesInvisibleToDecide(t *testing.T) {
+	s := (&Schedule{}).
+		AddOSError("disk", 5, 3).
+		AddTornWrite("disk", 5, 3).
+		AddWallStall("disk", time.Second, 3).
+		AddFlipStored("disk", 5, 3)
+	for _, w := range []bool{false, true} {
+		if d := s.Decide(Op{Device: "disk", Addr: 0, N: 10, Write: w}); d != (Decision{}) {
+			t.Fatalf("Decide(write=%v) fired an OS-level rule: %+v", w, d)
+		}
+	}
+	// No firings spent: the OS side still sees all of them.
+	if d := s.DecideOS(Op{Device: "disk", Addr: 5, N: 1}); d.Err == nil {
+		t.Fatal("DecideOS should fire the oserr rule")
+	}
+}
+
+func TestDeviceRulesInvisibleToDecideOS(t *testing.T) {
+	s := (&Schedule{}).AddTransient("disk", 5, 1).AddHard("disk", 5)
+	if d := s.DecideOS(Op{Device: "disk", Addr: 5, N: 1}); !d.Zero() {
+		t.Fatalf("DecideOS fired a device-level rule: %+v", d)
+	}
+	if d := s.Decide(Op{Device: "disk", Addr: 5, N: 1}); !IsTransient(d.Err) {
+		t.Fatalf("device-level transient should still fire, got %v", d.Err)
+	}
+}
+
+func TestOSErrorMatchesReadsAndWrites(t *testing.T) {
+	s := (&Schedule{}).AddOSError("tape:R", 7, 2)
+	if d := s.DecideOS(Op{Device: "tape:R", Addr: 0, N: 10, Write: true}); !IsTransient(d.Err) {
+		t.Fatalf("write covering addr 7: want transient OS error, got %+v", d)
+	}
+	if d := s.DecideOS(Op{Device: "tape:R", Addr: 7, N: 1}); !IsTransient(d.Err) {
+		t.Fatalf("read at addr 7: want transient OS error, got %+v", d)
+	}
+	if d := s.DecideOS(Op{Device: "tape:R", Addr: 7, N: 1}); !d.Zero() {
+		t.Fatalf("count spent, want clean decision, got %+v", d)
+	}
+}
+
+func TestTornAndFlipMatchWritesOnly(t *testing.T) {
+	s := (&Schedule{}).AddTornWrite("disk", 3, 1).AddFlipStored("disk", 4, 1)
+	for addr := int64(3); addr <= 4; addr++ {
+		if d := s.DecideOS(Op{Device: "disk", Addr: addr, N: 1}); !d.Zero() {
+			t.Fatalf("read at %d should not match write-only rules: %+v", addr, d)
+		}
+	}
+	if d := s.DecideOS(Op{Device: "disk", Addr: 3, N: 1, Write: true}); !d.Torn {
+		t.Fatalf("want torn write, got %+v", d)
+	}
+	if d := s.DecideOS(Op{Device: "disk", Addr: 4, N: 1, Write: true}); !d.Flip {
+		t.Fatalf("want flipped store, got %+v", d)
+	}
+}
+
+func TestWallStallAnyAddressAndTime(t *testing.T) {
+	s := (&Schedule{}).AddWallStall("tape:S", 250*time.Millisecond, 2)
+	d := s.DecideOS(Op{Device: "tape:S", Addr: 999, N: 1, Now: sim.Time(time.Hour)})
+	if d.Stall != 250*time.Millisecond {
+		t.Fatalf("want 250ms wall stall, got %+v", d)
+	}
+	if d := s.DecideOS(Op{Device: "tape:R", Addr: 0, N: 1, Write: true}); !d.Zero() {
+		t.Fatalf("wrong device should not stall: %+v", d)
+	}
+	if d := s.DecideOS(Op{Device: "tape:S", Write: true}); d.Stall == 0 {
+		t.Fatalf("second firing should stall writes too, got %+v", d)
+	}
+	if d := s.DecideOS(Op{Device: "tape:S"}); !d.Zero() {
+		t.Fatalf("count spent, got %+v", d)
+	}
+}
+
+func TestDecideOSToleratesPlainInjectors(t *testing.T) {
+	if d := DecideOS(nil, Op{Device: "disk"}); !d.Zero() {
+		t.Fatalf("nil injector: %+v", d)
+	}
+	plain := plainInjector{}
+	if d := DecideOS(plain, Op{Device: "disk"}); !d.Zero() {
+		t.Fatalf("plain injector: %+v", d)
+	}
+}
+
+type plainInjector struct{}
+
+func (plainInjector) Decide(Op) Decision { return Decision{} }
+
+func TestInstrumentForwardsDecideOS(t *testing.T) {
+	s := (&Schedule{}).AddOSError("disk", 1, 1)
+	inj := Instrument(s, nil) // nil registry: Instrument returns s unchanged
+	if inj != Injector(s) {
+		t.Fatal("nil registry should return the inner injector")
+	}
+	s2 := (&Schedule{}).AddOSError("disk", 1, 1)
+	wrapped := Instrument(s2, obs.NewRegistry())
+	if d := DecideOS(wrapped, Op{Device: "disk", Addr: 1, N: 1}); !errors.Is(d.Err, ErrTransient) {
+		t.Fatalf("instrumented injector should forward DecideOS, got %+v", d)
+	}
+}

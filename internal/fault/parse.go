@@ -11,21 +11,32 @@ import (
 )
 
 // Parse builds a Schedule from a compact comma-separated spec, the
-// grammar behind the cmd/tapejoin -faults flag:
+// grammar behind the -faults flag of both CLIs. One grammar covers
+// both fault levels: *device*-level rules fire inside the device model
+// on every backend, while *OS*-level rules fire at the syscall layer
+// and therefore only on -backend=file.
 //
-//	transient=DEV:ADDR[:COUNT]   retryable read error at block ADDR
-//	hard=DEV:ADDR                unrecoverable media error at ADDR
-//	corrupt=DEV:ADDR[:COUNT]     bit-flipped delivered data at ADDR
-//	stall=DEV:DUR[:COUNT]        device hiccup of DUR per read
-//	diskfail=N@TIME              disk N dies at virtual time TIME
-//	drivefail=DEV@TIME           tape drive DEV dies at TIME
-//	random=SEED[:COUNT]          COUNT seeded pseudo-random faults
+//	directive                    level   fires on              effect
+//	─────────────────────────    ──────  ────────────────────  ─────────────────────────────
+//	transient=DEV:ADDR[:COUNT]   device  reads of ADDR         retryable error
+//	hard=DEV:ADDR                device  reads of ADDR         unrecoverable media error
+//	corrupt=DEV:ADDR[:COUNT]     device  reads of ADDR         bit-flip the delivered copy
+//	stall=DEV:DUR[:COUNT]        device  reads                 virtual-time hiccup of DUR
+//	diskfail=N@TIME              device  all ops on disk N     device permanently lost
+//	drivefail=DEV@TIME           device  all ops on drive DEV  tape transport permanently lost
+//	oserr=DEV:ADDR[:COUNT]       OS      file ops at ADDR      EIO-style retryable error
+//	torn=DEV:ADDR[:COUNT]        OS      file writes at ADDR   short (torn) write, silent
+//	oswait=DEV:DUR[:COUNT]       OS      file ops              wall-clock stall of DUR
+//	flip=DEV:ADDR[:COUNT]        OS      file writes at ADDR   bit-flip the stored bytes
+//	random=SEED[:COUNT]          device  —                     COUNT seeded recoverable faults
 //
 // DEV is R or S (the tape drives), disk (the array-wide transfer
 // path), or diskN (one drive of the array). DUR and TIME use Go
-// duration syntax ("90s", "1h10m"). Example:
+// duration syntax ("90s", "1h10m"); COUNT defaults to 1. Schedule's
+// String method renders the inverse mapping, so a parsed (or randomly
+// generated) schedule round-trips through its log line. Example:
 //
-//	-faults "transient=S:1000:2,diskfail=1@30m"
+//	-faults "transient=S:1000:2,oswait=disk:200ms:3,diskfail=1@30m"
 func Parse(spec string) (*Schedule, error) {
 	s := &Schedule{}
 	for _, part := range strings.Split(spec, ",") {
@@ -52,7 +63,25 @@ func Parse(spec string) (*Schedule, error) {
 				s.AddCorrupt(dev, addr, count)
 			})
 		case "stall":
-			err = parseStall(s, val)
+			err = parseStall(val, func(dev string, d time.Duration, count int) {
+				s.AddStall(dev, sim.Duration(d), count)
+			})
+		case "oserr":
+			err = parseAddrRule(val, true, func(dev string, addr int64, count int) {
+				s.AddOSError(dev, addr, count)
+			})
+		case "torn":
+			err = parseAddrRule(val, true, func(dev string, addr int64, count int) {
+				s.AddTornWrite(dev, addr, count)
+			})
+		case "oswait":
+			err = parseStall(val, func(dev string, d time.Duration, count int) {
+				s.AddWallStall(dev, d, count)
+			})
+		case "flip":
+			err = parseAddrRule(val, true, func(dev string, addr int64, count int) {
+				s.AddFlipStored(dev, addr, count)
+			})
 		case "diskfail":
 			err = parseDiskFail(s, val)
 		case "drivefail":
@@ -105,7 +134,7 @@ func parseAddrRule(val string, hasCount bool, add func(dev string, addr int64, c
 	return nil
 }
 
-func parseStall(s *Schedule, val string) error {
+func parseStall(val string, add func(dev string, d time.Duration, count int)) error {
 	fields := strings.Split(val, ":")
 	if len(fields) < 2 || len(fields) > 3 {
 		return fmt.Errorf("want DEV:DUR[:COUNT]")
@@ -124,7 +153,7 @@ func parseStall(s *Schedule, val string) error {
 			return fmt.Errorf("bad count %q", fields[2])
 		}
 	}
-	s.AddStall(dev, sim.Duration(d), count)
+	add(dev, d, count)
 	return nil
 }
 

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// String renders the schedule back into the Parse grammar, so a
+// schedule logged at startup can be replayed verbatim with -faults.
+// The output is canonical: counts of 1 are omitted, device names use
+// their short spec form (R, S, disk, diskN), and random= directives
+// appear expanded into the concrete rules they generated — replaying
+// the string reproduces the schedule without needing the seed.
+//
+// Rules whose firings are already spent are omitted, so String called
+// mid-run describes the *remaining* schedule; call it before running
+// to capture the full one.
+func (s *Schedule) String() string {
+	if s == nil {
+		return ""
+	}
+	var parts []string
+	for _, r := range s.rules {
+		if r.count == 0 {
+			continue
+		}
+		dev := specDevice(r.device)
+		switch r.kind {
+		case kindTransient:
+			parts = append(parts, addrSpec("transient", dev, r.addr, r.count))
+		case kindHard:
+			parts = append(parts, fmt.Sprintf("hard=%s:%d", dev, r.addr))
+		case kindCorrupt:
+			parts = append(parts, addrSpec("corrupt", dev, r.addr, r.count))
+		case kindStall:
+			parts = append(parts, durSpec("stall", dev, time.Duration(r.stall), r.count))
+		case kindDeviceLost:
+			parts = append(parts, fmt.Sprintf("diskfail=%s@%s",
+				strings.TrimPrefix(r.device, "disk"), time.Duration(r.at)))
+		case kindDriveLost:
+			parts = append(parts, fmt.Sprintf("drivefail=%s@%s", dev, time.Duration(r.at)))
+		case kindOSErr:
+			parts = append(parts, addrSpec("oserr", dev, r.addr, r.count))
+		case kindTornWrite:
+			parts = append(parts, addrSpec("torn", dev, r.addr, r.count))
+		case kindWallStall:
+			parts = append(parts, durSpec("oswait", dev, r.wall, r.count))
+		case kindFlipStored:
+			parts = append(parts, addrSpec("flip", dev, r.addr, r.count))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// specDevice maps a canonical device name back to its short spec form.
+func specDevice(dev string) string {
+	if short, ok := strings.CutPrefix(dev, "tape:"); ok && (short == "R" || short == "S") {
+		return short
+	}
+	return dev
+}
+
+func addrSpec(key, dev string, addr int64, count int) string {
+	if count == 1 {
+		return fmt.Sprintf("%s=%s:%d", key, dev, addr)
+	}
+	return fmt.Sprintf("%s=%s:%d:%d", key, dev, addr, count)
+}
+
+func durSpec(key, dev string, d time.Duration, count int) string {
+	if count == 1 {
+		return fmt.Sprintf("%s=%s:%s", key, dev, d)
+	}
+	return fmt.Sprintf("%s=%s:%s:%d", key, dev, d, count)
+}

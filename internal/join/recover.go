@@ -59,11 +59,16 @@ func (r Recovery) withDefaults() Recovery {
 }
 
 // retryableRead reports whether a failed read may succeed on re-read:
-// injected transient faults and checksum mismatches in delivered data
-// (the stored copy may be fine). Hard media errors, lost devices and
-// simulator bugs are not retryable.
+// injected transient faults, checksum mismatches in delivered data
+// (block-level or device-frame — the stored copy may be fine), and
+// per-op deadline misses that survived the device layer's own retries
+// (the device may only be degraded; if its breaker has tripped, the
+// re-read fails fast with a non-retryable loss error instead of
+// looping). Hard media errors, lost devices and simulator bugs are not
+// retryable.
 func retryableRead(err error) bool {
-	return fault.IsTransient(err) || errors.Is(err, block.ErrBadChecksum)
+	return fault.IsTransient(err) || errors.Is(err, block.ErrBadChecksum) ||
+		errors.Is(err, device.ErrCorrupt) || errors.Is(err, device.ErrIOTimeout)
 }
 
 // unitRecoverable reports whether an error is worth restarting a work

@@ -1,6 +1,9 @@
 package join
 
 import (
+	"encoding/binary"
+	"hash/fnv"
+
 	"repro/internal/block"
 	"repro/internal/sim"
 )
@@ -22,12 +25,32 @@ type Sink interface {
 type CountSink struct {
 	Matches int64
 	KeySum  uint64 // sum of matched keys mod 2^64; order-independent
+	// PairSum is an order-independent digest of the full output
+	// payload: the sum mod 2^64 of an FNV-1a hash over each pair's
+	// keys and payload bytes. Equal PairSums mean the runs emitted the
+	// same multiset of pairs, byte for byte — the end-to-end integrity
+	// oracle across methods, backends and fault schedules.
+	PairSum uint64
 }
 
 // Emit implements Sink.
 func (c *CountSink) Emit(_ *sim.Proc, r, s block.Tuple) {
 	c.Matches++
 	c.KeySum += r.Key
+	c.PairSum += pairHash(r, s)
+}
+
+// pairHash digests one output pair, keys and payloads included.
+func pairHash(r, s block.Tuple) uint64 {
+	h := fnv.New64a()
+	var k [8]byte
+	binary.LittleEndian.PutUint64(k[:], r.Key)
+	h.Write(k[:])
+	h.Write(r.Payload)
+	binary.LittleEndian.PutUint64(k[:], s.Key)
+	h.Write(k[:])
+	h.Write(s.Payload)
+	return h.Sum64()
 }
 
 // Count implements Sink.

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sort"
+
 	"repro/internal/device"
 	"repro/internal/relation"
 )
@@ -98,6 +100,24 @@ func (c *stagingCache) insert(r *relation.Relation, f device.File) *cacheEntry {
 	c.entries[r] = ce
 	c.used += ce.blocks
 	return ce
+}
+
+// flush drops every unpinned entry, freeing its file — called when the
+// disk array is replaced mid-batch, which strands cached files on the
+// retired store. Returns the dropped relation names, sorted, so the
+// schedule log stays deterministic.
+func (c *stagingCache) flush() []string {
+	var dropped []string
+	for _, ce := range c.entries {
+		if ce.pins > 0 {
+			continue
+		}
+		dropped = append(dropped, ce.rel.Name)
+		ce.file.Free()
+		c.drop(ce)
+	}
+	sort.Strings(dropped)
+	return dropped
 }
 
 // drop removes an entry's bookkeeping without freeing its file.

@@ -1,0 +1,140 @@
+package workload
+
+// Device-failure containment: a query whose service dies with a
+// device-class error is re-admitted once on the surviving complex, a
+// failed shared pass demotes its riders to solo service, and a query
+// that fails again is marked Failed with a typed reason — the batch
+// always completes.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/join"
+)
+
+// faultedBatch is a two-query FIFO batch with sched injected.
+func faultedBatch(t *testing.T, policy Policy, n int, spec string) (*batch, *BatchResult) {
+	t.Helper()
+	b := makeBatch(t, policy, 0)
+	b.queries = b.queries[:n]
+	sched, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.cfg.Resources.Faults = sched
+	out, err := Run(b.cfg, b.queries)
+	if err != nil {
+		t.Fatalf("batch aborted: %v", err)
+	}
+	return b, out
+}
+
+// TestRequeueRecoversQuery injects a transient fault persistent enough
+// to exhaust q0's read retries AND unit restarts (5 reads × 4 unit
+// attempts = 20 firings), but spent by the time the scheduler
+// re-admits the query: the requeue runs clean and delivers the exact
+// join, and the rest of the batch is untouched.
+func TestRequeueRecoversQuery(t *testing.T) {
+	b, out := faultedBatch(t, FIFO, 2, "transient=R:3:20")
+	if out.Requeues != 1 {
+		t.Fatalf("Requeues = %d, want 1", out.Requeues)
+	}
+	q0, q1 := out.Queries[0], out.Queries[1]
+	if q0.Failed || !q0.Requeued {
+		t.Fatalf("q0: failed=%v requeued=%v, want recovered requeue", q0.Failed, q0.Requeued)
+	}
+	if q0.Matches != b.expect["q0"] {
+		t.Fatalf("q0 matches = %d, want %d", q0.Matches, b.expect["q0"])
+	}
+	if q1.Failed || q1.Requeued || q1.Matches != b.expect["q1"] {
+		t.Fatalf("q1 disturbed: %+v", q1)
+	}
+}
+
+// TestRequeueExhaustedFailsTyped makes the fault outlive the requeue
+// too: the query must be marked Failed with the typed exhaustion
+// reason — and the batch must keep going and serve the next query.
+func TestRequeueExhaustedFailsTyped(t *testing.T) {
+	b, out := faultedBatch(t, FIFO, 2, "transient=R:3:40")
+	q0, q1 := out.Queries[0], out.Queries[1]
+	if !q0.Failed || !q0.Requeued {
+		t.Fatalf("q0: failed=%v requeued=%v, want failed after requeue", q0.Failed, q0.Requeued)
+	}
+	if !strings.Contains(q0.Reason, "retries exhausted") {
+		t.Fatalf("q0 reason %q lacks typed exhaustion cause", q0.Reason)
+	}
+	if q0.Matches != 0 {
+		t.Fatalf("failed query delivered %d matches", q0.Matches)
+	}
+	if q1.Failed || q1.Matches != b.expect["q1"] {
+		t.Fatalf("batch did not continue past failed query: %+v", q1)
+	}
+}
+
+// TestSharedPassDemotesRiders fails a shared S-scan with a transient
+// burst that is spent by the time the riders rerun solo: every rider
+// must be demoted (Requeued), deliver its exact cardinality, and —
+// because the pass's output was held, not delivered — the user-visible
+// sink must see each pair exactly once.
+func TestSharedPassDemotesRiders(t *testing.T) {
+	b := makeBatch(t, SharedScan, 0)
+	sched, err := fault.Parse("transient=S:40:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.cfg.Resources.Faults = sched
+	sinks := make(map[string]*join.CountSink)
+	for i := range b.queries {
+		cs := &join.CountSink{}
+		sinks[b.queries[i].ID] = cs
+		b.queries[i].Sink = cs
+	}
+	out, err := Run(b.cfg, b.queries)
+	if err != nil {
+		t.Fatalf("batch aborted: %v", err)
+	}
+	if out.Demotions == 0 {
+		t.Fatal("no riders demoted despite failed shared pass")
+	}
+	demoted := 0
+	for _, qr := range out.Queries {
+		if qr.Failed {
+			t.Fatalf("query %s failed: %s", qr.ID, qr.Reason)
+		}
+		if want := b.expect[qr.ID]; qr.Matches != want {
+			t.Fatalf("%s matches = %d, want %d", qr.ID, qr.Matches, want)
+		}
+		// No double delivery: the real sink holds exactly the reported
+		// pairs, whether the query rode a pass or was demoted.
+		if got := sinks[qr.ID].Count(); got != qr.Matches {
+			t.Fatalf("%s sink saw %d pairs, result reports %d", qr.ID, got, qr.Matches)
+		}
+		if qr.Requeued {
+			demoted++
+		}
+	}
+	if demoted != out.Demotions {
+		t.Fatalf("per-query demotions %d != batch Demotions %d", demoted, out.Demotions)
+	}
+}
+
+// TestPersistentFaultNeverAbortsBatch runs the whole shared-scan batch
+// against an unbounded device fault: every query may fail, but each
+// failure must be typed and the batch must run to completion — the
+// containment guarantee.
+func TestPersistentFaultNeverAbortsBatch(t *testing.T) {
+	b, out := faultedBatch(t, SharedScan, 9, "transient=S:40:1000")
+	if len(out.Queries) != len(b.queries) {
+		t.Fatalf("results for %d of %d queries", len(out.Queries), len(b.queries))
+	}
+	for _, qr := range out.Queries {
+		if !qr.Failed {
+			continue
+		}
+		if qr.Reason == "" || !strings.Contains(qr.Reason, "retries exhausted") {
+			t.Fatalf("%s failed without a typed reason: %q", qr.ID, qr.Reason)
+		}
+	}
+}

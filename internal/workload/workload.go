@@ -28,6 +28,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/cost"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/join"
 	"repro/internal/obs"
 	"repro/internal/relation"
@@ -142,11 +143,16 @@ type QueryResult struct {
 	// CacheHit marks a query whose R copy came from the staging cache
 	// instead of tape.
 	CacheHit bool
-	// Failed marks a query no feasible method could serve; Reason
-	// explains. Failed queries produce no output but do not abort the
-	// batch.
+	// Failed marks a query no feasible method could serve — or one that
+	// failed again after a device-failure requeue; Reason explains.
+	// Failed queries produce no output but do not abort the batch.
 	Failed bool
 	Reason string
+	// Requeued marks a query re-admitted after a device-class failure:
+	// its first service attempt (solo or as a shared-pass rider) died
+	// with a lost drive, a tripped breaker or unrecoverable corruption,
+	// and the scheduler ran it again on the surviving device complex.
+	Requeued bool
 	// Start and End bound the query's service in virtual time; Wait is
 	// the queue wait (the batch arrives at t=0, so Wait = Start).
 	Start, End, Wait sim.Duration
@@ -165,6 +171,10 @@ type BatchResult struct {
 	Mounts, RMounts, SMounts int
 	// SharedPasses counts shared S-scans executed.
 	SharedPasses int
+	// Requeues counts device-failure re-admissions of single queries;
+	// Demotions counts riders of failed shared passes that fell back to
+	// solo service.
+	Requeues, Demotions int
 	// Staging-cache activity.
 	CacheHits, CacheMisses, CacheEvictions int64
 	// Tape traffic across both drives for the whole batch.
@@ -186,6 +196,10 @@ type engine struct {
 	queries []Query
 	results []QueryResult
 	out     *BatchResult
+	// array is the disk store the cache's files live on; when a query
+	// swaps in a rebuilt array, the cache is flushed (its files are
+	// stranded on the retired store).
+	array device.Store
 
 	queueWait *obs.Histogram
 	mountsC   *obs.Counter
@@ -225,6 +239,7 @@ func Run(cfg Config, queries []Query) (*BatchResult, error) {
 	reg := res.Metrics
 	en := &engine{
 		cfg: cfg, session: session, queries: queries,
+		array:   session.Disks(),
 		cache:   newStagingCache(cfg.CacheBlocks),
 		results: make([]QueryResult, len(queries)),
 		out:     &BatchResult{Policy: cfg.Policy},
@@ -436,7 +451,37 @@ func (en *engine) release(s *staged) {
 	}
 }
 
-// runSingle serves one query as its own join.
+// deviceFailure classifies errors that indict the device complex
+// rather than the query: lost drives and stores, tripped wall-clock
+// breakers, unrecoverable stored corruption, and exhausted fault-retry
+// budgets. A query failing this way is re-admitted once on whatever
+// survives; anything else (infeasible plans, simulator bugs) aborts
+// the batch as before.
+func deviceFailure(err error) bool {
+	return errors.Is(err, fault.ErrDriveLost) || errors.Is(err, fault.ErrDeviceLost) ||
+		errors.Is(err, device.ErrDeviceFailed) || errors.Is(err, device.ErrCorrupt) ||
+		errors.Is(err, join.ErrFaultExhausted)
+}
+
+// syncDevices reconciles engine state after a query that may have
+// swapped session devices: a drive-loss degrade or a disk rebuild
+// installs replacements, stranding the staging cache's files on the
+// retired array, so the cache is flushed when the array identity
+// changes.
+func (en *engine) syncDevices(p *sim.Proc) {
+	if en.session.Disks() == en.array {
+		return
+	}
+	en.array = en.session.Disks()
+	for _, name := range en.cache.flush() {
+		en.logf(p, "cache flush: R=%s (disk array replaced)", name)
+	}
+}
+
+// runSingle serves one query as its own join, re-admitting it once on
+// the surviving device complex when a device-class failure escapes the
+// join layer's own recovery. A second device failure marks the query
+// Failed — with a typed reason — without aborting the batch.
 func (en *engine) runSingle(p *sim.Proc, qi int) error {
 	q := en.queries[qi]
 	start := sim.Duration(p.Now())
@@ -444,13 +489,45 @@ func (en *engine) runSingle(p *sim.Proc, qi int) error {
 	defer sp.Close(p)
 	en.queueWait.Observe(start.Seconds())
 
+	for attempt := 0; ; attempt++ {
+		err := en.tryQuery(p, qi, start, attempt > 0)
+		en.syncDevices(p)
+		if err == nil {
+			return nil
+		}
+		if !deviceFailure(err) {
+			return fmt.Errorf("workload: query %s: %w", q.ID, err)
+		}
+		if attempt == 0 {
+			en.out.Requeues++
+			en.logf(p, "requeue %s on surviving devices after: %v", q.ID, err)
+			continue
+		}
+		en.results[qi] = QueryResult{
+			ID: q.ID, Requested: q.Method, Requeued: true,
+			Failed: true, Reason: err.Error(),
+			Start: start, End: sim.Duration(p.Now()), Wait: start,
+		}
+		en.logf(p, "query %s: failed after requeue (%v)", q.ID, err)
+		return nil
+	}
+}
+
+// tryQuery is one service attempt of a single query: mount, choose a
+// method on the current (possibly degraded) resources, resolve staged
+// R, execute. It records the result itself on success (and on an
+// infeasible plan, which fails the query without retrying); device and
+// simulator errors propagate to runSingle for classification.
+func (en *engine) tryQuery(p *sim.Proc, qi int, start sim.Duration, requeued bool) error {
+	q := en.queries[qi]
 	spec := join.Spec{R: q.R, S: q.S, FilterR: q.FilterR, FilterS: q.FilterS}
 	en.mount(p, en.session.DriveS(), q.S.Media, "S")
 
 	m, substituted, err := en.chooseMethod(q, spec, en.methodDiskBudget(0))
 	if err != nil {
 		en.results[qi] = QueryResult{
-			ID: q.ID, Requested: q.Method, Failed: true, Reason: err.Error(),
+			ID: q.ID, Requested: q.Method, Requeued: requeued,
+			Failed: true, Reason: err.Error(),
 			Start: start, End: start, Wait: start,
 		}
 		en.logf(p, "query %s: failed (%v)", q.ID, err)
@@ -462,7 +539,7 @@ func (en *engine) runSingle(p *sim.Proc, qi int) error {
 	if usesCopiedR(m.Symbol()) {
 		st, err = en.stagedR(p, q, false)
 		if err != nil {
-			return fmt.Errorf("workload: query %s: %w", q.ID, err)
+			return err
 		}
 		if st.file != nil {
 			opts.StagedR = st.file
@@ -485,18 +562,61 @@ func (en *engine) runSingle(p *sim.Proc, qi int) error {
 	result, err := en.session.Exec(p, m, spec, sink, opts)
 	en.release(st)
 	if err != nil {
-		return fmt.Errorf("workload: query %s: %w", q.ID, err)
+		return err
 	}
 	en.results[qi] = QueryResult{
 		ID: q.ID, Requested: q.Method, Method: m.Symbol(),
 		Substituted: substituted, CacheHit: st != nil && st.hit,
-		Start: start, End: sim.Duration(p.Now()), Wait: start,
+		Requeued: requeued,
+		Start:    start, End: sim.Duration(p.Now()), Wait: start,
 		Matches: result.Stats.OutputTuples,
 	}
 	return nil
 }
 
+// holdSink buffers a shared rider's output until the pass commits, so
+// a failed pass can demote its riders to solo service without
+// double-delivering pairs already emitted mid-scan.
+type holdSink struct {
+	inner join.Sink
+	pairs [][2]block.Tuple
+}
+
+// Emit implements join.Sink.
+func (s *holdSink) Emit(_ *sim.Proc, r, t block.Tuple) {
+	s.pairs = append(s.pairs, [2]block.Tuple{r, t})
+}
+
+// Count implements join.Sink.
+func (s *holdSink) Count() int64 { return int64(len(s.pairs)) }
+
+// commit replays the held pairs into the rider's real sink.
+func (s *holdSink) commit(p *sim.Proc) {
+	for _, pr := range s.pairs {
+		s.inner.Emit(p, pr[0], pr[1])
+	}
+	s.pairs = nil
+}
+
+// demote falls back from a failed shared pass to solo service: each
+// rider re-enters as a single query — with its own requeue budget — on
+// the surviving devices. The pass's held output was discarded with it,
+// so no pair is double-delivered.
+func (en *engine) demote(p *sim.Proc, indices []int, cause error) error {
+	en.logf(p, "shared pass failed (%v); demoting %d riders to singles", cause, len(indices))
+	en.out.Demotions += len(indices)
+	for _, qi := range indices {
+		if err := en.runSingle(p, qi); err != nil {
+			return err
+		}
+		en.results[qi].Requeued = true
+	}
+	return nil
+}
+
 // runShared serves a group of same-S queries on one shared tape pass.
+// A device-class failure demotes the riders to solo service instead of
+// aborting the batch.
 func (en *engine) runShared(p *sim.Proc, indices []int) error {
 	start := sim.Duration(p.Now())
 	bigS := en.queries[indices[0]].S
@@ -508,6 +628,7 @@ func (en *engine) runShared(p *sim.Proc, indices []int) error {
 	mShare := res.MemoryBlocks / int64(len(indices))
 	riders := make([]join.SharedQuery, 0, len(indices))
 	handles := make([]*staged, 0, len(indices))
+	held := make([]*holdSink, 0, len(indices))
 	for _, qi := range indices {
 		q := en.queries[qi]
 		en.queueWait.Observe(start.Seconds())
@@ -516,6 +637,10 @@ func (en *engine) runShared(p *sim.Proc, indices []int) error {
 			for _, h := range handles {
 				en.release(h)
 			}
+			en.syncDevices(p)
+			if deviceFailure(err) {
+				return en.demote(p, indices, err)
+			}
 			return fmt.Errorf("workload: query %s: %w", q.ID, err)
 		}
 		handles = append(handles, st)
@@ -523,6 +648,9 @@ func (en *engine) runShared(p *sim.Proc, indices []int) error {
 		if sink == nil {
 			sink = &join.CountSink{}
 		}
+		hs := &holdSink{inner: sink}
+		held = append(held, hs)
+		sink = hs
 		// The rider's R-scan buffer: IOChunk-sized when the share
 		// allows, so per-chunk R re-scans amortize the disk's
 		// per-request positioning overhead; at most half the share, so
@@ -547,8 +675,15 @@ func (en *engine) runShared(p *sim.Proc, indices []int) error {
 	for _, h := range handles {
 		en.release(h)
 	}
+	en.syncDevices(p)
 	if err != nil {
+		if deviceFailure(err) {
+			return en.demote(p, indices, err)
+		}
 		return fmt.Errorf("workload: shared pass over %s: %w", bigS.Name, err)
+	}
+	for _, hs := range held {
+		hs.commit(p)
 	}
 	en.out.SharedPasses++
 	en.sharedC.Inc()

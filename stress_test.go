@@ -17,10 +17,10 @@ type stressOutcome struct {
 
 // stressRound runs n concurrent file-backend joins, each with its own
 // system (kernel, device workers, scratch dir) and a seeded fault
-// schedule, alternating the two concurrent methods. It fails the test
-// on any join or verification error and returns the per-slot
-// outcomes.
-func stressRound(t *testing.T, n int) []stressOutcome {
+// schedule chosen by faults(i, method), alternating the two
+// concurrent methods. It fails the test on any join or verification
+// error and returns the per-slot outcomes.
+func stressRound(t *testing.T, n int, faults func(i int, m Method) string) []stressOutcome {
 	t.Helper()
 	out := make([]stressOutcome, n)
 	var wg sync.WaitGroup
@@ -29,13 +29,17 @@ func stressRound(t *testing.T, n int) []stressOutcome {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			method := CDTGH
+			if i%2 == 1 {
+				method = CTTGH
+			}
 			sys, err := NewSystem(Config{
 				Backend:    "file",
 				BackendDir: t.TempDir(),
 				MemoryMB:   1,
 				DiskMB:     4,
 				Profile:    IdealTape,
-				Faults:     "transient=R:5:2,corrupt=S:40:1",
+				Faults:     faults(i, method),
 			})
 			if err != nil {
 				t.Error(err)
@@ -65,10 +69,6 @@ func stressRound(t *testing.T, n int) []stressOutcome {
 				t.Error(err)
 				return
 			}
-			method := CDTGH
-			if i%2 == 1 {
-				method = CTTGH
-			}
 			res, err := sys.Join(method, r, s)
 			if err != nil {
 				t.Errorf("join %d (%s): %v", i, method, err)
@@ -97,12 +97,13 @@ func stressRound(t *testing.T, n int) []stressOutcome {
 // token/completion handoff stress: many kernels, many device workers,
 // real OS I/O and recovery retries all in flight together.
 func TestFileBackendConcurrentJoinStress(t *testing.T) {
+	faults := func(int, Method) string { return "transient=R:5:2,corrupt=S:40:1" }
 	const n = 4
-	first := stressRound(t, n)
+	first := stressRound(t, n, faults)
 	if t.Failed() {
 		t.FailNow()
 	}
-	second := stressRound(t, n)
+	second := stressRound(t, n, faults)
 	for i := range first {
 		if first[i] != second[i] {
 			t.Errorf("join %d: outcome changed across rounds: %+v vs %+v", i, first[i], second[i])
@@ -111,6 +112,40 @@ func TestFileBackendConcurrentJoinStress(t *testing.T) {
 	if testing.Verbose() {
 		for i, o := range first {
 			fmt.Printf("join %d: %d matches, %d faults, %d retries\n", i, o.matches, o.faults, o.retries)
+		}
+	}
+}
+
+// TestFileBackendOSFaultStress is the same concurrency stress with
+// OS-level faults in the schedule: syscall EIO on every slot, plus a
+// stored bit-flip on the CTT-GH slots (the method whose unit restart
+// re-stages corrupted scratch — CDT-GH stages once up front and would
+// fail typed instead). Wall-clock-dependent directives (oswait= with
+// an op deadline) are deliberately excluded: a loaded CI machine
+// could trip a deadline on a clean op and break the cross-round
+// determinism this test asserts.
+func TestFileBackendOSFaultStress(t *testing.T) {
+	faults := func(_ int, m Method) string {
+		spec := "oserr=disk:1:2,oserr=R:2"
+		if m == CTTGH {
+			spec += ",flip=disk:0"
+		}
+		return spec
+	}
+	const n = 4
+	first := stressRound(t, n, faults)
+	if t.Failed() {
+		t.FailNow()
+	}
+	second := stressRound(t, n, faults)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("join %d: outcome changed across rounds: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	for i := range first {
+		if first[i].faults == 0 {
+			t.Errorf("join %d: no faults injected — the OS schedule never bit", i)
 		}
 	}
 }

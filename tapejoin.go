@@ -129,6 +129,22 @@ type Config struct {
 	// and serialize in wall-clock time (the pre-engine behavior, kept
 	// for comparison and debugging).
 	FileSynchronous bool
+	// FileOpTimeout, when positive, bounds each "file" backend device
+	// operation's wall-clock time: an operation that overruns fails
+	// with device.ErrIOTimeout, degrades the device's health, and
+	// FileTripAfter consecutive misses trip its circuit breaker —
+	// further operations then fail fast with device.ErrDeviceFailed.
+	// Zero disables deadlines (operations may block indefinitely on a
+	// stuck syscall).
+	FileOpTimeout time.Duration
+	// FileTripAfter overrides the consecutive-timeout count that trips
+	// a "file" backend device's breaker (default 3).
+	FileTripAfter int
+	// FileRetryMax overrides the "file" backend's device-layer retry
+	// count for timed-out or transiently failed operations: zero keeps
+	// the default, negative disables device-layer retries entirely so
+	// every fault surfaces to the join's own recovery machinery.
+	FileRetryMax int
 	// FilePace, when positive, paces the "file" backend's transfers to
 	// emulate the modeled device bandwidths sped up FilePace× in
 	// wall-clock time. Local files run at page-cache speed, so without
@@ -255,6 +271,9 @@ func NewSystem(cfg Config) (*System, error) {
 		fb.Sync = pol
 		fb.Synchronous = cfg.FileSynchronous
 		fb.PaceScale = cfg.FilePace
+		fb.OpTimeout = cfg.FileOpTimeout
+		fb.TripAfter = cfg.FileTripAfter
+		fb.RetryMax = cfg.FileRetryMax
 		res.Backend = fb
 	default:
 		return nil, fmt.Errorf("tapejoin: unknown backend %q (want \"sim\" or \"file\")", cfg.Backend)
@@ -415,6 +434,11 @@ type Stats struct {
 	RScans int
 	// Matches is the output cardinality.
 	Matches int64
+	// OutputHash is an order-independent digest of the emitted pairs
+	// (keys and payload bytes): two runs over the same inputs must
+	// report equal hashes regardless of method, backend or injected
+	// faults — the end-to-end integrity oracle.
+	OutputHash uint64
 	// TapeReadMB, TapeWrittenMB aggregate both drives.
 	TapeReadMB, TapeWrittenMB float64
 	// DiskReadMB, DiskWrittenMB aggregate the array.
@@ -519,6 +543,7 @@ func (s *System) Join(method Method, r, bigS *Relation) (*Result, error) {
 			Iterations:    res.Stats.Iterations,
 			RScans:        res.Stats.RScans,
 			Matches:       res.Stats.OutputTuples,
+			OutputHash:    sink.PairSum,
 			TapeReadMB:    mbOf(res.Stats.TapeBlocksRead),
 			TapeWrittenMB: mbOf(res.Stats.TapeBlocksWritten),
 			DiskReadMB:    mbOf(res.Stats.DiskBlocksRead),
