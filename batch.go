@@ -126,6 +126,10 @@ func (s *System) RunBatch(queries []BatchQuery, opts BatchOptions) (*BatchReport
 		runRes.Spans = tracker
 		runRes.Metrics = reg
 	}
+	runRes.Flight = s.flight
+	if s.obs != nil {
+		s.obs.SetSources(reg, s.flight, s.healthSource())
+	}
 	if s.cfg.Faults != "" {
 		sched, err := fault.Parse(s.cfg.Faults)
 		if err != nil {

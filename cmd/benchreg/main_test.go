@@ -60,7 +60,7 @@ func TestDiff(t *testing.T) {
 		// C missing entirely
 	}}
 
-	warnings := diff(old, cur, 15, true)
+	warnings := diff(old, cur, 15, 60, true)
 	if len(warnings) != 3 {
 		t.Fatalf("got %d warnings, want 3:\n%s", len(warnings), strings.Join(warnings, "\n"))
 	}
@@ -78,7 +78,7 @@ func TestDiff(t *testing.T) {
 
 	// Same snapshots, wall-clock comparison off: only the deterministic
 	// metric and the missing benchmark should fire.
-	warnings = diff(old, cur, 15, false)
+	warnings = diff(old, cur, 15, 60, false)
 	for _, w := range warnings {
 		if strings.Contains(w, "ns/op") {
 			t.Errorf("ns/op warning with -ns=false: %s", w)
@@ -89,27 +89,26 @@ func TestDiff(t *testing.T) {
 	}
 
 	// Within threshold: quiet.
-	if w := diff(old, old, 15, true); len(w) != 0 {
+	if w := diff(old, old, 15, 60, true); len(w) != 0 {
 		t.Fatalf("self-diff produced warnings: %v", w)
 	}
 }
 
-// TestDiffExcludesWallClockMetrics: "wall*"-unit metrics (the file
-// backend's measured elapsed time and overlap fraction) are recorded
-// in snapshots but never compared — not for drift, not for
-// missing-from-snapshot, not for missing-from-current. They measure
-// the machine the run happened on, not the code.
+// TestDiffExcludesWallClockMetrics: wall metrics outside the compared
+// set ("wall-sec" and friends — pure durations of the machine the run
+// happened on) are recorded in snapshots but never compared — not for
+// drift, not for missing-from-snapshot, not for missing-from-current.
 func TestDiffExcludesWallClockMetrics(t *testing.T) {
 	old := &Snapshot{Benchmarks: map[string]Bench{
-		"A": {Metrics: map[string]float64{"vsec": 50, "wall-sec": 0.2, "wall-overlap": 0.4}},
+		"A": {Metrics: map[string]float64{"vsec": 50, "wall-sec": 0.2}},
 	}}
 	cur := &Snapshot{Benchmarks: map[string]Bench{
-		// wall-sec drifted 10x and wall-overlap vanished; vsec drifted
-		// too, and a wall metric appeared that the snapshot lacks.
+		// wall-sec drifted 10x; vsec drifted too, and an excluded wall
+		// metric appeared that the snapshot lacks.
 		"A": {Metrics: map[string]float64{"vsec": 80, "wall-sec": 2.0, "wall-new": 1}},
 	}}
 
-	warnings := diff(old, cur, 15, false)
+	warnings := diff(old, cur, 15, 60, false)
 	for _, w := range warnings {
 		if strings.Contains(w, "wall") {
 			t.Errorf("wall-clock metric produced a warning: %s", w)
@@ -117,6 +116,43 @@ func TestDiffExcludesWallClockMetrics(t *testing.T) {
 	}
 	if len(warnings) != 1 || !strings.Contains(warnings[0], "vsec drifted") {
 		t.Fatalf("want exactly the vsec drift warning, got:\n%s", strings.Join(warnings, "\n"))
+	}
+}
+
+// TestDiffComparesWallOverlap: the wall-overlap ratio is in the
+// compared set — stable run to run (paperbench -exp obsload measures
+// its variance under 10%), so a collapse past the wide wall threshold
+// is a real concurrency regression, not machine noise.
+func TestDiffComparesWallOverlap(t *testing.T) {
+	old := &Snapshot{Benchmarks: map[string]Bench{
+		"A": {Metrics: map[string]float64{"wall-overlap": 0.40}},
+	}}
+
+	// Drift within the wall threshold: quiet, even though it would trip
+	// the ordinary 15% gate.
+	cur := &Snapshot{Benchmarks: map[string]Bench{
+		"A": {Metrics: map[string]float64{"wall-overlap": 0.30}},
+	}}
+	if w := diff(old, cur, 15, 60, false); len(w) != 0 {
+		t.Fatalf("25%% wall-overlap drift should pass the 60%% wall gate:\n%s", strings.Join(w, "\n"))
+	}
+
+	// Overlap collapse: flagged.
+	cur = &Snapshot{Benchmarks: map[string]Bench{
+		"A": {Metrics: map[string]float64{"wall-overlap": 0.05}},
+	}}
+	w := diff(old, cur, 15, 60, false)
+	if len(w) != 1 || !strings.Contains(w[0], "wall-overlap drifted") {
+		t.Fatalf("want the wall-overlap drift warning, got:\n%s", strings.Join(w, "\n"))
+	}
+
+	// Vanishing from the current run is a coverage hole, not noise.
+	cur = &Snapshot{Benchmarks: map[string]Bench{
+		"A": {Metrics: map[string]float64{}},
+	}}
+	w = diff(old, cur, 15, 60, false)
+	if len(w) != 1 || !strings.Contains(w[0], `metric "wall-overlap" missing from current run`) {
+		t.Fatalf("want the missing wall-overlap warning, got:\n%s", strings.Join(w, "\n"))
 	}
 }
 
@@ -147,7 +183,7 @@ func TestDiffWarnsOnSnapshotGaps(t *testing.T) {
 		"New": {NsPerOp: 100},
 	}}
 
-	warnings := diff(old, cur, 15, true)
+	warnings := diff(old, cur, 15, 60, true)
 	if len(warnings) != 2 {
 		t.Fatalf("got %d warnings, want 2:\n%s", len(warnings), strings.Join(warnings, "\n"))
 	}
@@ -168,7 +204,7 @@ func TestDiffWarnsOnSnapshotGaps(t *testing.T) {
 
 	// Identical key sets stay quiet — the gap warnings must not fire on
 	// an up-to-date snapshot.
-	if w := diff(old, old, 15, true); len(w) != 0 {
+	if w := diff(old, old, 15, 60, true); len(w) != 0 {
 		t.Fatalf("self-diff produced warnings: %v", w)
 	}
 }

@@ -16,11 +16,14 @@
 //	paperbench -exp overlap         # per-phase critical path and device overlap
 //	paperbench -exp workload        # multi-query batch scheduling policies
 //	paperbench -exp chaos           # wall-clock fault tolerance on the file backend
+//	paperbench -exp obsload         # instrumentation overhead vs budget
 //	paperbench -exp all             # everything
 //
 // -scale shrinks the workloads (1.0 = the paper's sizes; see package
 // repro/internal/exp for what each experiment scales). -quick
-// restricts the chaos experiment to its CI smoke subset.
+// restricts the chaos experiment to its CI smoke subset. -obs-addr
+// serves live telemetry (/metrics, /health, /flight, /debug/pprof)
+// for whichever experiment run is currently in flight.
 //
 // The chaos experiment runs a fault matrix (transient syscall EIO,
 // stuck workers, stored corruption, a device death mid-batch) against
@@ -32,6 +35,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,15 +44,29 @@ import (
 
 	tapejoin "repro"
 	"repro/internal/exp"
+	"repro/internal/obs/obsserver"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, workload, chaos, or all")
+	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, workload, chaos, obsload, or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
 	format := flag.String("format", "text", "output format: text or json")
 	backend := flag.String("backend", "sim", "storage backend for the overlap experiment: sim or file")
 	quick := flag.Bool("quick", false, "chaos experiment: run only the CI smoke subset of the fault matrix")
+	obsAddr := flag.String("obs-addr", "", "serve live telemetry (/metrics, /health, /flight, /debug/pprof) on this address while experiments run, e.g. 127.0.0.1:9100")
 	flag.Parse()
+
+	if *obsAddr != "" {
+		srv := obsserver.New()
+		addr, err := srv.Start(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs server listening on http://%s (/metrics /health /flight /debug/pprof)\n", addr)
+		exp.ObsServer = srv
+	}
 
 	var err error
 	switch *format {
@@ -158,6 +176,14 @@ func runJSON(which string, scale float64, backend string, quick bool) error {
 		rows := exp.Chaos(scale, quick)
 		out["chaos"] = rows
 		chaosErr = exp.ChaosVerdict(rows)
+	}
+	if all || which == "obsload" {
+		rows, err := exp.Obsload(scale)
+		if err != nil {
+			return err
+		}
+		out["obsload"] = rows
+		chaosErr = errors.Join(chaosErr, exp.ObsloadVerdict(rows))
 	}
 	if len(out) == 1 {
 		return fmt.Errorf("unknown experiment %q", which)
@@ -309,8 +335,18 @@ func run(which string, scale float64, backend string, quick bool) error {
 		chaosErr = exp.ChaosVerdict(rows)
 	}
 
+	if all || which == "obsload" {
+		section("Obsload: instrumentation overhead against its stated budgets")
+		rows, err := exp.Obsload(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatObsload(rows))
+		chaosErr = errors.Join(chaosErr, exp.ObsloadVerdict(rows))
+	}
+
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, overlap, workload, chaos, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, overlap, workload, chaos, obsload, or all)", which)
 	}
 	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
 	return chaosErr

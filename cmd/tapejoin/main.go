@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	tapejoin "repro"
 )
@@ -53,6 +52,7 @@ func main() {
 	fileSynchronous := flag.Bool("file-synchronous", false, "-backend=file: disable the async I/O engine (transfers serialize in wall-clock time)")
 	filePace := flag.Float64("file-pace", 0, "-backend=file: emulate modeled device bandwidths sped up this factor in wall-clock (0 = page-cache speed)")
 	fileTimeout := flag.Duration("file-timeout", 0, "-backend=file: wall-clock deadline per device operation; overruns degrade the device and trip its breaker (0 = no deadline)")
+	obsAddr := flag.String("obs-addr", "", "serve live telemetry (/metrics, /health, /flight, /debug/pprof) on this address while the run is in flight, e.g. 127.0.0.1:9100 (implies observability)")
 	flag.Parse()
 
 	obsOut := obsOutputs{
@@ -61,15 +61,25 @@ func main() {
 		events:  *eventsOut,
 		metrics: *metricsOut,
 	}
+	cfg := tapejoin.Config{
+		Backend:            *backend,
+		BackendDir:         *backendDir,
+		FileSync:           *fileSync,
+		FileSynchronous:    *fileSynchronous,
+		FilePace:           *filePace,
+		FileOpTimeout:      *fileTimeout,
+		MemoryMB:           *memMB,
+		DiskMB:             *diskMB,
+		NumDisks:           *disks,
+		DiskTapeSpeedRatio: *ratio,
+		ObsAddr:            *obsAddr,
+	}
 	var err error
 	if *batch > 0 {
-		err = runBatch(*batch, *policy, *cacheMB, *rMB, *sMB, *memMB, *diskMB,
-			*disks, *ratio, *seed, *keyspace, *verify, *backend, *backendDir)
+		err = runBatch(cfg, *batch, *policy, *cacheMB, *rMB, *sMB, *seed, *keyspace, *verify)
 	} else {
-		err = run(*method, *rMB, *sMB, *memMB, *diskMB, *disks, *ratio, *compress,
-			*ideal, *split, *seed, *keyspace, *verify, *timeline, *faults, *noRecover,
-			obsOut, *backend, *backendDir, *fileSync, *fileSynchronous, *filePace,
-			*fileTimeout)
+		err = run(cfg, *method, *rMB, *sMB, *compress, *ideal, *split, *seed,
+			*keyspace, *verify, *timeline, *faults, *noRecover, obsOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tapejoin:", err)
@@ -88,29 +98,15 @@ func (o obsOutputs) enabled() bool {
 	return o.phases || o.trace != "" || o.events != "" || o.metrics != ""
 }
 
-func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
-	ratio float64, compress int, ideal, split bool, seed int64, keyspace uint64,
-	verify, timeline bool, faults string, noRecover bool, obsOut obsOutputs,
-	backend, backendDir, fileSync string, fileSynchronous bool, filePace float64,
-	fileTimeout time.Duration) error {
+func run(cfg tapejoin.Config, method string, rMB, sMB int64, compress int,
+	ideal, split bool, seed int64, keyspace uint64,
+	verify, timeline bool, faults string, noRecover bool, obsOut obsOutputs) error {
 
-	cfg := tapejoin.Config{
-		Backend:            backend,
-		BackendDir:         backendDir,
-		FileSync:           fileSync,
-		FileSynchronous:    fileSynchronous,
-		FilePace:           filePace,
-		FileOpTimeout:      fileTimeout,
-		MemoryMB:           memMB,
-		DiskMB:             diskMB,
-		NumDisks:           disks,
-		DiskTapeSpeedRatio: ratio,
-		SplitBuffering:     split,
-		CollectTrace:       timeline,
-		Observe:            obsOut.enabled(),
-		Faults:             faults,
-		DisableRecovery:    noRecover,
-	}
+	cfg.SplitBuffering = split
+	cfg.CollectTrace = timeline
+	cfg.Observe = obsOut.enabled()
+	cfg.Faults = faults
+	cfg.DisableRecovery = noRecover
 	switch compress {
 	case 0:
 		cfg.Compression = tapejoin.Compress0
@@ -128,6 +124,10 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 	sys, err := tapejoin.NewSystem(cfg)
 	if err != nil {
 		return err
+	}
+	defer sys.Close()
+	if addr := sys.ObsAddr(); addr != "" {
+		fmt.Printf("obs server listening on http://%s (/metrics /health /flight /debug/pprof)\n", addr)
 	}
 	tR, err := sys.NewTape("tape-R", rMB+sMB+2)
 	if err != nil {
@@ -157,7 +157,7 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 	st := res.Stats
 
 	fmt.Printf("%s: R=%d MB  S=%d MB  M=%g MB  D=%g MB  n=%d disks  backend=%s\n",
-		method, rMB, sMB, memMB, diskMB, disks, backend)
+		method, rMB, sMB, cfg.MemoryMB, cfg.DiskMB, cfg.NumDisks, cfg.Backend)
 	fmt.Printf("  response time     %v\n", st.Response.Round(0))
 	fmt.Printf("  step I (setup)    %v\n", st.StepI.Round(0))
 	fmt.Printf("  bare read of S+R  %v\n", sys.BareReadTime(float64(sMB+rMB)).Round(0))
@@ -215,20 +215,16 @@ func run(method string, rMB, sMB int64, memMB, diskMB float64, disks int,
 // three cartridges, R relations over two, submission order alternating
 // S cartridges — and runs it through the workload engine under the
 // given policy.
-func runBatch(n int, policy string, cacheMB float64, rMB, sMB int64,
-	memMB, diskMB float64, disks int, ratio float64, seed int64,
-	keyspace uint64, verify bool, backend, backendDir string) error {
+func runBatch(cfg tapejoin.Config, n int, policy string, cacheMB float64,
+	rMB, sMB int64, seed int64, keyspace uint64, verify bool) error {
 
-	sys, err := tapejoin.NewSystem(tapejoin.Config{
-		Backend:            backend,
-		BackendDir:         backendDir,
-		MemoryMB:           memMB,
-		DiskMB:             diskMB,
-		NumDisks:           disks,
-		DiskTapeSpeedRatio: ratio,
-	})
+	sys, err := tapejoin.NewSystem(cfg)
 	if err != nil {
 		return err
+	}
+	defer sys.Close()
+	if addr := sys.ObsAddr(); addr != "" {
+		fmt.Printf("obs server listening on http://%s (/metrics /health /flight /debug/pprof)\n", addr)
 	}
 
 	nS := 3
@@ -285,7 +281,7 @@ func runBatch(n int, policy string, cacheMB float64, rMB, sMB int64,
 	}
 
 	fmt.Printf("batch: %d queries  policy=%s  M=%g MB  D=%g MB  cache=%g MB\n",
-		n, rep.Policy, memMB, diskMB, cacheMB)
+		n, rep.Policy, cfg.MemoryMB, cfg.DiskMB, cacheMB)
 	fmt.Printf("  makespan          %v\n", rep.Makespan.Round(0))
 	fmt.Printf("  mounts            %d (R %d, S %d)\n", rep.Mounts, rep.RMounts, rep.SMounts)
 	fmt.Printf("  shared passes     %d\n", rep.SharedPasses)

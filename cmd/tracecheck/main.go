@@ -1,13 +1,24 @@
-// Command tracecheck validates Chrome trace_event JSON files produced
-// by tapejoin -trace-out (or any Perfetto-loadable trace following the
-// same subset): it decodes each file and asserts the structural
-// invariants the exporter guarantees. Used by CI to keep the trace
-// export loadable.
+// Command tracecheck validates the observability outputs the tools
+// export: Chrome trace_event JSON from tapejoin -trace-out (or any
+// Perfetto-loadable trace following the same subset), JSON Lines span
+// streams, and Prometheus text exposition scraped from the obs
+// server. It decodes each file and asserts the structural invariants
+// the exporters guarantee. Used by CI to keep the exports loadable
+// and scrapable.
 //
-//	tracecheck trace.json [more.json ...]
+//	tracecheck trace.json [more.json ...]       # Chrome trace schema
+//	tracecheck -wall trace.json                 # + wall-clock span args
+//	tracecheck -jsonl [-wall] run.jsonl         # JSON Lines schema
+//	tracecheck -prom metrics.txt                # Prometheus text format
+//
+// -wall requires the dual-clock fields a wall-clocked (file backend)
+// run stamps: every phase span must carry wall_start_s/wall_dur_s (or
+// wall_start_s/wall_end_s in JSONL), non-negative and monotone in
+// span-open order.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -15,19 +26,39 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [...]")
+	jsonl := flag.Bool("jsonl", false, "validate JSON Lines span/event streams instead of Chrome traces")
+	prom := flag.Bool("prom", false, "validate Prometheus text exposition instead of Chrome traces")
+	wall := flag.Bool("wall", false, "require wall-clock fields on spans (file-backend runs)")
+	flag.Parse()
+	if flag.NArg() < 1 || (*jsonl && *prom) {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-jsonl | -prom] [-wall] <file> [...]")
 		os.Exit(2)
 	}
+	check := func(data []byte) error {
+		switch {
+		case *prom:
+			return obs.CheckPromText(data)
+		case *jsonl:
+			return obs.CheckJSONL(data, *wall)
+		default:
+			if err := obs.CheckChromeTrace(data); err != nil {
+				return err
+			}
+			if *wall {
+				return obs.CheckChromeTraceWall(data)
+			}
+			return nil
+		}
+	}
 	bad := false
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracecheck:", err)
 			bad = true
 			continue
 		}
-		if err := obs.CheckChromeTrace(data); err != nil {
+		if err := check(data); err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
 			bad = true
 			continue

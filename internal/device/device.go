@@ -207,3 +207,10 @@ type WallStatser interface {
 	// registry is a no-op).
 	PublishWallMetrics(reg *obs.Registry)
 }
+
+// HealthReporter is implemented by backends whose devices run the
+// ioengine health state machine and can report it live: one row per
+// device worker, safe to call from a scrape goroutine mid-run.
+type HealthReporter interface {
+	DeviceHealths() []ioengine.DeviceHealth
+}

@@ -39,6 +39,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/block"
@@ -144,12 +145,17 @@ type Backend struct {
 	// what makes the concurrent methods' wall-clock advantage
 	// measurable on local files. Zero (the default) disables pacing.
 	PaceScale float64
+	// Flight, when set before the first device is built, receives the
+	// engine's timeout / health-transition / retry events for live
+	// observability. Nil records nothing.
+	Flight *obs.FlightRecorder
 
 	engine *ioengine.Engine
 }
 
 var _ device.Backend = &Backend{}
 var _ device.WallStatser = &Backend{}
+var _ device.HealthReporter = &Backend{}
 
 // New returns a backend rooted at dir.
 func New(dir string) *Backend { return &Backend{Dir: dir} }
@@ -174,8 +180,19 @@ func (b *Backend) Engine() *ioengine.Engine {
 			}
 		}
 		b.engine.SetPolicy(pol)
+		b.engine.SetFlight(b.Flight)
 	}
 	return b.engine
+}
+
+// DeviceHealths implements device.HealthReporter: the live health of
+// every device worker the backend has built. Nil for a synchronous
+// backend (no workers, nothing to watchdog).
+func (b *Backend) DeviceHealths() []ioengine.DeviceHealth {
+	if b.engine == nil {
+		return nil
+	}
+	return b.engine.DeviceHealths()
 }
 
 // WallStats implements device.WallStatser: merged wall-clock busy time
@@ -354,7 +371,14 @@ func (s *syncer) flush(f *faultfile.File) error {
 // faultfile.File, so fault decisions made at plan time can strike the
 // syscalls themselves.
 type recFile struct {
-	f     *faultfile.File
+	// f is accessed atomically: close runs on the token-holding proc,
+	// but a zombie op — one that outlived its deadline grace and was
+	// abandoned by the engine — may still be executing on the worker
+	// goroutine when the join tears the file down. The zombie loads the
+	// pointer once; if it lost the race it sees nil (or a closed OS
+	// file) and returns an error nobody is waiting for. os.File's own
+	// fd refcounting makes Close concurrent with WriteAt/ReadAt safe.
+	f     atomic.Pointer[faultfile.File]
 	index []int64
 	lens  []int32
 	crcs  []uint32
@@ -370,13 +394,19 @@ func (b *Backend) createRecFile(path string) (*recFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &recFile{f: faultfile.Wrap(f), sync: syncer{policy: b.Sync, every: b.syncBytes()}}, nil
+	r := &recFile{sync: syncer{policy: b.Sync, every: b.syncBytes()}}
+	r.f.Store(faultfile.Wrap(f))
+	return r, nil
 }
 
 // arm queues one OS-level fault decision against the file's next
 // syscall. Called under the control token, before the planned ops are
 // submitted.
-func (r *recFile) arm(dec fault.OSDecision) { r.f.Arm(dec) }
+func (r *recFile) arm(dec fault.OSDecision) {
+	if f := r.f.Load(); f != nil {
+		f.Arm(dec)
+	}
+}
 
 // writeOp is one planned record write: frame header and payload,
 // contiguous at a reserved offset.
@@ -428,14 +458,18 @@ func (r *recFile) planAppend(pos int64, blks []block.Block) ([]writeOp, error) {
 // execWrites performs planned writes and applies the sync policy.
 // Safe to run off the control token.
 func (r *recFile) execWrites(ops []writeOp) error {
+	f := r.f.Load()
+	if f == nil {
+		return fmt.Errorf("filedev: write on released file: %w", os.ErrClosed)
+	}
 	var n int64
 	for _, op := range ops {
-		if _, err := r.f.WriteAt(op.data, op.off); err != nil {
+		if _, err := f.WriteAt(op.data, op.off); err != nil {
 			return err
 		}
 		n += int64(len(op.data))
 	}
-	return r.sync.wrote(r.f, n)
+	return r.sync.wrote(f, n)
 }
 
 // planRead resolves n records starting at logical position off into
@@ -457,8 +491,12 @@ func (r *recFile) planRead(off, n int64) ([]readOp, error) {
 // into typed device.ErrCorrupt. Safe to run off the control token:
 // verification is pure CPU over op-owned buffers.
 func (r *recFile) execReads(ops []readOp) error {
+	f := r.f.Load()
+	if f == nil {
+		return fmt.Errorf("filedev: read on released file: %w", os.ErrClosed)
+	}
 	for i, op := range ops {
-		n, err := r.f.ReadAt(op.buf, op.off)
+		n, err := f.ReadAt(op.buf, op.off)
 		switch {
 		case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
 			return fmt.Errorf("filedev: record %d truncated (%d of %d bytes): %w",
@@ -503,12 +541,11 @@ func (r *recFile) truncate(n int64) {
 }
 
 func (r *recFile) close() error {
-	if r.f == nil {
+	f := r.f.Swap(nil)
+	if f == nil {
 		return nil
 	}
-	err := r.f.Close()
-	r.f = nil
-	return err
+	return f.Close()
 }
 
 // hold charges the measured wall-clock duration of a completed OS

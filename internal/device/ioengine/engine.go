@@ -41,11 +41,13 @@ var ErrClosed = errors.New("ioengine: worker closed")
 type Engine struct {
 	depth  int
 	policy Policy
+	flight *obs.FlightRecorder
 
 	mu      sync.Mutex
 	start   time.Time
 	started bool
 	busy    map[string][]wallInterval // device name -> closed busy intervals
+	workers []*Worker                 // in creation order; same-name later wins
 }
 
 // wallInterval is one worker-side busy window, relative to the
@@ -65,6 +67,12 @@ func New(depth int) *Engine {
 // SetPolicy replaces the engine's fault policy. Call before creating
 // workers; workers read the policy without locking.
 func (e *Engine) SetPolicy(p Policy) { e.policy = p.withDefaults() }
+
+// SetFlight attaches a flight recorder: workers record timeouts,
+// health transitions and device-layer retries into it. Call before
+// creating workers; like the policy, workers read it without locking.
+// A nil recorder (the default) records nothing.
+func (e *Engine) SetFlight(f *obs.FlightRecorder) { e.flight = f }
 
 // now returns wall time relative to the engine's epoch, starting the
 // epoch on first use.
@@ -107,11 +115,15 @@ type Worker struct {
 	consec   atomic.Int64 // consecutive deadline misses
 	timeouts atomic.Int64 // total deadline misses
 
+	// retries counts device-layer retries performed by Do. Written on
+	// the token side but read by health snapshots from scrape
+	// goroutines, so it is atomic.
+	retries atomic.Int64
+
 	// Token-guarded (only ever touched while the submitting proc holds
 	// the simulation's control token, which orders the accesses).
 	queued      int
 	closed      bool
-	retries     int64 // device-layer retries performed by Do
 	timeoutsPub int64 // timeouts already pushed to the counter
 	rng         *rand.Rand
 	gauge       *obs.Gauge
@@ -130,8 +142,47 @@ func (e *Engine) Worker(name string) *Worker {
 	h.Write([]byte(name))
 	w := &Worker{e: e, name: name, reqs: make(chan request, e.depth), done: make(chan struct{}),
 		rng: rand.New(rand.NewSource(int64(h.Sum64())))}
+	e.mu.Lock()
+	e.workers = append(e.workers, w)
+	e.mu.Unlock()
 	go w.run()
 	return w
+}
+
+// DeviceHealth is one worker's health snapshot, for live /health
+// reporting.
+type DeviceHealth struct {
+	Device   string
+	State    Health
+	Timeouts int64
+	Retries  int64
+}
+
+// DeviceHealths snapshots every device's current health, sorted by
+// name. When a device was replaced after a breaker trip (a second
+// worker under the same name), the newest worker's state wins — it is
+// the device currently serving traffic. Safe from any goroutine.
+func (e *Engine) DeviceHealths() []DeviceHealth {
+	e.mu.Lock()
+	workers := append([]*Worker(nil), e.workers...)
+	e.mu.Unlock()
+	byName := map[string]DeviceHealth{}
+	var order []string
+	for _, w := range workers {
+		if _, ok := byName[w.name]; !ok {
+			order = append(order, w.name)
+		}
+		byName[w.name] = DeviceHealth{
+			Device: w.name, State: w.Health(),
+			Timeouts: w.timeouts.Load(), Retries: w.retries.Load(),
+		}
+	}
+	sort.Strings(order)
+	out := make([]DeviceHealth, 0, len(order))
+	for _, n := range order {
+		out = append(out, byName[n])
+	}
+	return out
 }
 
 func (w *Worker) run() {
@@ -172,7 +223,7 @@ func (w *Worker) Retries() int64 {
 	if w == nil {
 		return 0
 	}
-	return w.retries
+	return w.retries.Load()
 }
 
 // SetMetrics registers the worker's gauges and counters in reg (nil
@@ -256,8 +307,10 @@ func (w *Worker) Do(p *sim.Proc, op func() error) (sim.Duration, error) {
 	backoff := pol.Base
 	for attempt := 0; attempt < pol.Max && w.retryable(err); attempt++ {
 		p.Hold(backoff + w.jitter(backoff))
-		w.retries++
+		w.retries.Add(1)
 		w.retryCtr.Inc()
+		w.e.flight.RecordV(p.Now(), "retry", w.name,
+			fmt.Sprintf("device-layer retry %d after %v", attempt+1, err))
 		d, e := w.Await(p, w.Submit(p, op))
 		total += d
 		err = e

@@ -142,10 +142,11 @@ func (w *Worker) execute(req request) {
 	// Deadline missed: degrade (or trip), fail the submitter with a
 	// typed error, then wait out the zombie before the next request.
 	w.timeouts.Add(1)
+	w.e.flight.Record("timeout", w.name, fmt.Sprintf("op exceeded %v deadline", timeout))
 	if int(w.consec.Add(1)) >= w.e.policy.TripAfter {
-		w.state.Store(int32(Failed))
+		w.setState(Failed)
 	} else {
-		w.state.Store(int32(Degraded))
+		w.setState(Degraded)
 	}
 	t1 := w.e.now()
 	w.e.record(w.name, t0, t1)
@@ -158,7 +159,8 @@ func (w *Worker) execute(req request) {
 	case <-grace.C:
 		// Truly stuck. Trip the breaker: no further op will execute on
 		// this worker, so the lingering zombie cannot race anything.
-		w.state.Store(int32(Failed))
+		w.e.flight.Record("timeout", w.name, "zombie op outlived grace period")
+		w.setState(Failed)
 	}
 }
 
@@ -168,6 +170,15 @@ func (w *Worker) execute(req request) {
 func (w *Worker) opDone() {
 	w.consec.Store(0)
 	if Health(w.state.Load()) == Degraded {
-		w.state.Store(int32(Healthy))
+		w.setState(Healthy)
+	}
+}
+
+// setState moves the health state machine, recording the transition in
+// the flight recorder only when the state actually changes. Runs on
+// the worker goroutine (execute) — the state machine's only writer.
+func (w *Worker) setState(h Health) {
+	if Health(w.state.Swap(int32(h))) != h {
+		w.e.flight.Record("health", w.name, h.String())
 	}
 }

@@ -101,7 +101,7 @@ func chaosJoin(scale float64, method tapejoin.Method, faults string,
 // chaos-sized relations join to a non-trivial output — the payload
 // oracle needs real pairs to digest.
 func chaosBuild(cfg tapejoin.Config, rMB, sMB int64) (*tapejoin.System, *tapejoin.Relation, *tapejoin.Relation, error) {
-	sys, err := tapejoin.NewSystem(cfg)
+	sys, err := newSystem(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -134,7 +134,7 @@ func chaosBuild(cfg tapejoin.Config, rMB, sMB int64) (*tapejoin.System, *tapejoi
 // completes, failed queries carry typed reasons, and every surviving
 // query delivers its exact cardinality.
 func chaosBatch(scale float64, faults string) (string, error) {
-	sys, err := tapejoin.NewSystem(tapejoin.Config{
+	sys, err := newSystem(tapejoin.Config{
 		Backend:  "file",
 		MemoryMB: scaleMBf(16, scale),
 		DiskMB:   scaleMBf(96, scale),

@@ -20,7 +20,21 @@ import (
 	"time"
 
 	tapejoin "repro"
+	"repro/internal/obs/obsserver"
 )
+
+// ObsServer, when set before experiments run (paperbench -obs-addr),
+// is attached to every system the experiments build: one live scrape
+// endpoint whose /metrics, /health and /flight follow whichever run
+// is currently in flight. Attaching a server implies observability.
+var ObsServer *obsserver.Server
+
+// newSystem builds a system, attaching the shared ObsServer when one
+// is configured.
+func newSystem(cfg tapejoin.Config) (*tapejoin.System, error) {
+	cfg.ObsServer = ObsServer
+	return tapejoin.NewSystem(cfg)
+}
 
 // scaleMB scales a paper size, keeping at least 1 MB.
 func scaleMB(mb int64, scale float64) int64 {
@@ -43,7 +57,7 @@ func scaleMBf(mb float64, scale float64) float64 {
 // buildJoin creates a system and a pair of relations sized in MB, with
 // scratch space for tape-tape methods.
 func buildJoin(cfg tapejoin.Config, rMB, sMB int64, seed int64) (*tapejoin.System, *tapejoin.Relation, *tapejoin.Relation, error) {
-	sys, err := tapejoin.NewSystem(cfg)
+	sys, err := newSystem(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -26,7 +26,7 @@ type WorkloadRow struct {
 // one S mount per cartridge, three queries share S1's relation on one
 // tape pass, and R1 repeats enough to earn staging-cache hits.
 func workloadBatch(scale float64) (*tapejoin.System, []tapejoin.BatchQuery, error) {
-	sys, err := tapejoin.NewSystem(tapejoin.Config{
+	sys, err := newSystem(tapejoin.Config{
 		MemoryMB: scaleMBf(16, scale),
 		DiskMB:   float64(scaleMB(128, scale)),
 	})

@@ -9,7 +9,8 @@ import (
 // instrumented wraps an Injector, counting its decisions by outcome in
 // an obs.Registry and recording injected stall durations.
 type instrumented struct {
-	inner Injector
+	inner  Injector
+	flight *obs.FlightRecorder
 
 	ok, transient, media, deviceLost, driveLost, corrupt, stall *obs.Counter
 
@@ -20,9 +21,10 @@ type instrumented struct {
 
 // Instrument wraps inj so every decision is counted in reg under
 // fault_decisions_total{outcome=...} and stall durations land in a
-// fault_stall_seconds histogram. Returns inj unchanged when either
-// argument is nil.
-func Instrument(inj Injector, reg *obs.Registry) Injector {
+// fault_stall_seconds histogram; non-clean decisions are additionally
+// recorded in flight (which may be nil). Returns inj unchanged when
+// inj or reg is nil.
+func Instrument(inj Injector, reg *obs.Registry, flight *obs.FlightRecorder) Injector {
 	if inj == nil || reg == nil {
 		return inj
 	}
@@ -32,6 +34,7 @@ func Instrument(inj Injector, reg *obs.Registry) Injector {
 	}
 	return &instrumented{
 		inner:      inj,
+		flight:     flight,
 		ok:         c("ok"),
 		transient:  c("transient"),
 		media:      c("media"),
@@ -54,16 +57,22 @@ func (i *instrumented) Decide(op Op) Decision {
 	switch {
 	case errors.Is(d.Err, ErrDriveLost):
 		i.driveLost.Inc()
+		i.flight.Record("fault", op.Device, "drive-lost")
 	case errors.Is(d.Err, ErrDeviceLost):
 		i.deviceLost.Inc()
+		i.flight.Record("fault", op.Device, "device-lost")
 	case errors.Is(d.Err, ErrMedia):
 		i.media.Inc()
+		i.flight.Record("fault", op.Device, "media")
 	case d.Err != nil:
 		i.transient.Inc()
+		i.flight.Record("fault", op.Device, "transient")
 	case d.Corrupt:
 		i.corrupt.Inc()
+		i.flight.Record("fault", op.Device, "corrupt")
 	case d.Stall > 0:
 		i.stall.Inc()
+		i.flight.Record("fault", op.Device, "stall")
 	default:
 		i.ok.Inc()
 	}
@@ -82,12 +91,16 @@ func (i *instrumented) DecideOS(op Op) OSDecision {
 	switch {
 	case d.Err != nil:
 		i.osErr.Inc()
+		i.flight.Record("fault", op.Device, "os-error")
 	case d.Torn:
 		i.tornWrite.Inc()
+		i.flight.Record("fault", op.Device, "torn-write")
 	case d.Flip:
 		i.flipStored.Inc()
+		i.flight.Record("fault", op.Device, "flip-stored")
 	case d.Stall > 0:
 		i.osStall.Inc()
+		i.flight.Record("fault", op.Device, "os-stall")
 	}
 	return d
 }

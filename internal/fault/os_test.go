@@ -97,12 +97,12 @@ func (plainInjector) Decide(Op) Decision { return Decision{} }
 
 func TestInstrumentForwardsDecideOS(t *testing.T) {
 	s := (&Schedule{}).AddOSError("disk", 1, 1)
-	inj := Instrument(s, nil) // nil registry: Instrument returns s unchanged
+	inj := Instrument(s, nil, nil) // nil registry: Instrument returns s unchanged
 	if inj != Injector(s) {
 		t.Fatal("nil registry should return the inner injector")
 	}
 	s2 := (&Schedule{}).AddOSError("disk", 1, 1)
-	wrapped := Instrument(s2, obs.NewRegistry())
+	wrapped := Instrument(s2, obs.NewRegistry(), obs.NewFlightRecorder(16))
 	if d := DecideOS(wrapped, Op{Device: "disk", Addr: 1, N: 1}); !errors.Is(d.Err, ErrTransient) {
 		t.Fatalf("instrumented injector should forward DecideOS, got %+v", d)
 	}

@@ -81,6 +81,10 @@ type Resources struct {
 	// Metrics, when non-nil, receives device/buffer/fault counters,
 	// gauges and histograms.
 	Metrics *obs.Registry
+	// Flight, when non-nil, is the always-on flight recorder: span
+	// boundaries, fault decisions, device health transitions and
+	// retries land in its ring buffer for live snapshots.
+	Flight *obs.FlightRecorder
 }
 
 // WithDefaults fills zero fields with the calibrated defaults used in

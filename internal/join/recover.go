@@ -139,6 +139,8 @@ func (e *env) readDev(p *sim.Proc, device string, read func() ([]block.Block, er
 		})
 		sp.Close(p)
 		e.retryBackoff.Observe(hold.Seconds())
+		e.res.Flight.RecordV(p.Now(), "retry", device,
+			fmt.Sprintf("join-layer re-read %d after %v backoff", attempt+1, hold))
 		backoff *= 2
 	}
 }

@@ -73,6 +73,13 @@ func NewSession(res Resources) (*Session, error) {
 		driveS.SetRecorder(res.Trace)
 		array.SetRecorder(res.Trace)
 	}
+	// Wall-clocked backends get dual-clock spans; virtual-only runs
+	// keep zero wall fields. The flight recorder sees span boundaries
+	// either way.
+	if _, ok := res.Backend.(device.WallStatser); ok {
+		res.Spans.EnableWallClock()
+	}
+	res.Spans.SetFlight(res.Flight)
 	if res.Metrics != nil {
 		driveR.SetMetrics(res.Metrics)
 		driveS.SetMetrics(res.Metrics)
@@ -80,7 +87,7 @@ func NewSession(res Resources) (*Session, error) {
 	}
 	var inj fault.Injector
 	if res.Faults != nil {
-		inj = fault.Instrument(res.Faults, res.Metrics)
+		inj = fault.Instrument(res.Faults, res.Metrics, res.Flight)
 		driveR.SetInjector(inj)
 		driveS.SetInjector(inj)
 		array.SetInjector(inj)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -25,6 +26,11 @@ type PhaseStat struct {
 	// Wall is the union of the phase's span intervals — elapsed
 	// virtual time during which the phase was active somewhere.
 	Wall sim.Duration
+	// RealWall is the union of the phase's wall-clock span intervals —
+	// elapsed real time the phase was active. Zero unless the run was
+	// wall-clocked (file backend), when it exposes per-phase real
+	// overlap rather than only the per-run total.
+	RealWall time.Duration
 	// Busy lists per-device merged busy time, sorted by device.
 	Busy []DeviceBusy
 	// Bottleneck is the device with the most busy time; BottleneckBusy
@@ -154,6 +160,8 @@ func Analyze(spans []*Span, events []trace.Event, end sim.Time) *Report {
 	var order []string
 	groupIdx := map[string]int{}
 	wall := map[int][]interval{}
+	realWall := map[int][]interval{} // wall-clock ns, reusing interval
+	var realAll []interval
 	counts := map[int]int{}
 	for _, s := range spans {
 		if s.Parent != 0 {
@@ -171,8 +179,14 @@ func Analyze(spans []*Span, events []trace.Event, end sim.Time) *Report {
 			end = s.Start
 		}
 		wall[gi] = append(wall[gi], interval{s.Start, end})
+		if s.HasWall() && s.WallEnd >= s.WallStart {
+			iv := interval{sim.Time(s.WallStart), sim.Time(s.WallEnd)}
+			realWall[gi] = append(realWall[gi], iv)
+			realAll = append(realAll, iv)
+		}
 		counts[gi]++
 	}
+	r.Total.RealWall = time.Duration(totalDur(mergeIntervals(realAll)))
 
 	byGroup := map[int][]trace.Event{}
 	for _, e := range events {
@@ -187,7 +201,9 @@ func Analyze(spans []*Span, events []trace.Event, end sim.Time) *Report {
 	}
 
 	for gi, name := range order {
-		r.Phases = append(r.Phases, statFor(name, counts[gi], wall[gi], byGroup[gi]))
+		st := statFor(name, counts[gi], wall[gi], byGroup[gi])
+		st.RealWall = time.Duration(totalDur(mergeIntervals(realWall[gi])))
+		r.Phases = append(r.Phases, st)
 	}
 	return r
 }

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckChromeTraceWall asserts the dual-clock invariants of a Chrome
+// trace exported from a wall-clocked run: every phase slice carries
+// wall_start_s/wall_dur_s args, wall stamps are non-negative, and
+// wall_start_s is non-decreasing in span-ID order (spans are stamped
+// at open under the simulation token, so open order is wall order).
+// Run after CheckChromeTrace.
+func CheckChromeTraceWall(data []byte) error {
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("tracecheck: not valid JSON: %w", err)
+	}
+	type stamped struct {
+		id   float64
+		wall float64
+	}
+	var phases []stamped
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Cat != "phase" {
+			continue
+		}
+		id, ok := ev.Args["span"].(float64)
+		if !ok {
+			return fmt.Errorf("tracecheck: phase slice %d (%s) has no span arg", i, ev.Name)
+		}
+		ws, ok := ev.Args["wall_start_s"].(float64)
+		if !ok {
+			return fmt.Errorf("tracecheck: phase slice %d (%s) missing wall_start_s", i, ev.Name)
+		}
+		wd, ok := ev.Args["wall_dur_s"].(float64)
+		if !ok {
+			return fmt.Errorf("tracecheck: phase slice %d (%s) missing wall_dur_s", i, ev.Name)
+		}
+		if ws < 0 || wd < 0 {
+			return fmt.Errorf("tracecheck: phase slice %d (%s) has negative wall stamp", i, ev.Name)
+		}
+		phases = append(phases, stamped{id, ws})
+	}
+	if len(phases) == 0 {
+		return fmt.Errorf("tracecheck: no wall-stamped phase slices (was the run wall-clocked?)")
+	}
+	return checkWallMonotone(phases, func(s stamped) (float64, float64) { return s.id, s.wall })
+}
+
+// checkWallMonotone sorts by span ID and asserts wall starts never go
+// backwards.
+func checkWallMonotone[T any](items []T, get func(T) (id, wall float64)) error {
+	byID := map[float64]float64{}
+	var ids []float64
+	for _, it := range items {
+		id, wall := get(it)
+		byID[id] = wall
+		ids = append(ids, id)
+	}
+	// insertion sort: trace exports are already near-sorted and small
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	prev := -1.0
+	for _, id := range ids {
+		if byID[id] < prev {
+			return fmt.Errorf("tracecheck: wall_start_s goes backwards at span %v (%.6f < %.6f)", id, byID[id], prev)
+		}
+		prev = byID[id]
+	}
+	return nil
+}
+
+// CheckJSONL validates an exported JSONL event stream: every line is a
+// JSON object typed "span" or "event" with coherent virtual bounds.
+// With requireWall, every span line must also carry wall_start_s /
+// wall_end_s with wall_end_s >= wall_start_s and wall starts
+// non-decreasing in span-ID order — the file-backend contract.
+func CheckJSONL(data []byte, requireWall bool) error {
+	type spanStamp struct{ id, wall float64 }
+	var stamps []spanStamp
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n, spans, events := 0, 0, 0
+	for sc.Scan() {
+		n++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			return fmt.Errorf("jsonl line %d: not valid JSON: %w", n, err)
+		}
+		typ, _ := obj["type"].(string)
+		switch typ {
+		case "span":
+			spans++
+			id, ok := obj["id"].(float64)
+			if !ok || id <= 0 {
+				return fmt.Errorf("jsonl line %d: span has bad id", n)
+			}
+			if name, _ := obj["name"].(string); name == "" {
+				return fmt.Errorf("jsonl line %d: span has no name", n)
+			}
+			start, ok1 := obj["start_s"].(float64)
+			end, ok2 := obj["end_s"].(float64)
+			if !ok1 || !ok2 || start < 0 || end < start {
+				return fmt.Errorf("jsonl line %d: span has bad virtual bounds", n)
+			}
+			ws, hasWS := obj["wall_start_s"].(float64)
+			we, hasWE := obj["wall_end_s"].(float64)
+			if requireWall && !hasWS && !hasWE {
+				return fmt.Errorf("jsonl line %d: span %v missing wall stamps on a wall-clocked run", n, id)
+			}
+			if hasWS {
+				if ws < 0 {
+					return fmt.Errorf("jsonl line %d: negative wall_start_s", n)
+				}
+				if hasWE && we < ws {
+					return fmt.Errorf("jsonl line %d: wall_end_s before wall_start_s", n)
+				}
+				stamps = append(stamps, spanStamp{id, ws})
+			}
+		case "event":
+			events++
+			start, ok1 := obj["start_s"].(float64)
+			end, ok2 := obj["end_s"].(float64)
+			if !ok1 || !ok2 || start < 0 || end < start {
+				return fmt.Errorf("jsonl line %d: event has bad bounds", n)
+			}
+		default:
+			return fmt.Errorf("jsonl line %d: unknown type %q", n, typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if spans == 0 {
+		return fmt.Errorf("jsonl: no span lines")
+	}
+	if requireWall {
+		return checkWallMonotone(stamps, func(s spanStamp) (float64, float64) { return s.id, s.wall })
+	}
+	_ = events
+	return nil
+}
+
+// CheckPromText lints data against the Prometheus text exposition
+// format: # HELP / # TYPE comments with known types, sample lines of
+// the form name{labels} value with metric names matching the
+// Prometheus grammar and values parsing as floats, histogram series
+// (_bucket/_sum/_count) tied back to a declared histogram, _bucket
+// samples carrying an le label, and at least one sample overall.
+func CheckPromText(data []byte) error {
+	typed := map[string]string{}
+	samples := 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if fields[0] == "" || !validMetricName(fields[0]) {
+				return fmt.Errorf("prom line %d: bad HELP metric name", n)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !validMetricName(fields[0]) {
+				return fmt.Errorf("prom line %d: malformed TYPE line", n)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("prom line %d: unknown type %q", n, fields[1])
+			}
+			if _, dup := typed[fields[0]]; dup {
+				return fmt.Errorf("prom line %d: duplicate TYPE for %s", n, fields[0])
+			}
+			typed[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		name, labels, value, err := splitPromSample(line)
+		if err != nil {
+			return fmt.Errorf("prom line %d: %w", n, err)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("prom line %d: bad metric name %q", n, name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("prom line %d: bad sample value %q", n, value)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if typed[trimmed] == "histogram" || typed[trimmed] == "summary" {
+					base = trimmed
+				}
+				break
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			return fmt.Errorf("prom line %d: sample %s has no preceding TYPE", n, name)
+		}
+		if typed[base] == "histogram" && strings.HasSuffix(name, "_bucket") &&
+			!strings.Contains(labels, `le=`) {
+			return fmt.Errorf("prom line %d: histogram bucket without le label", n)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("prom: no samples")
+	}
+	return nil
+}
+
+// splitPromSample splits `name{labels} value` (or `name value`) into
+// its parts, validating brace and quote structure loosely.
+func splitPromSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", "", fmt.Errorf("malformed sample %q", line)
+		}
+		return fields[0], "", fields[1], nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

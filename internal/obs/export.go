@@ -86,6 +86,10 @@ func ChromeTrace(spans []*Span, events []trace.Event) ([]byte, error) {
 		if s.Parent != 0 {
 			args["parent"] = s.Parent
 		}
+		if s.HasWall() {
+			args["wall_start_s"] = s.WallStart.Seconds()
+			args["wall_dur_s"] = s.WallDuration().Seconds()
+		}
 		for _, a := range s.Attrs {
 			args[a.Key] = a.Value
 		}
@@ -204,7 +208,11 @@ type jsonlSpan struct {
 	Proc   string  `json:"proc"`
 	StartS float64 `json:"start_s"`
 	EndS   float64 `json:"end_s"`
-	Attrs  []Attr  `json:"attrs,omitempty"`
+	// Wall-clock stamps (seconds since the run's wall epoch), present
+	// only when the run was wall-clocked.
+	WallStartS float64 `json:"wall_start_s,omitempty"`
+	WallEndS   float64 `json:"wall_end_s,omitempty"`
+	Attrs      []Attr  `json:"attrs,omitempty"`
 }
 
 type jsonlEvent struct {
@@ -226,6 +234,10 @@ func WriteJSONL(w io.Writer, spans []*Span, events []trace.Event) error {
 		line := jsonlSpan{
 			Type: "span", ID: s.ID, Parent: s.Parent, Name: s.Name, Proc: s.Proc,
 			StartS: s.Start.Seconds(), EndS: s.End.Seconds(), Attrs: s.Attrs,
+		}
+		if s.HasWall() {
+			line.WallStartS = s.WallStart.Seconds()
+			line.WallEndS = s.WallEnd.Seconds()
 		}
 		if err := enc.Encode(line); err != nil {
 			return err

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DefaultFlightCapacity is the ring size NewFlightRecorder uses when
+// given a non-positive capacity: enough to hold the events leading up
+// to a fault trip without ever growing.
+const DefaultFlightCapacity = 4096
+
+// FlightEvent is one entry in the flight recorder: a span boundary, a
+// device health transition, a retry, or a fault decision.
+type FlightEvent struct {
+	// Seq is the event's global sequence number (1-based, never
+	// reused); gaps in a snapshot mean the ring wrapped.
+	Seq uint64 `json:"seq"`
+	// WallS is the wall-clock offset from the recorder's epoch, in
+	// seconds.
+	WallS float64 `json:"wall_s"`
+	// VirtualS is the virtual time of the event in seconds, when the
+	// writer had one (token holders do; device workers do not).
+	VirtualS float64 `json:"virtual_s,omitempty"`
+	// Kind classifies the event: "span-open", "span-close",
+	// "health", "timeout", "retry", "fault", ...
+	Kind string `json:"kind"`
+	// Name identifies the subject: a span name, a device name, a
+	// fault target.
+	Name string `json:"name"`
+	// Detail is free-form context: a health state, an error, a proc.
+	Detail string `json:"detail,omitempty"`
+}
+
+// FlightRecorder is an always-on ring buffer of recent FlightEvents —
+// the run's black box. It is written from both token-holding
+// simulation processes and device worker goroutines, so writes take a
+// mutex; each write is a few fixed-size stores under the lock, cheap
+// enough to leave on for every run. Snapshot copies the ring at any
+// instant without stopping writers. A nil *FlightRecorder records
+// nothing.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	epoch time.Time
+	buf   []FlightEvent
+	next  uint64 // total events ever recorded; buf[(next-1)%cap] is newest
+}
+
+// NewFlightRecorder returns a recorder holding the most recent
+// capacity events (DefaultFlightCapacity when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{epoch: time.Now(), buf: make([]FlightEvent, 0, capacity)}
+}
+
+// Record appends an event stamped with wall time only — the form for
+// device workers, which run off-token and have no virtual clock.
+// Nil-safe and safe for concurrent use.
+func (f *FlightRecorder) Record(kind, name, detail string) {
+	f.record(FlightEvent{Kind: kind, Name: name, Detail: detail})
+}
+
+// RecordV appends an event carrying both clocks — the form for
+// token-holding code, which knows the virtual time v. Nil-safe and
+// safe for concurrent use.
+func (f *FlightRecorder) RecordV(v sim.Time, kind, name, detail string) {
+	f.record(FlightEvent{VirtualS: time.Duration(v).Seconds(), Kind: kind, Name: name, Detail: detail})
+}
+
+func (f *FlightRecorder) record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	wall := time.Since(f.epoch)
+	f.mu.Lock()
+	f.next++
+	ev.Seq = f.next
+	ev.WallS = wall.Seconds()
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, ev)
+	} else {
+		f.buf[(f.next-1)%uint64(cap(f.buf))] = ev
+	}
+	f.mu.Unlock()
+}
+
+// Snapshot returns the buffered events oldest-first, without stopping
+// writers. Nil-safe.
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEvent, 0, len(f.buf))
+	if len(f.buf) < cap(f.buf) {
+		out = append(out, f.buf...)
+		return out
+	}
+	start := f.next % uint64(cap(f.buf)) // oldest slot
+	out = append(out, f.buf[start:]...)
+	out = append(out, f.buf[:start]...)
+	return out
+}
+
+// Total returns how many events were ever recorded, including those
+// the ring has overwritten. Total - len(Snapshot()) is the drop count.
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+// WriteFlightJSONL writes a snapshot as JSON Lines, one event per
+// line, oldest-first.
+func WriteFlightJSONL(w io.Writer, events []FlightEvent) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("health", "disk", "failed")
+	f.RecordV(sim.Time(time.Second), "span-open", "stage-S", "p1")
+	if got := f.Snapshot(); got != nil {
+		t.Fatalf("nil recorder snapshot = %v", got)
+	}
+	if f.Total() != 0 {
+		t.Fatalf("nil recorder total = %d", f.Total())
+	}
+}
+
+func TestFlightRecorderOrderingBeforeWrap(t *testing.T) {
+	f := NewFlightRecorder(8)
+	for i := 0; i < 5; i++ {
+		f.Record("retry", "disk", fmt.Sprintf("attempt %d", i))
+	}
+	evs := f.Snapshot()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d: seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Detail != fmt.Sprintf("attempt %d", i) {
+			t.Errorf("event %d out of order: %+v", i, ev)
+		}
+		if i > 0 && ev.WallS < evs[i-1].WallS {
+			t.Errorf("wall time went backwards at %d: %v < %v", i, ev.WallS, evs[i-1].WallS)
+		}
+	}
+	if f.Total() != 5 {
+		t.Errorf("total = %d, want 5", f.Total())
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	const capacity = 8
+	f := NewFlightRecorder(capacity)
+	const n = 3*capacity + 5 // wrap a few times, land mid-ring
+	for i := 0; i < n; i++ {
+		f.RecordV(sim.Time(i)*sim.Time(time.Millisecond), "span-open", "phase", fmt.Sprintf("%d", i))
+	}
+	evs := f.Snapshot()
+	if len(evs) != capacity {
+		t.Fatalf("got %d events, want the ring's %d", len(evs), capacity)
+	}
+	// The snapshot is the newest `capacity` events, oldest-first, with
+	// contiguous sequence numbers ending at the total.
+	for i, ev := range evs {
+		want := uint64(n - capacity + i + 1)
+		if ev.Seq != want {
+			t.Errorf("event %d: seq %d, want %d", i, ev.Seq, want)
+		}
+		if ev.Detail != fmt.Sprintf("%d", want-1) {
+			t.Errorf("event %d: detail %q does not match seq %d", i, ev.Detail, ev.Seq)
+		}
+	}
+	if f.Total() != n {
+		t.Errorf("total = %d, want %d", f.Total(), n)
+	}
+	// Drop count is recoverable: Total - len(Snapshot).
+	if dropped := f.Total() - uint64(len(evs)); dropped != n-capacity {
+		t.Errorf("dropped = %d, want %d", dropped, n-capacity)
+	}
+}
+
+func TestFlightRecorderConcurrentWritersAndSnapshots(t *testing.T) {
+	f := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record("retry", fmt.Sprintf("disk%d", w), "concurrent write")
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				evs := f.Snapshot()
+				for j := 1; j < len(evs); j++ {
+					if evs[j].Seq <= evs[j-1].Seq {
+						t.Errorf("snapshot not seq-ordered: %d after %d", evs[j].Seq, evs[j-1].Seq)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Total() != 2000 {
+		t.Fatalf("total = %d, want 2000", f.Total())
+	}
+}
+
+func TestWriteFlightJSONL(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.RecordV(sim.Time(2*time.Second), "health", "disk0", "degraded")
+	f.Record("timeout", "disk0", "op exceeded 5ms deadline")
+	var buf bytes.Buffer
+	if err := WriteFlightJSONL(&buf, f.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var ev FlightEvent
+	if err := json.Unmarshal(lines[0], &ev); err != nil {
+		t.Fatalf("line 0 invalid JSON: %v", err)
+	}
+	if ev.Kind != "health" || ev.Name != "disk0" || ev.VirtualS != 2 {
+		t.Errorf("decoded event = %+v", ev)
+	}
+	// Off-token events carry no virtual stamp: the field is omitted.
+	if bytes.Contains(lines[1], []byte("virtual_s")) {
+		t.Errorf("wall-only event leaked a virtual stamp: %s", lines[1])
+	}
+}

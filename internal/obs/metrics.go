@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Bucket presets for the simulator's histograms, in seconds (virtual
@@ -18,8 +19,11 @@ var (
 	OccupancyBuckets     = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1}
 )
 
-// series is one named+labelled time series in a Registry.
+// series is one named+labelled time series in a Registry. mu points at
+// the owning registry's lock and guards every mutable field, so a
+// scrape (Exposition/JSON) can run concurrently with writers.
 type series struct {
+	mu              *sync.Mutex
 	name, help, typ string
 	labels          []Attr
 
@@ -39,7 +43,9 @@ func (c *Counter) Add(v float64) {
 	if c == nil || v < 0 {
 		return
 	}
+	c.s.mu.Lock()
 	c.s.value += v
+	c.s.mu.Unlock()
 }
 
 // Inc increases the counter by one.
@@ -50,6 +56,8 @@ func (c *Counter) Value() float64 {
 	if c == nil {
 		return 0
 	}
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
 	return c.s.value
 }
 
@@ -61,7 +69,9 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
+	g.s.mu.Lock()
 	g.s.value = v
+	g.s.mu.Unlock()
 }
 
 // Add adjusts the gauge by v (may be negative).
@@ -69,7 +79,9 @@ func (g *Gauge) Add(v float64) {
 	if g == nil {
 		return
 	}
+	g.s.mu.Lock()
 	g.s.value += v
+	g.s.mu.Unlock()
 }
 
 // Value returns the current gauge value (0 on nil).
@@ -77,6 +89,8 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
 	return g.s.value
 }
 
@@ -89,10 +103,12 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	s := h.s
+	s.mu.Lock()
 	i := sort.SearchFloat64s(s.buckets, v) // first bucket with bound >= v
 	s.counts[i]++
 	s.sum += v
 	s.count++
+	s.mu.Unlock()
 }
 
 // Count returns the number of observations (0 on nil).
@@ -100,14 +116,20 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
 	return h.s.count
 }
 
-// Registry holds named metric series in registration order. Like the
-// rest of the package it is single-threaded (the simulation kernel
-// serializes processes) and nil-safe: every lookup on a nil *Registry
-// returns a nil handle whose methods do nothing.
+// Registry holds named metric series in registration order. Unlike the
+// tracker it is safe for concurrent use: one registry-wide mutex
+// guards registration and every series' values, so Exposition/JSON can
+// be scraped from an HTTP handler while a run is writing. (Writers are
+// token-serialized, so the lock is contended only during a scrape.)
+// Nil-safe: every lookup on a nil *Registry returns a nil handle whose
+// methods do nothing.
 type Registry struct {
+	mu     sync.Mutex
 	series []*series
 	index  map[string]*series
 }
@@ -132,12 +154,13 @@ func labelString(labels []Attr) string {
 	return strings.Join(parts, ",")
 }
 
+// lookup finds or registers a series; callers must hold r.mu.
 func (r *Registry) lookup(name, help, typ string, labels []Attr) *series {
 	key := seriesKey(name, labels)
 	if s, ok := r.index[key]; ok {
 		return s
 	}
-	s := &series{name: name, help: help, typ: typ, labels: labels}
+	s := &series{mu: &r.mu, name: name, help: help, typ: typ, labels: labels}
 	r.index[key] = s
 	r.series = append(r.series, s)
 	return s
@@ -149,6 +172,8 @@ func (r *Registry) Counter(name, help string, labels ...Attr) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return &Counter{s: r.lookup(name, help, "counter", labels)}
 }
 
@@ -158,6 +183,8 @@ func (r *Registry) Gauge(name, help string, labels ...Attr) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return &Gauge{s: r.lookup(name, help, "gauge", labels)}
 }
 
@@ -167,6 +194,8 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Att
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := r.lookup(name, help, "histogram", labels)
 	if s.counts == nil {
 		s.buckets = buckets
@@ -177,11 +206,13 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Att
 
 // Exposition renders the registry in the Prometheus text format.
 // Series appear in registration order; # HELP / # TYPE headers are
-// emitted once per metric name.
+// emitted once per metric name. Safe to call while writers are live.
 func (r *Registry) Exposition() string {
 	if r == nil {
 		return ""
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var b strings.Builder
 	seen := map[string]bool{}
 	for _, s := range r.series {
@@ -244,10 +275,12 @@ type BucketJSON struct {
 }
 
 // JSON renders the registry as a JSON array of series, in registration
-// order.
+// order. Safe to call while writers are live.
 func (r *Registry) JSON() ([]byte, error) {
 	out := []MetricJSON{}
 	if r != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
 		for _, s := range r.series {
 			m := MetricJSON{Name: s.name, Type: s.typ}
 			if len(s.labels) > 0 {

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -95,5 +96,76 @@ func TestRegistryJSON(t *testing.T) {
 	}
 	if out[1].Buckets[1].LE != "+Inf" || out[1].Buckets[1].Count != 2 {
 		t.Errorf("+Inf bucket = %+v", out[1].Buckets[1])
+	}
+}
+
+// TestRegistryConcurrentScrape hammers a registry with writers while
+// other goroutines render Exposition and JSON — the scrape-during-run
+// shape the obs server creates. Run under -race this is the proof the
+// registry's read paths are safe against live updates.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	// Register one series up front so scrapers that win the race to the
+	// first render still see a non-empty exposition.
+	reg.Gauge("inflight", "in-flight ops").Set(0)
+	var writers, scrapers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			c := reg.Counter("ops_total", "ops", A("writer", string(rune('A'+w))))
+			g := reg.Gauge("inflight", "in-flight ops")
+			h := reg.Histogram("lat_seconds", "latency", []float64{0.001, 0.01})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i) / 1000)
+			}
+		}(w)
+	}
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if text := reg.Exposition(); text == "" {
+					t.Error("empty exposition mid-run")
+					return
+				}
+				if _, err := reg.JSON(); err != nil {
+					t.Errorf("JSON: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	scrapers.Wait()
+	var total float64
+	for _, w := range []string{"A", "B", "C", "D"} {
+		total += reg.Counter("ops_total", "ops", A("writer", w)).Value()
+	}
+	if total != 4000 {
+		t.Fatalf("counter total = %v, want 4000", total)
+	}
+}
+
+// TestExpositionIsValidPromText closes the loop between the producer
+// and the checker CI uses on scraped output.
+func TestExpositionIsValidPromText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_total", "ops", A("dev", "R")).Inc()
+	reg.Gauge("iodev_health", "health state", A("dev", "disk0")).Set(2)
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.01, 0.1})
+	h.Observe(0.05)
+	if err := CheckPromText([]byte(reg.Exposition())); err != nil {
+		t.Fatalf("own exposition fails the prom checker: %v\n%s", err, reg.Exposition())
 	}
 }

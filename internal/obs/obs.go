@@ -14,6 +14,7 @@ package obs
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -45,6 +46,11 @@ type Span struct {
 	Proc string
 	// Start and End bound the span in virtual time.
 	Start, End sim.Time
+	// WallStart and WallEnd bound the span in wall-clock time, as
+	// offsets from the tracker's wall epoch. They are populated only
+	// when the tracker's wall clock is enabled (a wall-clocked backend
+	// is in use); both zero means "not stamped".
+	WallStart, WallEnd time.Duration
 	// Attrs are the span's key/value annotations.
 	Attrs []Attr
 
@@ -66,12 +72,26 @@ func (s *Span) SetAttr(key, value string) {
 	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
 }
 
-// Duration returns the span's length.
+// Duration returns the span's length in virtual time.
 func (s *Span) Duration() sim.Duration {
 	if s == nil || s.End < s.Start {
 		return 0
 	}
 	return sim.Duration(s.End - s.Start)
+}
+
+// HasWall reports whether the span carries wall-clock stamps.
+func (s *Span) HasWall() bool {
+	return s != nil && (s.WallStart != 0 || s.WallEnd != 0)
+}
+
+// WallDuration returns the span's wall-clock length, or 0 when the
+// span was never wall-stamped (virtual-only backend).
+func (s *Span) WallDuration() time.Duration {
+	if !s.HasWall() || s.WallEnd < s.WallStart {
+		return 0
+	}
+	return s.WallEnd - s.WallStart
 }
 
 // Close ends the span at p's current virtual time. Children still open
@@ -81,19 +101,25 @@ func (s *Span) Close(p *sim.Proc) {
 	if s == nil || !s.open {
 		return
 	}
+	now := p.Now()
+	wall := s.t.wallNow()
 	stack := s.t.active[p]
 	for i := len(stack) - 1; i >= 0; i-- {
 		sp := stack[i]
-		sp.End = p.Now()
+		sp.End = now
+		sp.WallEnd = wall
 		sp.open = false
+		s.t.flight.RecordV(now, "span-close", sp.Name, sp.Proc)
 		if sp == s {
 			s.t.active[p] = stack[:i]
 			return
 		}
 	}
 	// Closed from a process other than the opener: end it alone.
-	s.End = p.Now()
+	s.End = now
+	s.WallEnd = wall
 	s.open = false
+	s.t.flight.RecordV(now, "span-close", s.Name, s.Proc)
 }
 
 // Tracker records spans. The simulation kernel runs one process at a
@@ -102,11 +128,54 @@ type Tracker struct {
 	nextID int64
 	spans  []*Span
 	active map[*sim.Proc][]*Span
+
+	wallOn    bool
+	wallEpoch time.Time
+	flight    *FlightRecorder
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
 	return &Tracker{active: map[*sim.Proc][]*Span{}}
+}
+
+// EnableWallClock turns on wall-clock span stamping: every span opened
+// or closed from now on carries WallStart/WallEnd as offsets from the
+// epoch set here (the first call; later calls are no-ops). Callers
+// enable it exactly when the backend is wall-clocked, so virtual-only
+// runs keep zero wall fields. Nil-safe.
+func (t *Tracker) EnableWallClock() {
+	if t == nil || t.wallOn {
+		return
+	}
+	t.wallOn = true
+	t.wallEpoch = time.Now()
+}
+
+// WallEpoch returns the wall-clock origin of the tracker's wall
+// stamps, or the zero time when the wall clock is disabled.
+func (t *Tracker) WallEpoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.wallEpoch
+}
+
+// SetFlight routes span open/close events into a flight recorder.
+// Nil-safe on both sides.
+func (t *Tracker) SetFlight(f *FlightRecorder) {
+	if t == nil {
+		return
+	}
+	t.flight = f
+}
+
+// wallNow returns the wall offset to stamp now, or 0 when disabled.
+func (t *Tracker) wallNow() time.Duration {
+	if t == nil || !t.wallOn {
+		return 0
+	}
+	return time.Since(t.wallEpoch)
 }
 
 // Begin opens a span named name on process p at the current virtual
@@ -119,7 +188,7 @@ func (t *Tracker) Begin(p *sim.Proc, name string, attrs ...Attr) *Span {
 	t.nextID++
 	s := &Span{
 		ID: t.nextID, Name: name, Proc: p.Name(),
-		Start: p.Now(), Attrs: attrs,
+		Start: p.Now(), WallStart: t.wallNow(), Attrs: attrs,
 		t: t, open: true,
 	}
 	if stack := t.active[p]; len(stack) > 0 {
@@ -127,6 +196,7 @@ func (t *Tracker) Begin(p *sim.Proc, name string, attrs ...Attr) *Span {
 	}
 	t.active[p] = append(t.active[p], s)
 	t.spans = append(t.spans, s)
+	t.flight.RecordV(s.Start, "span-open", name, s.Proc)
 	return s
 }
 
@@ -150,9 +220,11 @@ func (t *Tracker) Finish(now sim.Time) {
 	if t == nil {
 		return
 	}
+	wall := t.wallNow()
 	for _, s := range t.spans {
 		if s.open {
 			s.End = now
+			s.WallEnd = wall
 			s.open = false
 		}
 	}

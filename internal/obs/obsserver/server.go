@@ -1,0 +1,187 @@
+// Package obsserver is the live-telemetry HTTP endpoint of a running
+// join system: /metrics serves the obs registry in Prometheus text
+// format, /health the per-device health states of the I/O engine,
+// /flight a JSONL snapshot of the flight recorder, and /debug/pprof
+// the standard Go profiles. The server is embeddable (Handler) or
+// self-hosting (Start/Close), and every source is swappable mid-flight
+// with SetSources — the facade points the server at each run's fresh
+// registry as batches come and go. All handlers are safe to hit while
+// a run is writing: the registry locks per scrape, the flight recorder
+// snapshots under its own mutex, and health reads are atomic.
+package obsserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DeviceHealth is one device's health row on /health. It mirrors the
+// ioengine state machine without importing it, so any backend can
+// report.
+type DeviceHealth struct {
+	// Device is the engine's device label, e.g. "tape:R" or "disk".
+	Device string `json:"device"`
+	// State is "healthy", "degraded" or "failed".
+	State string `json:"state"`
+	// Timeouts and Retries count per-op deadline misses and
+	// device-layer retries over the device's lifetime.
+	Timeouts int64 `json:"timeouts"`
+	Retries  int64 `json:"retries"`
+}
+
+// HealthSource yields the current device health rows; called per
+// /health request, so it must be cheap and concurrency-safe.
+type HealthSource func() []DeviceHealth
+
+// Server is the obs HTTP server. The zero value is not usable; call
+// New.
+type Server struct {
+	mu     sync.Mutex
+	reg    *obs.Registry
+	flight *obs.FlightRecorder
+	health HealthSource
+
+	own     *obs.Registry // server-side metrics, concatenated to /metrics
+	scrapes *obs.Counter
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New returns a server with no sources attached yet: /metrics serves
+// only the server's own scrape counter, /health reports no devices,
+// /flight is empty. Attach sources with SetSources.
+func New() *Server {
+	own := obs.NewRegistry()
+	return &Server{
+		own:     own,
+		scrapes: own.Counter("obs_scrapes_total", "Number of /metrics scrapes served."),
+	}
+}
+
+// SetSources points the server at a run's registry, flight recorder
+// and health source. Any argument may be nil to detach that source.
+// Safe to call while requests are in flight; each handler picks up the
+// sources at request time.
+func (s *Server) SetSources(reg *obs.Registry, flight *obs.FlightRecorder, health HealthSource) {
+	s.mu.Lock()
+	s.reg, s.flight, s.health = reg, flight, health
+	s.mu.Unlock()
+}
+
+func (s *Server) sources() (*obs.Registry, *obs.FlightRecorder, HealthSource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg, s.flight, s.health
+}
+
+// Handler returns the server's routes, for embedding into an existing
+// mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/health", s.handleHealth)
+	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg, _, _ := s.sources()
+	s.scrapes.Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// The run's registry first, then the server's own counters, so the
+	// response is never empty even before a run attaches.
+	fmt.Fprint(w, reg.Exposition())
+	fmt.Fprint(w, s.own.Exposition())
+}
+
+// healthBody is the /health response document.
+type healthBody struct {
+	// Status is "ok" when every device is healthy, "degraded" when any
+	// is degraded, "failed" when any breaker has tripped.
+	Status  string         `json:"status"`
+	Devices []DeviceHealth `json:"devices"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	_, _, health := s.sources()
+	body := healthBody{Status: "ok", Devices: []DeviceHealth{}}
+	if health != nil {
+		if rows := health(); rows != nil {
+			body.Devices = rows
+		}
+	}
+	code := http.StatusOK
+	for _, d := range body.Devices {
+		switch d.State {
+		case "failed":
+			body.Status = "failed"
+			code = http.StatusServiceUnavailable
+		case "degraded":
+			if body.Status == "ok" {
+				body.Status = "degraded"
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	_, flight, _ := s.sources()
+	w.Header().Set("Content-Type", "application/jsonl")
+	obs.WriteFlightJSONL(w, flight.Snapshot())
+}
+
+// Start binds addr (e.g. "127.0.0.1:9100", or ":0" for an ephemeral
+// port) and serves in a background goroutine. It returns the bound
+// address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obsserver: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. Safe on a never-started server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

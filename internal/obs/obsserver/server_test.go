@@ -1,0 +1,177 @@
+package obsserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := New()
+	h := s.Handler()
+
+	// Before any run attaches, /metrics still serves the server's own
+	// scrape counter as valid Prometheus text.
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if err := obs.CheckPromText(rec.Body.Bytes()); err != nil {
+		t.Fatalf("bare /metrics is not valid prom text: %v\n%s", err, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "obs_scrapes_total 1") {
+		t.Errorf("scrape counter missing:\n%s", rec.Body)
+	}
+
+	// Attach a run registry: its series appear ahead of the server's.
+	reg := obs.NewRegistry()
+	reg.Gauge("iodev_health", "Device health state.", obs.A("dev", "disk0")).Set(2)
+	reg.Counter("iodev_retries_total", "Device-layer retries.", obs.A("dev", "disk0")).Add(3)
+	s.SetSources(reg, nil, nil)
+	rec = get(t, h, "/metrics")
+	if err := obs.CheckPromText(rec.Body.Bytes()); err != nil {
+		t.Fatalf("combined /metrics is not valid prom text: %v\n%s", err, rec.Body)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`iodev_health{dev="disk0"} 2`,
+		`iodev_retries_total{dev="disk0"} 3`,
+		"obs_scrapes_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q:\n%s", want, body)
+		}
+	}
+
+	// Detaching mid-flight must not panic the next scrape: the nil-safe
+	// registry renders empty and the server's own series remain.
+	s.SetSources(nil, nil, nil)
+	rec = get(t, h, "/metrics")
+	if err := obs.CheckPromText(rec.Body.Bytes()); err != nil {
+		t.Fatalf("detached /metrics invalid: %v\n%s", err, rec.Body)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	s := New()
+	h := s.Handler()
+
+	rec := get(t, h, "/health")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("no-source status %d", rec.Code)
+	}
+	var body struct {
+		Status  string         `json:"status"`
+		Devices []DeviceHealth `json:"devices"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body)
+	}
+	if body.Status != "ok" || len(body.Devices) != 0 {
+		t.Fatalf("no-source body = %+v", body)
+	}
+
+	rows := []DeviceHealth{
+		{Device: "tape:R", State: "healthy"},
+		{Device: "disk0", State: "degraded", Timeouts: 1, Retries: 2},
+	}
+	s.SetSources(nil, nil, func() []DeviceHealth { return rows })
+	rec = get(t, h, "/health")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded status code %d, want 200", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "degraded" || len(body.Devices) != 2 {
+		t.Fatalf("degraded body = %+v", body)
+	}
+
+	// A tripped breaker turns the endpoint 503 — scrapers and load
+	// balancers see the failure without parsing the body.
+	rows = append(rows, DeviceHealth{Device: "disk1", State: "failed", Timeouts: 3})
+	rec = get(t, h, "/health")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("failed status code %d, want 503", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "failed" {
+		t.Fatalf("failed body = %+v", body)
+	}
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	s := New()
+	h := s.Handler()
+
+	// No recorder attached: empty body, not a panic (nil-safe Snapshot).
+	rec := get(t, h, "/flight")
+	if rec.Code != http.StatusOK || rec.Body.Len() != 0 {
+		t.Fatalf("bare /flight: code %d body %q", rec.Code, rec.Body)
+	}
+
+	f := obs.NewFlightRecorder(16)
+	f.Record("timeout", "disk", "op exceeded 5ms deadline")
+	f.Record("health", "disk", "failed")
+	s.SetSources(nil, f, nil)
+	rec = get(t, h, "/flight")
+	sc := bufio.NewScanner(rec.Body)
+	var kinds []string
+	for sc.Scan() {
+		var ev obs.FlightEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != "timeout" || kinds[1] != "health" {
+		t.Fatalf("flight kinds = %v", kinds)
+	}
+}
+
+func TestStartServesAndCloses(t *testing.T) {
+	s := New()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Addr() != addr {
+		t.Errorf("Addr() = %q, want %q", s.Addr(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != "" {
+		t.Errorf("Addr() after Close = %q", s.Addr())
+	}
+	// Closing again is a no-op.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

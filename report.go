@@ -34,6 +34,11 @@ type PhaseReport struct {
 	// Wall is the summed wall-clock time of the phase's spans
 	// (overlapping instances merged).
 	Wall time.Duration
+	// RealWall is the phase's real elapsed time (union of its spans'
+	// wall-clock intervals). Zero on the "sim" backend; measured on the
+	// "file" backend, where comparing it to Wall shows how modeled and
+	// real time diverge per phase.
+	RealWall time.Duration
 	// Busy breaks the phase down by device, busiest first.
 	Busy []DeviceBusyReport
 	// Bottleneck is the busiest device — the phase's critical path.
@@ -66,6 +71,7 @@ func toPhaseReport(s obs.PhaseStat) PhaseReport {
 		Name:           s.Name,
 		Count:          s.Count,
 		Wall:           time.Duration(s.Wall),
+		RealWall:       s.RealWall,
 		Bottleneck:     s.Bottleneck,
 		BottleneckBusy: time.Duration(s.BottleneckBusy),
 		Overlap:        s.Overlap,
@@ -119,15 +125,29 @@ func (r *Report) MetricsText() string { return r.reg.Exposition() }
 func (r *Report) MetricsJSON() ([]byte, error) { return r.reg.JSON() }
 
 // String renders the per-phase table: wall time, bottleneck device,
-// and overlap fraction per phase, with the whole-run total first.
+// and overlap fraction per phase, with the whole-run total first. A
+// wall-clocked (file backend) run gains a "real" column: the phase's
+// measured elapsed time alongside its modeled virtual time.
 func (r *Report) String() string {
+	real := r.Total.RealWall > 0
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %5s %10s %10s %-6s %7s\n",
-		"phase", "count", "wall", "busy", "dev", "overlap")
+	if real {
+		fmt.Fprintf(&b, "%-14s %5s %10s %10s %10s %-6s %7s\n",
+			"phase", "count", "wall", "real", "busy", "dev", "overlap")
+	} else {
+		fmt.Fprintf(&b, "%-14s %5s %10s %10s %-6s %7s\n",
+			"phase", "count", "wall", "busy", "dev", "overlap")
+	}
 	row := func(p PhaseReport) {
-		fmt.Fprintf(&b, "%-14s %5d %10s %10s %-6s %6.1f%%\n",
-			p.Name, p.Count, fmtDur(p.Wall), fmtDur(p.BottleneckBusy),
-			p.Bottleneck, p.Overlap*100)
+		if real {
+			fmt.Fprintf(&b, "%-14s %5d %10s %10s %10s %-6s %6.1f%%\n",
+				p.Name, p.Count, fmtDur(p.Wall), fmtDur(p.RealWall),
+				fmtDur(p.BottleneckBusy), p.Bottleneck, p.Overlap*100)
+		} else {
+			fmt.Fprintf(&b, "%-14s %5d %10s %10s %-6s %6.1f%%\n",
+				p.Name, p.Count, fmtDur(p.Wall), fmtDur(p.BottleneckBusy),
+				p.Bottleneck, p.Overlap*100)
+		}
 	}
 	row(r.Total)
 	for _, p := range r.Phases {

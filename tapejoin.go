@@ -31,10 +31,12 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/cost"
+	"repro/internal/device"
 	"repro/internal/device/filedev"
 	"repro/internal/fault"
 	"repro/internal/join"
 	"repro/internal/obs"
+	"repro/internal/obs/obsserver"
 	"repro/internal/relation"
 	"repro/internal/sim"
 	"repro/internal/tape"
@@ -202,6 +204,18 @@ type Config struct {
 	// DisableRecovery turns off retry/checkpoint/degrade handling: the
 	// first device fault aborts the join.
 	DisableRecovery bool
+	// ObsAddr, when non-empty, starts a live-telemetry HTTP server on
+	// the address (host:port; ":0" binds an ephemeral port — read the
+	// bound address from System.ObsAddr). The server serves /metrics
+	// (Prometheus text), /health (per-device health), /flight (flight-
+	// recorder JSONL) and /debug/pprof, and can be scraped while a run
+	// is in flight. Implies Observe. Close the system to stop it.
+	ObsAddr string
+	// ObsServer, when non-nil, attaches the system to an existing obs
+	// server instead of starting one: the system points the server's
+	// sources at each run's registry and its flight recorder. The
+	// caller owns the server's lifecycle. Implies Observe.
+	ObsServer *obsserver.Server
 }
 
 // System is a configured tertiary-storage device complex on which
@@ -211,6 +225,10 @@ type System struct {
 	res      join.Resources
 	tapeRate float64
 	nextTag  byte
+
+	flight *obs.FlightRecorder
+	obs    *obsserver.Server
+	ownObs bool // we started the server; Close stops it
 }
 
 // NewSystem validates the configuration and builds a system.
@@ -284,12 +302,77 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.SplitBuffering {
 		res.Discipline = join.SplitHalves
 	}
+	if cfg.ObsAddr != "" || cfg.ObsServer != nil {
+		cfg.Observe = true // live endpoints need a registry to scrape
+	}
+	// The flight recorder is always on: it is the black box every run
+	// writes regardless of whether anyone is watching.
+	flight := obs.NewFlightRecorder(0)
+	if fb, ok := res.Backend.(*filedev.Backend); ok {
+		fb.Flight = flight
+	}
+	res.Flight = flight
 	res = res.WithDefaults()
 	// Reflect the resolved defaults back into the public config.
 	cfg.NumDisks = res.NumDisks
 	cfg.DiskTapeSpeedRatio = ratio
 	cfg.Backend = res.Backend.Name()
-	return &System{cfg: cfg, res: res, tapeRate: tc.EffectiveRate()}, nil
+	sys := &System{cfg: cfg, res: res, tapeRate: tc.EffectiveRate(), flight: flight}
+	if cfg.ObsServer != nil {
+		sys.obs = cfg.ObsServer
+	} else if cfg.ObsAddr != "" {
+		sys.obs = obsserver.New()
+		sys.ownObs = true
+		if _, err := sys.obs.Start(cfg.ObsAddr); err != nil {
+			return nil, fmt.Errorf("tapejoin: %w", err)
+		}
+	}
+	if sys.obs != nil {
+		sys.obs.SetSources(nil, flight, sys.healthSource())
+	}
+	return sys, nil
+}
+
+// healthSource adapts the backend's live device-health reporting for
+// the obs server, or nil when the backend has none (the simulator).
+func (s *System) healthSource() obsserver.HealthSource {
+	hr, ok := s.res.Backend.(device.HealthReporter)
+	if !ok {
+		return nil
+	}
+	return func() []obsserver.DeviceHealth {
+		rows := hr.DeviceHealths()
+		out := make([]obsserver.DeviceHealth, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, obsserver.DeviceHealth{
+				Device: r.Device, State: r.State.String(),
+				Timeouts: r.Timeouts, Retries: r.Retries,
+			})
+		}
+		return out
+	}
+}
+
+// ObsAddr returns the live-telemetry server's bound address, or ""
+// when the system has none.
+func (s *System) ObsAddr() string {
+	if s.obs == nil {
+		return ""
+	}
+	return s.obs.Addr()
+}
+
+// Flight returns the system's always-on flight recorder.
+func (s *System) Flight() *obs.FlightRecorder { return s.flight }
+
+// Close releases system-owned resources: the obs server, when the
+// system started one (an attached Config.ObsServer stays up — its
+// owner closes it). Safe to call more than once.
+func (s *System) Close() error {
+	if s.obs != nil && s.ownObs {
+		return s.obs.Close()
+	}
+	return nil
 }
 
 // Config returns the system configuration.
@@ -521,6 +604,12 @@ func (s *System) Join(method Method, r, bigS *Relation) (*Result, error) {
 		reg = obs.NewRegistry()
 		runRes.Spans = tracker
 		runRes.Metrics = reg
+	}
+	runRes.Flight = s.flight
+	if s.obs != nil {
+		// Point the live endpoints at this run's registry so a scrape
+		// mid-run sees the numbers as they accumulate.
+		s.obs.SetSources(reg, s.flight, s.healthSource())
 	}
 	if s.cfg.Faults != "" {
 		sched, err := fault.Parse(s.cfg.Faults)
