@@ -25,6 +25,24 @@ const (
 	BatchSharedScan BatchPolicy = "shared-scan"
 )
 
+// Typed failure-reason kinds: every failed query's Reason is
+// "<kind>: <detail>" with kind one of these, so callers can switch on
+// the class without parsing free text.
+const (
+	// ReasonInfeasible: no method fits the query on its resource
+	// partition (admission rejection).
+	ReasonInfeasible = workload.ReasonInfeasible
+	// ReasonDeviceFailed: the query failed again after a
+	// device-failure requeue.
+	ReasonDeviceFailed = workload.ReasonDeviceFailed
+	// ReasonDeadline: an online query's deadline passed before
+	// service started.
+	ReasonDeadline = workload.ReasonDeadline
+	// ReasonShutdown: the online engine shut down before the query
+	// was served.
+	ReasonShutdown = workload.ReasonShutdown
+)
+
 // BatchQuery is one join request in a multi-query batch.
 type BatchQuery struct {
 	// ID labels the query in results (default "q<index>").
@@ -67,6 +85,11 @@ type BatchQueryResult struct {
 	Start, End, Wait time.Duration
 	// Matches is the output cardinality.
 	Matches int64
+	// OutputHash is the order-independent digest of the query's output
+	// pairs: equal hashes mean the same multiset of pairs byte for
+	// byte, whether the query ran solo, in a batch, or on the resident
+	// service. Zero only for failed queries, which emit nothing.
+	OutputHash uint64
 }
 
 // BatchReport is the outcome of a batch run.
@@ -193,6 +216,7 @@ func (s *System) RunBatch(queries []BatchQuery, opts BatchOptions) (*BatchReport
 			End:         qr.End,
 			Wait:        qr.Wait,
 			Matches:     qr.Matches,
+			OutputHash:  qr.OutputHash,
 		})
 	}
 	end := sim.Time(out.Makespan)

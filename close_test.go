@@ -1,0 +1,76 @@
+package tapejoin_test
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	tapejoin "repro"
+)
+
+// TestSystemCloseIdempotentRace pins System.Close's concurrency
+// contract: many goroutines closing the system while others scrape its
+// obs server must neither race nor double-close, and every Close call
+// — concurrent or sequential — returns the same outcome. Run under
+// -race in CI.
+func TestSystemCloseIdempotentRace(t *testing.T) {
+	sys, err := tapejoin.NewSystem(tapejoin.Config{
+		MemoryMB: 2, DiskMB: 8, ObsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sys.ObsAddr()
+	if addr == "" {
+		t.Fatal("no obs address")
+	}
+
+	var wg sync.WaitGroup
+	// Scrapers hammer /metrics and /health across the close; requests
+	// may succeed or fail with a connection error, but must never hang
+	// or crash the server.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				resp, err := http.Get("http://" + addr + "/metrics")
+				if err != nil {
+					return // server went down mid-scrape: expected
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- sys.Close()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	var outcomes []string
+	for err := range errs {
+		outcomes = append(outcomes, fmt.Sprint(err))
+	}
+	for _, o := range outcomes {
+		if o != outcomes[0] {
+			t.Fatalf("divergent Close outcomes: %v", outcomes)
+		}
+	}
+	// Sequential closes after the fact return the recorded outcome.
+	if got := fmt.Sprint(sys.Close()); got != outcomes[0] {
+		t.Fatalf("later Close returned %q, concurrent ones %q", got, outcomes[0])
+	}
+	if outcomes[0] != "<nil>" {
+		t.Fatalf("close error: %s", outcomes[0])
+	}
+	// The obs server must actually be gone.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("obs server still serving after Close")
+	}
+}

@@ -1,0 +1,146 @@
+// Command tapejoind runs the resident multi-tenant join daemon: an
+// HTTP/JSON service over one long-lived device complex, with online
+// cost-model admission, shared S-scan merging, per-tenant quotas and
+// graceful drain on SIGTERM/SIGINT.
+//
+// It generates a deterministic synthetic catalog on startup (the same
+// generator as cmd/tapejoin's batch mode) and serves:
+//
+//	POST /join       one join query (JSON body; JSONL response stream)
+//	GET  /relations  the catalog
+//	GET  /stats      admission + scheduler counters
+//	GET  /metrics, /health, /flight, /debug/pprof   live telemetry
+//
+// Example:
+//
+//	tapejoind -addr 127.0.0.1:8080 -policy shared-scan -merge-window 50ms
+//	curl -s http://127.0.0.1:8080/join -d '{"r":"R1","s":"S1","stream":true}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	tapejoin "repro"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		policy      = flag.String("policy", "mount-aware", "online policy: fifo, mount-aware, shared-scan")
+		cacheMB     = flag.Float64("cache", 0, "staging-cache size (MB)")
+		mergeWindow = flag.Duration("merge-window", 0, "hold a shared-scan seed this long for same-S arrivals")
+		quota       = flag.Int("quota", 0, "per-tenant outstanding-query quota (0 = unlimited)")
+		maxShared   = flag.Int("max-shared", 0, "max riders per shared S-pass (0 = default 4)")
+		mountSecs   = flag.Float64("mount-seconds", 30, "cartridge exchange cost (virtual seconds)")
+		memMB       = flag.Float64("mem", 8, "memory M (MB)")
+		diskMB      = flag.Float64("disk", 64, "disk D (MB)")
+		backend     = flag.String("backend", "sim", "storage backend: sim or file")
+		filePace    = flag.Float64("file-pace", 0, "file backend: pace transfers to modeled rates sped up this factor")
+		nS          = flag.Int("s-rels", 3, "number of S relations (one cartridge each)")
+		nR          = flag.Int("r-rels", 4, "number of R relations (two per cartridge)")
+		sMB         = flag.Int64("smb", 6, "size of each S relation (MB)")
+		rMB         = flag.Int64("rmb", 1, "size of each R relation (MB)")
+		seed        = flag.Int64("seed", 42, "dataset seed")
+		keyspace    = flag.Uint64("keyspace", 2000, "join key space")
+	)
+	flag.Parse()
+	if err := run(*addr, *policy, *cacheMB, *mergeWindow, *quota, *maxShared, *mountSecs,
+		*memMB, *diskMB, *backend, *filePace, *nS, *nR, *sMB, *rMB, *seed, *keyspace); err != nil {
+		fmt.Fprintln(os.Stderr, "tapejoind:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, policy string, cacheMB float64, mergeWindow time.Duration,
+	quota, maxShared int, mountSecs, memMB, diskMB float64, backend string, filePace float64,
+	nS, nR int, sMB, rMB, seed int64, keyspace uint64) error {
+
+	sys, err := tapejoin.NewSystem(tapejoin.Config{
+		Backend:  backend,
+		FilePace: filePace,
+		MemoryMB: memMB,
+		DiskMB:   diskMB,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	catalog, err := makeCatalog(sys, nS, nR, sMB, rMB, seed, keyspace)
+	if err != nil {
+		return err
+	}
+
+	svc, err := sys.StartService(tapejoin.ServiceOptions{
+		Addr:         addr,
+		Policy:       tapejoin.BatchPolicy(policy),
+		CacheMB:      cacheMB,
+		MountSeconds: mountSecs,
+		MaxShared:    maxShared,
+		MergeWindow:  mergeWindow,
+		TenantQuota:  quota,
+		Catalog:      catalog,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tapejoind listening on %s  policy=%s  catalog=%d relations  M=%g MB  D=%g MB\n",
+		svc.URL(), policy, len(catalog), memMB, diskMB)
+	fmt.Println("endpoints: POST /join  GET /relations /stats /metrics /health /flight")
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigs
+	fmt.Printf("received %s: draining (in-flight queries finish, new work gets 503)\n", sig)
+	if err := svc.Drain(); err != nil {
+		return err
+	}
+	st := svc.Stats()
+	fmt.Printf("drained: served=%d failed=%d mounts=%d shared-passes=%d\n",
+		st.Engine.Served, st.Engine.Failed, st.Engine.Mounts, st.Engine.SharedPasses)
+	return nil
+}
+
+// makeCatalog builds the deterministic synthetic dataset: nS large S
+// relations on one cartridge each, nR small R relations packed two per
+// cartridge — the same shape as cmd/tapejoin's batch mode, so mount
+// churn and shared scans have something to bite on.
+func makeCatalog(sys *tapejoin.System, nS, nR int, sMB, rMB, seed int64, keyspace uint64) (map[string]*tapejoin.Relation, error) {
+	cat := make(map[string]*tapejoin.Relation, nS+nR)
+	for i := 0; i < nS; i++ {
+		t, err := sys.NewTape(fmt.Sprintf("tape-S%d", i+1), sMB+2)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("S%d", i+1)
+		rel, err := sys.CreateRelation(t, tapejoin.RelationConfig{
+			Name: name, SizeMB: sMB,
+			KeySpace: keyspace, Seed: seed + int64(100+i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cat[name] = rel
+	}
+	for i := 0; i < nR; i++ {
+		t, err := sys.NewTape(fmt.Sprintf("tape-R%d", i/2+1), 2*rMB+2)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("R%d", i+1)
+		rel, err := sys.CreateRelation(t, tapejoin.RelationConfig{
+			Name: name, SizeMB: rMB,
+			KeySpace: keyspace, Seed: seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cat[name] = rel
+	}
+	return cat, nil
+}

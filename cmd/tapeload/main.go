@@ -1,0 +1,246 @@
+// Command tapeload is the deterministic load generator and replay
+// client for tapejoind. Given a seed it expands a reproducible query
+// workload, drives it through concurrent HTTP clients, verifies that
+// every query got exactly one result, and reports wall-clock latency
+// percentiles plus the daemon's mount churn and shared-pass counts.
+//
+// Two modes:
+//
+//	tapeload -addr http://127.0.0.1:8080 -queries 200 -clients 50
+//	    replay against a running daemon (catalog discovered via
+//	    GET /relations)
+//
+//	tapeload -compare -queries 200 -clients 50
+//	    self-host: run the same workload against an in-process daemon
+//	    under each policy (fifo, mount-aware, shared-scan) and print
+//	    the latency / mount-churn comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	tapejoin "repro"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "base URL of a running tapejoind (e.g. http://127.0.0.1:8080)")
+		compare     = flag.Bool("compare", false, "self-host and compare fifo vs mount-aware vs shared-scan")
+		queries     = flag.Int("queries", 100, "total queries")
+		clients     = flag.Int("clients", 20, "concurrent clients")
+		tenants     = flag.Int("tenants", 4, "tenant labels")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		streamEvery = flag.Int("stream-every", 10, "stream pairs on every Nth query (0 = never)")
+		priorities  = flag.Int("priorities", 1, "priority levels")
+		deadlineMS  = flag.Int64("deadline-ms", 0, "per-query service deadline (0 = none)")
+		mergeWindow = flag.Duration("merge-window", 10*time.Millisecond, "self-host: shared-scan merge window")
+		cacheMB     = flag.Float64("cache", 4, "self-host: staging cache (MB)")
+		memMB       = flag.Float64("mem", 8, "self-host: memory M (MB)")
+		diskMB      = flag.Float64("disk", 64, "self-host: disk D (MB)")
+	)
+	flag.Parse()
+	spec := service.LoadSpec{
+		Seed: *seed, Queries: *queries, Tenants: *tenants,
+		StreamEvery: *streamEvery, PriorityLevels: *priorities, DeadlineMS: *deadlineMS,
+	}
+	var err error
+	switch {
+	case *addr != "":
+		err = replayAgainst(*addr, spec, *clients)
+	case *compare:
+		err = comparePolicies(spec, *clients, *mergeWindow, *cacheMB, *memMB, *diskMB)
+	default:
+		err = fmt.Errorf("need -addr or -compare")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapeload:", err)
+		os.Exit(1)
+	}
+}
+
+// replayAgainst drives one replay at a live daemon and prints the
+// report plus the daemon's scheduler-counter deltas.
+func replayAgainst(base string, spec service.LoadSpec, clients int) error {
+	rows, err := service.FetchRelations(base)
+	if err != nil {
+		return err
+	}
+	rNames, sNames := service.SplitCatalog(rows)
+	if len(rNames) == 0 || len(sNames) == 0 {
+		return fmt.Errorf("catalog split failed: R=%v S=%v", rNames, sNames)
+	}
+	before, err := service.FetchStats(base)
+	if err != nil {
+		return err
+	}
+	reqs := service.GenLoad(spec, rNames, sNames)
+	rep := service.Replay(base, clients, reqs)
+	after, err := service.FetchStats(base)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Summary())
+	fmt.Printf("daemon: policy=%s mounts+%d shared-passes+%d riders+%d cache-hits+%d\n",
+		after.Policy,
+		after.Engine.Mounts-before.Engine.Mounts,
+		after.Engine.SharedPasses-before.Engine.SharedPasses,
+		after.Engine.SharedRiders-before.Engine.SharedRiders,
+		after.Engine.CacheHits-before.Engine.CacheHits)
+	printFailures(rep)
+	if rep.Broken > 0 {
+		return fmt.Errorf("%d queries lost, duplicated or errored", rep.Broken)
+	}
+	return nil
+}
+
+// comparePolicies runs the identical workload against a fresh
+// in-process daemon per policy and prints the side-by-side table the
+// paper's batch experiments make for the online setting: fifo thrashes
+// mounts, mount-aware groups them, shared-scan additionally fuses
+// same-S queries onto shared passes.
+func comparePolicies(spec service.LoadSpec, clients int, mergeWindow time.Duration,
+	cacheMB, memMB, diskMB float64) error {
+
+	type row struct {
+		policy       string
+		rep          *service.Report
+		st           *service.StatsBody
+		hashMismatch int
+	}
+	var rows []row
+	baseline := map[string]string{} // query ID -> output hash under fifo
+	for _, policy := range []tapejoin.BatchPolicy{
+		tapejoin.BatchFIFO, tapejoin.BatchMountAware, tapejoin.BatchSharedScan,
+	} {
+		sys, err := tapejoin.NewSystem(tapejoin.Config{MemoryMB: memMB, DiskMB: diskMB})
+		if err != nil {
+			return err
+		}
+		catalog, err := makeCatalog(sys)
+		if err != nil {
+			return err
+		}
+		svc, err := sys.StartService(tapejoin.ServiceOptions{
+			Policy:      policy,
+			CacheMB:     cacheMB,
+			MergeWindow: mergeWindow,
+			Catalog:     catalog,
+		})
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(catalog))
+		for n := range catalog {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var rNames, sNames []string
+		for _, n := range names {
+			if strings.HasPrefix(n, "R") {
+				rNames = append(rNames, n)
+			} else {
+				sNames = append(sNames, n)
+			}
+		}
+		reqs := service.GenLoad(spec, rNames, sNames)
+		rep := service.Replay(svc.URL(), clients, reqs)
+		st := svc.Stats()
+		if err := svc.Drain(); err != nil {
+			return err
+		}
+		sys.Close()
+
+		r := row{policy: string(policy), rep: rep, st: &st}
+		// Cross-policy equivalence: the same query ID must produce the
+		// same output hash under every policy.
+		for id, o := range rep.Outcomes {
+			if o.Err != "" || o.Failed {
+				continue
+			}
+			if want, ok := baseline[id]; !ok {
+				baseline[id] = o.OutputHash
+			} else if o.OutputHash != want {
+				r.hashMismatch++
+			}
+		}
+		rows = append(rows, r)
+		printFailures(rep)
+		if rep.Broken > 0 {
+			return fmt.Errorf("policy %s: %d queries lost, duplicated or errored", policy, rep.Broken)
+		}
+	}
+
+	fmt.Printf("%-12s %6s %6s %8s %8s %8s %7s %7s %7s %9s\n",
+		"policy", "ok", "fail", "p50", "p99", "wall", "mounts", "shared", "riders", "hash-miss")
+	for _, r := range rows {
+		fmt.Printf("%-12s %6d %6d %8v %8v %8v %7d %7d %7d %9d\n",
+			r.policy, r.rep.OK, r.rep.Failed,
+			r.rep.P50.Round(time.Millisecond), r.rep.P99.Round(time.Millisecond),
+			r.rep.Wall.Round(time.Millisecond),
+			r.st.Engine.Mounts, r.st.Engine.SharedPasses, r.st.Engine.SharedRiders,
+			r.hashMismatch)
+		if r.hashMismatch > 0 {
+			return fmt.Errorf("policy %s: %d output-hash mismatches vs baseline", r.policy, r.hashMismatch)
+		}
+	}
+	return nil
+}
+
+func printFailures(rep *service.Report) {
+	shown := 0
+	for _, o := range rep.Outcomes {
+		if o.Err == "" && !o.Failed {
+			continue
+		}
+		if shown++; shown > 5 {
+			fmt.Println("  ...")
+			return
+		}
+		if o.Err != "" {
+			fmt.Printf("  broken %s: %s\n", o.ID, o.Err)
+		} else {
+			fmt.Printf("  failed %s: %s\n", o.ID, o.Reason)
+		}
+	}
+}
+
+// makeCatalog mirrors tapejoind's default dataset so self-hosted
+// comparisons exercise the same catalog shape.
+func makeCatalog(sys *tapejoin.System) (map[string]*tapejoin.Relation, error) {
+	cat := make(map[string]*tapejoin.Relation)
+	for i := 0; i < 3; i++ {
+		t, err := sys.NewTape(fmt.Sprintf("tape-S%d", i+1), 8)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("S%d", i+1)
+		rel, err := sys.CreateRelation(t, tapejoin.RelationConfig{
+			Name: name, SizeMB: 6, KeySpace: 2000, Seed: int64(142 + i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cat[name] = rel
+	}
+	for i := 0; i < 4; i++ {
+		t, err := sys.NewTape(fmt.Sprintf("tape-R%d", i/2+1), 4)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("R%d", i+1)
+		rel, err := sys.CreateRelation(t, tapejoin.RelationConfig{
+			Name: name, SizeMB: 1, KeySpace: 2000, Seed: int64(42 + i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cat[name] = rel
+	}
+	return cat, nil
+}

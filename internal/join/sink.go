@@ -56,6 +56,18 @@ func pairHash(r, s block.Tuple) uint64 {
 // Count implements Sink.
 func (c *CountSink) Count() int64 { return c.Matches }
 
+// Hash implements Hasher.
+func (c *CountSink) Hash() uint64 { return c.PairSum }
+
+// Hasher is implemented by sinks that maintain an order-independent
+// digest of the emitted pairs (CountSink.PairSum). Schedulers use it to
+// surface a per-query OutputHash without knowing the sink's concrete
+// type, so online-, batch- and solo-served runs of the same query can
+// be compared byte for byte.
+type Hasher interface {
+	Hash() uint64
+}
+
 // GroupCountSink is a pipelined aggregate consumer (the Section 3.2
 // case where "the join operator pipelines its output to an aggregate
 // operator"): it folds each match into a per-key count instead of

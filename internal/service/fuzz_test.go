@@ -1,0 +1,54 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzServiceRequest fuzzes the daemon's query-decode path. The
+// contract under fuzz: DecodeRequest either rejects with a typed
+// ErrBadRequest or returns a request that (a) passes Validate and
+// (b) survives a marshal/decode round trip unchanged — so nothing the
+// wire can carry ever reaches the scheduler out of bounds, and the
+// decoder never panics.
+func FuzzServiceRequest(f *testing.F) {
+	seeds := []string{
+		`{"r":"R1","s":"S1"}`,
+		`{"id":"q1","tenant":"t0","method":"CDT-NB/MB","r":"R1","s":"S2","priority":5,"deadline_ms":1500,"stream":true}`,
+		`{"r":"R1","s":"S1","priority":-101}`,
+		`{"r":"R1","s":"S1","unknown":true}`,
+		`{"r":"","s":"S1"}`,
+		`{"r":"R1","s":"S1"}{"r":"R2","s":"S2"}`,
+		`null`,
+		`[]`,
+		`{"r":"�","s":"S1","deadline_ms":99999999999}`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("rejection not typed ErrBadRequest: %v", err)
+			}
+			return
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("decoded request fails Validate: %v", err)
+		}
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		req2, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v (body %s)", err, enc)
+		}
+		if *req != *req2 {
+			t.Fatalf("round trip changed the request: %+v != %+v", req, req2)
+		}
+	})
+}

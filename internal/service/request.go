@@ -1,0 +1,121 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"unicode/utf8"
+)
+
+// Request is the wire form of one join query POSTed to /join. The
+// decoder is strict: unknown fields, malformed JSON, out-of-range
+// values and oversized identifiers are all rejected before anything
+// reaches the scheduler, so the daemon's admission path cannot be
+// wedged by a hostile body (FuzzServiceRequest pins this).
+type Request struct {
+	// ID labels the query in the response; empty lets the daemon
+	// assign one. At most MaxIDLen bytes, valid UTF-8.
+	ID string `json:"id,omitempty"`
+	// Tenant is the quota-accounting principal (default "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Method requests a join method symbol; empty lets the cost
+	// advisor pick.
+	Method string `json:"method,omitempty"`
+	// R and S name catalog relations (required). R is the smaller side.
+	R string `json:"r"`
+	S string `json:"s"`
+	// Priority orders the queue: higher first, within [-100, 100].
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS expires the query if service has not started within
+	// this many wall-clock milliseconds of admission (0 = no deadline).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Stream asks for the matched pairs to be streamed back as JSONL
+	// ahead of the final result line.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// Wire-format bounds enforced by DecodeRequest.
+const (
+	// MaxRequestBytes bounds the /join body.
+	MaxRequestBytes = 1 << 20
+	// MaxIDLen bounds Request.ID and the relation names.
+	MaxIDLen = 128
+	// MaxTenantLen bounds Request.Tenant.
+	MaxTenantLen = 64
+	// MaxPriority bounds |Request.Priority|.
+	MaxPriority = 100
+	// MaxDeadlineMS bounds Request.DeadlineMS (24 h).
+	MaxDeadlineMS = 24 * 60 * 60 * 1000
+)
+
+// ErrBadRequest classifies every decode rejection; errors.Is lets the
+// handler map them all to one 400 path.
+var ErrBadRequest = errors.New("bad request")
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// DecodeRequest parses and validates one /join body.
+func DecodeRequest(data []byte) (*Request, error) {
+	if len(data) == 0 {
+		return nil, badf("empty body")
+	}
+	if len(data) > MaxRequestBytes {
+		return nil, badf("body %d bytes exceeds %d", len(data), MaxRequestBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, badf("decode: %v", err)
+	}
+	// Reject trailing garbage after the document: a second Decode must
+	// hit EOF.
+	if dec.More() {
+		return nil, badf("trailing data after request document")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate checks the request's field bounds (decode-independent, so
+// programmatic submitters get the same contract).
+func (r *Request) Validate() error {
+	check := func(field, v string, max int, required bool) error {
+		switch {
+		case v == "" && required:
+			return badf("%s is required", field)
+		case len(v) > max:
+			return badf("%s is %d bytes (max %d)", field, len(v), max)
+		case !utf8.ValidString(v):
+			return badf("%s is not valid UTF-8", field)
+		}
+		return nil
+	}
+	if err := check("r", r.R, MaxIDLen, true); err != nil {
+		return err
+	}
+	if err := check("s", r.S, MaxIDLen, true); err != nil {
+		return err
+	}
+	if err := check("id", r.ID, MaxIDLen, false); err != nil {
+		return err
+	}
+	if err := check("tenant", r.Tenant, MaxTenantLen, false); err != nil {
+		return err
+	}
+	if err := check("method", r.Method, MaxIDLen, false); err != nil {
+		return err
+	}
+	if r.Priority < -MaxPriority || r.Priority > MaxPriority {
+		return badf("priority %d outside [%d, %d]", r.Priority, -MaxPriority, MaxPriority)
+	}
+	if r.DeadlineMS < 0 || r.DeadlineMS > MaxDeadlineMS {
+		return badf("deadline_ms %d outside [0, %d]", r.DeadlineMS, MaxDeadlineMS)
+	}
+	return nil
+}

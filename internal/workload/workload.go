@@ -114,6 +114,11 @@ type Config struct {
 	MountTime sim.Duration
 	// MaxShared caps riders per shared S-pass (default 4).
 	MaxShared int
+	// ScheduleCap bounds the schedule log to its most recent lines
+	// (0 = unbounded, the batch default). The resident online engine
+	// sets a cap so a long-lived service does not grow the log without
+	// bound; ScheduleDropped counts what fell off.
+	ScheduleCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +151,9 @@ type QueryResult struct {
 	// Failed marks a query no feasible method could serve — or one that
 	// failed again after a device-failure requeue; Reason explains.
 	// Failed queries produce no output but do not abort the batch.
+	// Reason is always typed: "<kind>: <detail>" with kind one of the
+	// Reason* constants, so callers can switch on the class without
+	// parsing free text.
 	Failed bool
 	Reason string
 	// Requeued marks a query re-admitted after a device-class failure:
@@ -158,6 +166,35 @@ type QueryResult struct {
 	Start, End, Wait sim.Duration
 	// Matches is the output cardinality.
 	Matches int64
+	// OutputHash is the order-independent digest of the query's emitted
+	// pairs, when its sink maintains one (the default CountSink does;
+	// see join.Hasher). Equal hashes mean the same multiset of pairs,
+	// byte for byte — the cross-schedule equivalence oracle between
+	// online, batch and solo service of the same query.
+	OutputHash uint64
+}
+
+// Reason kinds. Every Failed QueryResult carries a Reason of the form
+// "<kind>: <detail>" using one of these prefixes; the online engine and
+// service layer add admission-time kinds of their own.
+const (
+	// ReasonInfeasible marks a query no method could serve within its
+	// resource partition (the M/k and D budgets of admission control).
+	ReasonInfeasible = "infeasible"
+	// ReasonDeviceFailed marks a query that failed again on the
+	// surviving device complex after a device-class requeue.
+	ReasonDeviceFailed = "device-failed"
+	// ReasonDeadline marks a query whose deadline expired before
+	// service started (online scheduling only).
+	ReasonDeadline = "deadline-exceeded"
+	// ReasonShutdown marks a query the engine could not serve because
+	// the service stopped underneath it (kernel failure or close).
+	ReasonShutdown = "shutdown"
+)
+
+// typedReason renders a classified failure reason.
+func typedReason(kind string, err error) string {
+	return kind + ": " + err.Error()
 }
 
 // BatchResult reports a whole batch run.
@@ -184,8 +221,11 @@ type BatchResult struct {
 	// Queries holds per-query results in submission order.
 	Queries []QueryResult
 	// Schedule is the deterministic, human-readable schedule log: one
-	// line per scheduling action with virtual timestamps.
-	Schedule []string
+	// line per scheduling action with virtual timestamps. When
+	// Config.ScheduleCap is set only the most recent lines are kept and
+	// ScheduleDropped counts the ones that fell off.
+	Schedule        []string
+	ScheduleDropped int64
 }
 
 // engine is the per-batch runtime state.
@@ -289,6 +329,11 @@ func Run(cfg Config, queries []Query) (*BatchResult, error) {
 // with the current virtual time.
 func (en *engine) logf(p *sim.Proc, format string, args ...any) {
 	line := fmt.Sprintf("t=%08.1fs %s", sim.Duration(p.Now()).Seconds(), fmt.Sprintf(format, args...))
+	if cap := en.cfg.ScheduleCap; cap > 0 && len(en.out.Schedule) >= cap {
+		n := copy(en.out.Schedule, en.out.Schedule[len(en.out.Schedule)-cap+1:])
+		en.out.Schedule = en.out.Schedule[:n]
+		en.out.ScheduleDropped++
+	}
 	en.out.Schedule = append(en.out.Schedule, line)
 }
 
@@ -505,7 +550,7 @@ func (en *engine) runSingle(p *sim.Proc, qi int) error {
 		}
 		en.results[qi] = QueryResult{
 			ID: q.ID, Requested: q.Method, Requeued: true,
-			Failed: true, Reason: err.Error(),
+			Failed: true, Reason: typedReason(ReasonDeviceFailed, err),
 			Start: start, End: sim.Duration(p.Now()), Wait: start,
 		}
 		en.logf(p, "query %s: failed after requeue (%v)", q.ID, err)
@@ -527,7 +572,7 @@ func (en *engine) tryQuery(p *sim.Proc, qi int, start sim.Duration, requeued boo
 	if err != nil {
 		en.results[qi] = QueryResult{
 			ID: q.ID, Requested: q.Method, Requeued: requeued,
-			Failed: true, Reason: err.Error(),
+			Failed: true, Reason: typedReason(ReasonInfeasible, err),
 			Start: start, End: start, Wait: start,
 		}
 		en.logf(p, "query %s: failed (%v)", q.ID, err)
@@ -569,9 +614,19 @@ func (en *engine) tryQuery(p *sim.Proc, qi int, start sim.Duration, requeued boo
 		Substituted: substituted, CacheHit: st != nil && st.hit,
 		Requeued: requeued,
 		Start:    start, End: sim.Duration(p.Now()), Wait: start,
-		Matches: result.Stats.OutputTuples,
+		Matches:    result.Stats.OutputTuples,
+		OutputHash: sinkHash(sink),
 	}
 	return nil
+}
+
+// sinkHash surfaces a sink's order-independent output digest, when it
+// keeps one.
+func sinkHash(s join.Sink) uint64 {
+	if h, ok := s.(join.Hasher); ok {
+		return h.Hash()
+	}
+	return 0
 }
 
 // holdSink buffers a shared rider's output until the pass commits, so
@@ -695,7 +750,8 @@ func (en *engine) runShared(p *sim.Proc, indices []int) error {
 			Substituted: q.Method != "", Shared: true,
 			CacheHit: handles[i].hit,
 			Start:    start, End: end, Wait: start,
-			Matches: shared.Matches[i],
+			Matches:    shared.Matches[i],
+			OutputHash: sinkHash(held[i].inner),
 		}
 	}
 	return nil

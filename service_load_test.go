@@ -1,0 +1,228 @@
+package tapejoin_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	tapejoin "repro"
+	"repro/internal/service"
+)
+
+// loadCatalog builds the daemon's deterministic dataset: three 6 MB S
+// relations on one cartridge each, four 1 MB R relations. Identical
+// creation order on every call, so relations — and join output hashes
+// — are byte-identical across the systems built for each policy and
+// for the reference runs.
+func loadCatalog(t testing.TB, sys *tapejoin.System) map[string]*tapejoin.Relation {
+	t.Helper()
+	cat := make(map[string]*tapejoin.Relation)
+	for i := 0; i < 3; i++ {
+		tp, err := sys.NewTape(fmt.Sprintf("tape-S%d", i+1), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("S%d", i+1)
+		rel, err := sys.CreateRelation(tp, tapejoin.RelationConfig{
+			Name: name, SizeMB: 6, KeySpace: 500, Seed: int64(142 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat[name] = rel
+	}
+	for i := 0; i < 4; i++ {
+		tp, err := sys.NewTape(fmt.Sprintf("tape-R%d", i/2+1), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("R%d", i+1)
+		rel, err := sys.CreateRelation(tp, tapejoin.RelationConfig{
+			Name: name, SizeMB: 1, KeySpace: 500, Seed: int64(42 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat[name] = rel
+	}
+	return cat
+}
+
+func loadSystem(t testing.TB) *tapejoin.System {
+	t.Helper()
+	sys, err := tapejoin.NewSystem(tapejoin.Config{MemoryMB: 8, DiskMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestServiceLoadReplay is the daemon's proof: a deterministic seeded
+// workload replayed by 500 concurrent clients against the resident
+// service under each online policy. It asserts the full service
+// contract — zero lost, duplicated or errored queries — and the
+// equivalence oracle: every served query's output hash is
+// byte-identical to the same (R, S) join run solo via System.Join and
+// as a batch via System.RunBatch. The per-policy log lines report
+// p50/p99 latency and mount churn, fifo vs mount-aware vs shared-scan.
+func TestServiceLoadReplay(t *testing.T) {
+	const clients = 500
+	queries := 750
+	if testing.Short() {
+		queries = 120
+	}
+
+	// Reference hashes per distinct (R, S) pair: once solo, once
+	// batch, on fresh identical systems. The facade's OutputHash
+	// plumbing is pinned here too — solo and batch must already agree.
+	refHash := make(map[string]string)
+	refMatches := make(map[string]int64)
+	func() {
+		sys := loadSystem(t)
+		defer sys.Close()
+		cat := loadCatalog(t, sys)
+		var bq []tapejoin.BatchQuery
+		for ri := 1; ri <= 4; ri++ {
+			for si := 1; si <= 3; si++ {
+				r, s := cat[fmt.Sprintf("R%d", ri)], cat[fmt.Sprintf("S%d", si)]
+				pair := r.Name() + "|" + s.Name()
+				res, err := sys.Join(tapejoin.CDTNBMB, r, s)
+				if err != nil {
+					t.Fatalf("solo join %s: %v", pair, err)
+				}
+				if res.Stats.OutputHash == 0 {
+					t.Fatalf("solo join %s: zero output hash", pair)
+				}
+				refHash[pair] = fmt.Sprintf("%016x", res.Stats.OutputHash)
+				refMatches[pair] = res.Stats.Matches
+				if want := tapejoin.ExpectedMatches(r, s); res.Stats.Matches != want {
+					t.Fatalf("solo join %s: %d matches, want %d", pair, res.Stats.Matches, want)
+				}
+				bq = append(bq, tapejoin.BatchQuery{ID: pair, R: r, S: s})
+			}
+		}
+		rep, err := sys.RunBatch(bq, tapejoin.BatchOptions{Policy: tapejoin.BatchMountAware})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qr := range rep.Queries {
+			if qr.Failed {
+				t.Fatalf("batch reference %s failed: %s", qr.ID, qr.Reason)
+			}
+			if got := fmt.Sprintf("%016x", qr.OutputHash); got != refHash[qr.ID] {
+				t.Fatalf("batch hash %s != solo hash %s for %s", got, refHash[qr.ID], qr.ID)
+			}
+		}
+	}()
+
+	spec := service.LoadSpec{
+		Seed: 7, Queries: queries, Tenants: 8,
+		StreamEvery: 7, PriorityLevels: 3,
+	}
+	rNames := []string{"R1", "R2", "R3", "R4"}
+	sNames := []string{"S1", "S2", "S3"}
+	reqs := service.GenLoad(spec, rNames, sNames)
+	pairOf := make(map[string]string, len(reqs))
+	for _, q := range reqs {
+		pairOf[q.ID] = q.R + "|" + q.S
+	}
+
+	for _, policy := range []tapejoin.BatchPolicy{
+		tapejoin.BatchFIFO, tapejoin.BatchMountAware, tapejoin.BatchSharedScan,
+	} {
+		t.Run(string(policy), func(t *testing.T) {
+			sys := loadSystem(t)
+			defer sys.Close()
+			svc, err := sys.StartService(tapejoin.ServiceOptions{
+				Policy:      policy,
+				CacheMB:     4,
+				MergeWindow: 5 * time.Millisecond,
+				Catalog:     loadCatalog(t, sys),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := service.Replay(svc.URL(), clients, reqs)
+			st := svc.Stats()
+			if err := svc.Drain(); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+
+			if rep.Sent != queries || len(rep.Outcomes) != queries {
+				t.Fatalf("accounting: sent %d, outcomes %d, want %d", rep.Sent, len(rep.Outcomes), queries)
+			}
+			for id, o := range rep.Outcomes {
+				if o.Err != "" {
+					t.Fatalf("query %s broken: %s", id, o.Err)
+				}
+				if o.Failed {
+					t.Fatalf("query %s failed: %s", id, o.Reason)
+				}
+				pair := pairOf[id]
+				if o.OutputHash != refHash[pair] {
+					t.Errorf("query %s (%s): hash %s, want %s", id, pair, o.OutputHash, refHash[pair])
+				}
+				if o.Matches != refMatches[pair] {
+					t.Errorf("query %s (%s): %d matches, want %d", id, pair, o.Matches, refMatches[pair])
+				}
+			}
+			if rep.OK != queries {
+				t.Errorf("ok = %d, want %d", rep.OK, queries)
+			}
+			if st.Engine.Served != int64(queries) {
+				t.Errorf("engine served %d, want %d", st.Engine.Served, queries)
+			}
+			if policy == tapejoin.BatchSharedScan && st.Engine.SharedPasses == 0 {
+				t.Error("shared-scan policy ran no shared passes")
+			}
+			t.Logf("%-12s %s", policy, strings.ReplaceAll(rep.Summary(), "\n", "  "))
+			t.Logf("%-12s mounts=%d (R %d, S %d) shared-passes=%d riders=%d cache-hits=%d",
+				policy, st.Engine.Mounts, st.Engine.RMounts, st.Engine.SMounts,
+				st.Engine.SharedPasses, st.Engine.SharedRiders, st.Engine.CacheHits)
+		})
+	}
+}
+
+// TestBatchRejectionReasonTyped pins the facade half of the typed
+// reason contract: a batch query rejected by admission control always
+// reports Reason "<kind>: <detail>" with an exported kind constant.
+func TestBatchRejectionReasonTyped(t *testing.T) {
+	// 2 memory blocks and 4 disk blocks cannot serve a 16-block R by
+	// any method.
+	sys, err := tapejoin.NewSystem(tapejoin.Config{MemoryMB: 0.125, DiskMB: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cat := loadCatalog(t, sys)
+	rep, err := sys.RunBatch([]tapejoin.BatchQuery{
+		{ID: "starved", R: cat["R1"], S: cat["S1"]},
+	}, tapejoin.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := rep.Queries[0]
+	if !qr.Failed {
+		t.Fatal("starved query served")
+	}
+	if !strings.HasPrefix(qr.Reason, tapejoin.ReasonInfeasible+": ") {
+		t.Errorf("reason %q lacks typed prefix %q", qr.Reason, tapejoin.ReasonInfeasible)
+	}
+	if qr.OutputHash != 0 {
+		t.Errorf("failed query has output hash %#x", qr.OutputHash)
+	}
+	// Sanity on the other side: reason kinds are distinct non-empty
+	// strings (the exported constants are the public contract).
+	kinds := []string{
+		tapejoin.ReasonInfeasible, tapejoin.ReasonDeviceFailed,
+		tapejoin.ReasonDeadline, tapejoin.ReasonShutdown,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if k == "" || seen[k] {
+			t.Errorf("reason kind %q empty or duplicated", k)
+		}
+		seen[k] = true
+	}
+}

@@ -27,6 +27,7 @@ package tapejoin
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/block"
@@ -229,6 +230,9 @@ type System struct {
 	flight *obs.FlightRecorder
 	obs    *obsserver.Server
 	ownObs bool // we started the server; Close stops it
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewSystem validates the configuration and builds a system.
@@ -367,12 +371,16 @@ func (s *System) Flight() *obs.FlightRecorder { return s.flight }
 
 // Close releases system-owned resources: the obs server, when the
 // system started one (an attached Config.ObsServer stays up — its
-// owner closes it). Safe to call more than once.
+// owner closes it). Idempotent and safe to call concurrently, even
+// while a scrape is in flight: the first call tears the server down
+// and records the outcome, every later call returns the same error.
 func (s *System) Close() error {
-	if s.obs != nil && s.ownObs {
-		return s.obs.Close()
-	}
-	return nil
+	s.closeOnce.Do(func() {
+		if s.obs != nil && s.ownObs {
+			s.closeErr = s.obs.Close()
+		}
+	})
+	return s.closeErr
 }
 
 // Config returns the system configuration.
