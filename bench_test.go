@@ -185,6 +185,37 @@ func BenchmarkFig11FastTape(b *testing.B) {
 	})
 }
 
+// BenchmarkFirstTuple runs the streaming experiment's CI subset and
+// reports the virtual time-to-first-tuple of SYM-H next to the best
+// materializing method's. benchreg records first_tuple* metrics in
+// snapshots for the history but never gates them: the first pair's
+// arrival is a point event that legitimately shifts with any change to
+// partition layout or batch sizing, so a drift gate would flag every
+// intentional plan tweak.
+func BenchmarkFirstTuple(b *testing.B) {
+	var sym, best float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.FirstTuple(benchScale, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sym, best = 0, 0
+		for _, r := range rows {
+			if !r.Feasible || r.FirstTuple <= 0 {
+				continue
+			}
+			v := r.FirstTuple.Seconds()
+			if r.Method == tapejoin.SYMH {
+				sym = v
+			} else if best == 0 || v < best {
+				best = v
+			}
+		}
+	}
+	b.ReportMetric(sym, "first_tuple-SYM-H")
+	b.ReportMetric(best, "first_tuple-best-materializing")
+}
+
 // BenchmarkAblationInterleavedVsSplit quantifies Section 4's claim:
 // the naive split double-buffer doubles the iteration count of
 // CDT-NB/DB. Reported metric: split time / interleaved time.

@@ -29,6 +29,11 @@
 // characterizes it) — so they are compared under the separate, wider
 // -wall-threshold, loose enough to absorb machine-to-machine spread
 // while still catching an overlap collapse.
+//
+// Metrics whose unit starts with "first_tuple" (the streaming
+// experiment's time-to-first-tuple figures) are likewise recorded but
+// never compared: a first pair's arrival time is a point event that
+// moves with any intentional partition-layout change.
 package main
 
 import (
@@ -195,6 +200,21 @@ func wallExcluded(unit string) bool {
 	return isWall(unit) && !wallCompared[unit]
 }
 
+// firstTupleExcluded reports whether a unit is a time-to-first-tuple
+// metric ("first_tuple-SYM-H", ...). These are deterministic virtual
+// quantities, but point events: the arrival of a single pair shifts
+// with any intentional change to partition layout or batch sizing, so
+// gating them at the drift threshold would cry wolf on every plan
+// tweak. Recorded in snapshots for the history, never compared.
+func firstTupleExcluded(unit string) bool {
+	return strings.HasPrefix(unit, "first_tuple")
+}
+
+// excluded reports whether a metric is recorded but never compared.
+func excluded(unit string) bool {
+	return wallExcluded(unit) || firstTupleExcluded(unit)
+}
+
 // diff reports regressions of cur against old beyond pct percent
 // (wallPct percent for the compared wall ratios). Missing and new
 // benchmarks are reported too: a silently vanished benchmark is how
@@ -225,8 +245,8 @@ func diff(old, cur *Snapshot, pct, wallPct float64, wall bool) []string {
 		}
 		sort.Strings(units)
 		for _, unit := range units {
-			if wallExcluded(unit) {
-				continue // pure wall-clock: recorded, never compared
+			if excluded(unit) {
+				continue // pure wall-clock or first-tuple: recorded, never compared
 			}
 			limit := pct
 			if isWall(unit) {
@@ -246,7 +266,7 @@ func diff(old, cur *Snapshot, pct, wallPct float64, wall bool) []string {
 			}
 		}
 		for _, unit := range newKeys(o.Metrics, c.Metrics) {
-			if wallExcluded(unit) {
+			if excluded(unit) {
 				continue
 			}
 			warnings = append(warnings, fmt.Sprintf(

@@ -119,6 +119,40 @@ func TestDiffExcludesWallClockMetrics(t *testing.T) {
 	}
 }
 
+// TestDiffExcludesFirstTupleMetrics: first_tuple* metrics are
+// deterministic but point-like — the first pair's arrival moves with
+// any intentional plan change — so, like pure wall durations, they are
+// recorded in snapshots but never compared in any direction.
+func TestDiffExcludesFirstTupleMetrics(t *testing.T) {
+	old := &Snapshot{Benchmarks: map[string]Bench{
+		"A": {Metrics: map[string]float64{"vsec": 50, "first_tuple-SYM-H": 3.0}},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Bench{
+		// first_tuple drifted 10x and a new first_tuple metric appeared;
+		// neither may warn. The vsec drift still must.
+		"A": {Metrics: map[string]float64{"vsec": 80, "first_tuple-SYM-H": 30.0,
+			"first_tuple-best-materializing": 25.0}},
+	}}
+
+	warnings := diff(old, cur, 15, 60, false)
+	for _, w := range warnings {
+		if strings.Contains(w, "first_tuple") {
+			t.Errorf("first_tuple metric produced a warning: %s", w)
+		}
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "vsec drifted") {
+		t.Fatalf("want exactly the vsec drift warning, got:\n%s", strings.Join(warnings, "\n"))
+	}
+
+	// Vanishing first_tuple metrics are also quiet.
+	cur = &Snapshot{Benchmarks: map[string]Bench{
+		"A": {Metrics: map[string]float64{"vsec": 50}},
+	}}
+	if w := diff(old, cur, 15, 60, false); len(w) != 0 {
+		t.Fatalf("missing first_tuple metric warned:\n%s", strings.Join(w, "\n"))
+	}
+}
+
 // TestDiffComparesWallOverlap: the wall-overlap ratio is in the
 // compared set — stable run to run (paperbench -exp obsload measures
 // its variance under 10%), so a collapse past the wide wall threshold

@@ -15,6 +15,7 @@
 //	paperbench -exp recovery        # fault injection and recovery
 //	paperbench -exp overlap         # per-phase critical path and device overlap
 //	paperbench -exp workload        # multi-query batch scheduling policies
+//	paperbench -exp firsttuple      # streaming: time-to-first-tuple and time-to-k
 //	paperbench -exp chaos           # wall-clock fault tolerance on the file backend
 //	paperbench -exp obsload         # instrumentation overhead vs budget
 //	paperbench -exp all             # everything
@@ -48,7 +49,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, workload, chaos, obsload, or all")
+	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, workload, firsttuple, chaos, obsload, or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
 	format := flag.String("format", "text", "output format: text or json")
 	backend := flag.String("backend", "sim", "storage backend for the overlap experiment: sim or file")
@@ -171,6 +172,13 @@ func runJSON(which string, scale float64, backend string, quick bool) error {
 			return err
 		}
 		out["workload"] = rows
+	}
+	if all || which == "firsttuple" {
+		rows, err := exp.FirstTuple(scale, quick)
+		if err != nil {
+			return err
+		}
+		out["firsttuple"] = rows
 	}
 	if all || which == "chaos" {
 		rows := exp.Chaos(scale, quick)
@@ -328,6 +336,15 @@ func run(which string, scale float64, backend string, quick bool) error {
 		fmt.Println(exp.FormatWorkload(rows))
 	}
 
+	if all || which == "firsttuple" {
+		section("First tuple: streaming SYM-H vs materializing methods, StopAfter=k")
+		rows, err := exp.FirstTuple(scale, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatFirstTuple(rows))
+	}
+
 	if all || which == "chaos" {
 		section("Chaos: wall-clock fault tolerance on the file backend")
 		rows := exp.Chaos(scale, quick)
@@ -346,7 +363,7 @@ func run(which string, scale float64, backend string, quick bool) error {
 	}
 
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, overlap, workload, chaos, obsload, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, overlap, workload, firsttuple, chaos, obsload, or all)", which)
 	}
 	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
 	return chaosErr

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	method := flag.String("method", "CTT-GH", "join method: DT-NB, CDT-NB/MB, CDT-NB/DB, DT-GH, CDT-GH, CTT-GH, TT-GH")
+	method := flag.String("method", "CTT-GH", "join method: DT-NB, CDT-NB/MB, CDT-NB/DB, DT-GH, CDT-GH, CTT-GH, TT-GH (also TT-SM, SYM-H)")
 	rMB := flag.Int64("r", 100, "size of R, the smaller relation (MB)")
 	sMB := flag.Int64("s", 1000, "size of S, the larger relation (MB)")
 	memMB := flag.Float64("mem", 16, "main memory M (MB)")
@@ -36,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "data generator seed")
 	keyspace := flag.Uint64("keyspace", 1<<20, "join key space size")
 	verify := flag.Bool("verify", true, "check output cardinality against the generator's expectation")
+	limit := flag.Int64("limit", 0, "print the first n matched pairs as a sample; presentation-only — the join still runs to completion and the match count stays exact (0 = print none)")
+	stopAfter := flag.Int64("stop-after", 0, "stop the join itself after n output pairs — a true LIMIT-n: tape reads cease, the pipelines unwind, and the reported count covers only the delivered prefix (0 = run to completion; SYM-H streams matches earliest)")
 	timeline := flag.Bool("timeline", false, "render a device-activity timeline of the run")
 	faults := flag.String("faults", "", `fault schedule to inject, e.g. "transient=R:100:2,diskfail=1@40s" or "random=7:3"`)
 	noRecover := flag.Bool("no-recover", false, "disable retry/checkpoint/degrade recovery (faults become fatal)")
@@ -79,7 +81,7 @@ func main() {
 		err = runBatch(cfg, *batch, *policy, *cacheMB, *rMB, *sMB, *seed, *keyspace, *verify)
 	} else {
 		err = run(cfg, *method, *rMB, *sMB, *compress, *ideal, *split, *seed,
-			*keyspace, *verify, *timeline, *faults, *noRecover, obsOut)
+			*keyspace, *verify, *timeline, *faults, *noRecover, *limit, *stopAfter, obsOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tapejoin:", err)
@@ -100,7 +102,8 @@ func (o obsOutputs) enabled() bool {
 
 func run(cfg tapejoin.Config, method string, rMB, sMB int64, compress int,
 	ideal, split bool, seed int64, keyspace uint64,
-	verify, timeline bool, faults string, noRecover bool, obsOut obsOutputs) error {
+	verify, timeline bool, faults string, noRecover bool,
+	limit, stopAfter int64, obsOut obsOutputs) error {
 
 	cfg.SplitBuffering = split
 	cfg.CollectTrace = timeline
@@ -150,7 +153,10 @@ func run(cfg tapejoin.Config, method string, rMB, sMB int64, compress int,
 		return err
 	}
 
-	res, err := sys.Join(tapejoin.Method(method), r, s)
+	res, err := sys.JoinWith(tapejoin.Method(method), r, s, tapejoin.JoinOptions{
+		StopAfter: stopAfter,
+		Sample:    int(limit),
+	})
 	if err != nil {
 		return err
 	}
@@ -171,6 +177,18 @@ func run(cfg tapejoin.Config, method string, rMB, sMB int64, compress int,
 	fmt.Printf("  device util       tapeR %.0f%%  tapeS %.0f%%  disks %.0f%%\n",
 		100*st.TapeRUtil, 100*st.TapeSUtil, 100*st.DiskUtil)
 	fmt.Printf("  output tuples     %d\n", st.Matches)
+	if st.FirstTuple > 0 {
+		fmt.Printf("  first tuple       %v\n", st.FirstTuple.Round(0))
+	}
+	if st.Stopped {
+		fmt.Printf("  stopped early     after %d pairs (stop-after %d)\n", st.Matches, stopAfter)
+	}
+	if len(res.Sample) > 0 {
+		fmt.Printf("  sample pairs      first %d of %d:\n", len(res.Sample), st.Matches)
+		for _, pr := range res.Sample {
+			fmt.Printf("    r.key=%d s.key=%d\n", pr.RKey, pr.SKey)
+		}
+	}
 	if st.WallElapsed > 0 {
 		fmt.Printf("  wall elapsed      %v (real I/O, overlap %.0f%%)\n",
 			st.WallElapsed.Round(0), 100*st.WallOverlap)
@@ -203,6 +221,10 @@ func run(cfg tapejoin.Config, method string, rMB, sMB int64, compress int,
 
 	if verify {
 		want := tapejoin.ExpectedMatches(r, s)
+		if stopAfter > 0 && want > stopAfter {
+			// A stopped run delivers an exact prefix: min(n, |R ⋈ S|).
+			want = stopAfter
+		}
 		if st.Matches != want {
 			return fmt.Errorf("VERIFICATION FAILED: %d matches, expected %d", st.Matches, want)
 		}

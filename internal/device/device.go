@@ -64,6 +64,9 @@ var (
 	// ErrWorkerClosed marks an operation submitted to a closed device
 	// worker.
 	ErrWorkerClosed = ioengine.ErrClosed
+	// ErrOpCancelled marks a queued operation aborted by CancelOps
+	// before it reached the device. Carries no health consequence.
+	ErrOpCancelled = ioengine.ErrCancelled
 )
 
 // DLT4000 returns the calibrated drive profile of the paper's
@@ -213,4 +216,15 @@ type WallStatser interface {
 // device worker, safe to call from a scrape goroutine mid-run.
 type HealthReporter interface {
 	DeviceHealths() []ioengine.DeviceHealth
+}
+
+// OpCanceller is implemented by backends whose devices queue real OS
+// operations and can abort the queued backlog mid-run: every queued op
+// completes with ErrOpCancelled (wrapping cause) without reaching the
+// device, health state and breakers are untouched, and the workers keep
+// serving operations submitted afterwards (filedev). Purely virtual
+// backends have no queue to drain and don't implement it — callers
+// fall back to cooperative cancellation alone. Safe from any goroutine.
+type OpCanceller interface {
+	CancelOps(cause error)
 }

@@ -156,6 +156,7 @@ type Backend struct {
 var _ device.Backend = &Backend{}
 var _ device.WallStatser = &Backend{}
 var _ device.HealthReporter = &Backend{}
+var _ device.OpCanceller = &Backend{}
 
 // New returns a backend rooted at dir.
 func New(dir string) *Backend { return &Backend{Dir: dir} }
@@ -210,6 +211,17 @@ func (b *Backend) WallStats() ioengine.WallStats {
 func (b *Backend) PublishWallMetrics(reg *obs.Registry) {
 	if b.engine != nil {
 		b.engine.PublishMetrics(reg)
+	}
+}
+
+// CancelOps implements device.OpCanceller: every operation queued on
+// the backend's device workers at the time of the call completes with
+// device.ErrOpCancelled (wrapping cause) without touching the device or
+// its health state; operations submitted afterwards run normally. A
+// no-op for a synchronous backend, which has no queues to drain.
+func (b *Backend) CancelOps(cause error) {
+	if b.engine != nil {
+		b.engine.CancelAll(cause)
 	}
 }
 

@@ -1,0 +1,150 @@
+package ioengine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestCancelAbortsQueuedOps: a Cancel while the worker is busy aborts
+// the queued backlog with ErrCancelled wrapping the cause, without
+// executing the ops or touching health, and the worker serves
+// later-generation submissions normally.
+func TestCancelAbortsQueuedOps(t *testing.T) {
+	e := New(0)
+	k := sim.NewKernel()
+	w := e.Worker("tape:R")
+	defer w.Close()
+	cause := errors.New("stream satisfied")
+	started, gate := make(chan struct{}), make(chan struct{})
+	executed := 0
+	k.Spawn("p", func(p *sim.Proc) {
+		// First op holds the worker so the next two sit in the queue.
+		c0 := w.Submit(p, func() error { close(started); <-gate; executed++; return nil })
+		c1 := w.Submit(p, func() error { executed++; return nil })
+		c2 := w.Submit(p, func() error { executed++; return nil })
+		<-started // op 0 is in flight, not queued, when Cancel lands
+		w.Cancel(cause)
+		close(gate)
+		if _, err := w.Await(p, c0); err != nil {
+			t.Errorf("in-flight op: %v (should run to completion)", err)
+		}
+		for i, c := range []*sim.Completion{c1, c2} {
+			_, err := w.Await(p, c)
+			if !errors.Is(err, ErrCancelled) || !errors.Is(err, cause) {
+				t.Errorf("queued op %d: err = %v, want ErrCancelled wrapping cause", i+1, err)
+			}
+		}
+		// Post-cancel submissions carry the new generation and execute.
+		if _, err := w.Do(p, func() error { executed++; return nil }); err != nil {
+			t.Errorf("post-cancel op: %v (worker should be reusable)", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if executed != 2 {
+		t.Errorf("executed %d ops, want 2 (in-flight + post-cancel)", executed)
+	}
+	if got := w.Cancelled(); got != 2 {
+		t.Errorf("Cancelled() = %d, want 2", got)
+	}
+	if w.Health() != Healthy {
+		t.Errorf("health = %v after cancel, want Healthy", w.Health())
+	}
+	if w.Timeouts() != 0 {
+		t.Errorf("timeouts = %d after cancel, want 0", w.Timeouts())
+	}
+}
+
+// TestCancelAllCoversEveryWorker: Engine.CancelAll reaches every
+// worker the engine has created.
+func TestCancelAllCoversEveryWorker(t *testing.T) {
+	e := New(0)
+	k := sim.NewKernel()
+	wa, wb := e.Worker("tape:R"), e.Worker("disk")
+	defer wa.Close()
+	defer wb.Close()
+	startA, startB := make(chan struct{}), make(chan struct{})
+	gateA, gateB := make(chan struct{}), make(chan struct{})
+	k.Spawn("p", func(p *sim.Proc) {
+		ca0 := wa.Submit(p, func() error { close(startA); <-gateA; return nil })
+		ca1 := wa.Submit(p, func() error { t.Error("queued op on R executed"); return nil })
+		cb0 := wb.Submit(p, func() error { close(startB); <-gateB; return nil })
+		cb1 := wb.Submit(p, func() error { t.Error("queued op on disk executed"); return nil })
+		<-startA
+		<-startB
+		e.CancelAll(nil)
+		close(gateA)
+		close(gateB)
+		if _, err := wa.Await(p, ca0); err != nil {
+			t.Errorf("in-flight R: %v", err)
+		}
+		if _, err := wb.Await(p, cb0); err != nil {
+			t.Errorf("in-flight disk: %v", err)
+		}
+		if _, err := wa.Await(p, ca1); !errors.Is(err, ErrCancelled) {
+			t.Errorf("queued R: err = %v, want ErrCancelled", err)
+		}
+		if _, err := wb.Await(p, cb1); !errors.Is(err, ErrCancelled) {
+			t.Errorf("queued disk: err = %v, want ErrCancelled", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wa.Cancelled() != 1 || wb.Cancelled() != 1 {
+		t.Errorf("Cancelled() = (%d,%d), want (1,1)", wa.Cancelled(), wb.Cancelled())
+	}
+}
+
+// TestCancelNilWorker: nil-safe like the other Worker methods.
+func TestCancelNilWorker(t *testing.T) {
+	var w *Worker
+	w.Cancel(errors.New("x"))
+	if w.Cancelled() != 0 {
+		t.Error("nil worker Cancelled() != 0")
+	}
+}
+
+// TestCancelWakesBlockedAwaitViaKernel: the full teardown path a
+// streamed query uses — kernel cancel aborts the sim-side completion
+// while engine cancel drains the device-side queue, and both the
+// awaiting proc and the worker goroutine come out clean, quickly.
+func TestCancelWakesBlockedAwaitViaKernel(t *testing.T) {
+	e := New(0)
+	k := sim.NewKernel()
+	w := e.Worker("tape:S")
+	defer w.Close()
+	cause := errors.New("client went away")
+	release := make(chan struct{})
+	defer close(release)
+	var got error
+	k.Spawn("p", func(p *sim.Proc) {
+		c := w.Submit(p, func() error { <-release; return nil })
+		_, got = w.Await(p, c)
+	})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		k.Cancel(cause)
+		e.CancelAll(cause)
+	}()
+	done := make(chan error, 1)
+	go func() { done <- k.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run wedged waiting for a cancelled op")
+	}
+	if !errors.Is(got, cause) {
+		t.Errorf("Await err = %v, want cause", got)
+	}
+	if w.Health() != Healthy {
+		t.Errorf("health = %v, want Healthy", w.Health())
+	}
+}

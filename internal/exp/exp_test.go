@@ -298,7 +298,7 @@ func TestTable2MeasuredRequirements(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 8 {
+	if len(rows) != 9 {
 		t.Fatalf("%d rows", len(rows))
 	}
 	get := func(sym string) Table2Row {

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	tapejoin "repro"
+)
+
+// FirstTupleRow is one (selectivity, method) point of the streaming
+// experiment: how long until the first output pair, and how long until
+// the k-th, when the join is allowed to stop there.
+type FirstTupleRow struct {
+	Method tapejoin.Method
+	// KeySpace is the generator key space; smaller spaces make denser
+	// joins. ExpectedMatches is the analytic full cardinality.
+	KeySpace        uint64
+	ExpectedMatches int64
+	// K is the StopAfter target of the run.
+	K int64
+	// FirstTuple is the virtual time to the first delivered pair and
+	// TimeToK the run's total virtual response with StopAfter=K — the
+	// time until the query returns having delivered min(K, total)
+	// pairs. Stopped reports whether K was actually reached.
+	FirstTuple time.Duration
+	TimeToK    time.Duration
+	Matches    int64
+	Stopped    bool
+	// Feasible is false when the method cannot run on the experiment's
+	// resources; Reason explains.
+	Feasible bool
+	Reason   string
+}
+
+// firstTupleMethods contrasts the streaming symmetric hash join with
+// the materializing families: Grace Hash, Nested Block, and the
+// sort-merge baseline. Every materializing method pays its Step I
+// (staging R, or sorting both inputs) before the first pair can exist;
+// SYM-H emits matches while both tapes are still streaming.
+var firstTupleMethods = []tapejoin.Method{
+	tapejoin.SYMH, tapejoin.CDTGH, tapejoin.CDTNBMB, tapejoin.TTSM,
+}
+
+// FirstTuple runs the time-to-first-tuple experiment: each method
+// executes with StopAfter=k across a selectivity sweep (key space
+// 2^20 → 2^12, sparse to dense), on identical inputs. Dense joins let
+// SYM-H stop after a sliver of the tapes; sparse joins force every
+// method toward a full scan — the crossover where streaming stops
+// paying. quick restricts the sweep to one mid-density point for CI.
+func FirstTuple(scale float64, quick bool) ([]FirstTupleRow, error) {
+	const k = 10
+	rMB := int64(18) // the geometry is the experiment; only |S| scales
+	sMB := scaleMB(1000, scale)
+	keySpaces := []uint64{1 << 20, 1 << 16, 1 << 12}
+	if quick {
+		sMB = scaleMB(200, scale)
+		keySpaces = []uint64{1 << 14}
+	}
+
+	// SYM-H streams matches only while at least one partition pair is
+	// memory-resident, which needs M ≳ 4·sqrt(|R|+|S|) blocks: the
+	// spill write buffers cap the partition count at M/8, and one
+	// partition of R and S together must fit half of M. Every method
+	// gets the same memory, sized for the sweep's |S|.
+	memMB := math.Ceil(4 * math.Sqrt(float64((rMB+sMB)*16)) / 16)
+	memMB += 4 // headroom over the exact residency threshold
+	if memMB < 8 {
+		memMB = 8
+	}
+
+	var rows []FirstTupleRow
+	for _, ks := range keySpaces {
+		for _, method := range firstTupleMethods {
+			cfg := tapejoin.Config{
+				MemoryMB: memMB,
+				// SYM-H spills both sides of its deferred partitions, so
+				// the disk budget covers |R|+|S| plus per-partition slack.
+				DiskMB:  float64(rMB+sMB) + memMB,
+				Profile: tapejoin.DLT4000,
+			}
+			sys, err := newSystem(cfg)
+			if err != nil {
+				return nil, err
+			}
+			// TT-SM sorts in place on tape: its workspaces need roughly
+			// 1.5×(|R|+|S|) free beyond the resident relation.
+			tR, err := sys.NewTape("tape-R", 3*(rMB+sMB))
+			if err != nil {
+				return nil, err
+			}
+			tS, err := sys.NewTape("tape-S", 3*(rMB+sMB))
+			if err != nil {
+				return nil, err
+			}
+			r, err := sys.CreateRelation(tR, tapejoin.RelationConfig{
+				Name: "R", SizeMB: rMB, TuplesPerBlock: 4, KeySpace: ks, Seed: 4000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s, err := sys.CreateRelation(tS, tapejoin.RelationConfig{
+				Name: "S", SizeMB: sMB, TuplesPerBlock: 4, KeySpace: ks, Seed: 4001,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := FirstTupleRow{
+				Method: method, KeySpace: ks, K: k,
+				ExpectedMatches: tapejoin.ExpectedMatches(r, s),
+			}
+			res, err := sys.JoinWith(method, r, s, tapejoin.JoinOptions{StopAfter: k})
+			if err != nil {
+				row.Reason = err.Error()
+				rows = append(rows, row)
+				continue
+			}
+			row.Feasible = true
+			row.FirstTuple = res.Stats.FirstTuple
+			row.TimeToK = res.Stats.Response
+			row.Matches = res.Stats.Matches
+			row.Stopped = res.Stats.Stopped
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatFirstTuple renders the streaming experiment as a text table.
+func FormatFirstTuple(rows []FirstTupleRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		if !r.Feasible {
+			out = append(out, []string{
+				string(r.Method), fmt.Sprintf("2^%d", log2(r.KeySpace)),
+				fmt.Sprintf("%d", r.ExpectedMatches),
+				"-", "-", fmt.Sprintf("%d", r.K),
+				"infeasible: " + r.Reason,
+			})
+			continue
+		}
+		ttft := "-"
+		if r.FirstTuple > 0 {
+			ttft = secs(r.FirstTuple)
+		}
+		stopped := "full scan"
+		if r.Stopped {
+			stopped = fmt.Sprintf("stopped @%d", r.Matches)
+		}
+		out = append(out, []string{
+			string(r.Method), fmt.Sprintf("2^%d", log2(r.KeySpace)),
+			fmt.Sprintf("%d", r.ExpectedMatches),
+			ttft, secs(r.TimeToK),
+			fmt.Sprintf("%d", r.K), stopped,
+		})
+	}
+	return FormatTable(
+		[]string{"Method", "Key space", "Full matches", "First tuple", "Time to k", "k", "Outcome"},
+		out,
+	)
+}
+
+// log2 returns the bit position of a power-of-two key space.
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	tapejoin "repro"
+)
+
+// TestFirstTupleStreamingAdvantage pins the experiment's headline at
+// the CI scale: on the dense point of the sweep, SYM-H's virtual
+// time-to-first-tuple is at least 5× lower than the best materializing
+// method's, every method is feasible on the experiment's resources,
+// and every StopAfter=k run on a dense input actually stops at k.
+func TestFirstTupleStreamingAdvantage(t *testing.T) {
+	rows, err := FirstTuple(0.1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(firstTupleMethods) {
+		t.Fatalf("%d rows, want %d", len(rows), 3*len(firstTupleMethods))
+	}
+
+	var sym, bestMat float64
+	for _, r := range rows {
+		if !r.Feasible {
+			t.Errorf("%s at 2^%d infeasible: %s", r.Method, log2(r.KeySpace), r.Reason)
+			continue
+		}
+		if r.FirstTuple <= 0 && r.Matches > 0 {
+			t.Errorf("%s at 2^%d delivered %d pairs but has no first-tuple stamp",
+				r.Method, log2(r.KeySpace), r.Matches)
+		}
+		// The dense point: plenty of matches, so k is always reached.
+		if r.KeySpace == 1<<12 {
+			if !r.Stopped || r.Matches != r.K {
+				t.Errorf("%s dense: stopped=%v matches=%d, want stopped at k=%d",
+					r.Method, r.Stopped, r.Matches, r.K)
+			}
+			v := r.FirstTuple.Seconds()
+			if r.Method == tapejoin.SYMH {
+				sym = v
+			} else if bestMat == 0 || v < bestMat {
+				bestMat = v
+			}
+		}
+	}
+	if sym <= 0 || bestMat <= 0 {
+		t.Fatalf("dense point missing data: sym=%.1f bestMat=%.1f", sym, bestMat)
+	}
+	if bestMat < 5*sym {
+		t.Errorf("SYM-H first tuple %.1fs vs best materializing %.1fs: advantage %.1fx, want >= 5x",
+			sym, bestMat, bestMat/sym)
+	}
+
+	text := FormatFirstTuple(rows)
+	if !strings.Contains(text, "First tuple") || !strings.Contains(text, "SYM-H") {
+		t.Fatalf("render:\n%s", text)
+	}
+}

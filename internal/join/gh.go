@@ -98,9 +98,12 @@ func joinBucketPair(e *env, p *sim.Proc, r, s bucketSource, maxLoad, scanBuf int
 					return err
 				}
 				err = forEachTuple(sBlks, func(t block.Tuple) {
-					table.probeWithS(p, e.sink, t)
+					table.probeWithS(e, p, t)
 				})
 				if err != nil {
+					return err
+				}
+				if err := e.checkStop(); err != nil {
 					return err
 				}
 			}

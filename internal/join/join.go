@@ -228,6 +228,17 @@ type Stats struct {
 	DriveLost  bool
 	DegradedTo string
 
+	// FirstTuple is the virtual time from run start to the first pair
+	// delivered to the sink (zero when the join produced no output —
+	// check OutputTuples to distinguish "instant" from "never"). For
+	// runs whose output is staged for recovery, delivery means the
+	// commit that made the pair visible to the caller's sink.
+	FirstTuple sim.Duration
+	// Stopped reports that the run terminated early because its output
+	// was satisfied (ExecOptions.StopAfter reached or the StreamSink
+	// reported Satisfied) rather than by exhausting its inputs.
+	Stopped bool
+
 	// WallElapsed is the real elapsed time of the kernel run and
 	// WallOverlap the fraction of wall-clock device busy time that ran
 	// concurrently across devices. Both are zero on the purely virtual
@@ -328,6 +339,79 @@ type env struct {
 	retiredDrives []device.Drive
 	retiredArrays []device.Store
 	eodR, eodS    device.Addr // media EODs at run start, for scratch rollback
+
+	// Streaming state. All emissions funnel through e.emit so the run
+	// can count pairs, stamp the first-tuple time, and stop early.
+	// stopAfter caps emitted pairs (ExecOptions.StopAfter); streamSink
+	// is the caller's sink when it implements StreamSink, polled for
+	// Satisfied; emitted counts pairs the funnel has passed on (rolled
+	// back with a failed staged unit, so it tracks what will actually
+	// be delivered); firstEmitSet guards the FirstTuple stamp.
+	stopAfter    int64
+	streamSink   StreamSink
+	emitted      int64
+	firstEmitSet bool
+}
+
+// emit is the single emission funnel: every method delivers output
+// pairs through it, never straight to e.sink, so the run can count
+// pairs for the StopAfter cut-off (and roll the count back with a
+// failed staged unit).
+func (e *env) emit(p *sim.Proc, r, s block.Tuple) {
+	if e.stopAfter > 0 && e.emitted >= e.stopAfter {
+		// The cut-off is exact: a probe batch that keeps matching past
+		// the cap delivers nothing beyond it, and the next checkStop
+		// poll unwinds the run. Delivered output is min(n, |R ⋈ S|).
+		return
+	}
+	e.sink.Emit(p, r, s)
+	e.emitted++
+}
+
+// firstTupleSink sits at the bottom of the run's sink stack — beneath
+// any staging — and stamps Stats.FirstTuple when the first pair
+// actually reaches the caller's sink. Staged runs therefore report the
+// commit time, streaming runs the live emission time: honest delivery
+// either way.
+type firstTupleSink struct {
+	e     *env
+	inner Sink
+}
+
+// Emit implements Sink.
+func (f *firstTupleSink) Emit(p *sim.Proc, r, s block.Tuple) {
+	if !f.e.firstEmitSet {
+		f.e.firstEmitSet = true
+		f.e.stats.FirstTuple = sim.Duration(p.Now() - f.e.t0)
+	}
+	f.inner.Emit(p, r, s)
+}
+
+// Count implements Sink.
+func (f *firstTupleSink) Count() int64 { return f.inner.Count() }
+
+// ErrStopped is the internal control signal for a satisfied run: a
+// method returns it (via checkStop) when the output cut-off is reached,
+// every layer unwinds cleanly — pipelines drain, scratch frees — and
+// Exec converts it into a successful result with Stats.Stopped set. It
+// never escapes the package as an error.
+var ErrStopped = errors.New("join: output satisfied; stopped early")
+
+// checkStop is polled at emission points and before device reads. It
+// returns the kernel's cancellation cause when the whole simulation is
+// being torn down (a real error: the run is abandoned, not satisfied),
+// or ErrStopped when the run's output cut-off has been reached.
+func (e *env) checkStop() error {
+	if cause := e.k.CancelCause(); cause != nil {
+		return cause
+	}
+	if e.stopAfter > 0 && e.emitted >= e.stopAfter {
+		return ErrStopped
+	}
+	if e.streamSink != nil && e.streamSink.Satisfied() {
+		return ErrStopped
+	}
+	return nil
 }
 
 // newDoubleBuffer builds the configured double-buffer discipline over
@@ -362,6 +446,12 @@ func (e *env) markStepI(p *sim.Proc) {
 // nil sink counts matches only. Run is the single-join entry point: it
 // builds a one-shot Session, executes the join, and drains the kernel.
 func Run(m Method, spec Spec, res Resources, sink Sink) (*Result, error) {
+	return RunWith(m, spec, res, sink, ExecOptions{})
+}
+
+// RunWith is Run with execution options — the one-shot entry point for
+// streaming runs (ExecOptions.StopAfter, StreamSink early termination).
+func RunWith(m Method, spec Spec, res Resources, sink Sink, opts ExecOptions) (*Result, error) {
 	s, err := NewSession(res)
 	if err != nil {
 		return nil, err
@@ -370,7 +460,7 @@ func Run(m Method, spec Spec, res Resources, sink Sink) (*Result, error) {
 	var result *Result
 	var runErr error
 	s.k.Spawn("join:"+m.Symbol(), func(p *sim.Proc) {
-		result, runErr = s.Exec(p, m, spec, sink, ExecOptions{})
+		result, runErr = s.Exec(p, m, spec, sink, opts)
 	})
 	wall0 := time.Now()
 	if err := s.k.Run(); err != nil {
@@ -401,14 +491,14 @@ func Methods() []Method {
 }
 
 // AllMethods returns the paper's seven methods plus the sort-merge
-// baseline.
+// baseline and the symmetric streaming hash join.
 func AllMethods() []Method {
-	return append(Methods(), TTSM{})
+	return append(Methods(), TTSM{}, SymHash{})
 }
 
 // BySymbol returns the method with the given abbreviation
 // (case-sensitive, e.g. "CDT-NB/DB"); the paper's seven plus the
-// "TT-SM" baseline.
+// "TT-SM" baseline and the streaming "SYM-H".
 func BySymbol(symbol string) (Method, error) {
 	for _, m := range AllMethods() {
 		if m.Symbol() == symbol {

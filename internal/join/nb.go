@@ -94,9 +94,12 @@ func scanRAndProbe(e *env, p *sim.Proc, fR device.File, mr int64, table *hashTab
 			return err
 		}
 		err = forEachTuple(blks, func(t block.Tuple) {
-			table.probeWithR(p, e.sink, t)
+			table.probeWithR(e, p, t)
 		})
 		if err != nil {
+			return err
+		}
+		if err := e.checkStop(); err != nil {
 			return err
 		}
 	}

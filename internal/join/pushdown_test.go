@@ -44,7 +44,13 @@ func TestPushdownFiltersAllMethodsExact(t *testing.T) {
 			spec.FilterR = func(tp block.Tuple) bool { return keepR(tp.Key) }
 			spec.FilterS = func(tp block.Tuple) bool { return keepS(tp.Key) }
 			sink := &CountSink{}
-			result, err := Run(m, spec, fastRes(10, 64), sink)
+			res := fastRes(10, 64)
+			if m.Symbol() == "SYM-H" {
+				// SYM-H spills both sides of its deferred partitions, so
+				// it needs scratch for |R|+|S|, not just R.
+				res = fastRes(10, 256)
+			}
+			result, err := Run(m, spec, res, sink)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -105,6 +105,13 @@ func (e *env) readDev(p *sim.Proc, device string, read func() ([]block.Block, er
 	var deadline sim.Deadline
 	backoff := rec.Backoff
 	for attempt := 0; ; attempt++ {
+		// Early-termination poll: a satisfied (or cancelled) run stops
+		// issuing device work here, before the next transfer — this is
+		// what keeps a StopAfter run's tape/disk counters strictly below
+		// the full run's.
+		if err := e.checkStop(); err != nil {
+			return nil, err
+		}
 		blks, err := read()
 		if err == nil {
 			err = verifyBlocks(blks)
@@ -195,7 +202,11 @@ func (s *stagedSink) commit(p *sim.Proc) {
 func (s *stagedSink) reset() { s.pairs = nil }
 
 // staged runs work with output staged: committed on success, discarded
-// on failure. With recovery disabled it runs work directly.
+// on failure. A unit stopped by the output cut-off commits what it
+// emitted — those pairs are delivered, the stop just cut the unit
+// short — while a real failure also rolls the emission count back so
+// the restarted unit re-counts from the committed baseline. With
+// recovery disabled it runs work directly.
 func (e *env) staged(p *sim.Proc, work func() error) error {
 	if e.res.Recovery.Disabled {
 		return work()
@@ -203,13 +214,16 @@ func (e *env) staged(p *sim.Proc, work func() error) error {
 	outer := e.sink
 	st := &stagedSink{inner: outer}
 	e.sink = st
+	before := e.emitted
 	err := work()
 	e.sink = outer
-	if err == nil {
+	if err == nil || errors.Is(err, ErrStopped) {
 		sp := e.span(p, "stage-commit", obs.AInt("pairs", int64(len(st.pairs))))
 		st.commit(p)
 		sp.Close(p)
+		return err
 	}
+	e.emitted = before
 	return err
 }
 
@@ -276,10 +290,16 @@ func (e *env) degradeRerun(p *sim.Proc, cause error) error {
 	})
 
 	// Discard the failed attempt: staged output, leaked memory
-	// accounting, disk space, and tape scratch garbage.
+	// accounting, disk space, and tape scratch garbage. The emission
+	// count and first-tuple stamp restart with the rerun — nothing the
+	// failed attempt produced was delivered (Exec only degrades when
+	// the whole run is staged or nothing streamed out yet).
 	if e.outer != nil {
 		e.outer.reset()
 	}
+	e.emitted = 0
+	e.firstEmitSet = false
+	e.stats.FirstTuple = 0
 	e.mem.used = 0
 	e.retireDisks()
 	if m, ok := e.spec.R.Media.(device.Truncatable); ok && m.EOD() > e.eodR {

@@ -161,6 +161,21 @@ type ExecOptions struct {
 	// run never frees the file. Hash-partitioning methods ignore it
 	// (their Step I layout depends on M).
 	StagedR device.File
+	// StopAfter, when positive, stops the join once that many output
+	// pairs have been emitted: the run unwinds cleanly (pipelines
+	// drain, scratch frees) and succeeds with Stats.Stopped set. The
+	// emitted pairs are a prefix of the full result — a sub-multiset
+	// of what the complete run would produce. Distinct from any
+	// materialization limit a caller's sink applies: StopAfter stops
+	// device work, a sink-side cap merely discards.
+	//
+	// StopAfter (and any StreamSink-typed sink) puts the run in
+	// streaming mode: output flows to the sink as units commit instead
+	// of being staged until run end, which is what makes time-to-first-
+	// tuple real. The trade-off is that a drive-loss degrade can no
+	// longer transparently re-plan once pairs have been delivered —
+	// such a run fails with the loss error instead.
+	StopAfter int64
 }
 
 // devSnapshot records cumulative device counters at exec start so
@@ -240,18 +255,42 @@ func (s *Session) Exec(p *sim.Proc, m Method, spec Spec, sink Sink, opts ExecOpt
 	s.disks.ResetHighWater()
 	e := s.newEnv(p.Now(), spec, res, sink)
 	e.stagedR = opts.StagedR
+	e.stopAfter = opts.StopAfter
+	if ss, ok := sink.(StreamSink); ok {
+		e.streamSink = ss
+	}
+	streaming := e.stopAfter > 0 || e.streamSink != nil
+	// The first-tuple stamp sits beneath any staging, so it records
+	// when a pair actually reached the caller's sink.
+	e.sink = &firstTupleSink{e: e, inner: sink}
 	// Stage the run's output so a drive-loss re-plan can discard the
 	// failed attempt's emissions and start over without
-	// double-delivering.
-	if !res.Recovery.Disabled {
-		e.outer = &stagedSink{inner: sink}
+	// double-delivering. Streaming runs skip the whole-run staging —
+	// the point is that pairs reach the sink as units commit — and
+	// give up the transparent re-plan in exchange (see
+	// ExecOptions.StopAfter).
+	if !res.Recovery.Disabled && !streaming {
+		e.outer = &stagedSink{inner: e.sink}
 		e.sink = e.outer
 	}
 
 	runErr := m.run(e, p)
+	if errors.Is(runErr, ErrStopped) {
+		e.stats.Stopped = true
+		runErr = nil
+	}
 	if runErr != nil && !res.Recovery.Disabled &&
 		errors.Is(runErr, fault.ErrDriveLost) && !e.stats.DriveLost {
-		runErr = e.degradeRerun(p, runErr)
+		if streaming && e.emitted > 0 {
+			runErr = fmt.Errorf("join: drive lost after %d pairs streamed; cannot re-plan delivered output: %w",
+				e.emitted, runErr)
+		} else {
+			runErr = e.degradeRerun(p, runErr)
+			if errors.Is(runErr, ErrStopped) {
+				e.stats.Stopped = true
+				runErr = nil
+			}
+		}
 	}
 	// A degrade swapped in replacement devices; they are the session's
 	// devices from here on. The replaced originals are kept until

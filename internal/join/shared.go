@@ -1,6 +1,7 @@
 package join
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/block"
@@ -142,6 +143,13 @@ func (s *Session) ExecShared(p *sim.Proc, bigS *relation.Relation, queries []Sha
 		err := sharedJoinChunk(e, p, c.blks, c.off, queries)
 		e.mem.release(c.n)
 		bufs.Put(p, 1)
+		if errors.Is(err, ErrStopped) {
+			// Every rider satisfied: stop the scan but keep draining the
+			// queue so the reader can finish its Send and exit.
+			e.stats.Stopped = true
+			e.abort = true
+			continue
+		}
 		if err != nil {
 			pipeErr = err
 			e.abort = true
@@ -173,7 +181,16 @@ func (s *Session) ExecShared(p *sim.Proc, bigS *relation.Relation, queries []Sha
 // every rider's disk-resident R against it. Riders run sequentially —
 // the disk array is the shared resource and its contention is what the
 // simulation accounts — with per-rider S filters applied at emission.
+// Riders whose StreamSink is already satisfied skip their probe scan;
+// once every rider is satisfied the chunk returns ErrStopped so the
+// pass can stop pulling S from tape.
 func sharedJoinChunk(e *env, p *sim.Proc, blks []block.Block, off int64, queries []SharedQuery) error {
+	if err := e.checkStop(); err != nil {
+		return err
+	}
+	if allRidersSatisfied(queries) {
+		return ErrStopped
+	}
 	sp := e.span(p, "join-chunk", obs.AInt("off", off))
 	defer sp.Close(p)
 	table := newHashTable()
@@ -182,6 +199,9 @@ func sharedJoinChunk(e *env, p *sim.Proc, blks []block.Block, off int64, queries
 	}
 	for i := range queries {
 		q := &queries[i]
+		if ss, ok := q.Sink.(StreamSink); ok && ss.Satisfied() {
+			continue
+		}
 		psp := e.span(p, "probe", obs.AInt("rider", int64(i)))
 		e.mem.acquire(q.MrBlocks)
 		err := func() error {
@@ -213,4 +233,16 @@ func sharedJoinChunk(e *env, p *sim.Proc, blks []block.Block, off int64, queries
 		}
 	}
 	return nil
+}
+
+// allRidersSatisfied reports whether every rider's sink is a satisfied
+// StreamSink — the shared pass has nothing left to produce.
+func allRidersSatisfied(queries []SharedQuery) bool {
+	for i := range queries {
+		ss, ok := queries[i].Sink.(StreamSink)
+		if !ok || !ss.Satisfied() {
+			return false
+		}
+	}
+	return true
 }

@@ -68,6 +68,48 @@ type Hasher interface {
 	Hash() uint64
 }
 
+// StreamSink is a Sink with a backpressure/stop signal: once Satisfied
+// reports true, the join stops reading input, unwinds its pipelines
+// cleanly, and returns with Stats.Stopped set. Satisfied is polled at
+// emission points and before device reads, so a few extra pairs may be
+// emitted between the flip and the stop — consumers that need an exact
+// cut-off should use ExecOptions.StopAfter, which counts emissions
+// inside the join itself. Note that while a recoverable unit's output
+// is staged (see Recovery), pairs reach the sink only at unit commit,
+// so a Satisfied signal derived from delivered pairs flips at unit
+// granularity.
+type StreamSink interface {
+	Sink
+	// Satisfied reports that the consumer needs no more output.
+	Satisfied() bool
+}
+
+// StopSink wraps a sink with an emission cap, turning it into a
+// StreamSink that is satisfied after N pairs: the canonical way to run
+// a top-k / LIMIT-n query against the streaming methods. A
+// non-positive N never satisfies.
+type StopSink struct {
+	Inner Sink
+	N     int64
+}
+
+// Emit implements Sink.
+func (s *StopSink) Emit(p *sim.Proc, r, t block.Tuple) { s.Inner.Emit(p, r, t) }
+
+// Count implements Sink.
+func (s *StopSink) Count() int64 { return s.Inner.Count() }
+
+// Satisfied implements StreamSink.
+func (s *StopSink) Satisfied() bool { return s.N > 0 && s.Inner.Count() >= s.N }
+
+// Hash implements Hasher when the inner sink does (0 otherwise).
+func (s *StopSink) Hash() uint64 {
+	if h, ok := s.Inner.(Hasher); ok {
+		return h.Hash()
+	}
+	return 0
+}
+
 // GroupCountSink is a pipelined aggregate consumer (the Section 3.2
 // case where "the join operator pipelines its output to an aggregate
 // operator"): it folds each match into a per-key count instead of

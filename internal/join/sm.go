@@ -451,7 +451,10 @@ func mergeJoin(e *env, p *sim.Proc, rDrive device.Drive, rReg device.Region,
 			}
 			for sOK && sT.Key == key {
 				for _, g := range group {
-					e.sink.Emit(p, g, sT)
+					e.emit(p, g, sT)
+				}
+				if err := e.checkStop(); err != nil {
+					return err
 				}
 				sT, sOK, err = ss.next(p)
 				if err != nil {

@@ -142,8 +142,8 @@ func TestBySymbolFindsBaseline(t *testing.T) {
 	if err != nil || m.Symbol() != "TT-SM" {
 		t.Fatalf("BySymbol: %v %v", m, err)
 	}
-	if len(AllMethods()) != 8 {
-		t.Fatalf("AllMethods = %d, want 8", len(AllMethods()))
+	if len(AllMethods()) != 9 {
+		t.Fatalf("AllMethods = %d, want 9", len(AllMethods()))
 	}
 	// Methods() remains the paper's seven.
 	if len(Methods()) != 7 {

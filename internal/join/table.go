@@ -45,18 +45,18 @@ func (h *hashTable) addBlocksFiltered(blks []block.Block, keep keepFn) error {
 }
 
 // probeWithR probes with an R tuple against a table built on S tuples,
-// emitting (r, s) pairs.
-func (h *hashTable) probeWithR(p *sim.Proc, sink Sink, r block.Tuple) {
+// emitting (r, s) pairs through the env's emission funnel.
+func (h *hashTable) probeWithR(e *env, p *sim.Proc, r block.Tuple) {
 	for _, s := range h.m[r.Key] {
-		sink.Emit(p, r, s)
+		e.emit(p, r, s)
 	}
 }
 
 // probeWithS probes with an S tuple against a table built on R tuples,
-// emitting (r, s) pairs.
-func (h *hashTable) probeWithS(p *sim.Proc, sink Sink, s block.Tuple) {
+// emitting (r, s) pairs through the env's emission funnel.
+func (h *hashTable) probeWithS(e *env, p *sim.Proc, s block.Tuple) {
 	for _, r := range h.m[s.Key] {
-		sink.Emit(p, r, s)
+		e.emit(p, r, s)
 	}
 }
 

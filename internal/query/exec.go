@@ -112,9 +112,19 @@ type Query struct {
 	// Method forces a join method by symbol; empty lets the paper's
 	// cost model choose among feasible methods.
 	Method string
-	// Limit caps materialized rows (the count stays exact); 0 means
-	// 1000.
+	// Limit caps the rows materialized into Result.Rows; 0 means 1000.
+	// It is presentation-only: the join still runs to completion and
+	// Count / JoinMatches stay exact. To stop the join itself after n
+	// pairs, use StopAfter.
 	Limit int
+	// StopAfter, when positive, terminates the join after n output
+	// pairs (counted before the residual WHERE): a true top-k /
+	// LIMIT-n execution that stops reading the tapes, not just a
+	// materialization cap. The delivered pairs are a prefix of some
+	// complete run's output; Count and JoinMatches then reflect only
+	// the delivered prefix and Result.Stopped reports the early exit.
+	// Method selection prefers the streaming SYM-H join when feasible.
+	StopAfter int64
 }
 
 // Result is a query's outcome.
@@ -127,6 +137,10 @@ type Result struct {
 	Count int64
 	// JoinMatches is the raw join cardinality before Where.
 	JoinMatches int64
+	// Stopped reports that the join terminated early because
+	// Query.StopAfter was reached; Count and JoinMatches then cover
+	// only the delivered prefix.
+	Stopped bool
 	// Stats is the underlying join's device accounting.
 	Stats join.Stats
 }
@@ -370,6 +384,16 @@ func (q *Query) chooseMethod(res join.Resources) (join.Method, error) {
 	if q.Method != "" {
 		return join.BySymbol(q.Method)
 	}
+	// A stopped query wants time-to-first-tuple, not total throughput:
+	// the symmetric streaming join emits pairs while the materializing
+	// methods are still staging R, so it wins for any early cut-off.
+	// The cost model ranks whole-run response and would never pick it.
+	if q.StopAfter > 0 {
+		if m, err := join.BySymbol("SYM-H"); err == nil &&
+			m.Check(join.Spec{R: q.R.Rel, S: q.S.Rel}, res) == nil {
+			return m, nil
+		}
+	}
 	p := cost.Params{
 		RBlocks:  q.R.Rel.Region.N,
 		SBlocks:  q.S.Rel.Region.N,
@@ -408,6 +432,9 @@ func Run(q Query, res join.Resources) (*Result, error) {
 	}
 
 	if len(q.Aggregates) > 0 {
+		if q.StopAfter > 0 {
+			return nil, fmt.Errorf("query: StopAfter with Aggregates is unsupported: an aggregate over an arbitrary output prefix is not a meaningful result")
+		}
 		return q.runAggregate(res, method, c)
 	}
 	sink := &querySink{q: &q, where: c.where, selects: c.selects, limit: limit}
@@ -423,7 +450,7 @@ func Run(q Query, res join.Resources) (*Result, error) {
 			sink.err = err
 		}
 	})
-	result, err := join.Run(method, spec, res, sink)
+	result, err := join.RunWith(method, spec, res, sink, join.ExecOptions{StopAfter: q.StopAfter})
 	if err != nil {
 		return nil, err
 	}
@@ -435,6 +462,7 @@ func Run(q Query, res join.Resources) (*Result, error) {
 		Rows:        sink.rows,
 		Count:       sink.count,
 		JoinMatches: sink.matches,
+		Stopped:     result.Stats.Stopped,
 		Stats:       result.Stats,
 	}, nil
 }

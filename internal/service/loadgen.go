@@ -42,6 +42,11 @@ type LoadSpec struct {
 	// DeadlineMS applies this service deadline to every query
 	// (0 = none).
 	DeadlineMS int64
+	// StopAfter, when positive, turns every query into a true LIMIT-n:
+	// the daemon stops each join after this many pairs. Stop-after
+	// queries are forced onto the stream so the replay can observe the
+	// wall time to the first delivered pair.
+	StopAfter int64
 }
 
 // GenLoad expands the spec into queries over the named relations. The
@@ -71,6 +76,10 @@ func GenLoad(spec LoadSpec, rNames, sNames []string) []Request {
 		if spec.StreamEvery > 0 && i%spec.StreamEvery == 0 {
 			req.Stream = true
 		}
+		if spec.StopAfter > 0 {
+			req.StopAfter = spec.StopAfter
+			req.Stream = true
+		}
 		out[i] = req
 	}
 	return out
@@ -88,7 +97,12 @@ type Outcome struct {
 	OutputHash string
 	Streamed   int64
 	Dropped    int64
+	Stopped    bool
 	Latency    time.Duration
+	// FirstPair is the wall time from POST to the first streamed pair
+	// line (0 when the query streamed nothing) — the wire-level
+	// time-to-first-tuple a stop-after replay reports on.
+	FirstPair time.Duration
 	// Results counts result lines received — anything but 1 is a
 	// protocol violation.
 	Results int
@@ -108,6 +122,10 @@ type Report struct {
 	Sent, OK, Failed, Broken int
 	// P50, P90, P99 and Max summarize clean queries' wall latency.
 	P50, P90, P99, Max time.Duration
+	// FirstPairs counts queries that streamed at least one pair;
+	// FP50 and FP99 summarize their wall time to that first pair.
+	FirstPairs int
+	FP50, FP99 time.Duration
 }
 
 // Replay drives the queries through `clients` concurrent connections
@@ -147,7 +165,7 @@ func Replay(baseURL string, clients int, queries []Request) *Report {
 	wg.Wait()
 	rep.Wall = time.Since(start)
 
-	var lats []time.Duration
+	var lats, firsts []time.Duration
 	for _, o := range outcomes {
 		rep.Outcomes[o.ID] = o
 		switch {
@@ -160,12 +178,20 @@ func Replay(baseURL string, clients int, queries []Request) *Report {
 		}
 		if o.Err == "" {
 			lats = append(lats, o.Latency)
+			if o.FirstPair > 0 {
+				firsts = append(firsts, o.FirstPair)
+			}
 		}
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	if n := len(lats); n > 0 {
 		pct := func(q float64) time.Duration { return lats[int(q*float64(n-1))] }
 		rep.P50, rep.P90, rep.P99, rep.Max = pct(0.50), pct(0.90), pct(0.99), lats[n-1]
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	if n := len(firsts); n > 0 {
+		pct := func(q float64) time.Duration { return firsts[int(q*float64(n-1))] }
+		rep.FirstPairs, rep.FP50, rep.FP99 = n, pct(0.50), pct(0.99)
 	}
 	return rep
 }
@@ -206,6 +232,9 @@ func replayOne(httpc *http.Client, baseURL string, q Request) *Outcome {
 		case "accepted":
 			// informational
 		case "pair":
+			if o.Streamed == 0 {
+				o.FirstPair = time.Since(start)
+			}
 			o.Streamed++
 		case "result":
 			var res ResultLine
@@ -219,6 +248,7 @@ func replayOne(httpc *http.Client, baseURL string, q Request) *Outcome {
 				o.Shared, o.CacheHit = res.Shared, res.CacheHit
 				o.Matches, o.OutputHash = res.Matches, res.OutputHash
 				o.Dropped = res.StreamDropped
+				o.Stopped = res.Stopped
 				if res.ID != q.ID {
 					o.Err = fmt.Sprintf("result for %q, want %q", res.ID, q.ID)
 				}
@@ -238,13 +268,19 @@ func replayOne(httpc *http.Client, baseURL string, q Request) *Outcome {
 }
 
 // Summary renders the report for logs: one line of counts, one of
-// latency percentiles.
+// latency percentiles, and — when any query streamed pairs — one of
+// time-to-first-pair percentiles.
 func (r *Report) Summary() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"sent=%d ok=%d failed=%d broken=%d clients=%d wall=%v\nlatency p50=%v p90=%v p99=%v max=%v",
 		r.Sent, r.OK, r.Failed, r.Broken, r.Clients, r.Wall.Round(time.Millisecond),
 		r.P50.Round(time.Millisecond), r.P90.Round(time.Millisecond),
 		r.P99.Round(time.Millisecond), r.Max.Round(time.Millisecond))
+	if r.FirstPairs > 0 {
+		s += fmt.Sprintf("\nfirst-pair p50=%v p99=%v (over %d streamed queries)",
+			r.FP50.Round(time.Millisecond), r.FP99.Round(time.Millisecond), r.FirstPairs)
+	}
+	return s
 }
 
 // FetchStats scrapes GET /stats.

@@ -33,6 +33,12 @@ type Request struct {
 	// Stream asks for the matched pairs to be streamed back as JSONL
 	// ahead of the final result line.
 	Stream bool `json:"stream,omitempty"`
+	// StopAfter, when positive, stops the join after this many output
+	// pairs (a true LIMIT-n: tape reading stops, the result line carries
+	// stopped=true and an exact prefix count). Combine with Stream to
+	// receive the prefix as pair lines. StopAfter queries always run
+	// solo — never as shared-scan riders.
+	StopAfter int64 `json:"stop_after,omitempty"`
 }
 
 // Wire-format bounds enforced by DecodeRequest.
@@ -116,6 +122,9 @@ func (r *Request) Validate() error {
 	}
 	if r.DeadlineMS < 0 || r.DeadlineMS > MaxDeadlineMS {
 		return badf("deadline_ms %d outside [0, %d]", r.DeadlineMS, MaxDeadlineMS)
+	}
+	if r.StopAfter < 0 {
+		return badf("stop_after %d is negative", r.StopAfter)
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/block"
@@ -220,6 +221,11 @@ type ResultLine struct {
 	Failed    bool   `json:"failed,omitempty"`
 	Reason    string `json:"reason,omitempty"`
 	Matches   int64  `json:"matches"`
+	// Stopped marks a join terminated early — stop_after reached, or the
+	// streaming client went away; matches then counts only the delivered
+	// prefix. FirstTupleMS is the virtual time to the first output pair.
+	Stopped      bool    `json:"stopped,omitempty"`
+	FirstTupleMS float64 `json:"first_tuple_ms,omitempty"`
 	// OutputHash is the order-independent pair digest, "%016x" — the
 	// cross-schedule equivalence oracle, hex so the full uint64
 	// survives JSON.
@@ -255,10 +261,18 @@ func (s *Server) reject(w http.ResponseWriter, code int, kind, detail string) {
 // must never block on a slow client: beyond the window it drops the
 // pair and counts it. All Emits happen before the engine delivers the
 // result, so reading dropped after the result is race-free.
+//
+// It is a join.StreamSink: cancel flips the satisfied flag from the
+// handler's goroutine when the client goes away, and the join layer —
+// which polls Satisfied before every device read and at every emission
+// point — unwinds the query with a clean partial result. Only this
+// query stops; the resident kernel and every other tenant's work are
+// untouched.
 type streamSink struct {
 	join.CountSink
-	ch      chan [2]uint64
-	dropped int64
+	ch        chan [2]uint64
+	dropped   int64
+	cancelled atomic.Bool
 }
 
 // Emit implements join.Sink.
@@ -270,6 +284,13 @@ func (s *streamSink) Emit(p *sim.Proc, r, t block.Tuple) {
 		s.dropped++
 	}
 }
+
+// Satisfied implements join.StreamSink.
+func (s *streamSink) Satisfied() bool { return s.cancelled.Load() }
+
+// cancel asks the join to stop at its next poll. Safe from any
+// goroutine.
+func (s *streamSink) cancel() { s.cancelled.Store(true) }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -346,6 +367,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		Query: workload.Query{
 			ID: id, Method: req.Method,
 			R: relR, S: relS, Sink: sink,
+			StopAfter: req.StopAfter,
 		},
 		Tenant:   tenant,
 		Priority: req.Priority,
@@ -391,11 +413,22 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			flush()
 		}
 	}
+	// A streaming client that goes away mid-join cancels its query: the
+	// sink's satisfied flag flips, the join unwinds at its next poll
+	// with a clean partial result, and the drives stop reading for it.
+	// Non-streaming queries run to completion (their sink has no cancel
+	// path) — the result is simply discarded with the connection.
+	ctxDone := r.Context().Done()
 wait:
 	for {
 		select {
 		case p := <-pairCh:
 			writePair(p)
+		case <-ctxDone:
+			if ssink != nil {
+				ssink.cancel()
+			}
+			ctxDone = nil
 		case got, ok := <-resCh:
 			if ok {
 				res = got
@@ -419,12 +452,14 @@ drain:
 		Requested: res.Requested, Method: res.Method,
 		Shared: res.Shared, CacheHit: res.CacheHit, Requeued: res.Requeued,
 		Failed: res.Failed, Reason: res.Reason,
-		Matches:    res.Matches,
-		OutputHash: fmt.Sprintf("%016x", res.OutputHash),
-		WaitMS:     float64(res.WallWait()) / float64(time.Millisecond),
-		LatencyMS:  float64(res.WallLatency()) / float64(time.Millisecond),
-		VirtualMS:  float64(res.End-res.Start) / float64(time.Millisecond),
-		Streamed:   streamed,
+		Matches:      res.Matches,
+		Stopped:      res.Stopped,
+		FirstTupleMS: float64(res.FirstTuple) / float64(time.Millisecond),
+		OutputHash:   fmt.Sprintf("%016x", res.OutputHash),
+		WaitMS:       float64(res.WallWait()) / float64(time.Millisecond),
+		LatencyMS:    float64(res.WallLatency()) / float64(time.Millisecond),
+		VirtualMS:    float64(res.End-res.Start) / float64(time.Millisecond),
+		Streamed:     streamed,
 	}
 	if ssink != nil {
 		line.StreamDropped = ssink.dropped

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCancelAbortsAwait: a proc blocked in Await on a slow worker must
+// wake with the cancel cause as soon as the kernel integrates Cancel,
+// long before the worker posts; the late post is absorbed silently.
+func TestCancelAbortsAwait(t *testing.T) {
+	k := NewKernel()
+	cause := errors.New("query abandoned")
+	release := make(chan struct{})
+	var got error
+	k.Spawn("io", func(p *Proc) {
+		c := p.StartIO("slow-read")
+		worker(c, func() error { <-release; return nil })
+		_, got = p.Await(c)
+		if !c.Aborted() {
+			t.Error("completion not marked aborted")
+		}
+	})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		k.Cancel(cause)
+	}()
+	done := make(chan error, 1)
+	go func() { done <- k.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run wedged on a cancelled completion")
+	}
+	if !errors.Is(got, cause) {
+		t.Errorf("Await err = %v, want cause", got)
+	}
+	if k.IOPending() != 0 {
+		t.Errorf("IOPending = %d after cancel", k.IOPending())
+	}
+	// The worker's post after release must not panic the (finished)
+	// kernel's inbox path.
+	close(release)
+	time.Sleep(20 * time.Millisecond)
+	if got := k.CancelCause(); !errors.Is(got, cause) {
+		t.Errorf("CancelCause = %v, want cause", got)
+	}
+}
+
+// TestCancelFastFailsStartIO: once the cause is integrated, StartIO
+// returns an already-aborted completion and Await fails without
+// reaching a worker.
+func TestCancelFastFailsStartIO(t *testing.T) {
+	k := NewKernel()
+	cause := errors.New("stop")
+	k.Cancel(cause) // before Run: integrated on the first iteration
+	k.Spawn("io", func(p *Proc) {
+		if err := p.CancelCause(); !errors.Is(err, cause) {
+			t.Errorf("CancelCause = %v, want cause", err)
+		}
+		c := p.StartIO("read")
+		if !c.Aborted() {
+			t.Error("StartIO on a cancelled kernel not pre-aborted")
+		}
+		if _, err := p.Await(c); !errors.Is(err, cause) {
+			t.Errorf("Await err = %v, want cause", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelDefaultsToErrCancelled: Cancel(nil) integrates the
+// sentinel, and the first cause wins over later ones.
+func TestCancelDefaultsToErrCancelled(t *testing.T) {
+	k := NewKernel()
+	k.Cancel(nil)
+	k.Cancel(errors.New("too late"))
+	k.Spawn("p", func(p *Proc) {
+		if err := p.CancelCause(); !errors.Is(err, ErrCancelled) {
+			t.Errorf("CancelCause = %v, want ErrCancelled", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelDoesNotDisturbRunnableProcs: cancellation is cooperative —
+// procs that never look at CancelCause run to completion, holds and
+// all, and Run still returns nil.
+func TestCancelDoesNotDisturbRunnableProcs(t *testing.T) {
+	k := NewKernel()
+	k.Cancel(nil)
+	steps := 0
+	k.Spawn("busy", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Hold(time.Second)
+			steps++
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 5 {
+		t.Errorf("proc ran %d/5 steps under cancel", steps)
+	}
+	if k.Now() != Time(5*time.Second) {
+		t.Errorf("clock = %v, want 5s", k.Now())
+	}
+}
+
+// TestCancelWakesOnlyIOBlockedProcs: two procs, one io-blocked and one
+// holding; cancel wakes the io-blocked one with the cause while the
+// holder finishes its virtual wait normally.
+func TestCancelWakesOnlyIOBlockedProcs(t *testing.T) {
+	k := NewKernel()
+	cause := errors.New("cut")
+	release := make(chan struct{})
+	defer close(release)
+	var ioErr error
+	var held bool
+	k.Spawn("io", func(p *Proc) {
+		c := p.StartIO("read")
+		worker(c, func() error { <-release; return nil })
+		_, ioErr = p.Await(c)
+	})
+	k.Spawn("holder", func(p *Proc) {
+		p.Hold(3 * time.Second)
+		held = true
+	})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		k.Cancel(cause)
+	}()
+	done := make(chan error, 1)
+	go func() { done <- k.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run wedged")
+	}
+	if !errors.Is(ioErr, cause) {
+		t.Errorf("io proc err = %v, want cause", ioErr)
+	}
+	if !held {
+		t.Error("holding proc did not complete its virtual wait")
+	}
+}

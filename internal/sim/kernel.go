@@ -258,6 +258,11 @@ func (k *Kernel) Run() error {
 		if k.ioPending > 0 {
 			k.drainIO()
 		}
+		// Integrate a pending cancellation: publish the cause and abort
+		// outstanding completions so io-blocked procs wake with it.
+		if k.cancelPending.Load() {
+			k.integrateCancel()
+		}
 		var p *Proc
 		switch {
 		case len(k.ready) > 0:

@@ -371,7 +371,9 @@ func (e *OnlineEngine) pickLocked() (grp []*pendingQ, wait time.Duration) {
 			}
 		}
 	}
-	if e.cfg.Policy != SharedScan {
+	if e.cfg.Policy != SharedScan || seed.q.StopAfter > 0 {
+		// StopAfter queries run solo (see Query.StopAfter): a shared pass
+		// streams the whole S scan to every rider.
 		return []*pendingQ{seed}, 0
 	}
 
@@ -379,7 +381,7 @@ func (e *OnlineEngine) pickLocked() (grp []*pendingQ, wait time.Duration) {
 	// queue order, and let admission control pack them onto one pass.
 	cand := []*pendingQ{seed}
 	for _, pq := range e.queue {
-		if pq != seed && pq.q.S == seed.q.S && len(cand) < e.cfg.MaxShared {
+		if pq != seed && pq.q.S == seed.q.S && pq.q.StopAfter == 0 && len(cand) < e.cfg.MaxShared {
 			cand = append(cand, pq)
 		}
 	}

@@ -63,7 +63,18 @@ func sharedPlan(cfg Config, res join.Resources, queries []Query) []step {
 	// Fuse runs of queries over the same S *relation* (not merely the
 	// same cartridge: a shared pass streams one region once).
 	byS := groupBy(order, func(qi int) *relation.Relation { return queries[qi].S })
-	for _, group := range byS {
+	for _, full := range byS {
+		// StopAfter queries never ride a shared pass: the pass streams the
+		// whole S scan to every rider, so a prefix query would either see
+		// too much or force the pass to stop early for everyone.
+		group := full[:0:0]
+		for _, qi := range full {
+			if queries[qi].StopAfter > 0 {
+				steps = append(steps, step{indices: []int{qi}})
+				continue
+			}
+			group = append(group, qi)
+		}
 		for len(group) > 0 {
 			take := len(group)
 			if take > cfg.MaxShared {

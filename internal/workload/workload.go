@@ -54,6 +54,13 @@ type Query struct {
 	FilterR, FilterS func(block.Tuple) bool
 	// Sink receives the query's output pairs; nil counts matches only.
 	Sink join.Sink
+	// StopAfter, when positive, stops the join after this many output
+	// pairs. A StopAfter query always runs solo — its partial prefix
+	// cannot be subsumed by a shared pass, whose riders see the whole
+	// scan — and the scheduler prefers the streaming SYM-H method for
+	// it. It is never requeued after a device failure: pairs may already
+	// have been streamed to its sink, and a rerun would double-deliver.
+	StopAfter int64
 }
 
 // Policy selects the batch scheduling policy.
@@ -166,6 +173,12 @@ type QueryResult struct {
 	Start, End, Wait sim.Duration
 	// Matches is the output cardinality.
 	Matches int64
+	// Stopped marks a StopAfter query the join terminated early; Matches
+	// then counts only the delivered prefix. FirstTuple is the virtual
+	// time from service start to the first delivered pair (zero when the
+	// query produced no output or its method does not stream).
+	Stopped    bool
+	FirstTuple sim.Duration
 	// OutputHash is the order-independent digest of the query's emitted
 	// pairs, when its sink maintains one (the default CountSink does;
 	// see join.Hasher). Equal hashes mean the same multiset of pairs,
@@ -395,6 +408,14 @@ func (en *engine) chooseMethod(q Query, spec join.Spec, dBudget int64) (join.Met
 			return m, false, nil
 		}
 	}
+	if q.StopAfter > 0 {
+		// The cost model ranks whole-run response and would never pick a
+		// streaming method; for a prefix query, time-to-first-tuple is
+		// what matters, so prefer SYM-H whenever it is feasible.
+		if m, err := join.BySymbol("SYM-H"); err == nil && m.Check(spec, res) == nil {
+			return m, q.Method != "" && q.Method != "SYM-H", nil
+		}
+	}
 	params := cost.Params{
 		RBlocks: spec.R.Region.N, SBlocks: spec.S.Region.N,
 		MBlocks: res.MemoryBlocks, DBlocks: dBudget,
@@ -543,17 +564,20 @@ func (en *engine) runSingle(p *sim.Proc, qi int) error {
 		if !deviceFailure(err) {
 			return fmt.Errorf("workload: query %s: %w", q.ID, err)
 		}
-		if attempt == 0 {
+		if attempt == 0 && q.StopAfter == 0 {
 			en.out.Requeues++
 			en.logf(p, "requeue %s on surviving devices after: %v", q.ID, err)
 			continue
 		}
+		// StopAfter queries are never requeued: part of their prefix may
+		// already have been streamed to the sink, and a rerun would
+		// double-deliver it.
 		en.results[qi] = QueryResult{
-			ID: q.ID, Requested: q.Method, Requeued: true,
+			ID: q.ID, Requested: q.Method, Requeued: attempt > 0,
 			Failed: true, Reason: typedReason(ReasonDeviceFailed, err),
 			Start: start, End: sim.Duration(p.Now()), Wait: start,
 		}
-		en.logf(p, "query %s: failed after requeue (%v)", q.ID, err)
+		en.logf(p, "query %s: failed (%v)", q.ID, err)
 		return nil
 	}
 }
@@ -580,7 +604,7 @@ func (en *engine) tryQuery(p *sim.Proc, qi int, start sim.Duration, requeued boo
 	}
 
 	var st *staged
-	opts := join.ExecOptions{DiskBlocks: en.methodDiskBudget(0)}
+	opts := join.ExecOptions{DiskBlocks: en.methodDiskBudget(0), StopAfter: q.StopAfter}
 	if usesCopiedR(m.Symbol()) {
 		st, err = en.stagedR(p, q, false)
 		if err != nil {
@@ -615,6 +639,8 @@ func (en *engine) tryQuery(p *sim.Proc, qi int, start sim.Duration, requeued boo
 		Requeued: requeued,
 		Start:    start, End: sim.Duration(p.Now()), Wait: start,
 		Matches:    result.Stats.OutputTuples,
+		Stopped:    result.Stats.Stopped,
+		FirstTuple: result.Stats.FirstTuple,
 		OutputHash: sinkHash(sink),
 	}
 	return nil

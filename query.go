@@ -150,8 +150,16 @@ type QuerySpec struct {
 	Aggregates []Agg
 	// Method forces a join method; empty lets the cost model choose.
 	Method Method
-	// Limit caps materialized rows (default 1000); Count stays exact.
+	// Limit caps the rows materialized into QueryResult.Rows (default
+	// 1000). It is presentation-only: the join still runs to completion
+	// and Count stays exact. To stop the join itself, use StopAfter.
 	Limit int
+	// StopAfter, when positive, terminates the join after n output
+	// pairs: a true LIMIT-n execution that stops reading the tapes.
+	// The planner then prefers the streaming SYM-H method, Count covers
+	// only the delivered prefix, and QueryResult.Stopped reports the
+	// early exit. Incompatible with Aggregates.
+	StopAfter int64
 }
 
 // QueryResult is the outcome of RunQuery.
@@ -164,8 +172,14 @@ type QueryResult struct {
 	Count int64
 	// JoinMatches is the raw join cardinality before Where.
 	JoinMatches int64
+	// Stopped reports that StopAfter ended the join early; Count and
+	// JoinMatches then cover only the delivered prefix.
+	Stopped bool
 	// Response is the join's virtual response time.
 	Response time.Duration
+	// FirstTuple is the virtual time from start to the first delivered
+	// pair (zero when the join produced no output).
+	FirstTuple time.Duration
 }
 
 // RunQuery plans and executes the query on this system: the cost model
@@ -192,6 +206,7 @@ func (s *System) RunQuery(spec QuerySpec) (*QueryResult, error) {
 		Aggregates: spec.Aggregates,
 		Method:     forced,
 		Limit:      spec.Limit,
+		StopAfter:  spec.StopAfter,
 	}, s.res)
 	if err != nil {
 		return nil, err
@@ -201,6 +216,8 @@ func (s *System) RunQuery(spec QuerySpec) (*QueryResult, error) {
 		Rows:        res.Rows,
 		Count:       res.Count,
 		JoinMatches: res.JoinMatches,
+		Stopped:     res.Stopped,
 		Response:    res.Stats.Response,
+		FirstTuple:  time.Duration(res.Stats.FirstTuple),
 	}, nil
 }

@@ -72,6 +72,13 @@ const (
 // displace. Not part of the paper's seven; runnable for comparison.
 const TTSM Method = "TT-SM"
 
+// SYMH is the symmetric streaming hash join: both relations stream
+// concurrently and matches are emitted as they are discovered, so the
+// first output pair arrives while the materializing methods are still
+// staging R. Not part of the paper's seven; it is the method of choice
+// for JoinOptions.StopAfter / QuerySpec.StopAfter early termination.
+const SYMH Method = "SYM-H"
+
 // Methods lists all seven methods in the paper's order.
 func Methods() []Method {
 	return []Method{DTNB, CDTNBMB, CDTNBDB, DTGH, CDTGH, CTTGH, TTGH}
@@ -557,6 +564,13 @@ type Stats struct {
 	DisksLost  int
 	DriveLost  bool
 	DegradedTo string
+	// FirstTuple is the virtual time from run start to the first pair
+	// delivered to the output (zero when the join produced none).
+	FirstTuple time.Duration
+	// Stopped reports that the join terminated early because
+	// JoinOptions.StopAfter was reached rather than by exhausting its
+	// inputs; Matches and OutputHash then cover the delivered prefix.
+	Stopped bool
 	// WallElapsed is the real elapsed time of the run and WallOverlap
 	// the fraction of wall-clock device busy time that overlapped
 	// across devices. Both are zero on the "sim" backend; on the
@@ -587,14 +601,58 @@ type Result struct {
 	// was configured with Observe: per-phase critical-path analysis
 	// plus Chrome-trace, JSONL and metrics exporters.
 	Report *Report
+	// Sample holds the first JoinOptions.Sample output pairs.
+	Sample []SampledPair
 }
 
 func mbOf(blocks int64) float64 { return float64(blocks) / BlocksPerMB }
+
+// JoinOptions are per-join execution options for JoinWith.
+type JoinOptions struct {
+	// StopAfter, when positive, terminates the join after n output
+	// pairs: the join stops reading the tapes, unwinds its pipelines,
+	// and returns with Stats.Stopped set. The delivered pairs are a
+	// prefix of some complete run's output (a sub-multiset of the full
+	// result). Distinct from QuerySpec.Limit, which only caps
+	// materialized rows while the join runs to completion.
+	StopAfter int64
+	// Sample captures the first n output pairs into Result.Sample.
+	// Presentation-only, like QuerySpec.Limit: the join still runs to
+	// completion (unless StopAfter also ends it) and Stats.Matches
+	// stays exact.
+	Sample int
+}
+
+// SampledPair is one captured output pair (join keys only).
+type SampledPair struct {
+	RKey, SKey uint64
+}
+
+// sampleSink counts and digests like CountSink and additionally keeps
+// the first cap pairs for presentation.
+type sampleSink struct {
+	join.CountSink
+	cap   int
+	pairs []SampledPair
+}
+
+// Emit implements join.Sink.
+func (s *sampleSink) Emit(p *sim.Proc, r, t block.Tuple) {
+	s.CountSink.Emit(p, r, t)
+	if len(s.pairs) < s.cap {
+		s.pairs = append(s.pairs, SampledPair{RKey: r.Key, SKey: t.Key})
+	}
+}
 
 // Join runs the given method over r (the smaller relation) and s,
 // returning measured statistics. The relations must live on distinct
 // cartridges.
 func (s *System) Join(method Method, r, bigS *Relation) (*Result, error) {
+	return s.JoinWith(method, r, bigS, JoinOptions{})
+}
+
+// JoinWith is Join with per-run execution options.
+func (s *System) JoinWith(method Method, r, bigS *Relation, opts JoinOptions) (*Result, error) {
 	m, err := join.BySymbol(string(method))
 	if err != nil {
 		return nil, err
@@ -627,8 +685,17 @@ func (s *System) Join(method Method, r, bigS *Relation) (*Result, error) {
 		runRes.Faults = sched
 	}
 	runRes.Recovery.Disabled = s.cfg.DisableRecovery
-	sink := &join.CountSink{}
-	res, err := join.Run(m, join.Spec{R: r.rel, S: bigS.rel}, runRes, sink)
+	var sink interface {
+		join.Sink
+		join.Hasher
+	} = &join.CountSink{}
+	var sampler *sampleSink
+	if opts.Sample > 0 {
+		sampler = &sampleSink{cap: opts.Sample}
+		sink = sampler
+	}
+	res, err := join.RunWith(m, join.Spec{R: r.rel, S: bigS.rel}, runRes, sink,
+		join.ExecOptions{StopAfter: opts.StopAfter})
 	if err != nil {
 		return nil, err
 	}
@@ -640,7 +707,7 @@ func (s *System) Join(method Method, r, bigS *Relation) (*Result, error) {
 			Iterations:    res.Stats.Iterations,
 			RScans:        res.Stats.RScans,
 			Matches:       res.Stats.OutputTuples,
-			OutputHash:    sink.PairSum,
+			OutputHash:    sink.Hash(),
 			TapeReadMB:    mbOf(res.Stats.TapeBlocksRead),
 			TapeWrittenMB: mbOf(res.Stats.TapeBlocksWritten),
 			DiskReadMB:    mbOf(res.Stats.DiskBlocksRead),
@@ -658,10 +725,15 @@ func (s *System) Join(method Method, r, bigS *Relation) (*Result, error) {
 			DisksLost:     res.Stats.DisksLost,
 			DriveLost:     res.Stats.DriveLost,
 			DegradedTo:    res.Stats.DegradedTo,
+			FirstTuple:    time.Duration(res.Stats.FirstTuple),
+			Stopped:       res.Stats.Stopped,
 			WallElapsed:   time.Duration(res.Stats.WallElapsed),
 			WallOverlap:   res.Stats.WallOverlap,
 		},
 		BufferCapacityMB: mbOf(res.BufferCapacity),
+	}
+	if sampler != nil {
+		out.Sample = sampler.pairs
 	}
 	for _, smp := range res.BufferTrace {
 		out.BufferTrace = append(out.BufferTrace, UtilizationSample{
