@@ -435,3 +435,34 @@ func BenchmarkPushdownSelectivity(b *testing.B) {
 	}
 	b.ReportMetric(ratio, "full/filtered")
 }
+
+// BenchmarkSkewJoin runs the skew experiment's CI subset and reports
+// each Grace Hash method's virtual response on Zipf(0.99) keys under
+// the uniform planner (skew_zipf-*) and under skew-aware partitioning
+// (skew_aware-*). All eight metrics come from the deterministic
+// simulator, so benchreg gates them: a skew_aware regression means
+// the planner stopped absorbing the multi-load penalty.
+func BenchmarkSkewJoin(b *testing.B) {
+	track := map[tapejoin.Method]bool{
+		tapejoin.DTGH: true, tapejoin.CDTGH: true,
+		tapejoin.CTTGH: true, tapejoin.TTGH: true,
+	}
+	var rows []exp.SkewRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.Skew(benchScale, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := exp.SkewVerdict(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Backend != "sim" || !track[r.Method] {
+			continue
+		}
+		b.ReportMetric(r.Zipf.Seconds(), "skew_zipf-"+string(r.Method))
+		b.ReportMetric(r.ZipfAware.Seconds(), "skew_aware-"+string(r.Method))
+	}
+}

@@ -18,6 +18,7 @@
 //	paperbench -exp firsttuple      # streaming: time-to-first-tuple and time-to-k
 //	paperbench -exp chaos           # wall-clock fault tolerance on the file backend
 //	paperbench -exp obsload         # instrumentation overhead vs budget
+//	paperbench -exp skew            # uniform vs Zipf 0.99, skew-aware partitioning
 //	paperbench -exp all             # everything
 //
 // -scale shrinks the workloads (1.0 = the paper's sizes; see package
@@ -49,7 +50,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, workload, firsttuple, chaos, obsload, or all")
+	which := flag.String("exp", "all", "experiment: table2, table3, fig1..fig11, ablations, recovery, overlap, workload, firsttuple, chaos, obsload, skew, or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
 	format := flag.String("format", "text", "output format: text or json")
 	backend := flag.String("backend", "sim", "storage backend for the overlap experiment: sim or file")
@@ -192,6 +193,14 @@ func runJSON(which string, scale float64, backend string, quick bool) error {
 		}
 		out["obsload"] = rows
 		chaosErr = errors.Join(chaosErr, exp.ObsloadVerdict(rows))
+	}
+	if all || which == "skew" {
+		rows, err := exp.Skew(scale, quick)
+		if err != nil {
+			return err
+		}
+		out["skew"] = rows
+		chaosErr = errors.Join(chaosErr, exp.SkewVerdict(rows))
 	}
 	if len(out) == 1 {
 		return fmt.Errorf("unknown experiment %q", which)
@@ -362,8 +371,18 @@ func run(which string, scale float64, backend string, quick bool) error {
 		chaosErr = errors.Join(chaosErr, exp.ObsloadVerdict(rows))
 	}
 
+	if all || which == "skew" {
+		section("Skew: uniform vs Zipf 0.99 keys, uniform planner vs skew-aware partitioning")
+		rows, err := exp.Skew(scale, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatSkew(rows))
+		chaosErr = errors.Join(chaosErr, exp.SkewVerdict(rows))
+	}
+
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, overlap, workload, firsttuple, chaos, obsload, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want table2, table3, fig1..fig11, ablations, recovery, overlap, workload, firsttuple, chaos, obsload, skew, or all)", which)
 	}
 	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
 	return chaosErr

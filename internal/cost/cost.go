@@ -30,6 +30,20 @@ type Params struct {
 	TapeRate float64
 	// DiskRate is X_D, the aggregate disk rate in bytes/second.
 	DiskRate float64
+	// MaxKeyFrac is the fraction of tuples carried by the single most
+	// frequent join key (0 = uniform keys; hashutil.ZipfMaxKeyFrac
+	// supplies it for Zipf(theta) data). Under the uniform hash planner
+	// the bucket receiving that key outgrows one memory load, and Step
+	// II re-scans the matching S bucket once per extra load — the
+	// multi-load fallback the Grace Hash methods pay for skew.
+	MaxKeyFrac float64
+	// SkewAware models the skew-aware partitioning layer: heavy keys
+	// get dedicated partitions and collision-overflow buckets are
+	// split, so no partition exceeds one memory load and the
+	// multi-load penalty vanishes (the sketch and plan repair ride on
+	// scans the methods make anyway, so their cost is second-order in
+	// the transfer-only model).
+	SkewAware bool
 }
 
 // Validate reports parameter errors.
@@ -42,6 +56,9 @@ func (p Params) Validate() error {
 	}
 	if p.TapeRate <= 0 || p.DiskRate <= 0 {
 		return errors.New("cost: rates must be positive")
+	}
+	if p.MaxKeyFrac < 0 || p.MaxKeyFrac > 1 {
+		return fmt.Errorf("cost: MaxKeyFrac %v outside [0, 1]", p.MaxKeyFrac)
 	}
 	return nil
 }
@@ -115,6 +132,26 @@ func (p Params) ghBuckets() (float64, error) {
 		return 0, fmt.Errorf("M=%d < sqrt(|R|)=%.0f", p.MBlocks, math.Sqrt(r))
 	}
 	return math.Ceil(r / m), nil
+}
+
+// ghSkewExtra returns the extra S blocks the uniform Grace Hash
+// planner re-scans under key skew, given B buckets: the heaviest
+// bucket holds its uniform share |R|/B plus the heavy key's f*|R|,
+// needs ceil of that over one memory load (M-1 blocks; one block
+// scans S), and every load past the first re-reads the bucket's S
+// share (|S|/B + f*|S|). Zero when uniform, when the bucket still
+// fits one load, or when the skew-aware planner absorbs the skew.
+func (p Params) ghSkewExtra(b float64) float64 {
+	if p.MaxKeyFrac <= 0 || p.SkewAware {
+		return 0
+	}
+	r, s, m := float64(p.RBlocks), float64(p.SBlocks), float64(p.MBlocks)
+	heavyR := r/b + p.MaxKeyFrac*r
+	loads := math.Ceil(heavyR / math.Max(1, m-1))
+	if loads <= 1 {
+		return 0
+	}
+	return (loads - 1) * (s/b + p.MaxKeyFrac*s)
 }
 
 // EstimateMethod predicts one method's cost. Method symbols follow the
@@ -277,7 +314,8 @@ func (p Params) cdtNBDB() Estimate {
 //	T = t_T(R) + t_D(R) + ceil(S/d) * [t_T(d) + 2 t_D(d) + t_D(R)]
 func (p Params) dtGH() Estimate {
 	r, s := float64(p.RBlocks), float64(p.SBlocks)
-	if _, err := p.ghBuckets(); err != nil {
+	b, err := p.ghBuckets()
+	if err != nil {
 		return infeasible("DT-GH", "%v", err)
 	}
 	d := float64(p.DBlocks - p.RBlocks)
@@ -285,13 +323,14 @@ func (p Params) dtGH() Estimate {
 		return infeasible("DT-GH", "D=%d <= |R|=%d leaves no S buffer", p.DBlocks, p.RBlocks)
 	}
 	iters := math.Ceil(s / d)
+	extra := p.ghSkewExtra(b)
 	stepI := p.tT(r) + p.tD(r)
 	return Estimate{
 		Method:            "DT-GH",
 		StepISeconds:      stepI,
-		Seconds:           stepI + p.tT(s) + 2*p.tD(s) + iters*p.tD(r),
+		Seconds:           stepI + p.tT(s) + 2*p.tD(s) + iters*p.tD(r) + p.tD(extra),
 		DiskSpaceBlocks:   p.DBlocks,
-		DiskTrafficBlocks: p.RBlocks + int64(iters)*p.RBlocks + 2*p.SBlocks,
+		DiskTrafficBlocks: p.RBlocks + int64(iters)*p.RBlocks + 2*p.SBlocks + int64(extra),
 	}
 }
 
@@ -304,7 +343,8 @@ func (p Params) dtGH() Estimate {
 //	T = t_T(R) + t_D(R) + t_T(c) + (iters-1) max(t_T(c), t_D(2c+R)) + t_D(c+R)
 func (p Params) cdtGH() Estimate {
 	r, s := float64(p.RBlocks), float64(p.SBlocks)
-	if _, err := p.ghBuckets(); err != nil {
+	b, err := p.ghBuckets()
+	if err != nil {
 		return infeasible("CDT-GH", "%v", err)
 	}
 	d := float64(p.DBlocks - p.RBlocks)
@@ -313,13 +353,14 @@ func (p Params) cdtGH() Estimate {
 	}
 	iters := math.Ceil(s / d)
 	c := s / iters
+	extra := p.ghSkewExtra(b)
 	stepI := p.tT(r) + p.tD(r)
 	return Estimate{
 		Method:            "CDT-GH",
 		StepISeconds:      stepI,
-		Seconds:           stepI + p.tT(c) + (iters-1)*math.Max(p.tT(c), p.tD(2*c+r)) + p.tD(c+r),
+		Seconds:           stepI + p.tT(c) + (iters-1)*math.Max(p.tT(c), p.tD(2*c+r)) + p.tD(c+r) + p.tD(extra),
 		DiskSpaceBlocks:   p.DBlocks,
-		DiskTrafficBlocks: p.RBlocks + int64(iters)*p.RBlocks + 2*p.SBlocks,
+		DiskTrafficBlocks: p.RBlocks + int64(iters)*p.RBlocks + 2*p.SBlocks + int64(extra),
 	}
 }
 
@@ -341,7 +382,8 @@ func (p Params) cdtGH() Estimate {
 // chunk's join drains the pipeline.
 func (p Params) cttGH() Estimate {
 	r, s, dd := float64(p.RBlocks), float64(p.SBlocks), float64(p.DBlocks)
-	if _, err := p.ghBuckets(); err != nil {
+	b, err := p.ghBuckets()
+	if err != nil {
 		return infeasible("CTT-GH", "%v", err)
 	}
 	// Buckets are bounded by both memory and the disk assembly area:
@@ -351,14 +393,15 @@ func (p Params) cttGH() Estimate {
 	stepI := scans*p.tT(r) + p.tT(r)
 	iters := math.Ceil(s / dd)
 	c := s / iters
+	extra := p.ghSkewExtra(b)
 	joiner := p.tT(r) + p.tD(c)
 	hasher := p.tT(c) + p.tD(2*c)
 	return Estimate{
 		Method:            "CTT-GH",
 		StepISeconds:      stepI,
-		Seconds:           stepI + p.tT(c) + p.tD(c) + (iters-1)*math.Max(joiner, hasher) + joiner,
+		Seconds:           stepI + p.tT(c) + p.tD(c) + (iters-1)*math.Max(joiner, hasher) + joiner + p.tD(extra),
 		DiskSpaceBlocks:   p.DBlocks,
-		DiskTrafficBlocks: 2*p.RBlocks + 2*p.SBlocks,
+		DiskTrafficBlocks: 2*p.RBlocks + 2*p.SBlocks + int64(extra),
 	}
 }
 
@@ -371,7 +414,8 @@ func (p Params) cttGH() Estimate {
 //	T  = Ia + Ib + t_T(R) + t_T(S)
 func (p Params) ttGH() Estimate {
 	r, s, dd := float64(p.RBlocks), float64(p.SBlocks), float64(p.DBlocks)
-	if _, err := p.ghBuckets(); err != nil {
+	b, err := p.ghBuckets()
+	if err != nil {
 		return infeasible("TT-GH", "%v", err)
 	}
 	// The shared bucket count must keep an S bucket within the disk
@@ -384,10 +428,12 @@ func (p Params) ttGH() Estimate {
 	ia := math.Ceil(r/dd)*p.tT(r) + 2*p.tD(r) + p.tT(r)
 	ib := math.Ceil(s/dd)*p.tT(s) + 2*p.tD(s) + p.tT(s)
 	stepI := ia + ib
+	// TT-GH's S partitions live on tape, so its multi-load re-scans
+	// pay the tape rate, not the disk rate.
 	return Estimate{
 		Method:            "TT-GH",
 		StepISeconds:      stepI,
-		Seconds:           stepI + p.tT(r) + p.tT(s),
+		Seconds:           stepI + p.tT(r) + p.tT(s) + p.tT(p.ghSkewExtra(b)),
 		DiskSpaceBlocks:   p.DBlocks,
 		DiskTrafficBlocks: 2*p.RBlocks + 2*p.SBlocks,
 	}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/block"
+	"repro/internal/hashutil"
 )
 
 // fig13 builds the parameter point of Figures 1-3: |S| = 10|R|,
@@ -314,6 +315,65 @@ func TestQuickEstimatesWellFormed(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkewInflatesGraceHash checks the skew extension of the model:
+// with the heaviest key carrying MaxKeyFrac of the tuples (from
+// hashutil.ZipfMaxKeyFrac for Zipf 0.99), every GH method's estimate
+// inflates past its uniform value — the multi-load re-scans of the
+// overweight bucket's S share — and SkewAware removes the penalty.
+func TestSkewInflatesGraceHash(t *testing.T) {
+	p := Params{
+		RBlocks: 1024, SBlocks: 10240,
+		MBlocks: 48, DBlocks: 2048,
+		TapeRate: 1e6, DiskRate: 2e6,
+	}
+	frac := hashutil.ZipfMaxKeyFrac(0.99, 4096)
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("ZipfMaxKeyFrac(0.99, 4096) = %v", frac)
+	}
+	skewed, aware := p, p
+	skewed.MaxKeyFrac = frac
+	aware.MaxKeyFrac = frac
+	aware.SkewAware = true
+	for _, m := range []string{"DT-GH", "CDT-GH", "CTT-GH", "TT-GH"} {
+		uni := est(t, m, p)
+		sk := est(t, m, skewed)
+		aw := est(t, m, aware)
+		if sk.Seconds <= uni.Seconds {
+			t.Fatalf("%s: skew did not inflate the estimate: %.1f vs %.1f",
+				m, sk.Seconds, uni.Seconds)
+		}
+		if aw.Seconds != uni.Seconds {
+			t.Fatalf("%s: SkewAware should cancel the penalty: %.1f vs %.1f",
+				m, aw.Seconds, uni.Seconds)
+		}
+	}
+	// The NB methods scan all of R per iteration regardless of key
+	// distribution, so skew leaves them unchanged — and can therefore
+	// flip the advisor's choice.
+	for _, m := range []string{"DT-NB", "CDT-NB/MB", "CDT-NB/DB", "TT-SM"} {
+		uni := est(t, m, p)
+		sk := est(t, m, skewed)
+		if sk.Seconds != uni.Seconds {
+			t.Fatalf("%s: skew changed a non-GH estimate", m)
+		}
+	}
+}
+
+// TestValidateMaxKeyFrac rejects out-of-range key fractions.
+func TestValidateMaxKeyFrac(t *testing.T) {
+	p := fig13(4)
+	for _, bad := range []float64{-0.1, 1.5} {
+		p.MaxKeyFrac = bad
+		if err := p.Validate(); err == nil {
+			t.Fatalf("MaxKeyFrac %v passed Validate", bad)
+		}
+	}
+	p.MaxKeyFrac = 0.5
+	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -205,3 +205,40 @@ func FormatAnalytic(points []AnalyticPoint) string {
 	}
 	return FormatTable(headers, out)
 }
+
+// FormatSkew renders the skew experiment: per backend and method, the
+// virtual response on uniform keys, on Zipf(0.99) under the uniform
+// planner, and on the same Zipf input with skew-aware partitioning,
+// plus the planner's win and the plan repair it performed.
+func FormatSkew(rows []SkewRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		if !r.Feasible {
+			out = append(out, []string{
+				r.Backend, string(r.Method), "-", "-", "-", "-", "-",
+				"infeasible: " + r.Reason,
+			})
+			continue
+		}
+		// Sub-second responses (the file backend's unpaced runs) are
+		// wall-clock noise; a percentage of them would be meaningless.
+		win := "n/a"
+		if r.Zipf >= time.Second && r.ZipfAware >= time.Second {
+			win = fmt.Sprintf("%+.1f%%", (1-r.ZipfAware.Seconds()/r.Zipf.Seconds())*100)
+		}
+		plan := "trivial"
+		if r.SkewPartitions > 0 {
+			plan = fmt.Sprintf("%d heavy, %d parts", r.HeavyHitters, r.SkewPartitions)
+		}
+		out = append(out, []string{
+			r.Backend, string(r.Method),
+			secs(r.Uniform), secs(r.Zipf), secs(r.ZipfAware),
+			win, plan,
+			fmt.Sprintf("%d matches", r.Matches),
+		})
+	}
+	return FormatTable(
+		[]string{"Backend", "Method", "Uniform", "Zipf .99", "Zipf+skew", "Win", "Skew plan", "Output"},
+		out,
+	)
+}

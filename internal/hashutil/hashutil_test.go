@@ -139,3 +139,85 @@ func TestQuickPlanInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuickPlanBoundedInvariants(t *testing.T) {
+	// Property sweep over (rBlocks, mBlocks, maxBucket), including
+	// maxBucket = 0 (unbounded, must equal PlanBuckets) and the tight
+	// case maxBucket < M-1 where the largest-fitting-bucket fallback
+	// is intentionally skipped: relaxing the bucket target to M-1
+	// would violate the caller's disk-assembly bound, so the planner
+	// must either honor maxBucket or fail typed.
+	f := func(rSeed, mSeed uint16, bSeed uint8) bool {
+		r := int64(rSeed)%5000 + 1
+		m := int64(mSeed)%500 + 2
+		var maxBucket int64
+		switch bSeed % 4 {
+		case 0:
+			maxBucket = 0 // unbounded
+		case 1:
+			maxBucket = int64(bSeed)%(m-1) + 1 // tight: below M-1
+		case 2:
+			maxBucket = m - 1 // exactly the join-phase bound
+		default:
+			maxBucket = m + int64(bSeed) // loose: above M-1
+		}
+		p, err := PlanBucketsBounded(r, m, maxBucket)
+		if err != nil {
+			return errors.Is(err, ErrInsufficientMemory)
+		}
+		if p.B < 1 || p.WriteBuf < 1 || p.InBuf < 1 {
+			return false
+		}
+		// B write buffers plus the input buffer fit: B+1 <= M at
+		// minimum widths.
+		if int64(p.B)+1 > m || p.PartitionMemory() > m {
+			return false
+		}
+		// Join phase: bucket + one input block fit in memory.
+		if p.BucketBlocks+1 > m {
+			return false
+		}
+		// The caller's bound is honored whenever one was given.
+		if maxBucket > 0 && p.BucketBlocks > maxBucket {
+			return false
+		}
+		// Buckets cover the relation.
+		if int64(p.B)*p.BucketBlocks < r {
+			return false
+		}
+		// maxBucket = 0 must degenerate to PlanBuckets exactly.
+		if maxBucket == 0 {
+			q, qErr := PlanBuckets(r, m)
+			if qErr != nil || q != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanBoundedTightMaxBucketSkipsFallback(t *testing.T) {
+	// 288 blocks at M = 18 is feasible unbounded (bucket 17 = M-1 via
+	// the fallback), but a disk-assembly bound of 8 blocks forces
+	// B = 36 buckets, which need 37 > 18 memory blocks — the fallback
+	// must NOT fire (it would breach the bound) and the typed error
+	// must surface instead.
+	if _, err := PlanBucketsBounded(288, 18, 8); !errors.Is(err, ErrInsufficientMemory) {
+		t.Fatalf("err = %v, want ErrInsufficientMemory (fallback must stay skipped)", err)
+	}
+	// With memory to spare the same bound is honored with more,
+	// smaller buckets.
+	p, err := PlanBucketsBounded(288, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BucketBlocks > 8 {
+		t.Fatalf("bucket = %d exceeds bound 8", p.BucketBlocks)
+	}
+	if p.B != 36 {
+		t.Fatalf("B = %d, want 36", p.B)
+	}
+}

@@ -1,0 +1,240 @@
+package hashutil
+
+import "sort"
+
+// FreqSketch is a space-saving top-k frequency sketch (Metwally,
+// Agrawal, El Abbadi: "Efficient computation of frequent and top-k
+// elements in data streams"). It tracks at most cap keys; when a new
+// key arrives at capacity it inherits the minimum tracked count, so a
+// tracked key's count overestimates its true frequency by at most the
+// minimum count at admission time. Any key holding more than
+// Total/cap of the stream is guaranteed to be tracked, which is all
+// the skew planner needs: heavy hitters surface, noise stays cheap.
+type FreqSketch struct {
+	cap    int
+	counts map[uint64]int64
+	errs   map[uint64]int64
+	total  int64
+}
+
+// DefaultSketchK is the tracked-key capacity used when a caller does
+// not choose one: enough to surface every key above ~1.5% of the
+// stream, and small enough that the O(cap) eviction scan is noise.
+const DefaultSketchK = 64
+
+// NewFreqSketch returns a sketch tracking at most capacity keys
+// (DefaultSketchK if capacity <= 0).
+func NewFreqSketch(capacity int) *FreqSketch {
+	if capacity <= 0 {
+		capacity = DefaultSketchK
+	}
+	return &FreqSketch{
+		cap:    capacity,
+		counts: make(map[uint64]int64, capacity),
+		errs:   make(map[uint64]int64, capacity),
+	}
+}
+
+// Add observes one occurrence of key.
+func (s *FreqSketch) Add(key uint64) {
+	s.total++
+	if _, ok := s.counts[key]; ok {
+		s.counts[key]++
+		return
+	}
+	if len(s.counts) < s.cap {
+		s.counts[key] = 1
+		return
+	}
+	// Evict the minimum-count key; ties broken by key for determinism.
+	first := true
+	var minK uint64
+	var minC int64
+	for k, c := range s.counts {
+		if first || c < minC || (c == minC && k < minK) {
+			first, minK, minC = false, k, c
+		}
+	}
+	delete(s.counts, minK)
+	delete(s.errs, minK)
+	s.counts[key] = minC + 1
+	s.errs[key] = minC
+}
+
+// Total returns the number of observations.
+func (s *FreqSketch) Total() int64 { return s.total }
+
+// Count returns the (over)estimated count of key, 0 if untracked.
+func (s *FreqSketch) Count(key uint64) int64 { return s.counts[key] }
+
+// HeavyKey is one tracked key with its estimated count.
+type HeavyKey struct {
+	Key   uint64
+	Count int64
+}
+
+// TopK returns the tracked keys with estimated count >= minCount, in
+// deterministic order: descending count, ascending key. Counts are
+// corrected by each key's admission error so a late-arriving key that
+// merely inherited a large minimum is not reported as heavy.
+func (s *FreqSketch) TopK(minCount int64) []HeavyKey {
+	out := make([]HeavyKey, 0, len(s.counts))
+	for k, c := range s.counts {
+		if c -= s.errs[k]; c >= minCount && c > 0 {
+			out = append(out, HeavyKey{Key: k, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// IsolatedKey is a heavy hitter assigned a dedicated partition by a
+// SkewPlan.
+type IsolatedKey struct {
+	Key    uint64
+	Count  int64 // sketch estimate of the key's tuple count
+	Bucket int   // primary bucket the key hashes to
+	Part   int   // dedicated partition index
+}
+
+// SkewPlan refines a uniform Plan for a skewed key distribution: heavy
+// keys get dedicated partitions (a single key cannot be split by any
+// hash, so isolating it is the only way to stop it dragging hash-mates
+// past the memory budget), and buckets still oversized after isolation
+// are split by a secondary hash. Partition indices 0..Base.B-1 are the
+// primary buckets; isolated and split partitions extend the index
+// space to NParts. A heavy key whose dedicated partition alone exceeds
+// the budget is irreducible and spills: the join phase loads it in
+// memory-sized pieces (the multi-load path), which the plan prefers
+// over replicating build rows.
+type SkewPlan struct {
+	// Base is the uniform plan being refined.
+	Base Plan
+	// Heavy lists the isolated keys, descending count.
+	Heavy []IsolatedKey
+	// Splits maps a primary bucket to its residual sub-partition count
+	// (>= 2). Sub-partition 0 keeps the bucket's index; the rest live
+	// at SubBase[bucket]..SubBase[bucket]+k-2.
+	Splits map[int]int
+	// SubBase maps a split bucket to the index of its first extra
+	// sub-partition.
+	SubBase map[int]int
+	// NParts is the total partition count (Base.B when trivial).
+	NParts int
+
+	heavy map[uint64]int
+}
+
+// Trivial reports whether the plan is just the uniform base.
+func (sp *SkewPlan) Trivial() bool {
+	return sp == nil || (len(sp.Heavy) == 0 && len(sp.Splits) == 0)
+}
+
+// Partition maps a key to its final partition index in [0, NParts).
+func (sp *SkewPlan) Partition(key uint64) int {
+	if p, ok := sp.heavy[key]; ok {
+		return p
+	}
+	h := Hash(key)
+	b := int(h % uint64(sp.Base.B))
+	if k, ok := sp.Splits[b]; ok {
+		// The secondary hash uses the quotient bits the primary mod
+		// consumed nothing of, so it is independent of bucket choice.
+		if sub := int((h / uint64(sp.Base.B)) % uint64(k)); sub != 0 {
+			return sp.SubBase[b] + sub - 1
+		}
+	}
+	return b
+}
+
+// PartsOf returns the final partition indices fed by primary bucket b
+// in deterministic order: the bucket itself, its extra sub-partitions,
+// then isolated keys hashing to it.
+func (sp *SkewPlan) PartsOf(b int) []int {
+	parts := []int{b}
+	if k, ok := sp.Splits[b]; ok {
+		for i := 0; i < k-1; i++ {
+			parts = append(parts, sp.SubBase[b]+i)
+		}
+	}
+	for _, hk := range sp.Heavy {
+		if hk.Bucket == b {
+			parts = append(parts, hk.Part)
+		}
+	}
+	return parts
+}
+
+// BuildSkewPlan refines base given the measured primary-bucket sizes
+// (len(sizes) == base.B, in blocks) and the key-frequency sketch of
+// the same stream. target is the per-partition block budget — a
+// partition at or under target joins in a single memory load.
+// maxParts caps the total partition count (each partition needs a
+// write buffer when the probe relation is partitioned). The result is
+// deterministic for deterministic inputs, which matters because
+// recovery replays partitioning and must land on the same layout.
+//
+// Heavy keys are isolated first, largest first, while their bucket
+// overflows the budget; remaining overflow — hash collisions among
+// non-heavy keys — is split by the secondary hash. If maxParts stops
+// the repair early the leftover oversize simply spills to multi-load,
+// so the plan degrades gracefully rather than failing.
+func BuildSkewPlan(base Plan, sizes []int64, sk *FreqSketch, tuplesPerBlock int, target int64, maxParts int) *SkewPlan {
+	sp := &SkewPlan{
+		Base:    base,
+		Splits:  map[int]int{},
+		SubBase: map[int]int{},
+		NParts:  base.B,
+		heavy:   map[uint64]int{},
+	}
+	if target < 1 || len(sizes) != base.B || tuplesPerBlock < 1 {
+		return sp
+	}
+	rem := append([]int64(nil), sizes...)
+	next := base.B
+	blocksOf := func(tuples int64) int64 {
+		return (tuples + int64(tuplesPerBlock) - 1) / int64(tuplesPerBlock)
+	}
+	if sk != nil {
+		// Only keys that materially contribute — at least two blocks'
+		// worth of tuples — are worth a dedicated partition.
+		for _, hk := range sk.TopK(2 * int64(tuplesPerBlock)) {
+			if next >= maxParts {
+				break
+			}
+			b := Bucket(hk.Key, base.B)
+			bl := blocksOf(hk.Count)
+			if rem[b] <= target {
+				continue
+			}
+			sp.Heavy = append(sp.Heavy, IsolatedKey{Key: hk.Key, Count: hk.Count, Bucket: b, Part: next})
+			sp.heavy[hk.Key] = next
+			next++
+			if rem[b] -= bl; rem[b] < 0 {
+				rem[b] = 0
+			}
+		}
+	}
+	for b, sz := range rem {
+		if sz <= target || next >= maxParts {
+			continue
+		}
+		k := int((sz + target - 1) / target)
+		if room := maxParts - next + 1; k > room {
+			k = room
+		}
+		if k < 2 {
+			continue
+		}
+		sp.Splits[b] = k
+		sp.SubBase[b] = next
+		next += k - 1
+	}
+	sp.NParts = next
+	return sp
+}

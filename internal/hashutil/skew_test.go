@@ -1,0 +1,183 @@
+package hashutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFreqSketchExactUnderCapacity(t *testing.T) {
+	s := NewFreqSketch(8)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			s.Add(uint64(i))
+		}
+	}
+	if s.Total() != 15 {
+		t.Fatalf("total = %d", s.Total())
+	}
+	for i := int64(0); i < 5; i++ {
+		if got := s.Count(uint64(i)); got != i+1 {
+			t.Fatalf("count[%d] = %d, want %d", i, got, i+1)
+		}
+	}
+	top := s.TopK(2)
+	if len(top) != 4 || top[0].Key != 4 || top[0].Count != 5 {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestFreqSketchSurfacesHeavyHitterPastCapacity(t *testing.T) {
+	// One key holds 30% of a stream with 1000 distinct light keys; a
+	// 16-slot sketch must still report it on top with a count within
+	// the space-saving error bound (true count + Total/cap).
+	s := NewFreqSketch(16)
+	rng := rand.New(rand.NewSource(1))
+	const heavy, total = uint64(99999), 10000
+	heavyTrue := int64(0)
+	for i := 0; i < total; i++ {
+		if rng.Float64() < 0.3 {
+			s.Add(heavy)
+			heavyTrue++
+		} else {
+			s.Add(uint64(rng.Intn(1000)))
+		}
+	}
+	top := s.TopK(heavyTrue / 2)
+	if len(top) == 0 || top[0].Key != heavy {
+		t.Fatalf("heavy hitter not on top: %+v", top)
+	}
+	if c := top[0].Count; c < heavyTrue || c > heavyTrue+int64(total)/16 {
+		t.Fatalf("heavy count %d outside [%d, %d]", c, heavyTrue, heavyTrue+total/16)
+	}
+}
+
+func TestFreqSketchDeterministic(t *testing.T) {
+	feed := func() *FreqSketch {
+		s := NewFreqSketch(4)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 5000; i++ {
+			s.Add(uint64(rng.Intn(300)))
+		}
+		return s
+	}
+	a, b := feed().TopK(0), feed().TopK(0)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// buildSkewFixture makes a base plan and a synthetic key stream where
+// one key dominates, returning measured bucket sizes and the sketch —
+// the same inputs the join layer hands BuildSkewPlan.
+func buildSkewFixture(t *testing.T, b int, tpb int, heavyKey uint64, heavyTuples, lightTuples int64) (Plan, []int64, *FreqSketch) {
+	t.Helper()
+	base := Plan{B: b, BucketBlocks: (heavyTuples + lightTuples) / int64(tpb*b), WriteBuf: 1, InBuf: 1}
+	sizes := make([]int64, b)
+	tuples := make([]int64, b)
+	sk := NewFreqSketch(16)
+	rng := rand.New(rand.NewSource(3))
+	add := func(key uint64) {
+		sk.Add(key)
+		tuples[Bucket(key, b)]++
+	}
+	for i := int64(0); i < heavyTuples; i++ {
+		add(heavyKey)
+	}
+	for i := int64(0); i < lightTuples; i++ {
+		add(uint64(rng.Intn(1 << 20)))
+	}
+	for i := range sizes {
+		sizes[i] = (tuples[i] + int64(tpb) - 1) / int64(tpb)
+	}
+	return base, sizes, sk
+}
+
+func TestBuildSkewPlanIsolatesHeavyKeyAndRoutesConsistently(t *testing.T) {
+	const tpb, target = 4, 9
+	base, sizes, sk := buildSkewFixture(t, 8, tpb, 424242, 200, 800)
+	sp := BuildSkewPlan(base, sizes, sk, tpb, target, 64)
+	if sp.Trivial() {
+		t.Fatalf("plan stayed trivial; sizes = %v", sizes)
+	}
+	if len(sp.Heavy) == 0 || sp.Heavy[0].Key != 424242 {
+		t.Fatalf("heavy key not isolated: %+v", sp.Heavy)
+	}
+	hk := sp.Heavy[0]
+	if got := sp.Partition(424242); got != hk.Part || got < base.B {
+		t.Fatalf("heavy key routed to %d, want dedicated partition %d", got, hk.Part)
+	}
+	// Non-heavy keys stay inside [0, NParts) and agree with PartsOf.
+	fed := map[int][]int{}
+	for _, b := range []int{0, 1, 2, 3, 4, 5, 6, 7} {
+		for _, p := range sp.PartsOf(b) {
+			fed[p] = append(fed[p], b)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		k := uint64(rng.Intn(1 << 20))
+		p := sp.Partition(k)
+		if p < 0 || p >= sp.NParts {
+			t.Fatalf("key %d -> partition %d outside [0, %d)", k, p, sp.NParts)
+		}
+		srcs := fed[p]
+		if len(srcs) != 1 || srcs[0] != Bucket(k, base.B) {
+			t.Fatalf("partition %d fed by %v, but key %d has primary bucket %d",
+				p, srcs, k, Bucket(k, base.B))
+		}
+	}
+	// Deterministic rebuild: same inputs, same layout.
+	again := BuildSkewPlan(base, sizes, sk, tpb, target, 64)
+	if again.NParts != sp.NParts || len(again.Heavy) != len(sp.Heavy) {
+		t.Fatalf("rebuild differs: %+v vs %+v", again, sp)
+	}
+}
+
+func TestBuildSkewPlanSplitsCollisionOverflow(t *testing.T) {
+	// No single heavy key, but one bucket measured far over target —
+	// a pileup of light keys. The planner must split it by the
+	// secondary hash rather than isolate anything.
+	base := Plan{B: 4, BucketBlocks: 10, WriteBuf: 1, InBuf: 1}
+	sizes := []int64{40, 8, 8, 8}
+	sp := BuildSkewPlan(base, sizes, nil, 4, 10, 64)
+	if len(sp.Heavy) != 0 {
+		t.Fatalf("no sketch, but keys isolated: %+v", sp.Heavy)
+	}
+	if sp.Splits[0] != 4 {
+		t.Fatalf("bucket 0 split %d ways, want 4", sp.Splits[0])
+	}
+	if sp.NParts != 4+3 {
+		t.Fatalf("NParts = %d, want 7", sp.NParts)
+	}
+	// The split spreads bucket 0's keys across its sub-partitions.
+	seen := map[int]int{}
+	for k := uint64(0); k < 40000; k++ {
+		if Bucket(k, 4) != 0 {
+			continue
+		}
+		seen[sp.Partition(k)]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("split reached %d sub-partitions, want 4: %v", len(seen), seen)
+	}
+}
+
+func TestBuildSkewPlanRespectsMaxParts(t *testing.T) {
+	base := Plan{B: 4, BucketBlocks: 10, WriteBuf: 1, InBuf: 1}
+	sizes := []int64{100, 100, 100, 100}
+	sp := BuildSkewPlan(base, sizes, nil, 4, 5, 6)
+	if sp.NParts > 6 {
+		t.Fatalf("NParts = %d exceeds cap 6", sp.NParts)
+	}
+	// Degrades gracefully: still a valid router.
+	for k := uint64(0); k < 1000; k++ {
+		if p := sp.Partition(k); p < 0 || p >= sp.NParts {
+			t.Fatalf("key %d -> %d", k, p)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package hashutil
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zeta returns the generalized harmonic number H_{n,theta} =
+// sum_{i=1..n} 1/i^theta, the normalization constant of a Zipf(theta)
+// distribution over n keys. The first zetaCutoff terms are summed
+// exactly; the tail is the integral approximation
+// (n^(1-theta) - cutoff^(1-theta)) / (1-theta), accurate to well under
+// a percent for the key spaces the generator cares about. theta must
+// be in [0, 1).
+func Zeta(n float64, theta float64) float64 {
+	const zetaCutoff = 10000
+	if n <= zetaCutoff {
+		return zetaExact(n, theta)
+	}
+	tail := (math.Pow(n, 1-theta) - math.Pow(zetaCutoff, 1-theta)) / (1 - theta)
+	return zetaExact(zetaCutoff, theta) + tail
+}
+
+func zetaExact(n float64, theta float64) float64 {
+	sum := 0.0
+	for i := 1.0; i <= n; i++ {
+		sum += 1 / math.Pow(i, theta)
+	}
+	return sum
+}
+
+// ZipfMaxKeyFrac returns the probability of the single most frequent
+// key under Zipf(theta) over keys distinct values: 1/H_{n,theta}. This
+// is the irreducible single-key mass a partitioner cannot split, and
+// what the cost model uses to size the largest Grace-Hash bucket under
+// skew. Returns 0 for theta <= 0 (uniform) or keys == 0.
+func ZipfMaxKeyFrac(theta float64, keys uint64) float64 {
+	if theta <= 0 || keys == 0 {
+		return 0
+	}
+	return 1 / Zeta(float64(keys), theta)
+}
+
+// ZipfGen draws keys in [0, n) with rank-frequency following
+// Zipf(theta), 0 < theta < 1, using the rejection-free inverse method
+// of Gray et al. ("Quickly generating billion-record synthetic
+// databases", SIGMOD '94). Key 0 is the most frequent. One uniform
+// variate is consumed per draw, so a seeded *rand.Rand replays the
+// exact sequence.
+type ZipfGen struct {
+	n     uint64
+	nf    float64
+	theta float64
+	alpha float64
+	zetan float64
+	zeta2 float64
+	eta   float64
+}
+
+// NewZipfGen builds a generator over n keys. Panics if theta is
+// outside (0, 1) or n == 0; callers validate first.
+func NewZipfGen(n uint64, theta float64) *ZipfGen {
+	if n == 0 || theta <= 0 || theta >= 1 {
+		panic("hashutil: ZipfGen needs n > 0 and 0 < theta < 1")
+	}
+	nf := float64(n)
+	g := &ZipfGen{
+		n:     n,
+		nf:    nf,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: Zeta(nf, theta),
+		zeta2: 1 + math.Pow(0.5, theta),
+	}
+	// eta is undefined (division by zero direction) at n == 1, where
+	// every draw short-circuits to key 0 below anyway.
+	if n > 1 {
+		g.eta = (1 - math.Pow(2/nf, 1-theta)) / (1 - g.zeta2/g.zetan)
+	}
+	return g
+}
+
+// Next draws the next key using one Float64 from rng.
+func (g *ZipfGen) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < g.zeta2 {
+		return 1
+	}
+	k := g.nf * math.Pow(g.eta*u-g.eta+1, g.alpha)
+	if k >= g.nf {
+		return g.n - 1
+	}
+	return uint64(k)
+}

@@ -42,10 +42,15 @@ func planTapeTape(rBlocks, mBlocks, dBlocks int64) (hashutil.Plan, error) {
 }
 
 // appendFileToTape streams a disk file to the drive's end of data and
-// returns the contiguous region written. When pipelined, disk reads
-// overlap tape writes through a small queue (the concurrent methods);
-// otherwise the two alternate in one process (the sequential TT-GH).
-func appendFileToTape(e *env, p *sim.Proc, f device.File, dst device.Drive, pipelined bool) (device.Region, error) {
+// returns the contiguous region written. xform, when non-nil, rewrites
+// each batch of blocks before the tape write (with eof set on the last
+// batch so a stateful transform can flush) — the skew spool uses it to
+// project one partition out of a bucket file. When pipelined, disk
+// reads overlap tape writes through a small queue (the concurrent
+// methods); otherwise the two alternate in one process (the sequential
+// TT-GH).
+func appendFileToTape(e *env, p *sim.Proc, f device.File, dst device.Drive, pipelined bool,
+	xform func(blks []block.Block, eof bool) ([]block.Block, error)) (device.Region, error) {
 	sp := e.span(p, "spool-bucket", obs.AInt("blocks", f.Len()))
 	defer sp.Close(p)
 	var region device.Region
@@ -72,6 +77,14 @@ func appendFileToTape(e *env, p *sim.Proc, f device.File, dst device.Drive, pipe
 			if err != nil {
 				return device.Region{}, err
 			}
+			if xform != nil {
+				if blks, err = xform(blks, off+g >= f.Len()); err != nil {
+					return device.Region{}, err
+				}
+			}
+			if len(blks) == 0 {
+				continue
+			}
 			if err := write(p, blks); err != nil {
 				return device.Region{}, err
 			}
@@ -88,9 +101,15 @@ func appendFileToTape(e *env, p *sim.Proc, f device.File, dst device.Drive, pipe
 		for off := int64(0); off < f.Len(); off += e.res.IOChunk {
 			g := min64(e.res.IOChunk, f.Len()-off)
 			blks, err := e.diskRead(rp, f, off, g)
+			if err == nil && xform != nil {
+				blks, err = xform(blks, off+g >= f.Len())
+			}
 			if err != nil {
 				q.Send(rp, readMsg{err: err})
 				break
+			}
+			if len(blks) == 0 {
+				continue
 			}
 			q.Send(rp, readMsg{blks: blks})
 		}
@@ -126,15 +145,46 @@ func appendFileToTape(e *env, p *sim.Proc, f device.File, dst device.Drive, pipe
 // of buckets at a time. Each scan reads the source end to end, keeps
 // the tuples of the current bucket window, assembles those buckets in
 // full on disk, and appends them to dst's scratch space. Returns the
-// per-bucket tape regions, stored contiguously in bucket order.
+// per-partition tape regions, stored contiguously in spool order.
+//
+// skew, when non-nil, is the in/out skew-refinement handle. On the
+// build-side pass (sketch true, *skew nil) the first full scan
+// sketches key frequencies and counts exact bucket sizes, then builds
+// a SkewPlan before anything is spooled; with sketch false the
+// handle's plan — R's, possibly nil — is applied as-is, so TT-GH's S
+// pass lands on exactly R's partition map and never invents its own
+// (an oversized S bucket is harmless: only R partitions must fit
+// memory). A refined bucket is still assembled whole on disk, but
+// spooled one partition at a time: each sub-partition or isolated key
+// becomes its own tape region, read back by the join phase as an
+// ordinary (now memory-sized) bucket. Sketch, counts and plan are
+// deterministic, so a recovery replay lands on the same tape layout.
 func hashRelationToTape(e *env, p *sim.Proc, src device.Drive, region device.Region,
 	tuplesPerBlock int, tag byte, plan hashutil.Plan, dst device.Drive,
-	pipelined bool, keep keepFn, scans *int) ([]device.Region, error) {
+	pipelined bool, keep keepFn, scans *int, skew **hashutil.SkewPlan, sketch bool) ([]device.Region, error) {
 
 	b := plan.B
 	est := estBucketBlocks(region.N, b)
 
-	regions := make([]device.Region, b)
+	cur := func() *hashutil.SkewPlan {
+		if skew == nil {
+			return nil
+		}
+		return *skew
+	}
+	partsOf := func(bkt int) []int {
+		if sp := cur(); sp != nil {
+			return sp.PartsOf(bkt)
+		}
+		return []int{bkt}
+	}
+	nparts := b
+	if sp := cur(); sp != nil {
+		nparts = sp.NParts
+	}
+	regions := make([]device.Region, nparts)
+	// Sketch only while the plan is still open: the build-side pass.
+	sketched := !sketch || skew == nil || *skew != nil
 	done := 0
 	for done < b {
 		lo := done
@@ -164,9 +214,14 @@ func hashRelationToTape(e *env, p *sim.Proc, src device.Drive, region device.Reg
 			need := make([]bool, window)
 			anyNeed := false
 			for i := 0; i < window; i++ {
-				if regions[lo+i].N == 0 {
-					need[i] = true
-					anyNeed = true
+				// A bucket is outstanding while any of its partitions
+				// lacks a tape region (all of them, before a skew plan).
+				for _, part := range partsOf(lo + i) {
+					if regions[part].N == 0 {
+						need[i] = true
+						anyNeed = true
+						break
+					}
 				}
 			}
 			if !anyNeed {
@@ -185,6 +240,15 @@ func hashRelationToTape(e *env, p *sim.Proc, src device.Drive, region device.Reg
 				files[i] = f
 			}
 
+			var sk *hashutil.FreqSketch
+			var counts []int64
+			if !sketched {
+				if sk = e.newSketch(); sk == nil {
+					sketched = true
+				} else {
+					counts = make([]int64, b)
+				}
+			}
 			err := func() error {
 				memNeed := int64(window)*plan.WriteBuf + plan.InBuf
 				e.mem.acquire(memNeed)
@@ -194,12 +258,16 @@ func hashRelationToTape(e *env, p *sim.Proc, src device.Drive, region device.Reg
 						return files[bkt-lo].Append(fp, blks)
 					})
 				pt.only = func(bkt int) bool { return bkt >= lo && bkt < hi && need[bkt-lo] }
+				pt.sketch = sk
 
 				err := e.readTape(up, src, region, plan.InBuf, func(_ int64, blks []block.Block) error {
 					var addErr error
 					err := forEachTuple(blks, func(t block.Tuple) {
 						if addErr != nil || (keep != nil && !keep(t)) {
 							return
+						}
+						if counts != nil {
+							counts[hashutil.Bucket(t.Key, b)]++
 						}
 						addErr = pt.add(up, t)
 					})
@@ -218,17 +286,51 @@ func hashRelationToTape(e *env, p *sim.Proc, src device.Drive, region device.Reg
 			}
 			*scans++
 
+			// The full scan just completed the sketch and the exact
+			// bucket census; refine the plan before anything spools so
+			// every region lands at its final partition index.
+			if sk != nil {
+				sizes := make([]int64, b)
+				for i, c := range counts {
+					sizes[i] = (c + int64(tuplesPerBlock) - 1) / int64(tuplesPerBlock)
+				}
+				nsp := hashutil.BuildSkewPlan(plan, sizes, sk, tuplesPerBlock,
+					skewTarget(plan, e.res.MemoryBlocks), int(e.res.MemoryBlocks-1))
+				sketched = true
+				if !nsp.Trivial() {
+					*skew = nsp
+					e.stats.HeavyHitters = len(nsp.Heavy)
+					e.stats.SkewPartitions = nsp.NParts
+					regions = append(regions, make([]device.Region, nsp.NParts-len(regions))...)
+				}
+			}
+
 			// Append the completed buckets to the destination tape in
-			// bucket order.
+			// bucket order, refined buckets one partition at a time.
 			for i, f := range files {
 				if f == nil {
 					continue
 				}
-				reg, err := appendFileToTape(e, up, f, dst, pipelined)
-				if err != nil {
-					return err
+				parts := partsOf(lo + i)
+				if len(parts) == 1 {
+					reg, err := appendFileToTape(e, up, f, dst, pipelined, nil)
+					if err != nil {
+						return err
+					}
+					regions[lo+i] = reg
+				} else {
+					for _, part := range parts {
+						if regions[part].N != 0 {
+							continue // spooled by an attempt this restart superseded
+						}
+						reg, err := appendFileToTape(e, up, f, dst, pipelined,
+							partFilter(cur(), part, tuplesPerBlock, tag))
+						if err != nil {
+							return err
+						}
+						regions[part] = reg
+					}
 				}
-				regions[lo+i] = reg
 				f.Free()
 				files[i] = nil
 			}
@@ -297,8 +399,9 @@ func (CTTGH) run(e *env, p *sim.Proc) error {
 	}
 	// Step I: hash R from the R tape back onto the R tape's scratch
 	// space, assembling a disk-load of buckets per scan.
+	var skp *hashutil.SkewPlan
 	rRegions, err := hashRelationToTape(e, p, e.driveR, e.spec.R.Region,
-		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, e.driveR, true, e.filterR(), &e.stats.RScans)
+		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, e.driveR, true, e.filterR(), &e.stats.RScans, &skp, true)
 	if err != nil {
 		return err
 	}
@@ -306,17 +409,18 @@ func (CTTGH) run(e *env, p *sim.Proc) error {
 
 	scanBuf := scanBufFor(plan, e.res.MemoryBlocks)
 	maxLoad := e.res.MemoryBlocks - scanBuf
+	sLay := probeLayout(plan, skp, e.res.MemoryBlocks)
 
 	// Step II: all of the (surviving) disk space double-buffers the S
 	// buckets (|S_i| = d = D).
 	dbuf := e.newDoubleBuffer("s-buckets", e.effectiveD())
-	chunkCap := dbuf.ChunkCapacity() - int64(plan.B)
+	chunkCap := dbuf.ChunkCapacity() - int64(sLay.parts)
 	if chunkCap < 1 {
-		return fmt.Errorf("%w: D=%d cannot buffer S over %d buckets", ErrNeedDisk, e.effectiveD(), plan.B)
+		return fmt.Errorf("%w: D=%d cannot buffer S over %d buckets", ErrNeedDisk, e.effectiveD(), sLay.parts)
 	}
 
 	q := sim.NewQueue[ghChunk](e.k, "ctt-chunks", 1)
-	hasher := spawnChunkHasher(e, q, plan, chunkCap, dbuf)
+	hasher := spawnChunkHasher(e, q, sLay, chunkCap, dbuf)
 
 	// With a bi-directional drive, alternate the bucket scan direction
 	// each iteration: the head finishes iteration i exactly where
@@ -338,17 +442,17 @@ func (CTTGH) run(e *env, p *sim.Proc) error {
 		backward := biDir && c.iter%2 == 1
 		sp := e.span(p, "join-chunk", obs.AInt("off", c.off))
 		err := e.staged(p, func() error {
-			for b := 0; b < plan.B; b++ {
+			for b := 0; b < sLay.parts; b++ {
 				idx := b
 				if backward {
-					idx = plan.B - 1 - b
+					idx = sLay.parts - 1 - b
 				}
 				rSrc := tapeBucket{drive: e.driveR, region: rRegions[idx], reverse: backward}
 				if err := joinBucketPair(e, p, rSrc, diskBucket{c.files[idx]}, maxLoad, scanBuf); err != nil {
-					for ; b < plan.B; b++ {
+					for ; b < sLay.parts; b++ {
 						idx := b
 						if backward {
-							idx = plan.B - 1 - b
+							idx = sLay.parts - 1 - b
 						}
 						dbuf.Release(p, c.iter, c.files[idx].Len())
 						c.files[idx].Free()
@@ -381,7 +485,7 @@ func (CTTGH) run(e *env, p *sim.Proc) error {
 		// Sequential tail for the rest of S. The hashed R buckets live
 		// on tape, untouched by any disk loss, so ensureR is a no-op
 		// and chunk sizing gets the whole surviving disk.
-		return ghStepIISeq(e, p, plan, nextOff,
+		return ghStepIISeq(e, p, plan, sLay, nextOff,
 			func(*sim.Proc) error { return nil },
 			func(b int) bucketSource { return tapeBucket{drive: e.driveR, region: rRegions[b]} },
 			func() int64 { return 0 })

@@ -117,15 +117,17 @@ func joinBucketPair(e *env, p *sim.Proc, r, s bucketSource, maxLoad, scanBuf int
 }
 
 // partitionTapeToDisk hash-partitions a tape-resident relation (or a
-// chunk of it) into per-bucket striped disk files. Returns the bucket
-// files. reserve, when non-nil, is called with the block count of each
-// flush before the disk write — concurrent methods use it to acquire
+// chunk of it) into per-partition striped disk files, following lay's
+// partition count, buffers and routing. Returns the partition files.
+// sk, when non-nil, observes every surviving key (the skew sketch).
+// reserve, when non-nil, is called with the block count of each flush
+// before the disk write — concurrent methods use it to acquire
 // double-buffer space.
 func partitionTapeToDisk(e *env, p *sim.Proc, drive device.Drive, region device.Region,
-	tuplesPerBlock int, tag byte, plan hashutil.Plan, namePrefix string,
-	keep keepFn, reserve func(p *sim.Proc, n int64)) ([]device.File, error) {
+	tuplesPerBlock int, tag byte, lay layout, namePrefix string,
+	keep keepFn, sk *hashutil.FreqSketch, reserve func(p *sim.Proc, n int64)) ([]device.File, error) {
 
-	files := make([]device.File, plan.B)
+	files := make([]device.File, lay.parts)
 	ok := false
 	defer func() {
 		// A failed partition frees every bucket file, so retried units
@@ -141,17 +143,19 @@ func partitionTapeToDisk(e *env, p *sim.Proc, drive device.Drive, region device.
 		}
 		files[i] = f
 	}
-	e.mem.acquire(plan.PartitionMemory())
-	defer e.mem.release(plan.PartitionMemory())
+	e.mem.acquire(lay.memory())
+	defer e.mem.release(lay.memory())
 
-	pt := newPartitioner(plan.B, plan.WriteBuf, tuplesPerBlock, tag,
+	pt := newPartitioner(lay.parts, lay.writeBuf, tuplesPerBlock, tag,
 		func(fp *sim.Proc, bkt int, blks []block.Block) error {
 			if reserve != nil {
 				reserve(fp, int64(len(blks)))
 			}
 			return files[bkt].Append(fp, blks)
 		})
-	err := e.readTape(p, drive, region, plan.InBuf, func(_ int64, blks []block.Block) error {
+	pt.route = lay.route
+	pt.sketch = sk
+	err := e.readTape(p, drive, region, lay.inBuf, func(_ int64, blks []block.Block) error {
 		var addErr error
 		err := forEachTuple(blks, func(t block.Tuple) {
 			if addErr != nil || (keep != nil && !keep(t)) {
@@ -212,8 +216,12 @@ func freeAll(files []device.File) {
 
 // ensureRBuckets (re)partitions R into disk bucket files when they are
 // absent or lost extents to a failed disk. Re-entry pays a fresh tape
-// scan of R, counted in RScans.
-func (e *env) ensureRBuckets(p *sim.Proc, plan hashutil.Plan, fRB *[]device.File) error {
+// scan of R, counted in RScans. When skew-aware partitioning is on,
+// the pass sketches key frequencies while partitioning and then
+// repairs oversized buckets on disk, publishing the refined plan
+// through skp; both the sketch and the repair are deterministic, so a
+// recovery replay rebuilds the identical layout.
+func (e *env) ensureRBuckets(p *sim.Proc, plan hashutil.Plan, fRB *[]device.File, skp **hashutil.SkewPlan) error {
 	if *fRB != nil && !anyLost(*fRB) {
 		return nil
 	}
@@ -221,12 +229,21 @@ func (e *env) ensureRBuckets(p *sim.Proc, plan hashutil.Plan, fRB *[]device.File
 		freeAll(*fRB)
 		*fRB = nil
 	}
+	sk := e.newSketch()
 	sp := e.span(p, "hash-R", obs.AInt("buckets", int64(plan.B)))
 	files, err := partitionTapeToDisk(e, p, e.driveR, e.spec.R.Region,
-		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, "rb", e.filterR(), nil)
+		e.spec.R.TuplesPerBlock, e.spec.R.Tag, layoutOf(plan), "rb", e.filterR(), sk, nil)
 	sp.Close(p)
 	if err != nil {
 		return err
+	}
+	if sk != nil {
+		files, *skp, err = e.repairRSkew(p, plan, files, sk,
+			e.spec.R.TuplesPerBlock, e.spec.R.Tag, "rb")
+		if err != nil {
+			// repairRSkew freed every partition file already.
+			return err
+		}
 	}
 	*fRB = files
 	e.stats.RScans++
@@ -235,12 +252,13 @@ func (e *env) ensureRBuckets(p *sim.Proc, plan hashutil.Plan, fRB *[]device.File
 
 // ghStepIISeq is the sequential Step II of the Grace Hash methods and
 // the recovery tail of the concurrent ones: starting at startOff,
-// partition a disk-sized chunk of S into bucket files and join each
-// against its R bucket. Each chunk is one restartable unit with
-// bucket-granularity checkpoints: committed buckets are skipped on
-// restart, ensureR re-stages R if a disk loss destroyed it, and chunk
-// sizing follows the surviving disk capacity.
-func ghStepIISeq(e *env, p *sim.Proc, plan hashutil.Plan, startOff int64,
+// partition a disk-sized chunk of S into bucket files (following sLay,
+// which matches R's final partition map when a skew plan refined it)
+// and join each against its R partition. Each chunk is one restartable
+// unit with bucket-granularity checkpoints: committed buckets are
+// skipped on restart, ensureR re-stages R if a disk loss destroyed it,
+// and chunk sizing follows the surviving disk capacity.
+func ghStepIISeq(e *env, p *sim.Proc, plan hashutil.Plan, sLay layout, startOff int64,
 	ensureR func(*sim.Proc) error, rSrc func(b int) bucketSource, rDiskLen func() int64) error {
 
 	scanBuf := scanBufFor(plan, e.res.MemoryBlocks)
@@ -256,9 +274,9 @@ func ghStepIISeq(e *env, p *sim.Proc, plan hashutil.Plan, startOff int64,
 			}
 			if doneB == 0 {
 				d := e.effectiveD() - rDiskLen()
-				chunk := d - int64(plan.B)
+				chunk := d - int64(sLay.parts)
 				if chunk < 1 {
-					return fmt.Errorf("%w: %d blocks left to buffer S over %d buckets", ErrNeedDisk, d, plan.B)
+					return fmt.Errorf("%w: %d blocks left to buffer S over %d buckets", ErrNeedDisk, d, sLay.parts)
 				}
 				n = min64(chunk, s.N-off)
 			}
@@ -269,12 +287,12 @@ func ghStepIISeq(e *env, p *sim.Proc, plan hashutil.Plan, startOff int64,
 			sp := e.span(up, "stage-S", obs.AInt("off", off))
 			var err error
 			fSB, err = partitionTapeToDisk(e, up, e.driveS, s.Sub(off, n),
-				e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(), nil)
+				e.spec.S.TuplesPerBlock, e.spec.S.Tag, sLay, "sb", e.filterS(), nil, nil)
 			sp.Close(up)
 			if err != nil {
 				return err
 			}
-			for b := doneB; b < plan.B; b++ {
+			for b := doneB; b < sLay.parts; b++ {
 				b := b
 				if err := e.staged(up, func() error {
 					return joinBucketPair(e, up, rSrc(b), diskBucket{fSB[b]}, maxLoad, scanBuf)
@@ -322,7 +340,8 @@ func (DTGH) run(e *env, p *sim.Proc) error {
 	}
 	// Step I: hash R from tape to disk buckets, restartable as one unit.
 	var fRB []device.File
-	ensure := func(up *sim.Proc) error { return e.ensureRBuckets(up, plan, &fRB) }
+	var skp *hashutil.SkewPlan
+	ensure := func(up *sim.Proc) error { return e.ensureRBuckets(up, plan, &fRB, &skp) }
 	if err := e.runUnit(p, "hash-R", ensure); err != nil {
 		return err
 	}
@@ -330,8 +349,9 @@ func (DTGH) run(e *env, p *sim.Proc) error {
 
 	// Step II: iterate chunks of S sized to the spare disk space
 	// (partitioning an n-block chunk can emit up to n + B blocks — one
-	// partial per bucket — so each chunk leaves that slack).
-	err = ghStepIISeq(e, p, plan, 0, ensure,
+	// partial per bucket — so each chunk leaves that slack). S follows
+	// R's final partition map, skew-refined or not.
+	err = ghStepIISeq(e, p, plan, probeLayout(plan, skp, e.res.MemoryBlocks), 0, ensure,
 		func(b int) bucketSource { return diskBucket{fRB[b]} },
 		func() int64 { return totalLen(fRB) })
 	if err != nil {
@@ -364,7 +384,8 @@ func (CDTGH) run(e *env, p *sim.Proc) error {
 		return err
 	}
 	var fRB []device.File
-	ensure := func(up *sim.Proc) error { return e.ensureRBuckets(up, plan, &fRB) }
+	var skp *hashutil.SkewPlan
+	ensure := func(up *sim.Proc) error { return e.ensureRBuckets(up, plan, &fRB, &skp) }
 	if err := e.runUnit(p, "hash-R", ensure); err != nil {
 		return err
 	}
@@ -373,16 +394,17 @@ func (CDTGH) run(e *env, p *sim.Proc) error {
 	d := e.res.DiskBlocks - totalLen(fRB)
 	scanBuf := scanBufFor(plan, e.res.MemoryBlocks)
 	maxLoad := e.res.MemoryBlocks - scanBuf
+	sLay := probeLayout(plan, skp, e.res.MemoryBlocks)
 
 	dbuf := e.newDoubleBuffer("s-buckets", d)
-	// Chunks leave B blocks of slack for partial-block spill.
-	chunkCap := dbuf.ChunkCapacity() - int64(plan.B)
-	if chunkCap < int64(plan.B) {
-		return fmt.Errorf("%w: %d blocks left to buffer S over %d buckets", ErrNeedDisk, d, plan.B)
+	// Chunks leave one block of slack per partition for partial-block spill.
+	chunkCap := dbuf.ChunkCapacity() - int64(sLay.parts)
+	if chunkCap < int64(sLay.parts) {
+		return fmt.Errorf("%w: %d blocks left to buffer S over %d buckets", ErrNeedDisk, d, sLay.parts)
 	}
 
 	q := sim.NewQueue[ghChunk](e.k, "gh-chunks", 1)
-	hasher := spawnChunkHasher(e, q, plan, chunkCap, dbuf)
+	hasher := spawnChunkHasher(e, q, sLay, chunkCap, dbuf)
 
 	// Joiner: output is staged per chunk, so a mid-chunk fault leaves no
 	// partial deliveries behind; the sequential tail redoes the chunk.
@@ -399,9 +421,9 @@ func (CDTGH) run(e *env, p *sim.Proc) error {
 		}
 		sp := e.span(p, "join-chunk", obs.AInt("off", c.off))
 		err := e.staged(p, func() error {
-			for b := 0; b < plan.B; b++ {
+			for b := 0; b < sLay.parts; b++ {
 				if err := joinBucketPair(e, p, diskBucket{fRB[b]}, diskBucket{c.files[b]}, maxLoad, scanBuf); err != nil {
-					for ; b < plan.B; b++ {
+					for ; b < sLay.parts; b++ {
 						dbuf.Release(p, c.iter, c.files[b].Len())
 						c.files[b].Free()
 					}
@@ -432,7 +454,7 @@ func (CDTGH) run(e *env, p *sim.Proc) error {
 		}
 		// Degrade to the sequential Step II for the rest of S: same
 		// chunks and buckets, no pipeline, checkpoints per bucket.
-		err := ghStepIISeq(e, p, plan, nextOff, ensure,
+		err := ghStepIISeq(e, p, plan, sLay, nextOff, ensure,
 			func(b int) bucketSource { return diskBucket{fRB[b]} },
 			func() int64 { return totalLen(fRB) })
 		if err != nil {
@@ -457,7 +479,7 @@ type ghChunk struct {
 // Hash Step II: partition successive chunks of S into double-buffered
 // disk bucket files. On a fault it returns the chunk's buffer space,
 // poisons the queue and stops; the joiner's sequential tail takes over.
-func spawnChunkHasher(e *env, q *sim.Queue[ghChunk], plan hashutil.Plan,
+func spawnChunkHasher(e *env, q *sim.Queue[ghChunk], sLay layout,
 	chunkCap int64, dbuf buffer.DoubleBuffer) *sim.Proc {
 
 	s := e.spec.S.Region
@@ -469,7 +491,7 @@ func spawnChunkHasher(e *env, q *sim.Queue[ghChunk], plan hashutil.Plan,
 			var acq int64
 			sp := e.span(hp, "stage-S", obs.AInt("off", off))
 			files, err := partitionTapeToDisk(e, hp, e.driveS, s.Sub(off, n),
-				e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, "sb", e.filterS(),
+				e.spec.S.TuplesPerBlock, e.spec.S.Tag, sLay, "sb", e.filterS(), nil,
 				func(fp *sim.Proc, blks int64) {
 					dbuf.Acquire(fp, it, blks)
 					acq += blks

@@ -67,6 +67,24 @@ type Resources struct {
 	IOChunk int64
 	// Discipline selects the double-buffering scheme.
 	Discipline Discipline
+	// SkewAware enables skew-aware partitioning in the Grace-Hash
+	// methods: a key-frequency sketch is built while R streams through
+	// the partitioner, and buckets the uniform plan left oversized are
+	// repaired on disk — heavy-hitter keys get dedicated partitions,
+	// residual collision pileups are split by a secondary hash — so
+	// every partition fits a single memory load where the key
+	// distribution allows it. Off by default: the uniform path is
+	// byte-for-byte the paper's plan.
+	SkewAware bool
+	// SkewSketchK caps the sketch's tracked keys; 0 means
+	// hashutil.DefaultSketchK.
+	SkewSketchK int
+	// ProbeNarrow enables CDF-model probe-range narrowing in the
+	// sort-merge path: sparse (first key, block) samples collected
+	// while the sorted runs are written let the merge join seek past
+	// provably matchless stretches of either input instead of
+	// streaming through them. Off by default.
+	ProbeNarrow bool
 	// Trace, when non-nil, records every device I/O event of the run
 	// for timeline rendering.
 	Trace *trace.Recorder
@@ -227,6 +245,18 @@ type Stats struct {
 	DisksLost  int
 	DriveLost  bool
 	DegradedTo string
+
+	// HeavyHitters is the number of keys the skew-aware planner
+	// isolated into dedicated partitions; SkewPartitions is the final
+	// partition count after repair. Both are zero when SkewAware is
+	// off or the uniform plan needed no repair.
+	HeavyHitters   int
+	SkewPartitions int
+	// ProbeJumps counts the merge-join probe-range jumps taken via the
+	// CDF model (Resources.ProbeNarrow); ProbeSkippedBlocks is the
+	// block reads those jumps avoided.
+	ProbeJumps         int64
+	ProbeSkippedBlocks int64
 
 	// FirstTuple is the virtual time from run start to the first pair
 	// delivered to the sink (zero when the join produced no output —

@@ -61,6 +61,9 @@ type oracleCase struct {
 	tuplesPerBlock       int
 	keySpace             uint64
 	hotFraction, hotProb float64
+	zipfTheta            float64
+	skewAware            bool
+	memBlocks            int64 // overrides the oracle's default M when nonzero
 	seed                 int64
 }
 
@@ -75,7 +78,7 @@ func (c oracleCase) build(t *testing.T) Spec {
 	r, err := relation.WriteToTape(relation.Config{
 		Name: "R", Tag: 1, Blocks: c.rBlocks, TuplesPerBlock: c.tuplesPerBlock,
 		KeySpace: c.keySpace, HotFraction: c.hotFraction, HotProb: c.hotProb,
-		PayloadBytes: 8, Seed: c.seed,
+		ZipfTheta: c.zipfTheta, PayloadBytes: 8, Seed: c.seed,
 	}, mR)
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +86,7 @@ func (c oracleCase) build(t *testing.T) Spec {
 	s, err := relation.WriteToTape(relation.Config{
 		Name: "S", Tag: 2, Blocks: c.sBlocks, TuplesPerBlock: c.tuplesPerBlock,
 		KeySpace: c.keySpace, HotFraction: c.hotFraction, HotProb: c.hotProb,
-		PayloadBytes: 8, Seed: c.seed + 1,
+		ZipfTheta: c.zipfTheta, PayloadBytes: 8, Seed: c.seed + 1,
 	}, mS)
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +130,18 @@ func TestCrossMethodEquivalenceOracle(t *testing.T) {
 		{name: "skewed", rBlocks: 16, sBlocks: 48, tuplesPerBlock: 4, keySpace: 256,
 			hotFraction: 0.1, hotProb: 0.8, seed: 13},
 		{name: "mid", rBlocks: 24, sBlocks: 96, tuplesPerBlock: 5, keySpace: 150, seed: 23},
+		// Zipf 0.99 pins correctness under real key skew on both
+		// backends: once with the uniform planner (multi-load
+		// fallback), once with skew-aware partitioning (sketch,
+		// heavy-hitter isolation and bucket splitting) — the output
+		// multiset must not move.
+		// Memory is squeezed to M=10 so the uniform planner's largest
+		// bucket overflows one load and the skew-aware twin really
+		// repairs the plan rather than leaving it trivial.
+		{name: "zipf99", rBlocks: 64, sBlocks: 192, tuplesPerBlock: 4, keySpace: 4096,
+			zipfTheta: 0.99, memBlocks: 10, seed: 41},
+		{name: "zipf99-skewaware", rBlocks: 64, sBlocks: 192, tuplesPerBlock: 4, keySpace: 4096,
+			zipfTheta: 0.99, skewAware: true, memBlocks: 10, seed: 41},
 	}
 	// Randomized extension: a fixed-seed generator adds cases so the
 	// oracle explores fresh size/skew/seed combinations without losing
@@ -161,6 +176,10 @@ func TestCrossMethodEquivalenceOracle(t *testing.T) {
 					// case size (GH needs M >= sqrt(|R|), NB/DB needs
 					// D >= |R| + 0.9M).
 					res := be.res(t)
+					res.SkewAware = c.skewAware
+					if c.memBlocks != 0 {
+						res.MemoryBlocks = c.memBlocks
+					}
 					if _, err := Run(m, spec, res, sink); err != nil {
 						t.Fatalf("%s/%s: %v", be.name, m.Symbol(), err)
 					}

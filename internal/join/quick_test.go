@@ -85,7 +85,9 @@ func TestQuickAllMethodsAgreeOnRandomConfigs(t *testing.T) {
 // heavily skewed keys, exercising the bucket-overflow fallback.
 func TestQuickSkewedConfigsStayExact(t *testing.T) {
 	f := func(seed uint8, hotP uint8) bool {
-		hotProb := float64(hotP%90) / 100
+		// Strictly positive: Validate rejects HotFraction > 0 with
+		// HotProb == 0 as an inconsistent skew spec.
+		hotProb := float64(hotP%90+1) / 100
 		mkSpec := func() Spec {
 			mR := tape.NewMedia("qr", 512)
 			mS := tape.NewMedia("qs", 512)

@@ -1,0 +1,177 @@
+package join
+
+import (
+	"testing"
+
+	"repro/internal/hashutil"
+	"repro/internal/relation"
+	"repro/internal/sim"
+	"repro/internal/tape"
+)
+
+// specZipf builds an R/S pair drawn from a Zipf(theta) key
+// distribution, with scratch space for the tape-tape methods.
+func specZipf(t *testing.T, rBlocks, sBlocks int64, theta float64) Spec {
+	t.Helper()
+	mR := tape.NewMedia("tapeR", rBlocks+sBlocks+256)
+	mS := tape.NewMedia("tapeS", sBlocks+rBlocks+256)
+	r, err := relation.WriteToTape(relation.Config{
+		Name: "R", Tag: 1, Blocks: rBlocks, TuplesPerBlock: 4,
+		KeySpace: 4096, PayloadBytes: 8, Seed: 11, ZipfTheta: theta,
+	}, mR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := relation.WriteToTape(relation.Config{
+		Name: "S", Tag: 2, Blocks: sBlocks, TuplesPerBlock: 4,
+		KeySpace: 4096, PayloadBytes: 8, Seed: 22, ZipfTheta: theta,
+	}, mS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{R: r, S: s}
+}
+
+// uniformBucketBlocks replays R's key stream through the uniform plan
+// and returns each primary bucket's exact on-disk size in blocks.
+func uniformBucketBlocks(spec Spec, plan hashutil.Plan) []int64 {
+	tuples := make([]int64, plan.B)
+	for k, c := range spec.R.KeyCounts() {
+		tuples[hashutil.Bucket(k, plan.B)] += c
+	}
+	tpb := int64(spec.R.TuplesPerBlock)
+	sizes := make([]int64, plan.B)
+	for i, c := range tuples {
+		sizes[i] = (c + tpb - 1) / tpb
+	}
+	return sizes
+}
+
+// TestSkewAwarePartitioningGHFamily is the acceptance test for the
+// skew-aware partitioning layer: under Zipf 0.99 at a scale where the
+// uniform planner's largest bucket exceeds M-1 (forcing the multi-load
+// fallback), every GH method with SkewAware on must (a) detect heavy
+// hitters and refine the partition map, (b) produce output identical
+// to its own uniform run and to the replayed expectation, and (c) at
+// least one method must finish in less virtual time than its uniform
+// twin.
+func TestSkewAwarePartitioningGHFamily(t *testing.T) {
+	const (
+		m     = 12
+		d     = 256
+		r     = 64
+		s     = 256
+		theta = 0.99
+	)
+	premise := specZipf(t, r, s, theta)
+	plan, err := hashutil.PlanBuckets(premise.R.Region.N, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := uniformBucketBlocks(premise, plan)
+	var maxBucket int64
+	for _, sz := range sizes {
+		if sz > maxBucket {
+			maxBucket = sz
+		}
+	}
+	if maxBucket <= m-1 {
+		t.Fatalf("premise broken: uniform max bucket %d fits M-1=%d; buckets %v",
+			maxBucket, m-1, sizes)
+	}
+	want := relation.ExpectedMatches(premise.R, premise.S)
+	if want == 0 {
+		t.Fatal("zipf relations share no keys; bad generator config")
+	}
+
+	wins := 0
+	for _, sym := range []string{"DT-GH", "CDT-GH", "CTT-GH", "TT-GH"} {
+		method, err := BySymbol(sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(skewAware bool) (Stats, uint64, sim.Duration) {
+			sink := &CountSink{}
+			res := fastRes(m, d)
+			res.SkewAware = skewAware
+			result, err := Run(method, specZipf(t, r, s, theta), res, sink)
+			if err != nil {
+				t.Fatalf("%s (skew=%v): %v", sym, skewAware, err)
+			}
+			if sink.Matches != want {
+				t.Fatalf("%s (skew=%v): %d matches, want %d", sym, skewAware, sink.Matches, want)
+			}
+			return result.Stats, sink.KeySum, result.Stats.Response
+		}
+		uniStats, uniSum, uniResp := run(false)
+		skewStats, skewSum, skewResp := run(true)
+
+		if uniStats.HeavyHitters != 0 || uniStats.SkewPartitions != 0 {
+			t.Fatalf("%s: uniform run reports skew stats %+v", sym, uniStats)
+		}
+		if skewStats.HeavyHitters < 1 {
+			t.Fatalf("%s: skew run isolated no heavy hitters", sym)
+		}
+		if skewStats.SkewPartitions <= plan.B {
+			t.Fatalf("%s: SkewPartitions = %d, want > B=%d", sym, skewStats.SkewPartitions, plan.B)
+		}
+		if skewSum != uniSum {
+			t.Fatalf("%s: key checksum %d (skew) != %d (uniform)", sym, skewSum, uniSum)
+		}
+		// Sequential methods must stay inside the memory budget; the
+		// concurrent ones overlap a partition phase and a join phase
+		// (uniform runs included), so each phase — and the skew repair
+		// — must stay within M, bounding the overlapped peak by 2M.
+		budget := int64(m)
+		if sym == "CDT-GH" || sym == "CTT-GH" {
+			budget = 2 * m
+		}
+		if skewStats.MemHighWater > budget {
+			t.Fatalf("%s: skew run peaked at %d blocks, budget %d (uniform peak %d)",
+				sym, skewStats.MemHighWater, budget, uniStats.MemHighWater)
+		}
+		t.Logf("%s: uniform %v, skew %v (heavy=%d parts=%d)",
+			sym, uniResp, skewResp, skewStats.HeavyHitters, skewStats.SkewPartitions)
+		if skewResp < uniResp {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Fatal("skew-aware partitioning beat the uniform planner for no GH method")
+	}
+}
+
+// TestSkewAwareNoopOnUniformKeys checks the other direction: with a
+// uniform key distribution and enough memory that hash variance stays
+// inside the single-load budget, the sketch finds nothing, the plan
+// stays trivial, and the skew-aware run is the uniform run.
+func TestSkewAwareNoopOnUniformKeys(t *testing.T) {
+	for _, sym := range []string{"DT-GH", "CTT-GH", "TT-GH"} {
+		method, err := BySymbol(sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(skewAware bool) (Stats, uint64) {
+			sink := &CountSink{}
+			res := fastRes(24, 128)
+			res.SkewAware = skewAware
+			result, err := Run(method, testSpec(t), res, sink)
+			if err != nil {
+				t.Fatalf("%s (skew=%v): %v", sym, skewAware, err)
+			}
+			return result.Stats, sink.KeySum
+		}
+		uniStats, uniSum := run(false)
+		skewStats, skewSum := run(true)
+		if skewStats.HeavyHitters != 0 || skewStats.SkewPartitions != 0 {
+			t.Fatalf("%s: uniform keys produced a skew plan: %+v", sym, skewStats)
+		}
+		if skewSum != uniSum {
+			t.Fatalf("%s: checksum changed with SkewAware on", sym)
+		}
+		if skewStats.Response != uniStats.Response {
+			t.Fatalf("%s: response %v (skew) != %v (uniform) on uniform keys",
+				sym, skewStats.Response, uniStats.Response)
+		}
+	}
+}

@@ -173,6 +173,12 @@ type blockPacker struct {
 
 	start   device.Addr
 	written int64
+
+	// collect, when set, records the first key of every packed block —
+	// the run's empirical CDF at block granularity, used by the
+	// probe-narrowing merge join. Index i is block i of the run.
+	collect bool
+	fences  []uint64
 }
 
 func newBlockPacker(ws *smWorkspace, tag byte, perBlk int, outBuf int64) *blockPacker {
@@ -180,6 +186,9 @@ func newBlockPacker(ws *smWorkspace, tag byte, perBlk int, outBuf int64) *blockP
 }
 
 func (bp *blockPacker) add(p *sim.Proc, t block.Tuple) error {
+	if bp.collect && bp.builder.Len() == 0 {
+		bp.fences = append(bp.fences, t.Key)
+	}
 	bp.builder.Append(t)
 	if bp.builder.Len() < bp.perBlk {
 		return nil
@@ -221,10 +230,12 @@ func (bp *blockPacker) finish(p *sim.Proc) (device.Region, error) {
 
 // sortOnTape sorts one relation: run formation from the source region,
 // then k-way merge passes ping-ponging between a workspace on each
-// cartridge. Returns the drive and region of the final sorted copy.
-// scans counts full passes over the relation's data.
+// cartridge. Returns the drive and region of the final sorted copy,
+// plus — when probe narrowing is on — the final run's block fence
+// index (first key of each block), collected for free during the last
+// write pass. scans counts full passes over the relation's data.
 func sortOnTape(e *env, p *sim.Proc, src device.Drive, region device.Region,
-	perBlk int, tag byte, wsHome, wsAway *smWorkspace, keep keepFn, scans *int) (device.Drive, device.Region, error) {
+	perBlk int, tag byte, wsHome, wsAway *smWorkspace, keep keepFn, scans *int) (device.Drive, device.Region, []uint64, error) {
 
 	m := e.res.MemoryBlocks
 	k, inBuf, outBuf := smFanIn(m, e.res.IOChunk)
@@ -233,6 +244,7 @@ func sortOnTape(e *env, p *sim.Proc, src device.Drive, region device.Region,
 	// the away workspace.
 	wsAway.reset()
 	var runs []device.Region
+	var fences [][]uint64
 	sp := e.span(p, "sort-runs", obs.AInt("blocks", region.N))
 	err := func() error {
 		e.mem.acquire(m)
@@ -255,6 +267,7 @@ func sortOnTape(e *env, p *sim.Proc, src device.Drive, region device.Region,
 			}
 			sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].Key < tuples[j].Key })
 			bp := newBlockPacker(wsAway, tag, perBlk, outBuf)
+			bp.collect = e.res.ProbeNarrow
 			for _, t := range tuples {
 				if err := bp.add(p, t); err != nil {
 					return err
@@ -265,12 +278,13 @@ func sortOnTape(e *env, p *sim.Proc, src device.Drive, region device.Region,
 				return err
 			}
 			runs = append(runs, run)
+			fences = append(fences, bp.fences)
 		}
 		return nil
 	}()
 	sp.Close(p)
 	if err != nil {
-		return nil, device.Region{}, err
+		return nil, device.Region{}, nil, err
 	}
 	*scans++
 
@@ -280,32 +294,34 @@ func sortOnTape(e *env, p *sim.Proc, src device.Drive, region device.Region,
 	for len(runs) > 1 {
 		other.reset()
 		var merged []device.Region
+		var mergedFences [][]uint64
 		sp := e.span(p, "merge-pass", obs.AInt("runs", int64(len(runs))))
 		for lo := 0; lo < len(runs); lo += k {
 			hi := lo + k
 			if hi > len(runs) {
 				hi = len(runs)
 			}
-			run, err := mergeRuns(e, p, cur.drive, runs[lo:hi], other, perBlk, tag, inBuf, outBuf)
+			run, fence, err := mergeRuns(e, p, cur.drive, runs[lo:hi], other, perBlk, tag, inBuf, outBuf)
 			if err != nil {
 				sp.Close(p)
-				return nil, device.Region{}, err
+				return nil, device.Region{}, nil, err
 			}
 			merged = append(merged, run)
+			mergedFences = append(mergedFences, fence)
 		}
 		sp.Close(p)
-		runs = merged
+		runs, fences = merged, mergedFences
 		cur, other = other, cur
 		e.stats.Iterations++
 		*scans++
 	}
-	return cur.drive, runs[0], nil
+	return cur.drive, runs[0], fences[0], nil
 }
 
 // mergeRuns k-way merges sorted runs living on one drive into a single
 // run on the destination workspace.
 func mergeRuns(e *env, p *sim.Proc, src device.Drive, runs []device.Region,
-	dst *smWorkspace, perBlk int, tag byte, inBuf, outBuf int64) (device.Region, error) {
+	dst *smWorkspace, perBlk int, tag byte, inBuf, outBuf int64) (device.Region, []uint64, error) {
 
 	e.mem.acquire(int64(len(runs))*inBuf + outBuf)
 	defer e.mem.release(int64(len(runs))*inBuf + outBuf)
@@ -317,11 +333,12 @@ func mergeRuns(e *env, p *sim.Proc, src device.Drive, runs []device.Region,
 		streams[i] = &tupleStream{e: e, drive: src, region: run, buf: inBuf}
 		t, ok, err := streams[i].next(p)
 		if err != nil {
-			return device.Region{}, err
+			return device.Region{}, nil, err
 		}
 		heads[i], alive[i] = t, ok
 	}
 	bp := newBlockPacker(dst, tag, perBlk, outBuf)
+	bp.collect = e.res.ProbeNarrow
 	for {
 		best := -1
 		for i := range heads {
@@ -333,15 +350,16 @@ func mergeRuns(e *env, p *sim.Proc, src device.Drive, runs []device.Region,
 			break
 		}
 		if err := bp.add(p, heads[best]); err != nil {
-			return device.Region{}, err
+			return device.Region{}, nil, err
 		}
 		t, ok, err := streams[best].next(p)
 		if err != nil {
-			return device.Region{}, err
+			return device.Region{}, nil, err
 		}
 		heads[best], alive[best] = t, ok
 	}
-	return bp.finish(p)
+	reg, err := bp.finish(p)
+	return reg, bp.fences, err
 }
 
 func (TTSM) run(e *env, p *sim.Proc) error {
@@ -350,7 +368,7 @@ func (TTSM) run(e *env, p *sim.Proc) error {
 	// are established after, so they never collide.
 	wsRonS := &smWorkspace{drive: e.driveS} // R's away workspace
 	wsRonR := &smWorkspace{drive: e.driveR} // R's home workspace
-	rDrive, rSorted, err := sortOnTape(e, p, e.driveR, e.spec.R.Region,
+	rDrive, rSorted, rFences, err := sortOnTape(e, p, e.driveR, e.spec.R.Region,
 		e.spec.R.TuplesPerBlock, e.spec.R.Tag, wsRonR, wsRonS, e.filterR(), &e.stats.RScans)
 	if err != nil {
 		return err
@@ -359,14 +377,15 @@ func (TTSM) run(e *env, p *sim.Proc) error {
 	sScans := 0
 	wsSonR := &smWorkspace{drive: e.driveR}
 	wsSonS := &smWorkspace{drive: e.driveS}
-	sDrive, sSorted, err := sortOnTape(e, p, e.driveS, e.spec.S.Region,
+	sDrive, sSorted, sFences, err := sortOnTape(e, p, e.driveS, e.spec.S.Region,
 		e.spec.S.TuplesPerBlock, e.spec.S.Tag, wsSonS, wsSonR, e.filterS(), &sScans)
 	if err != nil {
 		return err
 	}
 
 	// The merge join streams both sorted copies concurrently, so they
-	// must sit on different drives; relocate R's if they collided.
+	// must sit on different drives; relocate R's if they collided. The
+	// copy preserves block boundaries, so the fence index stays valid.
 	if rDrive == sDrive {
 		dst := e.driveR
 		if rDrive == e.driveR {
@@ -382,7 +401,7 @@ func (TTSM) run(e *env, p *sim.Proc) error {
 	}
 	e.markStepI(p)
 
-	return mergeJoin(e, p, rDrive, rSorted, sDrive, sSorted)
+	return mergeJoin(e, p, rDrive, rSorted, rFences, sDrive, sSorted, sFences)
 }
 
 // copySorted moves a sorted region to a workspace on another drive.
@@ -407,11 +426,37 @@ func copySorted(e *env, p *sim.Proc, src device.Drive, region device.Region, dst
 	return out, nil
 }
 
+// narrowTo jumps a trailing sorted stream forward to the last block
+// whose fence key is still below target, when the fence index — the
+// run's block-granularity CDF — predicts the gap is worth a fresh
+// seek. Safe by construction: every skipped block starts at or before
+// a fence key strictly below target, and a sorted run's block can hold
+// nothing greater than the next block's first key.
+func narrowTo(e *env, ts *tupleStream, fences []uint64, target uint64) {
+	if len(fences) == 0 {
+		return
+	}
+	i := sort.Search(len(fences), func(i int) bool { return fences[i] >= target })
+	dst := int64(i - 1)
+	// Only jump well past the read-ahead window: a short hop costs a
+	// seek and saves nothing the streaming buffer wouldn't.
+	if dst <= ts.off+2*ts.buf {
+		return
+	}
+	e.stats.ProbeJumps++
+	e.stats.ProbeSkippedBlocks += dst - ts.off
+	ts.off = dst
+	ts.cur = ts.cur[:0]
+	ts.idx = 0
+}
+
 // mergeJoin streams the two sorted relations and emits every matching
 // pair, buffering each R key group in memory (R is the smaller side;
-// groups are its key multiplicities).
-func mergeJoin(e *env, p *sim.Proc, rDrive device.Drive, rReg device.Region,
-	sDrive device.Drive, sReg device.Region) error {
+// groups are its key multiplicities). Non-empty fence indexes enable
+// probe narrowing: whichever stream trails skips straight past blocks
+// that cannot contain the other stream's current key.
+func mergeJoin(e *env, p *sim.Proc, rDrive device.Drive, rReg device.Region, rFences []uint64,
+	sDrive device.Drive, sReg device.Region, sFences []uint64) error {
 
 	sp := e.span(p, "merge-join")
 	defer sp.Close(p)
@@ -436,8 +481,10 @@ func mergeJoin(e *env, p *sim.Proc, rDrive device.Drive, rReg device.Region,
 	for rOK && sOK {
 		switch {
 		case rT.Key < sT.Key:
+			narrowTo(e, rs, rFences, sT.Key)
 			rT, rOK, err = rs.next(p)
 		case rT.Key > sT.Key:
+			narrowTo(e, ss, sFences, rT.Key)
 			sT, sOK, err = ss.next(p)
 		default:
 			key := rT.Key

@@ -216,3 +216,60 @@ func TestSMWorkspaceOverwriteReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestProbeNarrowSkipsMatchlessStretches runs TT-SM on a pair where
+// R's keys cluster at the bottom of a wide keyspace S covers uniformly:
+// the trailing S stream has long sorted stretches with no R key, which
+// the fence-index narrowing must leap over — with output identical to
+// the plain merge and no more virtual time.
+func TestProbeNarrowSkipsMatchlessStretches(t *testing.T) {
+	mkSpec := func() Spec {
+		mR := tape.NewMedia("pn-r", 1024)
+		mS := tape.NewMedia("pn-s", 1024)
+		r, err := relation.WriteToTape(relation.Config{
+			Name: "R", Tag: 1, Blocks: 16, TuplesPerBlock: 4, KeySpace: 100000,
+			HotFraction: 0.0005, HotProb: 0.95, Seed: 31,
+		}, mR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := relation.WriteToTape(relation.Config{
+			Name: "S", Tag: 2, Blocks: 128, TuplesPerBlock: 4, KeySpace: 100000, Seed: 32,
+		}, mS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Spec{R: r, S: s}
+	}
+	run := func(narrow bool) (Stats, int64, uint64) {
+		sink := &CountSink{}
+		res := fastRes(10, 64)
+		res.ProbeNarrow = narrow
+		result, err := Run(TTSM{}, mkSpec(), res, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result.Stats, sink.Matches, sink.KeySum
+	}
+	plain, plainMatches, plainSum := run(false)
+	if plain.ProbeJumps != 0 || plain.ProbeSkippedBlocks != 0 {
+		t.Fatalf("plain run recorded probe jumps: %+v", plain)
+	}
+	narrowed, matches, sum := run(true)
+	if matches != plainMatches || sum != plainSum {
+		t.Fatalf("narrowed output differs: %d/%d vs %d/%d", matches, sum, plainMatches, plainSum)
+	}
+	if narrowed.ProbeJumps < 1 || narrowed.ProbeSkippedBlocks < 1 {
+		t.Fatalf("no narrowing happened: jumps=%d skipped=%d",
+			narrowed.ProbeJumps, narrowed.ProbeSkippedBlocks)
+	}
+	if narrowed.TapeBlocksRead >= plain.TapeBlocksRead {
+		t.Fatalf("narrowing read %d tape blocks, plain read %d",
+			narrowed.TapeBlocksRead, plain.TapeBlocksRead)
+	}
+	if narrowed.Response > plain.Response {
+		t.Fatalf("narrowing slower: %v vs %v", narrowed.Response, plain.Response)
+	}
+	t.Logf("jumps=%d skipped=%d blocks, response %v -> %v",
+		narrowed.ProbeJumps, narrowed.ProbeSkippedBlocks, plain.Response, narrowed.Response)
+}

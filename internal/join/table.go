@@ -192,6 +192,13 @@ type partitioner struct {
 	// discards other tuples (the multi-scan assembly of CTT-GH and
 	// TT-GH Step I).
 	only func(bucket int) bool
+	// route maps a key to its bucket; defaults to the uniform hash
+	// over b buckets. Skew-aware layouts install a SkewPlan router.
+	route func(key uint64) int
+	// sketch, when non-nil, observes every key before the only-filter,
+	// so one full scan completes the frequency sketch even when the
+	// partitioner keeps only a window of buckets.
+	sketch *hashutil.FreqSketch
 	// produced counts blocks flushed per bucket.
 	produced []int64
 }
@@ -207,12 +214,16 @@ func newPartitioner(b int, writeBuf int64, tuplesPerBlock int, tag byte, flush f
 	for i := range pt.builders {
 		pt.builders[i] = block.NewBuilder(tag)
 	}
+	pt.route = func(key uint64) int { return hashutil.Bucket(key, b) }
 	return pt
 }
 
 // add routes one tuple.
 func (pt *partitioner) add(p *sim.Proc, t block.Tuple) error {
-	bkt := hashutil.Bucket(t.Key, pt.b)
+	if pt.sketch != nil {
+		pt.sketch.Add(t.Key)
+	}
+	bkt := pt.route(t.Key)
 	if pt.only != nil && !pt.only(bkt) {
 		return nil
 	}

@@ -71,16 +71,20 @@ func (TTGH) run(e *env, p *sim.Proc) error {
 		return err
 	}
 
-	// Step I, part 1: hash R onto the S tape.
+	// Step I, part 1: hash R onto the S tape, sketching for skew when
+	// enabled.
+	var skp *hashutil.SkewPlan
 	rRegions, err := hashRelationToTape(e, p, e.driveR, e.spec.R.Region,
-		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, e.driveS, false, e.filterR(), &e.stats.RScans)
+		e.spec.R.TuplesPerBlock, e.spec.R.Tag, plan, e.driveS, false, e.filterR(), &e.stats.RScans, &skp, true)
 	if err != nil {
 		return err
 	}
-	// Step I, part 2: hash S onto the R tape using the same buckets.
+	// Step I, part 2: hash S onto the R tape using the same buckets —
+	// and the same skew refinement, so partition i of each side holds
+	// the same keys.
 	sScans := 0
 	sRegions, err := hashRelationToTape(e, p, e.driveS, e.spec.S.Region,
-		e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, e.driveR, false, e.filterS(), &sScans)
+		e.spec.S.TuplesPerBlock, e.spec.S.Tag, plan, e.driveR, false, e.filterS(), &sScans, &skp, false)
 	if err != nil {
 		return err
 	}
@@ -88,12 +92,16 @@ func (TTGH) run(e *env, p *sim.Proc) error {
 
 	scanBuf := scanBufFor(plan, e.res.MemoryBlocks)
 	maxLoad := e.res.MemoryBlocks - scanBuf
+	nparts := plan.B
+	if skp != nil {
+		nparts = skp.NParts
+	}
 
-	// Step II: join bucket pairs; R buckets now live on the S tape
-	// and S buckets on the R tape, both in bucket order. Each bucket
+	// Step II: join partition pairs; R partitions now live on the S
+	// tape and S partitions on the R tape, both in spool order. Each
 	// pair is one restartable unit with staged output — both inputs
 	// are on tape, so any retry simply re-reads them.
-	for b := 0; b < plan.B; b++ {
+	for b := 0; b < nparts; b++ {
 		b := b
 		err := e.runUnit(p, fmt.Sprintf("bucket %d", b), func(up *sim.Proc) error {
 			return e.staged(up, func() error {

@@ -7,9 +7,11 @@ package relation
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/block"
+	"repro/internal/hashutil"
 	"repro/internal/tape"
 )
 
@@ -29,11 +31,17 @@ type Config struct {
 	// KeySpace draws join keys uniformly from [0, KeySpace). Smaller
 	// key spaces give more matches.
 	KeySpace uint64
-	// HotFraction and HotProb introduce skew: with probability
-	// HotProb a key is drawn from the first HotFraction of the key
-	// space. Zero values mean uniform keys.
+	// HotFraction and HotProb introduce two-level skew: with
+	// probability HotProb a key is drawn from the first HotFraction of
+	// the key space. Zero values mean uniform keys; setting one
+	// without the other is rejected by Validate.
 	HotFraction float64
 	HotProb     float64
+	// ZipfTheta, when in (0, 1), draws keys with rank-frequency
+	// following Zipf(theta) over [0, KeySpace) — key 0 most frequent.
+	// theta = 0.99 is the YCSB-style heavy skew the skew experiments
+	// use. Mutually exclusive with HotFraction/HotProb.
+	ZipfTheta float64
 	// PayloadBytes is the per-tuple payload size (real bytes).
 	PayloadBytes int
 	// PayloadGen, when non-nil, supplies each tuple's payload from its
@@ -58,6 +66,18 @@ func (c Config) Validate() error {
 	if c.HotFraction < 0 || c.HotFraction > 1 || c.HotProb < 0 || c.HotProb > 1 {
 		return fmt.Errorf("relation %q: bad skew (%v, %v)", c.Name, c.HotFraction, c.HotProb)
 	}
+	if (c.HotFraction > 0) != (c.HotProb > 0) {
+		// One knob without the other silently generates uniform keys —
+		// exactly the failure mode that makes a skew experiment lie.
+		return fmt.Errorf("relation %q: inconsistent skew: HotFraction=%v with HotProb=%v (set both or neither)",
+			c.Name, c.HotFraction, c.HotProb)
+	}
+	if c.ZipfTheta < 0 || c.ZipfTheta >= 1 {
+		return fmt.Errorf("relation %q: ZipfTheta %v outside [0, 1)", c.Name, c.ZipfTheta)
+	}
+	if c.ZipfTheta > 0 && c.HotProb > 0 {
+		return fmt.Errorf("relation %q: ZipfTheta and HotFraction/HotProb are mutually exclusive", c.Name)
+	}
 	if c.PayloadBytes < 0 {
 		return fmt.Errorf("relation %q: negative payload", c.Name)
 	}
@@ -69,24 +89,49 @@ func (c Config) Tuples() int64 { return c.Blocks * int64(c.TuplesPerBlock) }
 
 // keyStream yields the relation's deterministic key sequence.
 type keyStream struct {
-	cfg Config
-	rng *rand.Rand
+	cfg  Config
+	rng  *rand.Rand
+	zipf *hashutil.ZipfGen
 }
 
 func newKeyStream(cfg Config) *keyStream {
-	return &keyStream{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s := &keyStream{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.ZipfTheta > 0 {
+		s.zipf = hashutil.NewZipfGen(cfg.KeySpace, cfg.ZipfTheta)
+	}
+	return s
+}
+
+// uniform draws from [0, bound). The Int63n path is kept for every
+// bound it can represent so historical key sequences (and therefore
+// output hashes and bench snapshots) are unchanged; larger bounds take
+// a rejection-sampled full-width draw instead of overflowing int64.
+func (s *keyStream) uniform(bound uint64) uint64 {
+	if bound <= math.MaxInt64 {
+		return uint64(s.rng.Int63n(int64(bound)))
+	}
+	// bound > 2^63: a raw Uint64 lands inside [0, bound) with
+	// probability >= 1/2, so plain rejection is unbiased and cheap.
+	for {
+		if v := s.rng.Uint64(); v < bound {
+			return v
+		}
+	}
 }
 
 func (s *keyStream) next() uint64 {
 	space := s.cfg.KeySpace
+	if s.zipf != nil {
+		return s.zipf.Next(s.rng)
+	}
 	if s.cfg.HotProb > 0 && s.rng.Float64() < s.cfg.HotProb {
 		hot := uint64(float64(space) * s.cfg.HotFraction)
 		if hot < 1 {
 			hot = 1
 		}
-		return uint64(s.rng.Int63n(int64(hot)))
+		return s.uniform(hot)
 	}
-	return uint64(s.rng.Int63n(int64(space)))
+	return s.uniform(space)
 }
 
 // Relation is a synthetic relation materialized on a tape cartridge.

@@ -182,6 +182,19 @@ type Config struct {
 	// SplitBuffering replaces the paper's interleaved
 	// double-buffering with the naive two-halves scheme (ablation).
 	SplitBuffering bool
+	// SkewAware enables skew-aware partitioning in the Grace Hash
+	// methods: a top-k key-frequency sketch rides R's partitioning
+	// pass, heavy hitters get dedicated partitions, and overweight
+	// buckets are split so no partition exceeds one memory load.
+	// Uniform inputs are unaffected (the plan stays trivial). Also
+	// steers Estimate/Advise: the cost model then assumes the skew
+	// penalty is absorbed.
+	SkewAware bool
+	// ProbeNarrow enables CDF-model probe-range narrowing in the
+	// TT-SM merge join: each sorted run keeps a per-block first-key
+	// fence index, and the trailing stream jumps over provably
+	// matchless stretches instead of scanning them.
+	ProbeNarrow bool
 	// BiDirectionalTape enables the optional SCSI READ REVERSE of the
 	// paper's footnote 2: CTT-GH then alternates its bucket-scan
 	// direction each iteration, eliminating the seek back across the
@@ -313,6 +326,8 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.SplitBuffering {
 		res.Discipline = join.SplitHalves
 	}
+	res.SkewAware = cfg.SkewAware
+	res.ProbeNarrow = cfg.ProbeNarrow
 	if cfg.ObsAddr != "" || cfg.ObsServer != nil {
 		cfg.Observe = true // live endpoints need a registry to scrape
 	}
@@ -453,8 +468,13 @@ type RelationConfig struct {
 	// KeySpace draws join keys uniformly from [0, KeySpace); smaller
 	// spaces give more matches (default 1e6).
 	KeySpace uint64
-	// HotFraction and HotProb skew the key distribution (optional).
+	// HotFraction and HotProb skew the key distribution with the
+	// crude two-level hot/cold model (optional; set both or neither).
 	HotFraction, HotProb float64
+	// ZipfTheta draws keys from a Zipf(θ) rank-frequency distribution
+	// over the key space, 0 <= θ < 1 (0 = uniform). Mutually
+	// exclusive with HotFraction/HotProb.
+	ZipfTheta float64
 	// Seed makes generation reproducible.
 	Seed int64
 }
@@ -495,6 +515,7 @@ func (s *System) CreateRelation(t *Tape, cfg RelationConfig) (*Relation, error) 
 		KeySpace:       cfg.KeySpace,
 		HotFraction:    cfg.HotFraction,
 		HotProb:        cfg.HotProb,
+		ZipfTheta:      cfg.ZipfTheta,
 		PayloadBytes:   8,
 		Seed:           cfg.Seed,
 	}, t.media)
@@ -564,6 +585,17 @@ type Stats struct {
 	DisksLost  int
 	DriveLost  bool
 	DegradedTo string
+	// HeavyHitters and SkewPartitions report the skew-aware planner's
+	// work (Config.SkewAware): keys isolated into dedicated
+	// partitions, and the refined partition count (> the uniform
+	// bucket count only when skew was detected).
+	HeavyHitters   int
+	SkewPartitions int
+	// ProbeJumps and ProbeSkippedBlocks report the merge join's
+	// CDF-model narrowing (Config.ProbeNarrow): forward jumps taken
+	// by a trailing stream and the blocks they skipped.
+	ProbeJumps         int64
+	ProbeSkippedBlocks int64
 	// FirstTuple is the virtual time from run start to the first pair
 	// delivered to the output (zero when the join produced none).
 	FirstTuple time.Duration
@@ -702,33 +734,37 @@ func (s *System) JoinWith(method Method, r, bigS *Relation, opts JoinOptions) (*
 	out := &Result{
 		Method: method,
 		Stats: Stats{
-			Response:      res.Stats.Response,
-			StepI:         res.Stats.StepI,
-			Iterations:    res.Stats.Iterations,
-			RScans:        res.Stats.RScans,
-			Matches:       res.Stats.OutputTuples,
-			OutputHash:    sink.Hash(),
-			TapeReadMB:    mbOf(res.Stats.TapeBlocksRead),
-			TapeWrittenMB: mbOf(res.Stats.TapeBlocksWritten),
-			DiskReadMB:    mbOf(res.Stats.DiskBlocksRead),
-			DiskWrittenMB: mbOf(res.Stats.DiskBlocksWritten),
-			DiskPeakMB:    mbOf(res.Stats.DiskHighWater),
-			MemPeakMB:     mbOf(res.Stats.MemHighWater),
-			TapeSeeks:     res.Stats.TapeSeeks,
-			TapeRUtil:     float64(res.Stats.TapeRBusy) / float64(res.Stats.Response),
-			TapeSUtil:     float64(res.Stats.TapeSBusy) / float64(res.Stats.Response),
-			DiskUtil:      float64(res.Stats.DiskBusy) / float64(res.Stats.Response),
-			Faults:        res.Stats.Faults,
-			Retries:       res.Stats.Retries,
-			UnitRestarts:  res.Stats.UnitRestarts,
-			RecoveryTime:  time.Duration(res.Stats.RecoveryTime),
-			DisksLost:     res.Stats.DisksLost,
-			DriveLost:     res.Stats.DriveLost,
-			DegradedTo:    res.Stats.DegradedTo,
-			FirstTuple:    time.Duration(res.Stats.FirstTuple),
-			Stopped:       res.Stats.Stopped,
-			WallElapsed:   time.Duration(res.Stats.WallElapsed),
-			WallOverlap:   res.Stats.WallOverlap,
+			Response:           res.Stats.Response,
+			StepI:              res.Stats.StepI,
+			Iterations:         res.Stats.Iterations,
+			RScans:             res.Stats.RScans,
+			Matches:            res.Stats.OutputTuples,
+			OutputHash:         sink.Hash(),
+			TapeReadMB:         mbOf(res.Stats.TapeBlocksRead),
+			TapeWrittenMB:      mbOf(res.Stats.TapeBlocksWritten),
+			DiskReadMB:         mbOf(res.Stats.DiskBlocksRead),
+			DiskWrittenMB:      mbOf(res.Stats.DiskBlocksWritten),
+			DiskPeakMB:         mbOf(res.Stats.DiskHighWater),
+			MemPeakMB:          mbOf(res.Stats.MemHighWater),
+			TapeSeeks:          res.Stats.TapeSeeks,
+			TapeRUtil:          float64(res.Stats.TapeRBusy) / float64(res.Stats.Response),
+			TapeSUtil:          float64(res.Stats.TapeSBusy) / float64(res.Stats.Response),
+			DiskUtil:           float64(res.Stats.DiskBusy) / float64(res.Stats.Response),
+			Faults:             res.Stats.Faults,
+			Retries:            res.Stats.Retries,
+			UnitRestarts:       res.Stats.UnitRestarts,
+			RecoveryTime:       time.Duration(res.Stats.RecoveryTime),
+			DisksLost:          res.Stats.DisksLost,
+			DriveLost:          res.Stats.DriveLost,
+			DegradedTo:         res.Stats.DegradedTo,
+			HeavyHitters:       res.Stats.HeavyHitters,
+			SkewPartitions:     res.Stats.SkewPartitions,
+			ProbeJumps:         res.Stats.ProbeJumps,
+			ProbeSkippedBlocks: res.Stats.ProbeSkippedBlocks,
+			FirstTuple:         time.Duration(res.Stats.FirstTuple),
+			Stopped:            res.Stats.Stopped,
+			WallElapsed:        time.Duration(res.Stats.WallElapsed),
+			WallOverlap:        res.Stats.WallOverlap,
 		},
 		BufferCapacityMB: mbOf(res.BufferCapacity),
 	}
@@ -780,12 +816,13 @@ type Estimate struct {
 
 func (s *System) costParams(rMB, sMB int64) cost.Params {
 	return cost.Params{
-		RBlocks:  MB(rMB),
-		SBlocks:  MB(sMB),
-		MBlocks:  s.res.MemoryBlocks,
-		DBlocks:  s.res.DiskBlocks,
-		TapeRate: s.tapeRate,
-		DiskRate: s.res.DiskRate,
+		RBlocks:   MB(rMB),
+		SBlocks:   MB(sMB),
+		MBlocks:   s.res.MemoryBlocks,
+		DBlocks:   s.res.DiskBlocks,
+		TapeRate:  s.tapeRate,
+		DiskRate:  s.res.DiskRate,
+		SkewAware: s.cfg.SkewAware,
 	}
 }
 
@@ -805,6 +842,17 @@ func toEstimate(e cost.Estimate, p cost.Params) Estimate {
 // Estimate predicts one method's cost for |R| = rMB, |S| = sMB.
 func (s *System) Estimate(method Method, rMB, sMB int64) Estimate {
 	p := s.costParams(rMB, sMB)
+	return toEstimate(cost.EstimateMethod(string(method), p), p)
+}
+
+// EstimateSkewed is Estimate for skewed keys: maxKeyFrac is the
+// fraction of tuples carried by the most frequent join key
+// (hashutil exposes ZipfMaxKeyFrac for Zipf(θ) data). Without
+// Config.SkewAware the Grace Hash estimates inflate by the multi-load
+// re-scans of the overweight bucket; with it the penalty is absorbed.
+func (s *System) EstimateSkewed(method Method, rMB, sMB int64, maxKeyFrac float64) Estimate {
+	p := s.costParams(rMB, sMB)
+	p.MaxKeyFrac = maxKeyFrac
 	return toEstimate(cost.EstimateMethod(string(method), p), p)
 }
 
